@@ -1,0 +1,96 @@
+//===- BenchCommon.h - Shared experiment-driver helpers --------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment drivers in bench/: compiling the
+/// workload suite, enumerating every function, and tiny flag parsing.
+/// Each bench binary regenerates one table or figure of the paper; see
+/// DESIGN.md for the complete index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_BENCH_BENCHCOMMON_H
+#define POSE_BENCH_BENCHCOMMON_H
+
+#include "src/core/Enumerator.h"
+#include "src/frontend/Compile.h"
+#include "src/opt/PhaseManager.h"
+#include "src/workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pose {
+namespace bench {
+
+/// One workload program compiled to RTL.
+struct CompiledWorkload {
+  const Workload *Info = nullptr;
+  Module M;
+};
+
+/// Compiles all six workloads, aborting loudly on any diagnostic.
+inline std::vector<CompiledWorkload> compileAllWorkloads() {
+  std::vector<CompiledWorkload> Out;
+  for (const Workload &W : allWorkloads()) {
+    CompileResult R = compileMC(W.Source);
+    if (!R.ok()) {
+      std::fprintf(stderr, "workload %s failed to compile:\n%s", W.Name,
+                   R.diagText().c_str());
+      std::exit(1);
+    }
+    CompiledWorkload C;
+    C.Info = &W;
+    C.M = std::move(R.M);
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+/// Single-letter program tag used in the paper's function names
+/// ("main(b)" for bitcount's main, …).
+inline char programTag(const std::string &Name) {
+  if (Name == "bitcount")
+    return 'b';
+  if (Name == "dijkstra")
+    return 'd';
+  if (Name == "fft")
+    return 'f';
+  if (Name == "jpeg")
+    return 'j';
+  if (Name == "sha")
+    return 'h';
+  if (Name == "stringsearch")
+    return 's';
+  return '?';
+}
+
+/// Returns the integer value of --flag=N (or Default).
+inline uint64_t flagValue(int Argc, char **Argv, const char *Flag,
+                          uint64_t Default) {
+  const std::string Prefix = std::string("--") + Flag + "=";
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strncmp(Argv[I], Prefix.c_str(), Prefix.size()))
+      return std::strtoull(Argv[I] + Prefix.size(), nullptr, 10);
+  return Default;
+}
+
+/// Returns true if --flag is present.
+inline bool flagPresent(int Argc, char **Argv, const char *Flag) {
+  const std::string Name = std::string("--") + Flag;
+  for (int I = 1; I < Argc; ++I)
+    if (Name == Argv[I])
+      return true;
+  return false;
+}
+
+} // namespace bench
+} // namespace pose
+
+#endif // POSE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,87 @@
+//===- bench_searches.cpp - Heuristic searches vs the exhaustive optimum ------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The experiment the paper's related work motivates (Section 2) and its
+// enumeration enables for the first time: how close do non-exhaustive
+// searches — genetic algorithm, hill climbing, random sampling — come to
+// the true optimum, and at what cost? The exhaustive DAG supplies the
+// ground-truth minimal code size per function; each heuristic runs with a
+// matched evaluation budget. Also quantifies the hash-dedup enhancement
+// of reference [14] (cache hits = avoided evaluations).
+//
+// Flags: --budget=N (exhaustive), --evals=N (heuristic budget),
+//        --seed=N.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/core/Search.h"
+#include "src/core/SpaceStats.h"
+
+using namespace pose;
+using namespace pose::bench;
+
+int main(int Argc, char **Argv) {
+  EnumeratorConfig Cfg;
+  Cfg.MaxLevelSequences = flagValue(Argc, Argv, "budget", 1'000'000);
+  const uint64_t Evals = flagValue(Argc, Argv, "evals", 400);
+  const uint64_t Seed = flagValue(Argc, Argv, "seed", 42);
+  PhaseManager PM;
+  Enumerator E(PM, Cfg);
+
+  std::printf("Heuristic searches vs exhaustive optimum (code size; "
+              "budget %llu evaluations each)\n\n",
+              static_cast<unsigned long long>(Evals));
+  std::printf("%-24s %6s %7s | %6s %6s | %6s %6s | %6s %6s | %9s\n",
+              "Function", "naive", "optimal", "GA", "evals", "hill",
+              "evals", "random", "evals", "dedup hits");
+
+  size_t GaHitOpt = 0, HillHitOpt = 0, RandHitOpt = 0, Total = 0;
+  for (CompiledWorkload &W : compileAllWorkloads()) {
+    SequenceSearch S(PM, W.M, "main");
+    for (Function &F : W.M.Functions) {
+      EnumerationResult R = E.enumerate(F);
+      if (!R.Complete)
+        continue;
+      uint32_t Optimal = UINT32_MAX;
+      for (const DagNode &N : R.Nodes)
+        Optimal = std::min(Optimal, N.CodeSize);
+
+      SearchConfig SC;
+      SC.Seed = Seed;
+      SC.MaxEvaluations = Evals;
+      SC.PopulationSize = 20;
+      SC.Generations = static_cast<int>(Evals / 20);
+      SearchResult GA = S.geneticSearch(F, Objective::CodeSize, SC);
+      SearchResult Hill = S.hillClimb(F, Objective::CodeSize, SC);
+      SearchResult Rand = S.randomSearch(F, Objective::CodeSize, SC);
+
+      std::printf("%-21s(%c) %6zu %7u | %6llu %6llu | %6llu %6llu | "
+                  "%6llu %6llu | %9llu\n",
+                  F.Name.c_str(), programTag(W.Info->Name),
+                  F.instructionCount(), Optimal,
+                  static_cast<unsigned long long>(GA.BestFitness),
+                  static_cast<unsigned long long>(GA.Evaluations),
+                  static_cast<unsigned long long>(Hill.BestFitness),
+                  static_cast<unsigned long long>(Hill.Evaluations),
+                  static_cast<unsigned long long>(Rand.BestFitness),
+                  static_cast<unsigned long long>(Rand.Evaluations),
+                  static_cast<unsigned long long>(
+                      GA.CacheHits + Hill.CacheHits + Rand.CacheHits));
+      GaHitOpt += (GA.BestFitness == Optimal);
+      HillHitOpt += (Hill.BestFitness == Optimal);
+      RandHitOpt += (Rand.BestFitness == Optimal);
+      ++Total;
+    }
+  }
+  std::printf("\nfunctions where the heuristic found the true optimum: "
+              "GA %zu/%zu, hill climbing %zu/%zu, random %zu/%zu\n",
+              GaHitOpt, Total, HillHitOpt, Total, RandHitOpt, Total);
+  std::printf("Paper context (Section 2, ref [9]): the space contains "
+              "enough local minima that biased sampling finds good "
+              "solutions; the exhaustive DAG makes that checkable.\n");
+  return 0;
+}

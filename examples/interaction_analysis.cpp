@@ -1,0 +1,79 @@
+//===- interaction_analysis.cpp - Measuring how phases interact ----------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Enumerate one workload's functions and print the measured enabling /
+// disabling / independence probabilities (paper, Section 5). A smaller,
+// program-specific version of bench_table4_6 that also demonstrates
+// querying individual probabilities through the API.
+//
+//   $ ./examples/interaction_analysis [workload]    (default: stringsearch)
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Interaction.h"
+#include "src/frontend/Compile.h"
+#include "src/opt/PhaseManager.h"
+#include "src/workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace pose;
+
+int main(int Argc, char **Argv) {
+  const char *Name = Argc > 1 ? Argv[1] : "stringsearch";
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", Name);
+    return 1;
+  }
+  CompileResult CR = compileMC(W->Source);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "%s", CR.diagText().c_str());
+    return 1;
+  }
+
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  InteractionAnalysis IA;
+  for (Function &F : CR.M.Functions) {
+    EnumerationResult R = E.enumerate(F);
+    if (R.Complete) {
+      IA.addFunction(R);
+      std::printf("enumerated %-22s %6zu instances, %5zu leaves\n",
+                  F.Name.c_str(), R.Nodes.size(), R.leafCount());
+    } else {
+      std::printf("skipped    %-22s (budget exceeded)\n", F.Name.c_str());
+    }
+  }
+
+  std::printf("\nenabling probabilities (Table 4):\n%s\n",
+              IA.renderTable(InteractionAnalysis::TableKind::Enabling)
+                  .c_str());
+  std::printf("disabling probabilities (Table 5):\n%s\n",
+              IA.renderTable(InteractionAnalysis::TableKind::Disabling)
+                  .c_str());
+  std::printf("independence probabilities (Table 6):\n%s\n",
+              IA.renderTable(InteractionAnalysis::TableKind::Independence)
+                  .c_str());
+
+  // Individual queries: the interactions the paper calls out in prose.
+  std::printf("selected interactions:\n");
+  std::printf("  P(s enabled by k)  = %.2f  (moves from allocation "
+              "collapse)\n",
+              IA.enabling(PhaseId::InstructionSelection,
+                          PhaseId::RegisterAllocation));
+  std::printf("  P(o disabled by c) = %.2f  (c forces register "
+              "assignment)\n",
+              IA.disabling(PhaseId::EvalOrder, PhaseId::Cse));
+  std::printf("  P(o disabled by k) = %.2f\n",
+              IA.disabling(PhaseId::EvalOrder,
+                           PhaseId::RegisterAllocation));
+  std::printf("  P(b enabled by k)  = %.2f  (allocation never touches "
+              "control flow)\n",
+              IA.enabling(PhaseId::BranchChaining,
+                          PhaseId::RegisterAllocation));
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- DependenceDag.cpp - Intra-block dependence analysis --------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/DependenceDag.h"
+
+#include "src/ir/Function.h"
+
+#include <map>
+
+using namespace pose;
+
+std::vector<std::set<size_t>> pose::blockDependences(const BasicBlock &B) {
+  const size_t N = B.Insts.size();
+  std::vector<std::set<size_t>> Preds(N);
+  // Last writer / readers per register, tracked by scanning forward.
+  std::map<RegNum, size_t> LastDef;
+  std::map<RegNum, std::vector<size_t>> ReadersSinceDef;
+  size_t LastIC = SIZE_MAX;
+  std::vector<size_t> ICReadersSince;
+  size_t LastMemWrite = SIZE_MAX; // Store or Call.
+  std::vector<size_t> MemReadsSince;
+
+  for (size_t J = 0; J != N; ++J) {
+    const Rtl &I = B.Insts[J];
+    // RAW on registers.
+    I.forEachUsedReg([&](RegNum R) {
+      auto It = LastDef.find(R);
+      if (It != LastDef.end())
+        Preds[J].insert(It->second);
+      ReadersSinceDef[R].push_back(J);
+    });
+    // IC dependences.
+    if (I.usesIC()) {
+      if (LastIC != SIZE_MAX)
+        Preds[J].insert(LastIC);
+      ICReadersSince.push_back(J);
+    }
+    if (I.definesIC()) {
+      if (LastIC != SIZE_MAX)
+        Preds[J].insert(LastIC); // WAW on IC.
+      for (size_t R : ICReadersSince)
+        if (R != J)
+          Preds[J].insert(R); // WAR on IC.
+      ICReadersSince.clear();
+      LastIC = J;
+    }
+    // Memory dependences: loads may reorder among themselves; stores and
+    // calls are ordered with everything that touches memory or has
+    // observable effects.
+    const bool MemWrite = I.Opcode == Op::Store || I.Opcode == Op::Call;
+    const bool MemRead = I.Opcode == Op::Load;
+    if (MemRead) {
+      if (LastMemWrite != SIZE_MAX)
+        Preds[J].insert(LastMemWrite);
+      MemReadsSince.push_back(J);
+    }
+    if (MemWrite) {
+      if (LastMemWrite != SIZE_MAX)
+        Preds[J].insert(LastMemWrite);
+      for (size_t R : MemReadsSince)
+        if (R != J)
+          Preds[J].insert(R);
+      MemReadsSince.clear();
+      LastMemWrite = J;
+    }
+    // Register WAR and WAW.
+    if (I.definesReg()) {
+      RegNum D = I.Dst.getReg();
+      auto It = LastDef.find(D);
+      if (It != LastDef.end())
+        Preds[J].insert(It->second);
+      for (size_t R : ReadersSinceDef[D])
+        if (R != J)
+          Preds[J].insert(R);
+      ReadersSinceDef[D].clear();
+      LastDef[D] = J;
+    }
+    // Control transfers stay last: every earlier instruction precedes
+    // them, and nothing may move past them (they are block-final anyway).
+    if (I.isControl())
+      for (size_t K = 0; K != J; ++K)
+        Preds[J].insert(K);
+  }
+  return Preds;
+}
+

@@ -1,0 +1,62 @@
+//===- Liveness.h - Register liveness analysis -----------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward may-liveness over registers and the condition-code register IC.
+/// Used by dead assignment elimination, register assignment/allocation,
+/// evaluation order determination, instruction selection (dead-copy checks),
+/// and code abstraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_ANALYSIS_LIVENESS_H
+#define POSE_ANALYSIS_LIVENESS_H
+
+#include "src/ir/Function.h"
+#include "src/support/BitVector.h"
+
+#include <vector>
+
+namespace pose {
+
+/// Result of the liveness dataflow: per-block live-in/live-out sets over a
+/// register universe of [0, numRegs()) plus one extra bit for IC.
+class Liveness {
+public:
+  /// Runs the analysis for \p F with CFG \p C.
+  Liveness(const Function &F, const Cfg &C);
+
+  /// Number of register bits (IC is the bit at index numRegs()).
+  size_t numRegs() const { return NumRegs; }
+
+  /// Bit index of the condition-code register.
+  size_t icIndex() const { return NumRegs; }
+
+  const BitVector &liveIn(size_t Block) const { return LiveIn[Block]; }
+  const BitVector &liveOut(size_t Block) const { return LiveOut[Block]; }
+
+  /// Per-instruction liveness within \p Block: returns the set live just
+  /// after each instruction, by stepping backward from liveOut. Index i of
+  /// the result corresponds to "live after Insts[i]".
+  std::vector<BitVector> liveAfterEach(const Function &F,
+                                       size_t Block) const;
+
+  /// Adds the registers (and IC) used by \p I to \p Set.
+  static void addUses(const Rtl &I, BitVector &Set, size_t IcIndex);
+
+  /// Removes the registers (and IC) defined by \p I from \p Set, then adds
+  /// its uses; i.e. one backward transfer step.
+  static void stepBackward(const Rtl &I, BitVector &Set, size_t IcIndex);
+
+private:
+  size_t NumRegs;
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+};
+
+} // namespace pose
+
+#endif // POSE_ANALYSIS_LIVENESS_H

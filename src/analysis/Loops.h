@@ -1,0 +1,62 @@
+//===- Loops.h - Natural loop detection ------------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop detection from dominator-identified back edges. Loop
+/// unrolling (g), minimize loop jumps (j), and loop transformations (l)
+/// all consume this analysis. Loops are reported innermost-first so the
+/// loop-transformation phase can process them by nesting level, as VPO
+/// does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_ANALYSIS_LOOPS_H
+#define POSE_ANALYSIS_LOOPS_H
+
+#include "src/ir/Function.h"
+
+#include <vector>
+
+namespace pose {
+
+class Dominators;
+
+/// One natural loop: header, latches (sources of back edges), and body.
+struct Loop {
+  int Header = -1;
+  std::vector<int> Latches;
+  /// All blocks of the loop, header included, sorted ascending.
+  std::vector<int> Blocks;
+  /// Nesting depth: 1 for outermost loops.
+  int Depth = 1;
+
+  bool contains(int Block) const {
+    for (int B : Blocks)
+      if (B == Block)
+        return true;
+    return false;
+  }
+};
+
+/// Finds all natural loops of \p F. Loops with the same header are merged
+/// (multiple back edges to one header form one loop).
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const Cfg &C, const Dominators &D);
+
+  /// Loops ordered innermost first (deeper nesting before shallower).
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Number of loops (the paper's per-function "Loop" statistic).
+  size_t count() const { return Loops.size(); }
+
+private:
+  std::vector<Loop> Loops;
+};
+
+} // namespace pose
+
+#endif // POSE_ANALYSIS_LOOPS_H

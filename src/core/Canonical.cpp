@@ -1,0 +1,200 @@
+//===- Canonical.cpp - Function instance canonicalization --------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Canonical.h"
+
+#include "src/ir/Function.h"
+#include "src/support/Crc32.h"
+
+#include <map>
+
+using namespace pose;
+
+namespace {
+
+/// Serialization operand tags. Registers get distinct hardware/pseudo tags
+/// so that the compulsory register assignment changes instance identity.
+enum OperandTag : uint8_t {
+  TagNone = 0,
+  TagHardwareReg,
+  TagPseudoReg,
+  TagImm,
+  TagSlot,
+  TagGlobal,
+  TagLabel,
+};
+
+/// Streams canonical bytes into the three accumulators.
+class ByteSink {
+public:
+  explicit ByteSink(bool Keep) : Keep(Keep) {}
+
+  void put(uint8_t B) {
+    Sum += B;
+    Crc.update(B);
+    if (Keep)
+      Bytes.push_back(B);
+  }
+
+  void putU32(uint32_t V) {
+    put(static_cast<uint8_t>(V));
+    put(static_cast<uint8_t>(V >> 8));
+    put(static_cast<uint8_t>(V >> 16));
+    put(static_cast<uint8_t>(V >> 24));
+  }
+
+  uint32_t byteSum() const { return Sum; }
+  uint32_t crc() const { return Crc.value(); }
+  std::vector<uint8_t> takeBytes() { return std::move(Bytes); }
+
+private:
+  bool Keep;
+  uint32_t Sum = 0;
+  Crc32Stream Crc;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Remaps registers (per class) and resolves labels to effective
+/// non-empty-block ordinals while serializing.
+class Serializer {
+public:
+  Serializer(const Function &F, ByteSink &Sink, bool RemapRegisters)
+      : F(F), Sink(Sink), RemapRegisters(RemapRegisters) {
+    // A label denotes a position in the emitted instruction stream: the
+    // offset of the first instruction of the first non-empty block at or
+    // after the labelled block. This makes empty blocks transparent and —
+    // crucially — distinguishes instances where an instruction moved
+    // across a block boundary (e.g. hoisted from a loop header into a
+    // fall-through preheader) even though the instruction sequence itself
+    // is unchanged.
+    std::vector<uint32_t> StartOffset(F.Blocks.size() + 1, 0);
+    uint32_t Offset = 0;
+    for (size_t I = 0; I != F.Blocks.size(); ++I) {
+      StartOffset[I] = Offset;
+      Offset += static_cast<uint32_t>(F.Blocks[I].Insts.size());
+    }
+    StartOffset[F.Blocks.size()] = Offset;
+    for (size_t I = 0; I != F.Blocks.size(); ++I) {
+      size_t T = I;
+      while (T < F.Blocks.size() && F.Blocks[T].empty())
+        ++T;
+      LabelOrdinal[F.Blocks[I].Label] = StartOffset[T];
+    }
+  }
+
+  void run() {
+    Sink.put(F.State.encode());
+    for (const BasicBlock &B : F.Blocks)
+      for (const Rtl &I : B.Insts)
+        serializeInst(I);
+  }
+
+private:
+  const Function &F;
+  ByteSink &Sink;
+  bool RemapRegisters;
+  std::map<int32_t, uint32_t> LabelOrdinal;
+  std::map<RegNum, uint32_t> HardwareMap, PseudoMap;
+
+  uint32_t remapReg(RegNum R) {
+    if (!RemapRegisters)
+      return R;
+    auto &Map = isHardwareReg(R) ? HardwareMap : PseudoMap;
+    auto [It, Inserted] = Map.emplace(R, Map.size() + 1);
+    (void)Inserted;
+    return It->second;
+  }
+
+  void serializeOperand(const Operand &O) {
+    switch (O.Kind) {
+    case OperandKind::None:
+      Sink.put(TagNone);
+      return;
+    case OperandKind::Reg: {
+      RegNum R = O.getReg();
+      Sink.put(isHardwareReg(R) ? TagHardwareReg : TagPseudoReg);
+      Sink.putU32(remapReg(R));
+      return;
+    }
+    case OperandKind::Imm:
+      Sink.put(TagImm);
+      Sink.putU32(static_cast<uint32_t>(O.Value));
+      return;
+    case OperandKind::Slot:
+      Sink.put(TagSlot);
+      Sink.putU32(static_cast<uint32_t>(O.Value));
+      return;
+    case OperandKind::Global:
+      Sink.put(TagGlobal);
+      Sink.putU32(static_cast<uint32_t>(O.Value));
+      return;
+    case OperandKind::Label: {
+      Sink.put(TagLabel);
+      auto It = LabelOrdinal.find(O.Value);
+      assert(It != LabelOrdinal.end() && "dangling label");
+      Sink.putU32(It->second);
+      return;
+    }
+    }
+  }
+
+  void serializeInst(const Rtl &I) {
+    Sink.put(static_cast<uint8_t>(I.Opcode));
+    Sink.put(static_cast<uint8_t>(I.CC));
+    serializeOperand(I.Dst);
+    for (const Operand &S : I.Src)
+      serializeOperand(S);
+    Sink.put(static_cast<uint8_t>(I.Args.size()));
+    for (const Operand &A : I.Args)
+      serializeOperand(A);
+  }
+};
+
+} // namespace
+
+CanonicalForm pose::canonicalize(const Function &F, bool KeepBytes,
+                                 bool RemapRegisters) {
+  ByteSink Sink(KeepBytes);
+  Serializer S(F, Sink, RemapRegisters);
+  S.run();
+  CanonicalForm Out;
+  Out.Hash.InstCount = static_cast<uint32_t>(F.instructionCount());
+  Out.Hash.ByteSum = Sink.byteSum();
+  Out.Hash.Crc = Sink.crc();
+  if (KeepBytes)
+    Out.Bytes = Sink.takeBytes();
+  return Out;
+}
+
+uint64_t pose::controlFlowHash(const Function &F) {
+  // FNV-1a over (block ordinal, successor ordinals) of non-empty blocks.
+  Cfg C = Cfg::build(F);
+  std::vector<uint32_t> Ordinal(F.Blocks.size());
+  uint32_t Next = 0;
+  for (size_t I = 0; I != F.Blocks.size(); ++I)
+    Ordinal[I] = F.Blocks[I].empty() ? UINT32_MAX : Next++;
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](uint32_t V) {
+    for (int K = 0; K != 4; ++K) {
+      H ^= (V >> (8 * K)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  };
+  Mix(Next); // Non-empty block count.
+  for (size_t I = 0; I != F.Blocks.size(); ++I) {
+    if (F.Blocks[I].empty())
+      continue;
+    Mix(Ordinal[I]);
+    for (int S : C.Succs[I]) {
+      // Resolve empty successors forward to the next real block.
+      size_t T = static_cast<size_t>(S);
+      while (T < F.Blocks.size() && F.Blocks[T].empty())
+        ++T;
+      Mix(T < F.Blocks.size() ? Ordinal[T] : UINT32_MAX);
+    }
+  }
+  return H;
+}

@@ -1,0 +1,84 @@
+//===- Canonical.h - Function instance canonicalization --------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identity of function instances, the heart of the paper's second pruning
+/// technique (Section 4.2): "For each function instance we store three
+/// numbers: a count of the number of instructions, byte-sum of all
+/// instructions, and the CRC checksum on the bytes of the RTLs in that
+/// function."
+///
+/// Before hashing, registers and block labels are remapped in
+/// first-encounter order (Section 4.2.1, Figure 5) so that instances
+/// differing only in register numbering or label names compare equal.
+/// Hardware and pseudo registers remap in separate classes, which makes
+/// the compulsory register assignment observable in the instance identity.
+/// Serialization reflects *emitted code*: block boundaries are not
+/// serialized and label operands resolve through empty blocks, mirroring
+/// the paper's treatment of block merging as internal-only representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_CANONICAL_H
+#define POSE_CORE_CANONICAL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pose {
+
+class Function;
+
+/// The paper's three-number identity of a function instance.
+struct HashTriple {
+  uint32_t InstCount = 0;
+  uint32_t ByteSum = 0;
+  uint32_t Crc = 0;
+
+  bool operator==(const HashTriple &O) const {
+    return InstCount == O.InstCount && ByteSum == O.ByteSum && Crc == O.Crc;
+  }
+  bool operator!=(const HashTriple &O) const { return !(*this == O); }
+};
+
+/// Hash functor for unordered containers keyed by HashTriple.
+struct HashTripleHasher {
+  size_t operator()(const HashTriple &T) const {
+    uint64_t H = T.Crc;
+    H = H * 0x9E3779B97F4A7C15ull + T.ByteSum;
+    H = H * 0x9E3779B97F4A7C15ull + T.InstCount;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+};
+
+/// Canonicalized instance: the hash triple, and optionally the exact
+/// canonical byte string (paranoid collision-free comparison mode used by
+/// the tests to validate the paper's "we have never encountered an
+/// instance" claim about triple collisions).
+struct CanonicalForm {
+  HashTriple Hash;
+  std::vector<uint8_t> Bytes; ///< Empty unless requested.
+};
+
+/// Computes the canonical form of \p F. \p KeepBytes retains the
+/// serialized bytes for exact comparison. \p RemapRegisters can be turned
+/// off to measure how much pruning the Section 4.2.1 remapping buys
+/// (labels always resolve to instruction offsets — raw label numbers are
+/// meaningless); see bench_ablation.
+CanonicalForm canonicalize(const Function &F, bool KeepBytes = false,
+                           bool RemapRegisters = true);
+
+/// Hash of the control-flow shape only (blocks and edges, ignoring
+/// instruction payloads): the paper's "CF" statistic counts distinct
+/// control flows among all instances of a function (Table 3), because
+/// dynamic instruction counts can be inferred across instances that share
+/// a control flow (Section 7).
+uint64_t controlFlowHash(const Function &F);
+
+} // namespace pose
+
+#endif // POSE_CORE_CANONICAL_H

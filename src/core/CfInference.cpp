@@ -1,0 +1,90 @@
+//===- CfInference.cpp - Dynamic counts from control-flow classes -------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/CfInference.h"
+
+#include "src/ir/Function.h"
+#include "src/sim/Interpreter.h"
+
+using namespace pose;
+
+namespace {
+
+/// Per-block instruction sizes and execution counts collapse to the
+/// non-empty blocks in layout order; two instances with equal CfHash have
+/// the same non-empty block structure, so frequencies transfer by
+/// ordinal.
+std::vector<uint64_t> blockSizesByOrdinal(const Function &F) {
+  std::vector<uint64_t> Sizes;
+  for (const BasicBlock &B : F.Blocks)
+    if (!B.empty())
+      Sizes.push_back(B.Insts.size());
+  return Sizes;
+}
+
+std::vector<uint64_t> countsByOrdinal(const Function &F,
+                                      const std::vector<uint64_t> &Raw) {
+  std::vector<uint64_t> Counts;
+  for (size_t I = 0; I != F.Blocks.size(); ++I)
+    if (!F.Blocks[I].empty())
+      Counts.push_back(Raw[I]);
+  return Counts;
+}
+
+} // namespace
+
+CfCountEvaluator::CfCountEvaluator(const Module &M, std::string Entry,
+                                   std::string FunctionName,
+                                   const Function &Root,
+                                   const PhaseManager &PM)
+    : M(M), Entry(std::move(Entry)), FunctionName(std::move(FunctionName)),
+      Root(Root), PM(PM) {}
+
+CfCountEvaluator::Count
+CfCountEvaluator::evaluate(const EnumerationResult &R, const DagPaths &Paths,
+                           uint32_t Id) {
+  Count Out;
+  const uint64_t Cf = R.Nodes[Id].CfHash;
+  auto It = Profiles.find(Cf);
+  Function Instance = Paths.materialize(Root, PM, Id);
+
+  if (It == Profiles.end()) {
+    // First instance with this control flow: simulate with profiling.
+    CfProfile P;
+    Interpreter Sim(M);
+    Sim.overrideFunction(FunctionName, &Instance);
+    Sim.setProfileFunction(FunctionName);
+    RunResult RR = Sim.run(Entry, {});
+    ++Simulations;
+    if (RR.Ok) {
+      P.Valid = true;
+      P.Frequencies = countsByOrdinal(Instance, RR.BlockCounts);
+      uint64_t InFunction = 0;
+      std::vector<uint64_t> Sizes = blockSizesByOrdinal(Instance);
+      for (size_t B = 0; B != Sizes.size(); ++B)
+        InFunction += Sizes[B] * P.Frequencies[B];
+      P.RestOfProgram = RR.DynamicInsts - InFunction;
+      Out.Valid = true;
+      Out.Simulated = true;
+      Out.Dynamic = RR.DynamicInsts;
+    }
+    Profiles.emplace(Cf, std::move(P));
+    return Out;
+  }
+
+  const CfProfile &P = It->second;
+  if (!P.Valid)
+    return Out;
+  std::vector<uint64_t> Sizes = blockSizesByOrdinal(Instance);
+  assert(Sizes.size() == P.Frequencies.size() &&
+         "control-flow class mismatch");
+  uint64_t InFunction = 0;
+  for (size_t B = 0; B != Sizes.size(); ++B)
+    InFunction += Sizes[B] * P.Frequencies[B];
+  Out.Valid = true;
+  Out.Dynamic = P.RestOfProgram + InFunction;
+  return Out;
+}

@@ -1,0 +1,92 @@
+//===- CfInference.h - Dynamic counts from control-flow classes -*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 7 proposal, implemented: "The small number of
+/// distinct control flows of functions (see column CF) can be used to
+/// infer the dynamic instruction count of one execution from another."
+///
+/// Function instances that share a control flow execute each basic block
+/// the same number of times on the same input; their dynamic instruction
+/// counts differ only through per-block instruction counts. So the
+/// evaluator simulates *one representative per control-flow class* with
+/// block-frequency profiling, and computes every other instance's count as
+///
+///     rest-of-program + sum over blocks (frequency[b] * size[b]).
+///
+/// Evaluating all N instances of a function then costs CF simulations
+/// instead of N — on the workload suite, CF is 1-22 while N reaches
+/// thousands (Table 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_CFINFERENCE_H
+#define POSE_CORE_CFINFERENCE_H
+
+#include "src/core/DagPaths.h"
+#include "src/core/Enumerator.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+class Function;
+class Module;
+class PhaseManager;
+
+/// Evaluates the dynamic instruction count of every instance in an
+/// enumerated space, simulating one representative per control-flow
+/// class.
+class CfCountEvaluator {
+public:
+  /// \p M supplies the surrounding program; \p Entry (usually "main") is
+  /// executed per evaluation. \p FunctionName is the function whose
+  /// instances are evaluated; \p Root its unoptimized body.
+  CfCountEvaluator(const Module &M, std::string Entry,
+                   std::string FunctionName, const Function &Root,
+                   const PhaseManager &PM);
+
+  /// Result of evaluating one instance.
+  struct Count {
+    bool Valid = false;      ///< False if the representative run failed.
+    uint64_t Dynamic = 0;    ///< Whole-program dynamic instructions.
+    bool Simulated = false;  ///< True for class representatives.
+  };
+
+  /// Evaluates node \p Id of \p R. The first instance of each control
+  /// flow class is simulated (with profiling); subsequent ones are
+  /// inferred from the cached block frequencies.
+  Count evaluate(const EnumerationResult &R, const DagPaths &Paths,
+                 uint32_t Id);
+
+  /// Number of actual simulations performed so far.
+  size_t simulations() const { return Simulations; }
+
+private:
+  const Module &M;
+  std::string Entry;
+  std::string FunctionName;
+  const Function &Root;
+  const PhaseManager &PM;
+  size_t Simulations = 0;
+
+  /// Cached per-control-flow profile: block frequencies by *non-empty
+  /// block ordinal*, plus the dynamic count of everything outside the
+  /// studied function.
+  struct CfProfile {
+    bool Valid = false;
+    std::vector<uint64_t> Frequencies;
+    uint64_t RestOfProgram = 0;
+  };
+  std::map<uint64_t, CfProfile> Profiles;
+};
+
+} // namespace pose
+
+#endif // POSE_CORE_CFINFERENCE_H

@@ -1,0 +1,120 @@
+//===- Compilers.cpp - Batch and probabilistic compilation --------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Compilers.h"
+
+#include "src/ir/Function.h"
+#include "src/opt/PhaseManager.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace pose;
+
+namespace {
+
+/// The old compiler's fixed order. Evaluation order determination runs
+/// once up front (it is illegal after the register assignment that CSE
+/// forces); the rest loops until a full pass changes nothing.
+constexpr char BatchPrefix[] = "os";
+constexpr char BatchLoop[] = "bcshkligjnqrud";
+
+class Stopwatch {
+public:
+  Stopwatch() : Begin(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Begin)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Begin;
+};
+
+} // namespace
+
+CompileStats pose::batchCompile(const PhaseManager &PM, Function &F) {
+  CompileStats S;
+  Stopwatch Timer;
+  auto Try = [&](char Code) {
+    PhaseId P = phaseFromCode(Code);
+    if (!PM.isLegal(P, F))
+      return false;
+    ++S.Attempted;
+    if (!PM.attempt(P, F))
+      return false;
+    ++S.Active;
+    S.ActiveSequence += Code;
+    return true;
+  };
+  for (const char *C = BatchPrefix; *C; ++C)
+    Try(*C);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const char *C = BatchLoop; *C; ++C)
+      Changed |= Try(*C);
+  }
+  S.Seconds = Timer.seconds();
+  return S;
+}
+
+ProbabilisticCompiler::ProbabilisticCompiler(const PhaseManager &PM,
+                                             const InteractionAnalysis &IA,
+                                             bool UseBenefits)
+    : PM(PM) {
+  for (int Y = 0; Y != NumPhases; ++Y) {
+    Start[Y] = IA.startProbability(phaseByIndex(Y));
+    // Benefit scaling: phases that shrink code more rank higher at equal
+    // probability. Clamped below at a small positive value so that
+    // code-growing phases (loop unrolling) are still attemptable when
+    // nothing else remains.
+    Score[Y] = UseBenefits
+                   ? std::max(0.1, IA.averageBenefit(phaseByIndex(Y)))
+                   : 1.0;
+    for (int X = 0; X != NumPhases; ++X) {
+      Enabling[Y][X] = IA.enabling(phaseByIndex(Y), phaseByIndex(X));
+      Disabling[Y][X] = IA.disabling(phaseByIndex(Y), phaseByIndex(X));
+    }
+  }
+}
+
+CompileStats ProbabilisticCompiler::compile(Function &F) const {
+  CompileStats S;
+  Stopwatch Timer;
+  double P[NumPhases];
+  for (int I = 0; I != NumPhases; ++I)
+    P[I] = Start[I];
+
+  while (true) {
+    // Select the legal phase with the highest probability of being
+    // active (Figure 8).
+    int J = -1;
+    for (int I = 0; I != NumPhases; ++I) {
+      if (P[I] <= Threshold || !PM.isLegal(phaseByIndex(I), F))
+        continue;
+      if (J < 0 || P[I] * Score[I] > P[J] * Score[J])
+        J = I;
+    }
+    if (J < 0)
+      break;
+    ++S.Attempted;
+    bool Active = PM.attempt(phaseByIndex(J), F);
+    if (Active) {
+      ++S.Active;
+      S.ActiveSequence += phaseCode(phaseByIndex(J));
+      for (int I = 0; I != NumPhases; ++I) {
+        if (I == J)
+          continue;
+        P[I] += (1.0 - P[I]) * Enabling[I][J] - P[I] * Disabling[I][J];
+      }
+    }
+    P[J] = 0.0;
+  }
+  S.Seconds = Timer.seconds();
+  return S;
+}

@@ -1,0 +1,80 @@
+//===- Compilers.h - Batch and probabilistic compilation -------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two whole-compiler strategies compared in the paper's Section 6 /
+/// Table 7:
+///
+///  - the *old batch* compiler applies one fixed order of phases in a loop
+///    until no phase changes the function ("VPO applies many optimization
+///    phases in a loop until there are no further program changes");
+///  - the *probabilistic batch* compiler (Figure 8) keeps a per-phase
+///    probability of being active, seeds it with start probabilities,
+///    always applies the most-probably-active phase next, and updates
+///    every probability with measured enabling/disabling interactions
+///    after each active phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_COMPILERS_H
+#define POSE_CORE_COMPILERS_H
+
+#include "src/core/Interaction.h"
+#include "src/opt/Phase.h"
+
+#include <string>
+
+namespace pose {
+
+class Function;
+class PhaseManager;
+
+/// Outcome of compiling one function with either strategy.
+struct CompileStats {
+  uint64_t Attempted = 0; ///< Phases attempted (Table 7 column).
+  uint64_t Active = 0;    ///< Attempts that changed the code.
+  double Seconds = 0;     ///< Wall-clock optimization time.
+  std::string ActiveSequence; ///< Letters of the active phases, in order.
+};
+
+/// Compiles \p F with the old fixed-order batch strategy. Does not insert
+/// the activation-record code; call fixEntryExit afterwards for final
+/// code.
+CompileStats batchCompile(const PhaseManager &PM, Function &F);
+
+/// The Figure 8 compiler, parameterized by measured interactions.
+class ProbabilisticCompiler {
+public:
+  /// \p IA supplies e[i][j], d[i][j] and the start probabilities,
+  /// typically trained on exhaustively enumerated functions.
+  /// \p UseBenefits implements the improvement the paper names as future
+  /// work ("can be further improved by taking phase benefits into
+  /// account"): the selection score becomes p[i] scaled by the measured
+  /// average code-size benefit of phase i instead of p[i] alone. The
+  /// probability updates of Figure 8 are unchanged.
+  ProbabilisticCompiler(const PhaseManager &PM,
+                        const InteractionAnalysis &IA,
+                        bool UseBenefits = false);
+
+  /// Compiles \p F by always applying the phase most likely to be active.
+  CompileStats compile(Function &F) const;
+
+  /// Probability floor below which a phase is not worth attempting; the
+  /// paper's tables blank values below 0.005 and the loop of Figure 8
+  /// runs "while any p[i] > 0".
+  static constexpr double Threshold = 0.005;
+
+private:
+  const PhaseManager &PM;
+  double Enabling[NumPhases][NumPhases];
+  double Disabling[NumPhases][NumPhases];
+  double Start[NumPhases];
+  double Score[NumPhases]; ///< Selection weight (1.0, or the benefit).
+};
+
+} // namespace pose
+
+#endif // POSE_CORE_COMPILERS_H

@@ -1,0 +1,67 @@
+//===- DagExport.cpp - Graphviz export of enumerated spaces -------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/DagExport.h"
+
+#include <deque>
+#include <set>
+
+using namespace pose;
+
+std::string pose::dagToDot(const EnumerationResult &R,
+                           const DagExportOptions &Options) {
+  // Select the rendered subset breadth-first so truncation keeps the top
+  // of the space.
+  std::set<uint32_t> Rendered;
+  std::deque<uint32_t> Work;
+  if (!R.Nodes.empty()) {
+    Work.push_back(0);
+    Rendered.insert(0);
+  }
+  while (!Work.empty() &&
+         (Options.MaxNodes == 0 || Rendered.size() < Options.MaxNodes)) {
+    uint32_t Id = Work.front();
+    Work.pop_front();
+    for (const DagEdge &E : R.Nodes[Id].Edges) {
+      if (Rendered.count(E.To))
+        continue;
+      if (Options.MaxNodes && Rendered.size() >= Options.MaxNodes)
+        break;
+      Rendered.insert(E.To);
+      Work.push_back(E.To);
+    }
+  }
+
+  std::string Out = "digraph " + Options.GraphName + " {\n";
+  Out += "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  for (uint32_t Id : Rendered) {
+    const DagNode &N = R.Nodes[Id];
+    Out += "  n" + std::to_string(Id) + " [label=\"" +
+           std::to_string(N.Weight);
+    if (Options.ShowCodeSize)
+      Out += "\\n" + std::to_string(N.CodeSize) + "i";
+    Out += "\"";
+    if (N.isLeaf())
+      Out += ", shape=doublecircle";
+    if (Id == 0)
+      Out += ", style=bold";
+    Out += "];\n";
+  }
+  for (uint32_t Id : Rendered) {
+    for (const DagEdge &E : R.Nodes[Id].Edges) {
+      if (!Rendered.count(E.To))
+        continue;
+      Out += "  n" + std::to_string(Id) + " -> n" + std::to_string(E.To) +
+             " [label=\"" + phaseCode(E.Phase) + "\"];\n";
+    }
+  }
+  if (Options.MaxNodes && R.Nodes.size() > Options.MaxNodes)
+    Out += "  truncated [shape=plaintext, label=\"(" +
+           std::to_string(R.Nodes.size() - Rendered.size()) +
+           " more nodes)\"];\n";
+  Out += "}\n";
+  return Out;
+}

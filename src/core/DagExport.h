@@ -1,0 +1,39 @@
+//===- DagExport.h - Graphviz export of enumerated spaces ------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an enumerated phase-order DAG as Graphviz DOT, in the style of
+/// the paper's Figure 7: nodes annotated with their weight (and code
+/// size), edges labelled with the phase designation, leaves highlighted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_DAGEXPORT_H
+#define POSE_CORE_DAGEXPORT_H
+
+#include "src/core/Enumerator.h"
+
+#include <string>
+
+namespace pose {
+
+/// Rendering options.
+struct DagExportOptions {
+  /// Maximum nodes rendered (breadth-first from the root); 0 = no limit.
+  /// Graphs beyond a few hundred nodes stop being readable.
+  size_t MaxNodes = 300;
+  /// Annotate nodes with code size in addition to weight.
+  bool ShowCodeSize = true;
+  std::string GraphName = "phase_order_space";
+};
+
+/// Returns the DOT text for \p R.
+std::string dagToDot(const EnumerationResult &R,
+                     const DagExportOptions &Options = {});
+
+} // namespace pose
+
+#endif // POSE_CORE_DAGEXPORT_H

@@ -1,0 +1,61 @@
+//===- DagPaths.cpp - Paths and instance materialization ----------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/DagPaths.h"
+
+#include "src/ir/Function.h"
+#include "src/opt/PhaseManager.h"
+
+#include <deque>
+
+using namespace pose;
+
+DagPaths::DagPaths(const EnumerationResult &R)
+    : From(R.Nodes.size(), -1),
+      Via(R.Nodes.size(), PhaseId::BranchChaining) {
+  // Breadth-first so paths are shortest (cheapest to replay).
+  std::deque<uint32_t> Work{0};
+  std::vector<bool> Seen(R.Nodes.size(), false);
+  Seen[0] = true;
+  while (!Work.empty()) {
+    uint32_t Id = Work.front();
+    Work.pop_front();
+    for (const DagEdge &E : R.Nodes[Id].Edges) {
+      if (Seen[E.To])
+        continue;
+      Seen[E.To] = true;
+      From[E.To] = static_cast<int>(Id);
+      Via[E.To] = E.Phase;
+      Work.push_back(E.To);
+    }
+  }
+}
+
+std::vector<PhaseId> DagPaths::pathTo(uint32_t Node) const {
+  std::vector<PhaseId> Rev;
+  for (int Cur = static_cast<int>(Node); Cur != 0; Cur = From[Cur]) {
+    assert(Cur >= 0 && "node unreachable from the root");
+    Rev.push_back(Via[Cur]);
+  }
+  return {Rev.rbegin(), Rev.rend()};
+}
+
+std::string DagPaths::sequenceTo(uint32_t Node) const {
+  std::string S;
+  for (PhaseId P : pathTo(Node))
+    S += phaseCode(P);
+  return S;
+}
+
+Function DagPaths::materialize(const Function &Root, const PhaseManager &PM,
+                               uint32_t Node) const {
+  Function F = Root;
+  for (PhaseId P : pathTo(Node)) {
+    [[maybe_unused]] bool Active = PM.attempt(P, F);
+    assert(Active && "enumerated path must replay actively");
+  }
+  return F;
+}

@@ -1,0 +1,57 @@
+//===- DagPaths.h - Paths and instance materialization ---------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs, for every node of an enumerated DAG, one active phase
+/// sequence reaching it from the root, and materializes the corresponding
+/// function instance by replaying the sequence. This is how consumers of
+/// an EnumerationResult (optimal-sequence search, dynamic-count
+/// evaluation, control-flow inference) turn DAG nodes back into code: the
+/// enumerator deliberately keeps instances only for its frontier
+/// (Section 4.2.1 — storing every instance "may be too large to store in
+/// memory").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_DAGPATHS_H
+#define POSE_CORE_DAGPATHS_H
+
+#include "src/core/Enumerator.h"
+
+#include <string>
+#include <vector>
+
+namespace pose {
+
+class Function;
+class PhaseManager;
+
+/// BFS spanning tree over an enumerated DAG.
+class DagPaths {
+public:
+  explicit DagPaths(const EnumerationResult &R);
+
+  /// The phase sequence of one shortest active path from the root to
+  /// \p Node (empty for the root).
+  std::vector<PhaseId> pathTo(uint32_t Node) const;
+
+  /// The same sequence as designation letters ("sckh").
+  std::string sequenceTo(uint32_t Node) const;
+
+  /// Replays pathTo(Node) on a copy of \p Root. Asserts every phase on
+  /// the path is active (it was during enumeration; phases are
+  /// deterministic).
+  Function materialize(const Function &Root, const PhaseManager &PM,
+                       uint32_t Node) const;
+
+private:
+  std::vector<int> From;
+  std::vector<PhaseId> Via;
+};
+
+} // namespace pose
+
+#endif // POSE_CORE_DAGPATHS_H

@@ -1,0 +1,298 @@
+//===- Enumerator.cpp - Exhaustive phase order space enumeration --------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Enumerator.h"
+
+#include "src/ir/Function.h"
+#include "src/opt/PhaseManager.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace pose;
+
+namespace {
+
+/// Frontier entry: a node discovered at the current level, waiting to be
+/// expanded, with enough state to (re)produce its function instance.
+struct FrontierEntry {
+  uint32_t Node;
+  /// Prefix-sharing mode: the instance itself.
+  Function Instance;
+  /// Naive mode: one active sequence reaching the node (replayed from the
+  /// root for every attempt).
+  std::vector<PhaseId> Path;
+  /// Compilation milestones of the instance (used for legality checks,
+  /// valid in both modes — naive mode leaves Instance empty).
+  PhaseState State;
+  /// Phases along incoming edges; known dormant without attempting (an
+  /// active phase is never successful twice consecutively).
+  uint16_t IncomingMask = 0;
+  /// First-discovery provenance, for independence-based prediction.
+  uint32_t Parent = UINT32_MAX;
+  PhaseId ViaPhase = PhaseId::BranchChaining;
+  /// Number of distinct active sequences reaching this node.
+  uint64_t Sequences = 1;
+};
+
+} // namespace
+
+EnumerationResult Enumerator::enumerate(const Function &Root) const {
+  EnumerationResult R;
+  std::unordered_map<HashTriple, uint32_t, HashTripleHasher> Seen;
+  // Paranoid mode: canonical bytes per node for exact comparison.
+  std::vector<std::vector<uint8_t>> NodeBytes;
+
+  auto Intern = [&](const Function &F) -> std::pair<uint32_t, bool> {
+    CanonicalForm CF =
+        canonicalize(F, Config.ParanoidCompare, Config.RemapRegisters);
+    auto [It, Inserted] =
+        Seen.emplace(CF.Hash, static_cast<uint32_t>(R.Nodes.size()));
+    if (Inserted) {
+      DagNode N;
+      N.Hash = CF.Hash;
+      N.CodeSize = CF.Hash.InstCount;
+      N.CfHash = controlFlowHash(F);
+      R.Nodes.push_back(N);
+      if (Config.ParanoidCompare)
+        NodeBytes.push_back(std::move(CF.Bytes));
+      return {It->second, true};
+    }
+    if (Config.ParanoidCompare && NodeBytes[It->second] != CF.Bytes)
+      ++R.HashCollisions;
+    return {It->second, false};
+  };
+
+  Function RootCopy = Root;
+  auto [RootId, RootNew] = Intern(RootCopy);
+  (void)RootNew;
+  R.Nodes[RootId].Level = 0;
+
+  std::vector<FrontierEntry> Frontier;
+  {
+    FrontierEntry E;
+    E.Node = RootId;
+    E.Instance = RootCopy;
+    E.State = RootCopy.State;
+    Frontier.push_back(std::move(E));
+  }
+  {
+    LevelStat L0;
+    L0.Level = 0;
+    L0.NewNodes = 1;
+    L0.ActiveSequences = 1;
+    R.Levels.push_back(L0);
+  }
+
+  uint32_t Level = 0;
+  while (!Frontier.empty()) {
+    ++Level;
+    LevelStat LS;
+    LS.Level = Level;
+
+    // Next-level frontier keyed by node id (merging sequence counts and
+    // incoming-phase masks when several edges reach the same instance).
+    std::unordered_map<uint32_t, size_t> NextIndex;
+    std::vector<FrontierEntry> Next;
+
+    for (FrontierEntry &E : Frontier) {
+      for (int PI = 0; PI != NumPhases; ++PI) {
+        PhaseId P = phaseByIndex(PI);
+        const uint16_t Bit = static_cast<uint16_t>(1u << PI);
+        // NOTE: R.Nodes may reallocate inside Intern; always re-index.
+        if (!PM.isLegal(P, E.State)) {
+          R.Nodes[E.Node].DormantMask |= Bit;
+          continue;
+        }
+        if (E.IncomingMask & Bit) {
+          // Known dormant: the phase was just active producing this node
+          // and no phase succeeds twice consecutively.
+          R.Nodes[E.Node].DormantMask |= Bit;
+          continue;
+        }
+        if ((R.Nodes[E.Node].ActiveMask | R.Nodes[E.Node].DormantMask) &
+            Bit) {
+          // Already resolved through an earlier sequence arriving at the
+          // same node.
+          continue;
+        }
+
+        // Independence-based prediction (Section 7 future work): if the
+        // incoming phase x and the candidate phase y always commute, the
+        // result of y here equals the result of x after y at the parent —
+        // both edges of which may already be known.
+        if (Config.UseIndependencePruning && E.Parent != UINT32_MAX &&
+            Config.TrainedIndependence[static_cast<int>(E.ViaPhase)][PI]) {
+          uint32_t D = R.Nodes[E.Parent].childVia(P);
+          if (D != UINT32_MAX) {
+            uint32_t Predicted = R.Nodes[D].childVia(E.ViaPhase);
+            if (Predicted != UINT32_MAX) {
+              ++R.PredictedEdges;
+              ++LS.Active;
+              R.Nodes[E.Node].ActiveMask |= Bit;
+              R.Nodes[E.Node].Edges.push_back({P, Predicted});
+              if (R.Nodes[Predicted].Level == Level) {
+                auto It = NextIndex.find(Predicted);
+                if (It != NextIndex.end()) {
+                  Next[It->second].IncomingMask |= Bit;
+                  Next[It->second].Sequences += E.Sequences;
+                }
+              }
+              continue;
+            }
+          }
+        }
+
+        // Produce the working copy: prefix sharing keeps the instance in
+        // memory; naive mode replays the whole prefix from the root.
+        Function Work;
+        if (Config.NaiveReapply) {
+          Work = Root;
+          for (PhaseId Prev : E.Path) {
+            PM.attempt(Prev, Work);
+            ++R.PhaseApplications;
+          }
+        } else {
+          Work = E.Instance;
+        }
+
+        ++R.AttemptedPhases;
+        ++R.PhaseApplications;
+        ++LS.Attempted;
+        R.Nodes[E.Node].AttemptedMask |= Bit;
+        bool Active = PM.attempt(P, Work);
+        if (!Active) {
+          R.Nodes[E.Node].DormantMask |= Bit;
+          continue;
+        }
+        ++LS.Active;
+        auto [Child, IsNew] = Intern(Work);
+        R.Nodes[E.Node].ActiveMask |= Bit;
+        R.Nodes[E.Node].Edges.push_back({P, Child});
+        if (IsNew) {
+          R.Nodes[Child].Level = Level;
+          FrontierEntry NE;
+          NE.Node = Child;
+          if (Config.NaiveReapply) {
+            NE.Path = E.Path;
+            NE.Path.push_back(P);
+          } else {
+            NE.Instance = Work;
+          }
+          NE.State = Work.State;
+          NE.IncomingMask = Bit;
+          NE.Parent = E.Node;
+          NE.ViaPhase = P;
+          NE.Sequences = E.Sequences;
+          NextIndex[Child] = Next.size();
+          Next.push_back(std::move(NE));
+        } else if (R.Nodes[Child].Level == Level) {
+          // Rediscovered at the current level before expansion: merge the
+          // sequence counts and the known-dormant information.
+          auto It = NextIndex.find(Child);
+          assert(It != NextIndex.end() &&
+                 "same-level node missing from the frontier");
+          Next[It->second].IncomingMask |= Bit;
+          Next[It->second].Sequences += E.Sequences;
+        }
+        // Otherwise: a cross edge to an earlier-level node, which is
+        // already expanded (or being expanded); nothing to enqueue. Any
+        // cycle this may close is detected during weight computation.
+      }
+    }
+
+    LS.NewNodes = Next.size();
+    for (const FrontierEntry &E : Next)
+      LS.ActiveSequences += E.Sequences;
+    if (LS.Attempted || LS.NewNodes)
+      R.Levels.push_back(LS);
+    if (!Next.empty())
+      R.MaxActiveLength = Level;
+
+    if (LS.ActiveSequences > Config.MaxLevelSequences ||
+        R.Nodes.size() > Config.MaxTotalNodes) {
+      R.Complete = false;
+      computeWeights(R);
+      return R;
+    }
+    Frontier = std::move(Next);
+  }
+
+  R.Complete = true;
+  computeWeights(R);
+
+  // "Len": the largest active sequence length is the longest path in the
+  // DAG (cross edges can make it exceed the BFS depth). Valid only when
+  // the space is acyclic; otherwise keep the BFS depth.
+  if (!R.Cyclic) {
+    const size_t N = R.Nodes.size();
+    std::vector<uint32_t> InDegree(N, 0), Dist(N, 0);
+    for (const DagNode &Nd : R.Nodes)
+      for (const DagEdge &E : Nd.Edges)
+        ++InDegree[E.To];
+    std::vector<uint32_t> Ready;
+    for (size_t I = 0; I != N; ++I)
+      if (InDegree[I] == 0)
+        Ready.push_back(static_cast<uint32_t>(I));
+    uint32_t Longest = 0;
+    while (!Ready.empty()) {
+      uint32_t Id = Ready.back();
+      Ready.pop_back();
+      for (const DagEdge &E : R.Nodes[Id].Edges) {
+        if (Dist[E.To] < Dist[Id] + 1) {
+          Dist[E.To] = Dist[Id] + 1;
+          Longest = std::max(Longest, Dist[E.To]);
+        }
+        if (--InDegree[E.To] == 0)
+          Ready.push_back(E.To);
+      }
+    }
+    R.MaxActiveLength = Longest;
+  }
+  return R;
+}
+
+void pose::computeWeights(EnumerationResult &R) {
+  const size_t N = R.Nodes.size();
+  // Kahn's algorithm on reversed edges: process nodes whose children are
+  // all weighted.
+  std::vector<uint32_t> PendingChildren(N, 0);
+  std::vector<std::vector<uint32_t>> Parents(N);
+  for (size_t I = 0; I != N; ++I) {
+    PendingChildren[I] = static_cast<uint32_t>(R.Nodes[I].Edges.size());
+    for (const DagEdge &E : R.Nodes[I].Edges)
+      Parents[E.To].push_back(static_cast<uint32_t>(I));
+  }
+  std::vector<uint32_t> Ready;
+  for (size_t I = 0; I != N; ++I)
+    if (PendingChildren[I] == 0)
+      Ready.push_back(static_cast<uint32_t>(I));
+  size_t Processed = 0;
+  while (!Ready.empty()) {
+    uint32_t Id = Ready.back();
+    Ready.pop_back();
+    ++Processed;
+    DagNode &Node = R.Nodes[Id];
+    if (Node.isLeaf()) {
+      Node.Weight = 1;
+    } else {
+      Node.Weight = 0;
+      for (const DagEdge &E : Node.Edges)
+        Node.Weight += R.Nodes[E.To].Weight;
+    }
+    for (uint32_t P : Parents[Id])
+      if (--PendingChildren[P] == 0)
+        Ready.push_back(P);
+  }
+  if (Processed != N) {
+    // Cycle: give unprocessed nodes weight 1 so downstream statistics
+    // stay finite, and flag the result.
+    R.Cyclic = true;
+    for (size_t I = 0; I != N; ++I)
+      if (PendingChildren[I] != 0 && R.Nodes[I].Weight == 0)
+        R.Nodes[I].Weight = 1;
+  }
+}

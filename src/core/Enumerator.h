@@ -1,0 +1,184 @@
+//===- Enumerator.h - Exhaustive phase order space enumeration -*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central algorithm (Section 4): breadth-first, level-by-level
+/// enumeration of every distinct function instance reachable by any
+/// ordering of the fifteen phases, with two pruning techniques:
+///
+///  1. *Dormant phase detection* (4.1) — an attempted phase that changes
+///     nothing terminates that branch of the space; an active phase is not
+///     re-attempted immediately (no phase is successful twice in a row).
+///  2. *Identical instance detection* (4.2) — canonicalized instances that
+///     hash to a previously seen triple merge into one DAG node, turning
+///     the exponential tree into a modest DAG.
+///
+/// The search-speed enhancements of Section 4.3 (in-memory instances and
+/// prefix sharing) are the default; a deliberately naive mode re-applies
+/// the whole phase prefix from the unoptimized function for every
+/// evaluation, reproducing the Figure 6 comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_ENUMERATOR_H
+#define POSE_CORE_ENUMERATOR_H
+
+#include "src/core/Canonical.h"
+#include "src/opt/Phase.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pose {
+
+class Function;
+class PhaseManager;
+
+/// One outgoing edge of a DAG node: applying Phase to the node's instance
+/// yields node To.
+struct DagEdge {
+  PhaseId Phase;
+  uint32_t To;
+};
+
+/// One distinct function instance in the enumerated space.
+struct DagNode {
+  HashTriple Hash;
+  /// BFS level at which the instance was first discovered (= length of
+  /// the shortest active sequence producing it).
+  uint32_t Level = 0;
+  /// Static instruction count of the instance (code size).
+  uint32_t CodeSize = 0;
+  /// Hash of the control-flow shape (for the CF statistic).
+  uint64_t CfHash = 0;
+  /// Bit i set: phase i is active at this node (an edge exists).
+  uint16_t ActiveMask = 0;
+  /// Bit i set: phase i was found (or known) dormant at this node.
+  /// Illegal phases are recorded as dormant, matching the paper's
+  /// treatment (e.g. c/k "always disable" o once assignment happens).
+  uint16_t DormantMask = 0;
+  /// Bit i set: phase i was actually attempted (ran the optimizer), the
+  /// unit of the paper's "Attempted Phases" statistic.
+  uint16_t AttemptedMask = 0;
+  /// Outgoing edges, one per active phase.
+  std::vector<DagEdge> Edges;
+  /// Number of distinct active sequences beyond this node (Section 5,
+  /// Figure 7): 1 for leaves, sum over edges of child weights otherwise.
+  uint64_t Weight = 0;
+
+  bool isLeaf() const { return Edges.empty(); }
+  bool activeAt(PhaseId P) const {
+    return ActiveMask & (1u << static_cast<int>(P));
+  }
+  /// Returns the child reached via \p P, or UINT32_MAX when \p P is
+  /// dormant here.
+  uint32_t childVia(PhaseId P) const {
+    for (const DagEdge &E : Edges)
+      if (E.Phase == P)
+        return E.To;
+    return UINT32_MAX;
+  }
+};
+
+/// Per-level statistics backing Figures 1, 2 and 4.
+struct LevelStat {
+  uint32_t Level = 0;
+  /// Distinct new instances discovered at this level (DAG width).
+  uint64_t NewNodes = 0;
+  /// Active sequences reaching this level (the tree of Figure 2; this is
+  /// the quantity the paper caps at one million per level).
+  uint64_t ActiveSequences = 0;
+  /// Phase attempts performed while expanding the previous level.
+  uint64_t Attempted = 0;
+  /// Attempts that were active.
+  uint64_t Active = 0;
+};
+
+/// Tuning knobs for one enumeration.
+struct EnumeratorConfig {
+  /// Abort when the number of active sequences at one level exceeds this
+  /// (the paper's criterion: "we terminated the search any time the
+  /// number of optimization sequences to apply at any particular level
+  /// grew to more than a million").
+  uint64_t MaxLevelSequences = 1'000'000;
+  /// Additional safety valve on total distinct instances.
+  uint64_t MaxTotalNodes = 4'000'000;
+  /// Keep canonical bytes and verify triple matches exactly (paranoid
+  /// collision detection; slower and memory hungry).
+  bool ParanoidCompare = false;
+  /// Disable the Section 4.3 enhancements: every evaluation re-applies
+  /// the entire phase prefix to a fresh copy of the unoptimized function
+  /// (Figure 6's "naive" column).
+  bool NaiveReapply = false;
+  /// Disable the Section 4.2.1 register remapping, so instances that
+  /// differ only in register numbering count as distinct (ablation of the
+  /// "more aggressive pruning" claim; see bench_ablation).
+  bool RemapRegisters = true;
+  /// Independence-based pruning (the paper's Section 7 future work:
+  /// "independence relationships could also be used to more aggressively
+  /// prune the enumeration space"). When phases x and y are recorded as
+  /// always-independent by \ref TrainedIndependence, the enumerator
+  /// predicts the result of applying y after x instead of running the
+  /// optimizer: from parent P with P--x-->C and P--y-->D where D's x-edge
+  /// is already known to reach E, the y edge from C is completed to E
+  /// directly. Predictions are counted in PredictedEdges; correctness is
+  /// validated against ground truth in the tests.
+  bool UseIndependencePruning = false;
+  /// Pairs treated as independent when UseIndependencePruning is on:
+  /// Trained[x][y] true means x and y always commute. Symmetric.
+  bool TrainedIndependence[NumPhases][NumPhases] = {};
+};
+
+/// Result of one exhaustive enumeration.
+struct EnumerationResult {
+  std::vector<DagNode> Nodes; ///< Node 0 is the unoptimized instance.
+  bool Complete = false;      ///< False when a budget stopped the search.
+  bool Cyclic = false;        ///< True if an edge closes a cycle.
+  uint64_t AttemptedPhases = 0;
+  /// Optimizer invocations including prefix replays; equals
+  /// AttemptedPhases under prefix sharing, larger in naive mode (Fig 6).
+  uint64_t PhaseApplications = 0;
+  /// Largest active sequence length (the "Len" column of Table 3).
+  uint32_t MaxActiveLength = 0;
+  std::vector<LevelStat> Levels;
+  /// Paranoid mode: number of hash-triple collisions with differing
+  /// canonical bytes (the paper reports never seeing one).
+  uint64_t HashCollisions = 0;
+  /// Independence pruning: edges completed by prediction instead of
+  /// running the optimizer.
+  uint64_t PredictedEdges = 0;
+
+  size_t leafCount() const {
+    size_t N = 0;
+    for (const DagNode &Nd : Nodes)
+      N += Nd.isLeaf();
+    return N;
+  }
+};
+
+/// Runs the exhaustive enumeration for single functions.
+class Enumerator {
+public:
+  Enumerator(const PhaseManager &PM, EnumeratorConfig Config)
+      : PM(PM), Config(Config) {}
+
+  /// Enumerates all reachable instances of \p Root (which is copied;
+  /// typically the unoptimized function straight out of the front end).
+  EnumerationResult enumerate(const Function &Root) const;
+
+private:
+  const PhaseManager &PM;
+  EnumeratorConfig Config;
+};
+
+/// Computes Weight for every node of \p R (leaves get 1, interior nodes
+/// the sum over out-edges of child weights — Section 5, Figure 7). Sets
+/// R.Cyclic instead of looping forever if the graph is not a DAG.
+void computeWeights(EnumerationResult &R);
+
+} // namespace pose
+
+#endif // POSE_CORE_ENUMERATOR_H

@@ -1,0 +1,258 @@
+//===- Interaction.cpp - Phase interaction analysis ---------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Interaction.h"
+
+#include "src/support/Str.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace pose;
+
+void InteractionAnalysis::addFunction(const EnumerationResult &R) {
+  if (R.Nodes.empty())
+    return;
+  ++Functions;
+
+  for (int Y = 0; Y != NumPhases; ++Y)
+    RootActive[Y] += R.Nodes[0].activeAt(phaseByIndex(Y)) ? 1.0 : 0.0;
+
+  for (const DagNode &Parent : R.Nodes) {
+    for (const DagEdge &E : Parent.Edges) {
+      const DagNode &Child = R.Nodes[E.To];
+      const double W = static_cast<double>(Child.Weight);
+      const int X = static_cast<int>(E.Phase);
+      BenefitMass[X] += W * (static_cast<double>(Parent.CodeSize) -
+                             static_cast<double>(Child.CodeSize));
+      BenefitWeight[X] += W;
+      for (int Y = 0; Y != NumPhases; ++Y) {
+        if (Y == X)
+          continue; // The applied phase's own transition is definitional.
+        PhaseId PY = phaseByIndex(Y);
+        const bool ParentActive = Parent.activeAt(PY);
+        const bool ChildActive = Child.activeAt(PY);
+        if (!ParentActive) {
+          // dormant -> {active, dormant}: enabling bookkeeping.
+          DormantToAny[Y][X] += W;
+          if (ChildActive)
+            DormantToActive[Y][X] += W;
+        } else {
+          // active -> {dormant, active}: disabling bookkeeping.
+          ActiveToAny[Y][X] += W;
+          if (!ChildActive)
+            ActiveToDormant[Y][X] += W;
+        }
+      }
+    }
+
+    // Independence: unordered pairs of phases both active at Parent.
+    const double WN = static_cast<double>(Parent.Weight);
+    for (int X = 0; X != NumPhases; ++X) {
+      if (!Parent.activeAt(phaseByIndex(X)))
+        continue;
+      for (int Y = X + 1; Y != NumPhases; ++Y) {
+        if (!Parent.activeAt(phaseByIndex(Y)))
+          continue;
+        uint32_t CX = Parent.childVia(phaseByIndex(X));
+        uint32_t CY = Parent.childVia(phaseByIndex(Y));
+        // x then y / y then x.
+        uint32_t XY = R.Nodes[CX].childVia(phaseByIndex(Y));
+        uint32_t YX = R.Nodes[CY].childVia(phaseByIndex(X));
+        ConsecutiveMass[X][Y] += WN;
+        ConsecutiveMass[Y][X] += WN;
+        if (XY != UINT32_MAX && XY == YX) {
+          IndependentMass[X][Y] += WN;
+          IndependentMass[Y][X] += WN;
+        }
+      }
+    }
+  }
+}
+
+static double ratio(double Num, double Den) {
+  return Den > 0 ? Num / Den : 0.0;
+}
+
+double InteractionAnalysis::enabling(PhaseId Y, PhaseId X) const {
+  const int IY = static_cast<int>(Y), IX = static_cast<int>(X);
+  return ratio(DormantToActive[IY][IX], DormantToAny[IY][IX]);
+}
+
+double InteractionAnalysis::startProbability(PhaseId Y) const {
+  return Functions ? RootActive[static_cast<int>(Y)] /
+                         static_cast<double>(Functions)
+                   : 0.0;
+}
+
+double InteractionAnalysis::disabling(PhaseId Y, PhaseId X) const {
+  const int IY = static_cast<int>(Y), IX = static_cast<int>(X);
+  return ratio(ActiveToDormant[IY][IX], ActiveToAny[IY][IX]);
+}
+
+double InteractionAnalysis::independence(PhaseId X, PhaseId Y) const {
+  const int IX = static_cast<int>(X), IY = static_cast<int>(Y);
+  return ratio(IndependentMass[IX][IY], ConsecutiveMass[IX][IY]);
+}
+
+bool InteractionAnalysis::alwaysIndependent(PhaseId X, PhaseId Y) const {
+  const int IX = static_cast<int>(X), IY = static_cast<int>(Y);
+  return ConsecutiveMass[IX][IY] > 0 &&
+         IndependentMass[IX][IY] == ConsecutiveMass[IX][IY];
+}
+
+double InteractionAnalysis::averageBenefit(PhaseId X) const {
+  const int IX = static_cast<int>(X);
+  return ratio(BenefitMass[IX], BenefitWeight[IX]);
+}
+
+std::string InteractionAnalysis::serialize() const {
+  // Line-oriented: a header, the function count, then one labelled line
+  // per matrix/vector with full-precision doubles (hex float format, so
+  // the round trip is exact).
+  std::string Out = "pose-interaction-model v1\n";
+  Out += "functions " + std::to_string(Functions) + "\n";
+  auto EmitMatrix = [&Out](const char *Name,
+                           const double (&M)[NumPhases][NumPhases]) {
+    for (int Y = 0; Y != NumPhases; ++Y) {
+      Out += Name;
+      Out += " " + std::to_string(Y);
+      for (int X = 0; X != NumPhases; ++X) {
+        char Buf[40];
+        std::snprintf(Buf, sizeof(Buf), " %a", M[Y][X]);
+        Out += Buf;
+      }
+      Out += "\n";
+    }
+  };
+  auto EmitVector = [&Out](const char *Name, const double (&V)[NumPhases]) {
+    Out += Name;
+    for (int Y = 0; Y != NumPhases; ++Y) {
+      char Buf[40];
+      std::snprintf(Buf, sizeof(Buf), " %a", V[Y]);
+      Out += Buf;
+    }
+    Out += "\n";
+  };
+  EmitMatrix("d2a", DormantToActive);
+  EmitMatrix("d2x", DormantToAny);
+  EmitMatrix("a2d", ActiveToDormant);
+  EmitMatrix("a2x", ActiveToAny);
+  EmitMatrix("ind", IndependentMass);
+  EmitMatrix("con", ConsecutiveMass);
+  EmitVector("root", RootActive);
+  EmitVector("benm", BenefitMass);
+  EmitVector("benw", BenefitWeight);
+  return Out;
+}
+
+bool InteractionAnalysis::deserialize(const std::string &Text) {
+  *this = InteractionAnalysis();
+  const char *P = Text.c_str();
+  auto NextLine = [&P]() -> std::string {
+    if (!*P)
+      return "";
+    const char *E = std::strchr(P, '\n');
+    std::string Line = E ? std::string(P, E) : std::string(P);
+    P = E ? E + 1 : P + Line.size();
+    return Line;
+  };
+  if (NextLine() != "pose-interaction-model v1")
+    return false;
+  {
+    std::string L = NextLine();
+    unsigned long long N = 0;
+    if (std::sscanf(L.c_str(), "functions %llu", &N) != 1)
+      return false;
+    Functions = static_cast<size_t>(N);
+  }
+  auto ReadRow = [](const std::string &Line, const char *Name, int &Y,
+                    double *Row, int Count, bool HasIndex) {
+    const char *Q = Line.c_str();
+    size_t NameLen = std::strlen(Name);
+    if (Line.compare(0, NameLen, Name) != 0)
+      return false;
+    Q += NameLen;
+    if (HasIndex) {
+      char *End = nullptr;
+      Y = static_cast<int>(std::strtol(Q, &End, 10));
+      if (End == Q || Y < 0 || Y >= NumPhases)
+        return false;
+      Q = End;
+    }
+    for (int X = 0; X != Count; ++X) {
+      char *End = nullptr;
+      Row[X] = std::strtod(Q, &End);
+      if (End == Q)
+        return false;
+      Q = End;
+    }
+    return true;
+  };
+  auto ReadMatrix = [&](const char *Name,
+                        double (&M)[NumPhases][NumPhases]) {
+    for (int I = 0; I != NumPhases; ++I) {
+      int Y = -1;
+      double Row[NumPhases];
+      if (!ReadRow(NextLine(), Name, Y, Row, NumPhases, true))
+        return false;
+      for (int X = 0; X != NumPhases; ++X)
+        M[Y][X] = Row[X];
+    }
+    return true;
+  };
+  auto ReadVector = [&](const char *Name, double (&V)[NumPhases]) {
+    int Dummy = 0;
+    return ReadRow(NextLine(), Name, Dummy, V, NumPhases, false);
+  };
+  return ReadMatrix("d2a", DormantToActive) &&
+         ReadMatrix("d2x", DormantToAny) &&
+         ReadMatrix("a2d", ActiveToDormant) &&
+         ReadMatrix("a2x", ActiveToAny) &&
+         ReadMatrix("ind", IndependentMass) &&
+         ReadMatrix("con", ConsecutiveMass) &&
+         ReadVector("root", RootActive) && ReadVector("benm", BenefitMass) &&
+         ReadVector("benw", BenefitWeight);
+}
+
+std::string InteractionAnalysis::renderTable(TableKind Kind) const {
+  std::string Out = "Phase";
+  if (Kind == TableKind::Enabling)
+    Out += padLeft("St", 6);
+  for (int X = 0; X != NumPhases; ++X)
+    Out += padLeft(std::string(1, phaseCode(phaseByIndex(X))), 6);
+  Out += "\n";
+  for (int Y = 0; Y != NumPhases; ++Y) {
+    Out += padRight(std::string(1, phaseCode(phaseByIndex(Y))), 5);
+    if (Kind == TableKind::Enabling)
+      Out += padLeft(fmtDouble(startProbability(phaseByIndex(Y)), 2), 6);
+    for (int X = 0; X != NumPhases; ++X) {
+      double V = 0;
+      bool Blank = false;
+      switch (Kind) {
+      case TableKind::Enabling:
+        V = enabling(phaseByIndex(Y), phaseByIndex(X));
+        Blank = V < 0.005; // Paper: "blank cells indicate < 0.005".
+        break;
+      case TableKind::Disabling:
+        V = disabling(phaseByIndex(Y), phaseByIndex(X));
+        Blank = V < 0.005;
+        break;
+      case TableKind::Independence:
+        V = independence(phaseByIndex(Y), phaseByIndex(X));
+        // Paper: "blank cells indicate a probability greater than 0.995"
+        // (and phases that never meet have nothing to report).
+        Blank = V > 0.995 ||
+                ConsecutiveMass[Y][X] == 0.0;
+        break;
+      }
+      Out += Blank ? padLeft("", 6) : padLeft(fmtDouble(V, 2), 6);
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- SpaceStats.h - Per-function search-space statistics -----*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the columns of the paper's Table 3 for one enumerated
+/// function: static shape of the unoptimized code (Insts/Blk/Brch/Loop),
+/// search-space size (Fn inst / Attempted Phases / Len / CF / Leaf), and
+/// the code-size range over leaf instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_CORE_SPACESTATS_H
+#define POSE_CORE_SPACESTATS_H
+
+#include "src/core/Enumerator.h"
+
+#include <string>
+
+namespace pose {
+
+class Function;
+
+/// One row of Table 3.
+struct SpaceStats {
+  std::string Name;
+  // Static shape of the unoptimized function.
+  uint32_t Insts = 0;
+  uint32_t Blocks = 0;
+  uint32_t Branches = 0; ///< Conditional + unconditional transfers.
+  uint32_t Loops = 0;
+  // Search-space measures.
+  bool Complete = false;
+  uint64_t FnInstances = 0;
+  uint64_t AttemptedPhases = 0;
+  uint32_t MaxActiveLen = 0;
+  uint64_t DistinctControlFlows = 0;
+  uint64_t LeafInstances = 0;
+  uint32_t LeafCodeSizeMax = 0;
+  uint32_t LeafCodeSizeMin = 0;
+
+  /// Percentage gap between worst and best leaf code size
+  /// ((max-min)/min * 100), the paper's "% Diff" column.
+  double codeSizeDiffPercent() const {
+    if (LeafCodeSizeMin == 0)
+      return 0.0;
+    return 100.0 *
+           (static_cast<double>(LeafCodeSizeMax) - LeafCodeSizeMin) /
+           static_cast<double>(LeafCodeSizeMin);
+  }
+};
+
+/// Gathers the Table 3 row for \p F (the unoptimized function) and its
+/// enumerated space \p R.
+SpaceStats computeSpaceStats(const Function &F, const EnumerationResult &R);
+
+/// Size of the naive attempted space up to \p Levels: sum over n of
+/// 15^n attempted sequences (Figure 1's tree). Saturates at UINT64_MAX.
+uint64_t naiveSpaceSize(uint32_t Levels);
+
+} // namespace pose
+
+#endif // POSE_CORE_SPACESTATS_H

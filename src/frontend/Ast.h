@@ -1,0 +1,117 @@
+//===- Ast.h - MC abstract syntax tree -------------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the MC language. Nodes are tagged structs owned through
+/// unique_ptr; the tree lives only between parsing and code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_FRONTEND_AST_H
+#define POSE_FRONTEND_AST_H
+
+#include "src/frontend/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  Number,   ///< Integer literal; Value holds it.
+  VarRef,   ///< Scalar variable reference; Name holds the identifier.
+  ArrayRef, ///< Name[Lhs].
+  Binary,   ///< Lhs Op Rhs (arithmetic, logical, relational).
+  Unary,    ///< Op Lhs (-, !, ~).
+  Call,     ///< Name(Args...).
+  Assign,   ///< Lhs = Rhs where Lhs is VarRef or ArrayRef.
+};
+
+/// An MC expression.
+struct Expr {
+  ExprKind Kind;
+  int Line = 0;
+  int32_t Value = 0;  ///< Number only.
+  std::string Name;   ///< VarRef/ArrayRef/Call.
+  Tok Op = Tok::Eof;  ///< Binary/Unary operator token.
+  ExprPtr Lhs, Rhs;
+  std::vector<ExprPtr> Args;
+
+  explicit Expr(ExprKind K, int Line) : Kind(K), Line(Line) {}
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Expr,     ///< E;
+  Decl,     ///< int x; / int x = E; / int a[N];
+  If,       ///< if (E) Then [else Else]
+  While,    ///< while (E) Body
+  DoWhile,  ///< do Body while (E);
+  For,      ///< for (Init; E; Step) Body
+  Return,   ///< return [E];
+  Break,
+  Continue,
+  Block,    ///< { Stmts... }
+  Empty,    ///< ;
+};
+
+/// An MC statement.
+struct Stmt {
+  StmtKind Kind;
+  int Line = 0;
+  ExprPtr E;          ///< Expression / condition / return value.
+  ExprPtr Init, Step; ///< For loops (plain expressions, no declarations).
+  StmtPtr Then, Else, Body;
+  std::vector<StmtPtr> Stmts; ///< Block.
+  // Declaration fields:
+  std::string DeclName;
+  int32_t DeclArraySize = 0; ///< 0 for scalars.
+  ExprPtr DeclInit;
+
+  explicit Stmt(StmtKind K, int Line) : Kind(K), Line(Line) {}
+};
+
+/// A module-level variable declaration.
+struct GlobalDecl {
+  std::string Name;
+  bool IsArray = false;
+  int32_t Size = 1;          ///< In words.
+  std::vector<int32_t> Init; ///< Zero-padded to Size by codegen.
+  int Line = 0;
+};
+
+/// A function definition.
+struct FuncDecl {
+  std::string Name;
+  bool ReturnsValue = false;
+  std::vector<std::string> Params;
+  StmtPtr Body; ///< Always a Block.
+  int Line = 0;
+};
+
+/// A parsed MC translation unit.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+/// One frontend diagnostic.
+struct Diag {
+  int Line = 0;
+  std::string Message;
+};
+
+} // namespace pose
+
+#endif // POSE_FRONTEND_AST_H

@@ -1,0 +1,676 @@
+//===- Codegen.cpp - MC AST to naive RTL ------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Code generation with name resolution and semantic checks. The output is
+// intentionally unoptimized (level-0 function instances): scalar accesses
+// go through explicit address formation (Lea) plus Load/Store, constants
+// are materialized with Mov, conditions always compare against a register
+// or zero, and structured statements emit their full block skeletons with
+// explicit jumps. The optimization phases — not the front end — are
+// responsible for cleaning all of this up, which is exactly the property
+// the phase-order search space depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/frontend/Compile.h"
+#include "src/frontend/Parser.h"
+#include "src/ir/Verify.h"
+
+#include <map>
+
+using namespace pose;
+
+namespace {
+
+/// Generates RTL for one function.
+class FuncCodegen {
+public:
+  FuncCodegen(Module &M, Function &F, const FuncDecl &D,
+              std::vector<Diag> &Diags)
+      : M(M), F(F), D(D), Diags(Diags) {}
+
+  void run() {
+    F.Name = D.Name;
+    F.ReturnsValue = D.ReturnsValue;
+    F.NumParams = static_cast<int32_t>(D.Params.size());
+    pushScope();
+    for (const std::string &P : D.Params) {
+      StackSlot S;
+      S.Name = P;
+      S.IsParam = true;
+      declare(P, F.addSlot(S), /*IsArray=*/false, D.Line);
+    }
+    F.addBlock();
+    CurBlock = 0;
+    genStmt(*D.Body);
+    popScope();
+    dropTrailingDeadBlocks();
+    // Fall-off-the-end: return 0 (or void) like a C compiler would.
+    if (!currentTerminated()) {
+      if (F.ReturnsValue)
+        emit(rtl::ret(Operand::imm(0)));
+      else
+        emit(rtl::ret(Operand::none()));
+    }
+  }
+
+private:
+  Module &M;
+  Function &F;
+  const FuncDecl &D;
+  std::vector<Diag> &Diags;
+
+  struct VarInfo {
+    int32_t Slot = -1;
+    bool IsArray = false;
+  };
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+
+  struct LoopCtx {
+    int32_t BreakLabel;
+    int32_t ContinueLabel;
+  };
+  std::vector<LoopCtx> LoopStack;
+
+  size_t CurBlock = 0;
+
+  //===--------------------------------------------------------------===//
+  // Infrastructure
+  //===--------------------------------------------------------------===//
+
+  void error(int Line, const std::string &Msg) {
+    Diags.push_back({Line, Msg});
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void declare(const std::string &Name, int32_t Slot, bool IsArray,
+               int Line) {
+    auto &Scope = Scopes.back();
+    if (Scope.count(Name)) {
+      error(Line, "redeclaration of '" + Name + "'");
+      return;
+    }
+    Scope[Name] = {Slot, IsArray};
+  }
+
+  /// Looks up \p Name in local scopes; returns nullptr if not local.
+  const VarInfo *lookupLocal(const std::string &Name) const {
+    for (size_t I = Scopes.size(); I-- > 0;) {
+      auto It = Scopes[I].find(Name);
+      if (It != Scopes[I].end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+
+  void emit(Rtl I) { F.Blocks[CurBlock].Insts.push_back(std::move(I)); }
+
+  bool currentTerminated() const {
+    return F.Blocks[CurBlock].terminator() != nullptr;
+  }
+
+  /// Places the block for \p Label here in layout order and makes it
+  /// current. The previous block falls through if unterminated.
+  /// Removes the empty unreferenced blocks that a trailing return/break
+  /// leaves behind, so the fall-off-the-end check sees the real last block.
+  void dropTrailingDeadBlocks() {
+    auto Referenced = [this](int32_t Label) {
+      for (const BasicBlock &B : F.Blocks)
+        for (const Rtl &I : B.Insts)
+          if ((I.Opcode == Op::Jump || I.Opcode == Op::Branch) &&
+              I.Src[0].Value == Label)
+            return true;
+      return false;
+    };
+    while (F.Blocks.size() > 1 && F.Blocks.back().empty() &&
+           !Referenced(F.Blocks.back().Label))
+      F.Blocks.pop_back();
+    CurBlock = F.Blocks.size() - 1;
+  }
+
+  void startBlock(int32_t Label) {
+    F.Blocks.emplace_back(Label);
+    CurBlock = F.Blocks.size() - 1;
+  }
+
+  RegNum freshReg() { return F.makePseudo(); }
+
+  //===--------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------===//
+
+  /// Maps an MC binary operator token to an RTL opcode (arithmetic and
+  /// bitwise only; logical/relational operators go through genBranch).
+  static bool arithOp(Tok T, Op &O) {
+    switch (T) {
+    case Tok::Plus:
+      O = Op::Add;
+      return true;
+    case Tok::Minus:
+      O = Op::Sub;
+      return true;
+    case Tok::Star:
+      O = Op::Mul;
+      return true;
+    case Tok::Slash:
+      O = Op::Div;
+      return true;
+    case Tok::Percent:
+      O = Op::Rem;
+      return true;
+    case Tok::Amp:
+      O = Op::And;
+      return true;
+    case Tok::Pipe:
+      O = Op::Or;
+      return true;
+    case Tok::Caret:
+      O = Op::Xor;
+      return true;
+    case Tok::Shl:
+      O = Op::Shl;
+      return true;
+    case Tok::Shr:
+      O = Op::Shr;
+      return true;
+    case Tok::Ushr:
+      O = Op::Ushr;
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool isBooleanOp(Tok T) {
+    switch (T) {
+    case Tok::AmpAmp:
+    case Tok::PipePipe:
+    case Tok::EqEq:
+    case Tok::NotEq:
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static Cond relCond(Tok T) {
+    switch (T) {
+    case Tok::EqEq:
+      return Cond::Eq;
+    case Tok::NotEq:
+      return Cond::Ne;
+    case Tok::Lt:
+      return Cond::Lt;
+    case Tok::Le:
+      return Cond::Le;
+    case Tok::Gt:
+      return Cond::Gt;
+    case Tok::Ge:
+      return Cond::Ge;
+    default:
+      return Cond::None;
+    }
+  }
+
+  /// Evaluates \p E into a fresh register and returns it.
+  RegNum evalExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Number: {
+      RegNum T = freshReg();
+      emit(rtl::mov(Operand::reg(T), Operand::imm(E.Value)));
+      return T;
+    }
+    case ExprKind::VarRef: {
+      Operand Addr = varAddress(E);
+      if (Addr.isNone())
+        return errorReg();
+      RegNum TA = freshReg();
+      emit(rtl::lea(Operand::reg(TA), Addr));
+      RegNum T = freshReg();
+      emit(rtl::load(Operand::reg(T), Operand::reg(TA), 0));
+      return T;
+    }
+    case ExprKind::ArrayRef: {
+      RegNum TA = arrayElementAddress(E);
+      RegNum T = freshReg();
+      emit(rtl::load(Operand::reg(T), Operand::reg(TA), 0));
+      return T;
+    }
+    case ExprKind::Unary: {
+      if (E.Op == Tok::Bang)
+        return materializeBool(E);
+      RegNum A = evalExpr(*E.Lhs);
+      RegNum T = freshReg();
+      emit(rtl::unary(E.Op == Tok::Minus ? Op::Neg : Op::Not,
+                      Operand::reg(T), Operand::reg(A)));
+      return T;
+    }
+    case ExprKind::Binary: {
+      Op O;
+      if (arithOp(E.Op, O)) {
+        RegNum A = evalExpr(*E.Lhs);
+        RegNum B = evalExpr(*E.Rhs);
+        RegNum T = freshReg();
+        emit(rtl::binary(O, Operand::reg(T), Operand::reg(A),
+                         Operand::reg(B)));
+        return T;
+      }
+      assert(isBooleanOp(E.Op) && "unhandled binary operator");
+      return materializeBool(E);
+    }
+    case ExprKind::Assign:
+      return genAssign(E);
+    case ExprKind::Call:
+      return genCall(E, /*NeedValue=*/true);
+    }
+    return errorReg();
+  }
+
+  /// Returns a dummy register after an error (keeps codegen total).
+  RegNum errorReg() {
+    RegNum T = freshReg();
+    emit(rtl::mov(Operand::reg(T), Operand::imm(0)));
+    return T;
+  }
+
+  /// Returns the Lea-able address operand (Slot or Global) for a scalar
+  /// variable reference, or None on error.
+  Operand varAddress(const Expr &E) {
+    if (const VarInfo *V = lookupLocal(E.Name)) {
+      if (V->IsArray) {
+        error(E.Line, "array '" + E.Name + "' used without a subscript");
+        return Operand::none();
+      }
+      return Operand::slot(V->Slot);
+    }
+    int Id = M.findGlobal(E.Name);
+    if (Id < 0) {
+      error(E.Line, "use of undeclared identifier '" + E.Name + "'");
+      return Operand::none();
+    }
+    const Global &G = M.Globals[Id];
+    if (G.Kind != GlobalKind::Var) {
+      error(E.Line, "function '" + E.Name + "' used as a variable");
+      return Operand::none();
+    }
+    if (G.IsArray) {
+      error(E.Line, "array '" + E.Name + "' used without a subscript");
+      return Operand::none();
+    }
+    return Operand::global(Id);
+  }
+
+  /// Emits address computation for Name[Index] and returns the register
+  /// holding the element address.
+  RegNum arrayElementAddress(const Expr &E) {
+    Operand Base = Operand::none();
+    if (const VarInfo *V = lookupLocal(E.Name)) {
+      if (!V->IsArray)
+        error(E.Line, "subscript on scalar '" + E.Name + "'");
+      else
+        Base = Operand::slot(V->Slot);
+    } else {
+      int Id = M.findGlobal(E.Name);
+      if (Id < 0)
+        error(E.Line, "use of undeclared identifier '" + E.Name + "'");
+      else if (M.Globals[Id].Kind != GlobalKind::Var)
+        error(E.Line, "function '" + E.Name + "' used as an array");
+      else if (!M.Globals[Id].IsArray)
+        error(E.Line, "subscript on scalar '" + E.Name + "'");
+      else
+        Base = Operand::global(Id);
+    }
+    RegNum TB = freshReg();
+    if (Base.isNone())
+      emit(rtl::mov(Operand::reg(TB), Operand::imm(0)));
+    else
+      emit(rtl::lea(Operand::reg(TB), Base));
+    RegNum TI = evalExpr(*E.Lhs);
+    RegNum TA = freshReg();
+    emit(rtl::binary(Op::Add, Operand::reg(TA), Operand::reg(TB),
+                     Operand::reg(TI)));
+    return TA;
+  }
+
+  RegNum genAssign(const Expr &E) {
+    const Expr &Target = *E.Lhs;
+    RegNum V = evalExpr(*E.Rhs);
+    if (Target.Kind == ExprKind::VarRef) {
+      Operand Addr = varAddress(Target);
+      if (Addr.isNone())
+        return V;
+      RegNum TA = freshReg();
+      emit(rtl::lea(Operand::reg(TA), Addr));
+      emit(rtl::store(Operand::reg(TA), 0, Operand::reg(V)));
+      return V;
+    }
+    assert(Target.Kind == ExprKind::ArrayRef && "bad assignment target");
+    RegNum TA = arrayElementAddress(Target);
+    emit(rtl::store(Operand::reg(TA), 0, Operand::reg(V)));
+    return V;
+  }
+
+  RegNum genCall(const Expr &E, bool NeedValue) {
+    int Id = M.findGlobal(E.Name);
+    if (Id < 0) {
+      error(E.Line, "call to undeclared function '" + E.Name + "'");
+      return errorReg();
+    }
+    const Global &G = M.Globals[Id];
+    if (G.Kind == GlobalKind::Var) {
+      error(E.Line, "'" + E.Name + "' is not a function");
+      return errorReg();
+    }
+    if (static_cast<int32_t>(E.Args.size()) != G.NumParams) {
+      error(E.Line, "wrong number of arguments to '" + E.Name + "'");
+      return errorReg();
+    }
+    std::vector<Operand> Args;
+    for (const ExprPtr &A : E.Args)
+      Args.push_back(Operand::reg(evalExpr(*A)));
+    Operand Dst = Operand::none();
+    if (G.ReturnsValue)
+      Dst = Operand::reg(freshReg());
+    else if (NeedValue) {
+      error(E.Line, "void function '" + E.Name + "' used in expression");
+      return errorReg();
+    }
+    emit(rtl::call(Dst, Id, std::move(Args)));
+    return Dst.isNone() ? FirstPseudoReg : Dst.getReg();
+  }
+
+  /// Evaluates a boolean-producing expression into 0/1 via control flow.
+  RegNum materializeBool(const Expr &E) {
+    RegNum T = freshReg();
+    int32_t FalseL = F.makeLabel();
+    int32_t EndL = F.makeLabel();
+    genBranch(E, FalseL, /*WhenTrue=*/false);
+    emit(rtl::mov(Operand::reg(T), Operand::imm(1)));
+    emit(rtl::jump(EndL));
+    startBlock(FalseL);
+    emit(rtl::mov(Operand::reg(T), Operand::imm(0)));
+    startBlock(EndL);
+    return T;
+  }
+
+  /// Emits a conditional branch to \p Label taken when \p E is true
+  /// (WhenTrue) or false (!WhenTrue); otherwise control falls through.
+  void genBranch(const Expr &E, int32_t Label, bool WhenTrue) {
+    if (E.Kind == ExprKind::Unary && E.Op == Tok::Bang) {
+      genBranch(*E.Lhs, Label, !WhenTrue);
+      return;
+    }
+    if (E.Kind == ExprKind::Binary && E.Op == Tok::AmpAmp) {
+      if (!WhenTrue) {
+        genBranch(*E.Lhs, Label, false);
+        genBranch(*E.Rhs, Label, false);
+      } else {
+        int32_t Skip = F.makeLabel();
+        genBranch(*E.Lhs, Skip, false);
+        genBranch(*E.Rhs, Label, true);
+        startBlock(Skip);
+      }
+      return;
+    }
+    if (E.Kind == ExprKind::Binary && E.Op == Tok::PipePipe) {
+      if (WhenTrue) {
+        genBranch(*E.Lhs, Label, true);
+        genBranch(*E.Rhs, Label, true);
+      } else {
+        int32_t Skip = F.makeLabel();
+        genBranch(*E.Lhs, Skip, true);
+        genBranch(*E.Rhs, Label, false);
+        startBlock(Skip);
+      }
+      return;
+    }
+    if (E.Kind == ExprKind::Binary && relCond(E.Op) != Cond::None) {
+      RegNum A = evalExpr(*E.Lhs);
+      RegNum B = evalExpr(*E.Rhs);
+      emit(rtl::cmp(Operand::reg(A), Operand::reg(B)));
+      Cond C = relCond(E.Op);
+      emit(rtl::branch(WhenTrue ? C : invertCond(C), Label));
+      startBlock(F.makeLabel());
+      return;
+    }
+    // Any other expression: compare against zero.
+    RegNum A = evalExpr(E);
+    emit(rtl::cmp(Operand::reg(A), Operand::imm(0)));
+    emit(rtl::branch(WhenTrue ? Cond::Ne : Cond::Eq, Label));
+    startBlock(F.makeLabel());
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------===//
+
+  void genStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Empty:
+      return;
+    case StmtKind::Block: {
+      pushScope();
+      for (const StmtPtr &Child : S.Stmts)
+        genStmt(*Child);
+      popScope();
+      return;
+    }
+    case StmtKind::Expr:
+      if (S.E->Kind == ExprKind::Call)
+        genCall(*S.E, /*NeedValue=*/false);
+      else
+        evalExpr(*S.E);
+      return;
+    case StmtKind::Decl: {
+      StackSlot Slot;
+      Slot.Name = S.DeclName;
+      Slot.SizeWords = S.DeclArraySize > 0 ? S.DeclArraySize : 1;
+      Slot.IsArray = S.DeclArraySize > 0;
+      int32_t Index = F.addSlot(Slot);
+      declare(S.DeclName, Index, Slot.IsArray, S.Line);
+      if (S.DeclInit) {
+        RegNum V = evalExpr(*S.DeclInit);
+        RegNum TA = freshReg();
+        emit(rtl::lea(Operand::reg(TA), Operand::slot(Index)));
+        emit(rtl::store(Operand::reg(TA), 0, Operand::reg(V)));
+      }
+      return;
+    }
+    case StmtKind::If: {
+      int32_t EndL = F.makeLabel();
+      int32_t ElseL = S.Else ? F.makeLabel() : EndL;
+      genBranch(*S.E, ElseL, /*WhenTrue=*/false);
+      genStmt(*S.Then);
+      // Naive codegen always jumps to the join point; the useless-jump
+      // phases (u, i) earn their keep by removing it.
+      if (!currentTerminated())
+        emit(rtl::jump(EndL));
+      if (S.Else) {
+        startBlock(ElseL);
+        genStmt(*S.Else);
+        if (!currentTerminated())
+          emit(rtl::jump(EndL));
+      }
+      startBlock(EndL);
+      return;
+    }
+    case StmtKind::While: {
+      int32_t HeaderL = F.makeLabel();
+      int32_t ExitL = F.makeLabel();
+      startBlock(HeaderL);
+      genBranch(*S.E, ExitL, /*WhenTrue=*/false);
+      LoopStack.push_back({ExitL, HeaderL});
+      genStmt(*S.Body);
+      LoopStack.pop_back();
+      if (!currentTerminated())
+        emit(rtl::jump(HeaderL));
+      startBlock(ExitL);
+      return;
+    }
+    case StmtKind::DoWhile: {
+      int32_t BodyL = F.makeLabel();
+      int32_t CondL = F.makeLabel();
+      int32_t ExitL = F.makeLabel();
+      startBlock(BodyL);
+      LoopStack.push_back({ExitL, CondL});
+      genStmt(*S.Body);
+      LoopStack.pop_back();
+      startBlock(CondL);
+      genBranch(*S.E, BodyL, /*WhenTrue=*/true);
+      startBlock(ExitL);
+      return;
+    }
+    case StmtKind::For: {
+      if (S.Init)
+        evalExpr(*S.Init);
+      int32_t HeaderL = F.makeLabel();
+      int32_t StepL = F.makeLabel();
+      int32_t ExitL = F.makeLabel();
+      startBlock(HeaderL);
+      if (S.E)
+        genBranch(*S.E, ExitL, /*WhenTrue=*/false);
+      LoopStack.push_back({ExitL, StepL});
+      genStmt(*S.Body);
+      LoopStack.pop_back();
+      startBlock(StepL);
+      if (S.Step)
+        evalExpr(*S.Step);
+      emit(rtl::jump(HeaderL));
+      startBlock(ExitL);
+      return;
+    }
+    case StmtKind::Return: {
+      if (F.ReturnsValue && !S.E) {
+        error(S.Line, "non-void function must return a value");
+        emit(rtl::ret(Operand::imm(0)));
+      } else if (!F.ReturnsValue && S.E) {
+        error(S.Line, "void function cannot return a value");
+        emit(rtl::ret(Operand::none()));
+      } else if (S.E) {
+        RegNum V = evalExpr(*S.E);
+        emit(rtl::ret(Operand::reg(V)));
+      } else {
+        emit(rtl::ret(Operand::none()));
+      }
+      startBlock(F.makeLabel());
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue: {
+      if (LoopStack.empty()) {
+        error(S.Line, S.Kind == StmtKind::Break
+                          ? "break outside of a loop"
+                          : "continue outside of a loop");
+        return;
+      }
+      emit(rtl::jump(S.Kind == StmtKind::Break
+                         ? LoopStack.back().BreakLabel
+                         : LoopStack.back().ContinueLabel));
+      startBlock(F.makeLabel());
+      return;
+    }
+    }
+  }
+};
+
+/// Removes blocks with no instructions that codegen left behind (e.g.
+/// after return/break) by retargeting references to the next real block.
+/// Unlike the optimizer's implicit cleanup, this is part of producing a
+/// well-formed level-0 instance.
+void stripEmptyBlocks(Function &F) {
+  // Map each block to the first non-empty block at-or-after it.
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t I = 0; I < F.Blocks.size(); ++I) {
+      if (!F.Blocks[I].empty() || I + 1 >= F.Blocks.size())
+        continue;
+      int32_t From = F.Blocks[I].Label;
+      int32_t To = F.Blocks[I + 1].Label;
+      for (BasicBlock &B : F.Blocks)
+        for (Rtl &Inst : B.Insts)
+          if ((Inst.Opcode == Op::Jump || Inst.Opcode == Op::Branch) &&
+              Inst.Src[0].Value == From)
+            Inst.Src[0] = Operand::label(To);
+      F.Blocks.erase(F.Blocks.begin() + static_cast<long>(I));
+      Changed = true;
+      break;
+    }
+  }
+  // A trailing empty block can only exist if it is unreferenced (codegen
+  // always terminates the function with Ret); drop it.
+  while (F.Blocks.size() > 1 && F.Blocks.back().empty())
+    F.Blocks.pop_back();
+}
+
+} // namespace
+
+CompileResult pose::compileMC(const std::string &Source) {
+  CompileResult R;
+  Program P = parseMC(Source, R.Diags);
+  if (!R.Diags.empty())
+    return R;
+
+  // Register globals, functions, and builtins up front so calls and
+  // references resolve in one pass regardless of declaration order.
+  for (const GlobalDecl &G : P.Globals) {
+    if (R.M.findGlobal(G.Name) >= 0) {
+      R.Diags.push_back({G.Line, "duplicate global '" + G.Name + "'"});
+      return R;
+    }
+    Global MG;
+    MG.Name = G.Name;
+    MG.Kind = GlobalKind::Var;
+    MG.IsArray = G.IsArray;
+    MG.SizeWords = G.Size;
+    MG.Init = G.Init;
+    MG.Init.resize(static_cast<size_t>(G.Size), 0);
+    R.M.Globals.push_back(std::move(MG));
+  }
+  for (const FuncDecl &FD : P.Funcs) {
+    if (R.M.findGlobal(FD.Name) >= 0) {
+      R.Diags.push_back({FD.Line, "duplicate symbol '" + FD.Name + "'"});
+      return R;
+    }
+    Global MG;
+    MG.Name = FD.Name;
+    MG.Kind = GlobalKind::Func;
+    MG.FuncIndex = static_cast<int32_t>(R.M.Functions.size());
+    MG.NumParams = static_cast<int32_t>(FD.Params.size());
+    MG.ReturnsValue = FD.ReturnsValue;
+    R.M.Globals.push_back(std::move(MG));
+    R.M.Functions.emplace_back();
+  }
+  {
+    Global Out;
+    Out.Name = BuiltinOut;
+    Out.Kind = GlobalKind::External;
+    Out.NumParams = 1;
+    Out.ReturnsValue = false;
+    if (R.M.findGlobal(Out.Name) < 0)
+      R.M.Globals.push_back(std::move(Out));
+  }
+
+  for (const FuncDecl &FD : P.Funcs) {
+    int Id = R.M.findGlobal(FD.Name);
+    Function &F = *R.M.functionFor(Id);
+    FuncCodegen(R.M, F, FD, R.Diags).run();
+    if (!R.Diags.empty())
+      return R;
+    stripEmptyBlocks(F);
+    std::string Err = verifyFunction(F);
+    if (!Err.empty()) {
+      R.Diags.push_back({FD.Line, "internal codegen error: " + Err});
+      return R;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,49 @@
+//===- Compile.h - MC to RTL compilation driver ----------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Front-end driver: MC source in, RTL Module out. The produced code is
+/// deliberately naive — locals live in stack slots, every constant is
+/// materialized, address arithmetic is explicit — matching the unoptimized
+/// function instances that VPO's exhaustive search starts from (the paper's
+/// "level 0").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_FRONTEND_COMPILE_H
+#define POSE_FRONTEND_COMPILE_H
+
+#include "src/frontend/Ast.h"
+#include "src/ir/Function.h"
+
+namespace pose {
+
+/// Result of compiling one MC translation unit.
+struct CompileResult {
+  Module M;
+  std::vector<Diag> Diags;
+
+  bool ok() const { return Diags.empty(); }
+
+  /// Concatenates all diagnostics into one printable string.
+  std::string diagText() const {
+    std::string Out;
+    for (const Diag &D : Diags)
+      Out += "line " + std::to_string(D.Line) + ": " + D.Message + "\n";
+    return Out;
+  }
+};
+
+/// Compiles MC \p Source to an RTL module. On error, Diags is non-empty
+/// and the module contents are unspecified.
+CompileResult compileMC(const std::string &Source);
+
+/// Name of the simulator builtin that records one output word.
+inline constexpr const char *BuiltinOut = "out";
+
+} // namespace pose
+
+#endif // POSE_FRONTEND_COMPILE_H

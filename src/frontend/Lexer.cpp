@@ -1,0 +1,238 @@
+//===- Lexer.cpp - MC language lexer ---------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/frontend/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace pose;
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(Tok Kind, int L, int C) const {
+  Token T;
+  T.Kind = Kind;
+  T.Line = L;
+  T.Col = C;
+  return T;
+}
+
+Token Lexer::error(const std::string &Msg, int L, int C) const {
+  Token T = makeToken(Tok::Error, L, C);
+  T.Text = Msg;
+  return T;
+}
+
+/// Decodes a backslash escape ('n', 't', '0', '\\', '\'', '"').
+static int decodeEscape(char C) {
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case '0':
+    return '\0';
+  default:
+    return C;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  const int L = Line, C = Col;
+  if (Pos >= Src.size())
+    return makeToken(Tok::Eof, L, C);
+
+  char Ch = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+    std::string Name(1, Ch);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Name += advance();
+    static const std::map<std::string, Tok> Keywords = {
+        {"int", Tok::KwInt},       {"void", Tok::KwVoid},
+        {"if", Tok::KwIf},         {"else", Tok::KwElse},
+        {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+        {"do", Tok::KwDo},         {"return", Tok::KwReturn},
+        {"break", Tok::KwBreak},   {"continue", Tok::KwContinue}};
+    auto It = Keywords.find(Name);
+    Token T = makeToken(It != Keywords.end() ? It->second : Tok::Ident, L, C);
+    T.Text = Name;
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(Ch))) {
+    int64_t V = 0;
+    if (Ch == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        int Digit = std::isdigit(static_cast<unsigned char>(D))
+                        ? D - '0'
+                        : (std::tolower(D) - 'a' + 10);
+        V = V * 16 + Digit;
+      }
+    } else {
+      V = Ch - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + (advance() - '0');
+    }
+    Token T = makeToken(Tok::Number, L, C);
+    T.Value = static_cast<int32_t>(V);
+    return T;
+  }
+
+  if (Ch == '\'') {
+    if (Pos >= Src.size())
+      return error("unterminated character literal", L, C);
+    char V = advance();
+    int Decoded = V;
+    if (V == '\\') {
+      if (Pos >= Src.size())
+        return error("unterminated character literal", L, C);
+      Decoded = decodeEscape(advance());
+    }
+    if (peek() != '\'')
+      return error("unterminated character literal", L, C);
+    advance();
+    Token T = makeToken(Tok::Number, L, C);
+    T.Value = Decoded;
+    return T;
+  }
+
+  if (Ch == '"') {
+    std::string Body;
+    while (Pos < Src.size() && peek() != '"') {
+      char V = advance();
+      if (V == '\\' && Pos < Src.size())
+        V = static_cast<char>(decodeEscape(advance()));
+      Body += V;
+    }
+    if (Pos >= Src.size())
+      return error("unterminated string literal", L, C);
+    advance();
+    Token T = makeToken(Tok::String, L, C);
+    T.Text = Body;
+    return T;
+  }
+
+  auto Two = [&](char Next, Tok IfTwo, Tok IfOne) {
+    if (peek() == Next) {
+      advance();
+      return makeToken(IfTwo, L, C);
+    }
+    return makeToken(IfOne, L, C);
+  };
+
+  switch (Ch) {
+  case '(':
+    return makeToken(Tok::LParen, L, C);
+  case ')':
+    return makeToken(Tok::RParen, L, C);
+  case '{':
+    return makeToken(Tok::LBrace, L, C);
+  case '}':
+    return makeToken(Tok::RBrace, L, C);
+  case '[':
+    return makeToken(Tok::LBracket, L, C);
+  case ']':
+    return makeToken(Tok::RBracket, L, C);
+  case ',':
+    return makeToken(Tok::Comma, L, C);
+  case ';':
+    return makeToken(Tok::Semi, L, C);
+  case '+':
+    return makeToken(Tok::Plus, L, C);
+  case '-':
+    return makeToken(Tok::Minus, L, C);
+  case '*':
+    return makeToken(Tok::Star, L, C);
+  case '/':
+    return makeToken(Tok::Slash, L, C);
+  case '%':
+    return makeToken(Tok::Percent, L, C);
+  case '~':
+    return makeToken(Tok::Tilde, L, C);
+  case '^':
+    return makeToken(Tok::Caret, L, C);
+  case '=':
+    return Two('=', Tok::EqEq, Tok::Assign);
+  case '!':
+    return Two('=', Tok::NotEq, Tok::Bang);
+  case '|':
+    return Two('|', Tok::PipePipe, Tok::Pipe);
+  case '&':
+    return Two('&', Tok::AmpAmp, Tok::Amp);
+  case '<':
+    if (peek() == '<') {
+      advance();
+      return makeToken(Tok::Shl, L, C);
+    }
+    return Two('=', Tok::Le, Tok::Lt);
+  case '>':
+    if (peek() == '>') {
+      advance();
+      if (peek() == '>') {
+        advance();
+        return makeToken(Tok::Ushr, L, C);
+      }
+      return makeToken(Tok::Shr, L, C);
+    }
+    return Two('=', Tok::Ge, Tok::Gt);
+  default:
+    return error(std::string("unexpected character '") + Ch + "'", L, C);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  while (true) {
+    Token T = next();
+    Out.push_back(T);
+    if (T.Kind == Tok::Eof || T.Kind == Tok::Error)
+      break;
+  }
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- Lexer.h - MC language lexer -----------------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MC, the mini-C language the benchmark workloads are
+/// written in. MC is integer-only C: int/void, globals (scalars, arrays,
+/// string initializers), functions, the usual statements and operators,
+/// plus ">>>" for logical shift right (MC ints are signed 32-bit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_FRONTEND_LEXER_H
+#define POSE_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+/// Token kinds of the MC language.
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  Number,     ///< Integer literal (decimal, hex 0x..., or char 'c').
+  String,     ///< String literal (only as an array initializer).
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,     ///< =
+  PipePipe,   ///< ||
+  AmpAmp,     ///< &&
+  Pipe,       ///< |
+  Caret,      ///< ^
+  Amp,        ///< &
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Shl,        ///< <<
+  Shr,        ///< >> (arithmetic)
+  Ushr,       ///< >>> (logical; MC extension)
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,       ///< !
+  Tilde,      ///< ~
+  Error,
+};
+
+/// One token with source position (1-based line/column).
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;   ///< Identifier spelling or string literal body.
+  int32_t Value = 0;  ///< Numeric value for Number tokens.
+  int Line = 0;
+  int Col = 0;
+};
+
+/// Tokenizes MC source. Errors are reported as Tok::Error tokens carrying a
+/// message in Text; the parser turns them into diagnostics.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the entire input, ending with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  Token next();
+  Token makeToken(Tok Kind, int Line, int Col) const;
+  Token error(const std::string &Msg, int Line, int Col) const;
+};
+
+} // namespace pose
+
+#endif // POSE_FRONTEND_LEXER_H

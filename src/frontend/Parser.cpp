@@ -1,0 +1,474 @@
+//===- Parser.cpp - MC recursive-descent parser -----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/frontend/Parser.h"
+
+#include <utility>
+
+using namespace pose;
+
+namespace {
+
+/// Binding powers for binary operators, C-style. Higher binds tighter.
+static int precedence(Tok T) {
+  switch (T) {
+  case Tok::PipePipe:
+    return 1;
+  case Tok::AmpAmp:
+    return 2;
+  case Tok::Pipe:
+    return 3;
+  case Tok::Caret:
+    return 4;
+  case Tok::Amp:
+    return 5;
+  case Tok::EqEq:
+  case Tok::NotEq:
+    return 6;
+  case Tok::Lt:
+  case Tok::Le:
+  case Tok::Gt:
+  case Tok::Ge:
+    return 7;
+  case Tok::Shl:
+  case Tok::Shr:
+  case Tok::Ushr:
+    return 8;
+  case Tok::Plus:
+  case Tok::Minus:
+    return 9;
+  case Tok::Star:
+  case Tok::Slash:
+  case Tok::Percent:
+    return 10;
+  default:
+    return 0;
+  }
+}
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<Diag> &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  Program parse() {
+    Program P;
+    if (Tokens.back().Kind == Tok::Error) {
+      report(Tokens.back().Line, Tokens.back().Text);
+      return P;
+    }
+    while (!Failed && cur().Kind != Tok::Eof)
+      parseTopLevel(P);
+    return P;
+  }
+
+private:
+  std::vector<Token> Tokens;
+  std::vector<Diag> &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token take() { return Tokens[Pos == Tokens.size() - 1 ? Pos : Pos++]; }
+
+  void report(int Line, const std::string &Msg) {
+    if (!Failed)
+      Diags.push_back({Line, Msg});
+    Failed = true;
+  }
+
+  bool expect(Tok K, const char *What) {
+    if (cur().Kind == K) {
+      take();
+      return true;
+    }
+    report(cur().Line, std::string("expected ") + What);
+    return false;
+  }
+
+  bool accept(Tok K) {
+    if (cur().Kind != K)
+      return false;
+    take();
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Top level
+  //===--------------------------------------------------------------===//
+
+  void parseTopLevel(Program &P) {
+    bool IsVoid = cur().Kind == Tok::KwVoid;
+    if (!IsVoid && cur().Kind != Tok::KwInt) {
+      report(cur().Line, "expected 'int' or 'void' at top level");
+      return;
+    }
+    take();
+    Token NameTok = cur();
+    if (!expect(Tok::Ident, "identifier"))
+      return;
+    if (cur().Kind == Tok::LParen) {
+      parseFunction(P, NameTok, !IsVoid);
+      return;
+    }
+    if (IsVoid) {
+      report(NameTok.Line, "global variables must have type int");
+      return;
+    }
+    parseGlobalVar(P, NameTok);
+  }
+
+  void parseGlobalVar(Program &P, const Token &NameTok) {
+    GlobalDecl G;
+    G.Name = NameTok.Text;
+    G.Line = NameTok.Line;
+    if (accept(Tok::LBracket)) {
+      G.IsArray = true;
+      if (cur().Kind == Tok::Number) {
+        G.Size = take().Value;
+        if (G.Size <= 0) {
+          report(NameTok.Line, "array size must be positive");
+          return;
+        }
+      } else {
+        G.Size = 0; // Deduced from the initializer.
+      }
+      if (!expect(Tok::RBracket, "']'"))
+        return;
+    }
+    if (accept(Tok::Assign)) {
+      if (cur().Kind == Tok::String) {
+        if (!G.IsArray) {
+          report(cur().Line, "string initializer requires an array");
+          return;
+        }
+        std::string S = take().Text;
+        for (char C : S)
+          G.Init.push_back(static_cast<int32_t>(C));
+        G.Init.push_back(0); // NUL terminator.
+      } else if (accept(Tok::LBrace)) {
+        if (!G.IsArray) {
+          report(cur().Line, "brace initializer requires an array");
+          return;
+        }
+        if (!accept(Tok::RBrace)) {
+          do {
+            G.Init.push_back(parseConstant());
+            if (Failed)
+              return;
+          } while (accept(Tok::Comma));
+          if (!expect(Tok::RBrace, "'}'"))
+            return;
+        }
+      } else {
+        G.Init.push_back(parseConstant());
+        if (Failed)
+          return;
+      }
+    }
+    if (G.IsArray && G.Size == 0) {
+      if (G.Init.empty()) {
+        report(NameTok.Line, "cannot deduce array size without initializer");
+        return;
+      }
+      G.Size = static_cast<int32_t>(G.Init.size());
+    }
+    if (static_cast<int32_t>(G.Init.size()) > G.Size) {
+      report(NameTok.Line, "too many initializers for " + G.Name);
+      return;
+    }
+    expect(Tok::Semi, "';'");
+    P.Globals.push_back(std::move(G));
+  }
+
+  /// Parses a compile-time constant: an integer literal with optional
+  /// leading minus or tilde.
+  int32_t parseConstant() {
+    bool Negate = accept(Tok::Minus);
+    bool Complement = !Negate && accept(Tok::Tilde);
+    if (cur().Kind != Tok::Number) {
+      report(cur().Line, "expected constant");
+      return 0;
+    }
+    int32_t V = take().Value;
+    if (Negate)
+      V = -V;
+    if (Complement)
+      V = ~V;
+    return V;
+  }
+
+  void parseFunction(Program &P, const Token &NameTok, bool ReturnsValue) {
+    FuncDecl F;
+    F.Name = NameTok.Text;
+    F.Line = NameTok.Line;
+    F.ReturnsValue = ReturnsValue;
+    expect(Tok::LParen, "'('");
+    if (!accept(Tok::RParen)) {
+      if (cur().Kind == Tok::KwVoid && peek(1).Kind == Tok::RParen) {
+        take();
+        take();
+      } else {
+        do {
+          if (!expect(Tok::KwInt, "'int' parameter type"))
+            return;
+          Token PTok = cur();
+          if (!expect(Tok::Ident, "parameter name"))
+            return;
+          F.Params.push_back(PTok.Text);
+        } while (accept(Tok::Comma));
+        if (!expect(Tok::RParen, "')'"))
+          return;
+      }
+    }
+    if (cur().Kind != Tok::LBrace) {
+      report(cur().Line, "expected function body");
+      return;
+    }
+    F.Body = parseBlock();
+    if (!Failed)
+      P.Funcs.push_back(std::move(F));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------===//
+
+  StmtPtr parseBlock() {
+    auto S = std::make_unique<Stmt>(StmtKind::Block, cur().Line);
+    expect(Tok::LBrace, "'{'");
+    while (!Failed && cur().Kind != Tok::RBrace && cur().Kind != Tok::Eof)
+      S->Stmts.push_back(parseStatement());
+    expect(Tok::RBrace, "'}'");
+    return S;
+  }
+
+  StmtPtr parseStatement() {
+    const int Line = cur().Line;
+    switch (cur().Kind) {
+    case Tok::LBrace:
+      return parseBlock();
+    case Tok::Semi:
+      take();
+      return std::make_unique<Stmt>(StmtKind::Empty, Line);
+    case Tok::KwInt:
+      return parseLocalDecl();
+    case Tok::KwIf: {
+      take();
+      auto S = std::make_unique<Stmt>(StmtKind::If, Line);
+      expect(Tok::LParen, "'('");
+      S->E = parseExpression();
+      expect(Tok::RParen, "')'");
+      S->Then = parseStatement();
+      if (accept(Tok::KwElse))
+        S->Else = parseStatement();
+      return S;
+    }
+    case Tok::KwWhile: {
+      take();
+      auto S = std::make_unique<Stmt>(StmtKind::While, Line);
+      expect(Tok::LParen, "'('");
+      S->E = parseExpression();
+      expect(Tok::RParen, "')'");
+      S->Body = parseStatement();
+      return S;
+    }
+    case Tok::KwDo: {
+      take();
+      auto S = std::make_unique<Stmt>(StmtKind::DoWhile, Line);
+      S->Body = parseStatement();
+      expect(Tok::KwWhile, "'while'");
+      expect(Tok::LParen, "'('");
+      S->E = parseExpression();
+      expect(Tok::RParen, "')'");
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    case Tok::KwFor: {
+      take();
+      auto S = std::make_unique<Stmt>(StmtKind::For, Line);
+      expect(Tok::LParen, "'('");
+      if (cur().Kind != Tok::Semi)
+        S->Init = parseExpression();
+      expect(Tok::Semi, "';'");
+      if (cur().Kind != Tok::Semi)
+        S->E = parseExpression();
+      expect(Tok::Semi, "';'");
+      if (cur().Kind != Tok::RParen)
+        S->Step = parseExpression();
+      expect(Tok::RParen, "')'");
+      S->Body = parseStatement();
+      return S;
+    }
+    case Tok::KwReturn: {
+      take();
+      auto S = std::make_unique<Stmt>(StmtKind::Return, Line);
+      if (cur().Kind != Tok::Semi)
+        S->E = parseExpression();
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    case Tok::KwBreak:
+      take();
+      expect(Tok::Semi, "';'");
+      return std::make_unique<Stmt>(StmtKind::Break, Line);
+    case Tok::KwContinue:
+      take();
+      expect(Tok::Semi, "';'");
+      return std::make_unique<Stmt>(StmtKind::Continue, Line);
+    default: {
+      auto S = std::make_unique<Stmt>(StmtKind::Expr, Line);
+      S->E = parseExpression();
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    }
+  }
+
+  StmtPtr parseLocalDecl() {
+    const int Line = cur().Line;
+    take(); // 'int'
+    auto S = std::make_unique<Stmt>(StmtKind::Decl, Line);
+    Token NameTok = cur();
+    if (!expect(Tok::Ident, "variable name"))
+      return S;
+    S->DeclName = NameTok.Text;
+    if (accept(Tok::LBracket)) {
+      if (cur().Kind != Tok::Number) {
+        report(cur().Line, "local array size must be a constant");
+        return S;
+      }
+      S->DeclArraySize = take().Value;
+      if (S->DeclArraySize <= 0)
+        report(Line, "array size must be positive");
+      expect(Tok::RBracket, "']'");
+    } else if (accept(Tok::Assign)) {
+      S->DeclInit = parseExpression();
+    }
+    expect(Tok::Semi, "';'");
+    return S;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------===//
+
+  ExprPtr parseExpression() { return parseAssignment(); }
+
+  ExprPtr parseAssignment() {
+    ExprPtr L = parseBinary(1);
+    if (Failed || cur().Kind != Tok::Assign)
+      return L;
+    const int Line = take().Line;
+    if (L->Kind != ExprKind::VarRef && L->Kind != ExprKind::ArrayRef) {
+      report(Line, "assignment target must be a variable or array element");
+      return L;
+    }
+    auto A = std::make_unique<Expr>(ExprKind::Assign, Line);
+    A->Lhs = std::move(L);
+    A->Rhs = parseAssignment(); // Right associative.
+    return A;
+  }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr L = parseUnary();
+    while (!Failed) {
+      Tok OpTok = cur().Kind;
+      int Prec = precedence(OpTok);
+      if (Prec < MinPrec || Prec == 0)
+        return L;
+      const int Line = take().Line;
+      ExprPtr R = parseBinary(Prec + 1); // All binaries left associative.
+      auto B = std::make_unique<Expr>(ExprKind::Binary, Line);
+      B->Op = OpTok;
+      B->Lhs = std::move(L);
+      B->Rhs = std::move(R);
+      L = std::move(B);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    const int Line = cur().Line;
+    if (accept(Tok::Minus)) {
+      // Fold -literal so simple initializers stay single instructions.
+      if (cur().Kind == Tok::Number) {
+        auto N = std::make_unique<Expr>(ExprKind::Number, Line);
+        N->Value = -take().Value;
+        return N;
+      }
+      auto U = std::make_unique<Expr>(ExprKind::Unary, Line);
+      U->Op = Tok::Minus;
+      U->Lhs = parseUnary();
+      return U;
+    }
+    if (accept(Tok::Bang)) {
+      auto U = std::make_unique<Expr>(ExprKind::Unary, Line);
+      U->Op = Tok::Bang;
+      U->Lhs = parseUnary();
+      return U;
+    }
+    if (accept(Tok::Tilde)) {
+      auto U = std::make_unique<Expr>(ExprKind::Unary, Line);
+      U->Op = Tok::Tilde;
+      U->Lhs = parseUnary();
+      return U;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const int Line = cur().Line;
+    if (cur().Kind == Tok::Number) {
+      auto N = std::make_unique<Expr>(ExprKind::Number, Line);
+      N->Value = take().Value;
+      return N;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr E = parseExpression();
+      expect(Tok::RParen, "')'");
+      return E;
+    }
+    if (cur().Kind == Tok::Ident) {
+      Token NameTok = take();
+      if (accept(Tok::LParen)) {
+        auto C = std::make_unique<Expr>(ExprKind::Call, Line);
+        C->Name = NameTok.Text;
+        if (!accept(Tok::RParen)) {
+          do {
+            C->Args.push_back(parseExpression());
+          } while (accept(Tok::Comma));
+          expect(Tok::RParen, "')'");
+        }
+        return C;
+      }
+      if (accept(Tok::LBracket)) {
+        auto A = std::make_unique<Expr>(ExprKind::ArrayRef, Line);
+        A->Name = NameTok.Text;
+        A->Lhs = parseExpression();
+        expect(Tok::RBracket, "']'");
+        return A;
+      }
+      auto V = std::make_unique<Expr>(ExprKind::VarRef, Line);
+      V->Name = NameTok.Text;
+      return V;
+    }
+    report(Line, "expected expression");
+    return std::make_unique<Expr>(ExprKind::Number, Line);
+  }
+};
+
+} // namespace
+
+Program pose::parseMC(const std::string &Source, std::vector<Diag> &Diags) {
+  Lexer L(Source);
+  Parser P(L.lexAll(), Diags);
+  return P.parse();
+}

@@ -1,0 +1,27 @@
+//===- Parser.h - MC recursive-descent parser ------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing an MC AST. Precedence follows C.
+/// Parsing stops at the first error (MC programs in this repository are
+/// compiler-written workloads; error cascades are not worth recovering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_FRONTEND_PARSER_H
+#define POSE_FRONTEND_PARSER_H
+
+#include "src/frontend/Ast.h"
+
+namespace pose {
+
+/// Parses \p Source. On failure, Program may be partially filled and
+/// \p Diags receives at least one message.
+Program parseMC(const std::string &Source, std::vector<Diag> &Diags);
+
+} // namespace pose
+
+#endif // POSE_FRONTEND_PARSER_H

@@ -1,0 +1,221 @@
+//===- Function.h - Basic blocks, functions, modules ----------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Container classes for RTL code. A Function owns its basic blocks in
+/// layout order; block fall-through is implicit (a block without a final
+/// Jump/Ret continues into the next block in layout order), exactly as in
+/// VPO. Functions are value types: the exhaustive enumerator copies them
+/// freely to hold one function instance per frontier node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_IR_FUNCTION_H
+#define POSE_IR_FUNCTION_H
+
+#include "src/ir/Rtl.h"
+
+#include <string>
+#include <vector>
+
+namespace pose {
+
+/// A basic block: a label plus straight-line RTLs. Control transfers may
+/// appear only as the last instruction.
+struct BasicBlock {
+  /// Stable label number unique within the function. Never reused, so
+  /// branch operands stay valid as blocks are added and removed.
+  int32_t Label = 0;
+  std::vector<Rtl> Insts;
+
+  BasicBlock() = default;
+  explicit BasicBlock(int32_t L) : Label(L) {}
+
+  bool empty() const { return Insts.empty(); }
+
+  /// Returns the terminating control transfer, or nullptr if the block
+  /// falls through.
+  const Rtl *terminator() const {
+    if (!Insts.empty() && Insts.back().isControl())
+      return &Insts.back();
+    return nullptr;
+  }
+  Rtl *terminator() {
+    if (!Insts.empty() && Insts.back().isControl())
+      return &Insts.back();
+    return nullptr;
+  }
+};
+
+/// Static description of one stack slot (local variable, parameter, or
+/// compiler temporary) of a function. Addresses are in words: the MC
+/// machine is word-addressed.
+struct StackSlot {
+  std::string Name;
+  int32_t SizeWords = 1;
+  /// True for arrays (or any slot whose address escapes): the register
+  /// allocator may never promote such a slot to a register.
+  bool IsArray = false;
+  /// True for incoming parameters; the caller (or simulator) stores the
+  /// argument value into the slot before entry.
+  bool IsParam = false;
+};
+
+/// Per-function compiler state that is not derivable from the code bytes
+/// but participates in instance identity (see Canonicalizer): which
+/// compulsory/ordering milestones have happened.
+struct PhaseState {
+  /// Pseudo registers have been mapped to hardware registers. Evaluation
+  /// order determination (phase o) is illegal once this is set.
+  bool RegsAssigned = false;
+  /// Register allocation (phase k) has been active at least once. Loop
+  /// unrolling (g) and loop transformations (l) are illegal before this,
+  /// since they analyze values in registers (paper, Section 3).
+  bool RegAllocDone = false;
+
+  uint8_t encode() const {
+    return static_cast<uint8_t>(RegsAssigned) |
+           static_cast<uint8_t>(RegAllocDone << 1);
+  }
+  bool operator==(const PhaseState &O) const {
+    return RegsAssigned == O.RegsAssigned && RegAllocDone == O.RegAllocDone;
+  }
+};
+
+/// A function: stack slots, blocks in layout order, and phase state.
+/// Copyable by design (one instance per enumeration frontier node).
+class Function {
+public:
+  std::string Name;
+  /// Number of leading slots that are parameters (slot i = parameter i).
+  int32_t NumParams = 0;
+  /// True if the function returns a value.
+  bool ReturnsValue = false;
+  std::vector<StackSlot> Slots;
+  std::vector<BasicBlock> Blocks;
+  PhaseState State;
+
+  /// Allocates a fresh pseudo register.
+  RegNum makePseudo() { return NextPseudo++; }
+
+  /// Returns one past the highest pseudo register ever allocated.
+  RegNum pseudoLimit() const { return NextPseudo; }
+
+  /// Allocates a fresh, never-used block label.
+  int32_t makeLabel() { return NextLabel++; }
+
+  /// Appends a new block with a fresh label and returns its index.
+  size_t addBlock() {
+    Blocks.emplace_back(makeLabel());
+    return Blocks.size() - 1;
+  }
+
+  /// Adds a stack slot and returns its index.
+  int32_t addSlot(StackSlot S) {
+    Slots.push_back(std::move(S));
+    return static_cast<int32_t>(Slots.size()) - 1;
+  }
+
+  /// Returns the index of the block whose label is \p Label, or -1.
+  int findBlock(int32_t Label) const {
+    for (size_t I = 0, E = Blocks.size(); I != E; ++I)
+      if (Blocks[I].Label == Label)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Total number of instructions (the paper's code-size measure).
+  size_t instructionCount() const {
+    size_t N = 0;
+    for (const BasicBlock &B : Blocks)
+      N += B.Insts.size();
+    return N;
+  }
+
+  /// Ensures NextPseudo/NextLabel are past every number used in the body.
+  /// Call after constructing a function by hand (e.g. in tests).
+  void recomputeCounters();
+
+private:
+  RegNum NextPseudo = FirstPseudoReg;
+  int32_t NextLabel = 0;
+};
+
+/// Kinds of module-level globals.
+enum class GlobalKind : uint8_t {
+  Var,      ///< Global variable (scalar or array of words).
+  Func,     ///< Function defined in this module.
+  External, ///< External function (simulator builtin, e.g. "out").
+};
+
+/// A module-level symbol: a global variable or a function.
+struct Global {
+  std::string Name;
+  GlobalKind Kind = GlobalKind::Var;
+  /// For variables: size in words.
+  int32_t SizeWords = 1;
+  /// For variables: declared as an array (must be subscripted).
+  bool IsArray = false;
+  /// For variables: initial words (zero-padded to SizeWords).
+  std::vector<int32_t> Init;
+  /// For functions: index into Module::Functions.
+  int32_t FuncIndex = -1;
+  /// For functions: number of parameters (for call checking).
+  int32_t NumParams = 0;
+  /// For functions: whether a value is returned.
+  bool ReturnsValue = false;
+};
+
+/// A translation unit: globals plus function bodies. The compiler optimizes
+/// each function individually and in isolation (as VPO does); the Module
+/// supplies symbol context and lets the simulator run whole programs.
+class Module {
+public:
+  std::vector<Global> Globals;
+  std::vector<Function> Functions;
+
+  /// Returns the global id of the symbol named \p Name, or -1.
+  int findGlobal(const std::string &Name) const {
+    for (size_t I = 0, E = Globals.size(); I != E; ++I)
+      if (Globals[I].Name == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Returns the function body for global id \p Id, or nullptr if \p Id is
+  /// not a defined function.
+  const Function *functionFor(int32_t Id) const {
+    if (Id < 0 || static_cast<size_t>(Id) >= Globals.size())
+      return nullptr;
+    const Global &G = Globals[Id];
+    if (G.Kind != GlobalKind::Func || G.FuncIndex < 0)
+      return nullptr;
+    return &Functions[G.FuncIndex];
+  }
+  Function *functionFor(int32_t Id) {
+    return const_cast<Function *>(
+        static_cast<const Module *>(this)->functionFor(Id));
+  }
+};
+
+/// Lightweight CFG view over a function's blocks (indices, not pointers).
+/// Rebuild after any structural change; building is O(blocks).
+struct Cfg {
+  std::vector<std::vector<int>> Succs;
+  std::vector<std::vector<int>> Preds;
+
+  static Cfg build(const Function &F);
+
+  /// Returns true if block \p From may fall through into the next block.
+  static bool fallsThrough(const BasicBlock &B) {
+    const Rtl *T = B.terminator();
+    return !T || T->Opcode == Op::Branch;
+  }
+};
+
+} // namespace pose
+
+#endif // POSE_IR_FUNCTION_H

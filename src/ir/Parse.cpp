@@ -1,0 +1,508 @@
+//===- Parse.cpp - Textual RTL parser ---------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Parse.h"
+
+#include "src/ir/Function.h"
+#include "src/ir/Verify.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+using namespace pose;
+
+namespace {
+
+/// Cursor over one line of RTL text.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : S(Line) {}
+
+  void skipSpace() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= S.size();
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < S.size() ? S[Pos] : '\0';
+  }
+
+  bool consume(const char *Token) {
+    skipSpace();
+    size_t Len = std::strlen(Token);
+    if (S.compare(Pos, Len, Token) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  /// Consumes a (possibly negative) decimal integer.
+  bool number(int64_t &V) {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    size_t DigitsFrom = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos == DigitsFrom) {
+      Pos = Start;
+      return false;
+    }
+    V = std::strtoll(S.substr(Start, Pos - Start).c_str(), nullptr, 10);
+    return true;
+  }
+
+  /// Consumes an identifier ([A-Za-z_][A-Za-z0-9_]*).
+  size_t position() const { return Pos; }
+  void seek(size_t P) { Pos = P; }
+
+  bool ident(std::string &Name) {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos >= S.size() ||
+        !(std::isalpha(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
+      return false;
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '_'))
+      ++Pos;
+    Name = S.substr(Start, Pos - Start);
+    return true;
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+/// Parser state for one function.
+class RtlParser {
+public:
+  RtlParser(const std::string &Text, Function &Out) : Text(Text), F(Out) {}
+
+  std::string run() {
+    F = Function();
+    size_t Pos = 0;
+    int LineNo = 0;
+    bool SawHeader = false;
+    while (Pos <= Text.size()) {
+      size_t End = Text.find('\n', Pos);
+      if (End == std::string::npos)
+        End = Text.size();
+      std::string Line = Text.substr(Pos, End - Pos);
+      Pos = End + 1;
+      ++LineNo;
+      // Strip comments.
+      size_t Hash = Line.find('#');
+      if (Hash != std::string::npos)
+        Line.resize(Hash);
+      LineCursor C(Line);
+      if (C.atEnd()) {
+        if (End == Text.size())
+          break;
+        continue;
+      }
+      std::string Err = SawHeader ? parseBody(C) : parseHeader(C);
+      if (!Err.empty())
+        return "line " + std::to_string(LineNo) + ": " + Err;
+      SawHeader = true;
+      if (End == Text.size())
+        break;
+    }
+    if (!SawHeader)
+      return "no function header found";
+    F.recomputeCounters();
+    std::string Err = verifyFunction(F);
+    if (!Err.empty())
+      return "parsed function is malformed: " + Err;
+    return "";
+  }
+
+private:
+  const std::string &Text;
+  Function &F;
+  std::map<std::string, int32_t> SlotIndex;
+
+  std::string parseHeader(LineCursor &C) {
+    if (!C.consume("function"))
+      return "expected 'function'";
+    if (!C.ident(F.Name))
+      return "expected function name";
+    if (!C.consume("("))
+      return "expected '('";
+    std::vector<std::string> Params;
+    if (!C.consume(")")) {
+      do {
+        std::string P;
+        if (!C.ident(P))
+          return "expected parameter name";
+        Params.push_back(P);
+      } while (C.consume(","));
+      if (!C.consume(")"))
+        return "expected ')'";
+    }
+    if (C.consume("[")) {
+      do {
+        std::string Name;
+        if (!C.ident(Name))
+          return "expected slot name";
+        StackSlot S;
+        S.Name = Name;
+        int64_t Size;
+        if (C.consume(":")) {
+          if (!C.number(Size))
+            return "expected slot size";
+          S.SizeWords = static_cast<int32_t>(Size);
+        } else if (C.consume("[")) {
+          if (!C.number(Size) || !C.consume("]"))
+            return "expected array size";
+          S.SizeWords = static_cast<int32_t>(Size);
+          S.IsArray = true;
+        } else {
+          return "expected ':' or '[' after slot name";
+        }
+        SlotIndex[Name] = F.addSlot(S);
+      } while (C.consume(","));
+      if (!C.consume("]"))
+        return "expected ']'";
+    }
+    if (C.consume("{")) {
+      do {
+        std::string Flag;
+        if (!C.ident(Flag))
+          return "expected state flag";
+        if (Flag == "assigned")
+          F.State.RegsAssigned = true;
+        else if (Flag == "allocated")
+          F.State.RegAllocDone = true;
+        else
+          return "unknown state flag '" + Flag + "'";
+      } while (C.consume(","));
+      if (!C.consume("}"))
+        return "expected '}'";
+    }
+    // Bind parameters to their slots (must be the leading slots).
+    F.NumParams = static_cast<int32_t>(Params.size());
+    for (size_t I = 0; I != Params.size(); ++I) {
+      auto It = SlotIndex.find(Params[I]);
+      if (It == SlotIndex.end() ||
+          It->second != static_cast<int32_t>(I))
+        return "parameter '" + Params[I] +
+               "' must be declared as slot " + std::to_string(I);
+      F.Slots[I].IsParam = true;
+    }
+    F.ReturnsValue = true; // Refined by the caller if needed.
+    return "";
+  }
+
+  bool parseReg(LineCursor &C, RegNum &R) {
+    if (!C.consume("r["))
+      return false;
+    int64_t V;
+    if (!C.number(V) || !C.consume("]"))
+      return false;
+    R = static_cast<RegNum>(V);
+    return true;
+  }
+
+  /// Parses a value operand: register or immediate.
+  bool parseValue(LineCursor &C, Operand &O) {
+    RegNum R;
+    if (parseReg(C, R)) {
+      O = Operand::reg(R);
+      return true;
+    }
+    int64_t V;
+    if (C.number(V)) {
+      O = Operand::imm(static_cast<int32_t>(V));
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses an address base: register, slot (S3) or global (@2).
+  bool parseBase(LineCursor &C, Operand &O) {
+    RegNum R;
+    if (parseReg(C, R)) {
+      O = Operand::reg(R);
+      return true;
+    }
+    if (C.consume("S")) {
+      int64_t V;
+      if (!C.number(V))
+        return false;
+      O = Operand::slot(static_cast<int32_t>(V));
+      return true;
+    }
+    if (C.consume("@")) {
+      int64_t V;
+      if (!C.number(V))
+        return false;
+      O = Operand::global(static_cast<int32_t>(V));
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLabelRef(LineCursor &C, int32_t &L) {
+    if (!C.consume("L"))
+      return false;
+    int64_t V;
+    if (!C.number(V))
+      return false;
+    L = static_cast<int32_t>(V);
+    return true;
+  }
+
+  /// Longest-match lookup of a binary operator symbol.
+  bool parseBinaryOp(LineCursor &C, Op &O) {
+    static const std::pair<const char *, Op> Table[] = {
+        {">>u", Op::Ushr}, {"<<", Op::Shl}, {">>", Op::Shr},
+        {"+", Op::Add},    {"-", Op::Sub},  {"*", Op::Mul},
+        {"/", Op::Div},    {"%", Op::Rem},  {"&", Op::And},
+        {"|", Op::Or},     {"^", Op::Xor}};
+    for (const auto &[Sym, Opc] : Table)
+      if (C.consume(Sym)) {
+        O = Opc;
+        return true;
+      }
+    return false;
+  }
+
+  bool parseCond(LineCursor &C, Cond &CC) {
+    static const std::pair<const char *, Cond> Table[] = {
+        {"==", Cond::Eq},  {"!=", Cond::Ne},  {"<=u", Cond::ULe},
+        {">=u", Cond::UGe}, {"<=", Cond::Le},  {">=", Cond::Ge},
+        {"<u", Cond::ULt}, {">u", Cond::UGt}, {"<", Cond::Lt},
+        {">", Cond::Gt}};
+    for (const auto &[Sym, Co] : Table)
+      if (C.consume(Sym)) {
+        CC = Co;
+        return true;
+      }
+    return false;
+  }
+
+  BasicBlock &currentBlock() {
+    assert(!F.Blocks.empty() && "instruction before any label");
+    return F.Blocks.back();
+  }
+
+  std::string parseBody(LineCursor &C) {
+    // Block label: "Lnn:".
+    {
+      size_t Save = C.position();
+      int32_t L;
+      if (parseLabelRef(C, L) && C.consume(":")) {
+        F.Blocks.emplace_back(L);
+        return C.atEnd() ? "" : "trailing characters after label";
+      }
+      C.seek(Save);
+    }
+    if (F.Blocks.empty())
+      return "instruction before the first block label";
+
+    if (C.consume("prologue")) {
+      currentBlock().Insts.push_back(Rtl(Op::Prologue));
+      return expectSemi(C);
+    }
+    if (C.consume("epilogue")) {
+      currentBlock().Insts.push_back(Rtl(Op::Epilogue));
+      return expectSemi(C);
+    }
+    if (C.consume("ret")) {
+      Operand V = Operand::none();
+      if (C.peek() != ';' && !parseValue(C, V))
+        return "expected return value";
+      currentBlock().Insts.push_back(rtl::ret(V));
+      return expectSemi(C);
+    }
+    if (C.consume("call")) {
+      Rtl I(Op::Call);
+      std::string Err = parseCallTail(C, I);
+      if (!Err.empty())
+        return Err;
+      currentBlock().Insts.push_back(std::move(I));
+      return expectSemi(C);
+    }
+    if (C.consume("IC")) {
+      if (!C.consume("="))
+        return "expected '='";
+      Rtl I(Op::Cmp);
+      if (!parseValue(C, I.Src[0]) || !C.consume("?") ||
+          !parseValue(C, I.Src[1]))
+        return "malformed compare";
+      currentBlock().Insts.push_back(std::move(I));
+      return expectSemi(C);
+    }
+    if (C.consume("PC")) {
+      if (!C.consume("="))
+        return "expected '='";
+      if (C.consume("IC")) {
+        Rtl I(Op::Branch);
+        int32_t L;
+        if (!parseCond(C, I.CC))
+          return "expected branch condition";
+        int64_t Zero;
+        if (!C.number(Zero) || Zero != 0 || !C.consume(","))
+          return "expected '0,' after condition";
+        if (!parseLabelRef(C, L))
+          return "expected branch target";
+        I.Src[0] = Operand::label(L);
+        currentBlock().Insts.push_back(std::move(I));
+        return expectSemi(C);
+      }
+      int32_t L;
+      if (!parseLabelRef(C, L))
+        return "expected jump target";
+      currentBlock().Insts.push_back(rtl::jump(L));
+      return expectSemi(C);
+    }
+    if (C.consume("M[")) {
+      Rtl I(Op::Store);
+      std::string Err = parseAddress(C, I);
+      if (!Err.empty())
+        return Err;
+      if (!C.consume("="))
+        return "expected '=' after store address";
+      if (!parseValue(C, I.Src[2]))
+        return "expected stored value";
+      currentBlock().Insts.push_back(std::move(I));
+      return expectSemi(C);
+    }
+
+    // Register destination forms.
+    RegNum D;
+    if (!parseReg(C, D))
+      return "unrecognized statement";
+    if (!C.consume("="))
+      return "expected '='";
+    Operand Dst = Operand::reg(D);
+
+    if (C.consume("call")) {
+      Rtl I(Op::Call);
+      I.Dst = Dst;
+      std::string Err = parseCallTail(C, I);
+      if (!Err.empty())
+        return Err;
+      currentBlock().Insts.push_back(std::move(I));
+      return expectSemi(C);
+    }
+    if (C.consume("&")) {
+      Rtl I(Op::Lea);
+      I.Dst = Dst;
+      if (!parseBase(C, I.Src[0]) || I.Src[0].isReg())
+        return "lea target must be a slot or global";
+      currentBlock().Insts.push_back(std::move(I));
+      return expectSemi(C);
+    }
+    if (C.consume("M[")) {
+      Rtl I(Op::Load);
+      I.Dst = Dst;
+      std::string Err = parseAddress(C, I);
+      if (!Err.empty())
+        return Err;
+      currentBlock().Insts.push_back(std::move(I));
+      return expectSemi(C);
+    }
+    if (C.consume("~")) {
+      Operand A;
+      if (!parseValue(C, A))
+        return "expected operand";
+      currentBlock().Insts.push_back(rtl::unary(Op::Not, Dst, A));
+      return expectSemi(C);
+    }
+    // "-A" (negate) only when '-' is directly followed by a register;
+    // "-5" parses as a mov of a negative immediate below.
+    {
+      size_t Save = C.position();
+      if (C.consume("-")) {
+        RegNum A;
+        if (parseReg(C, A)) {
+          currentBlock().Insts.push_back(
+              rtl::unary(Op::Neg, Dst, Operand::reg(A)));
+          return expectSemi(C);
+        }
+        C.seek(Save);
+      }
+    }
+
+    Operand A;
+    if (!parseValue(C, A))
+      return "expected operand";
+    Op BinOp;
+    if (parseBinaryOp(C, BinOp)) {
+      Operand B;
+      if (!parseValue(C, B))
+        return "expected second operand";
+      currentBlock().Insts.push_back(rtl::binary(BinOp, Dst, A, B));
+      return expectSemi(C);
+    }
+    currentBlock().Insts.push_back(rtl::mov(Dst, A));
+    return expectSemi(C);
+  }
+
+  /// Parses "BASE(+OFF)?]" into Src[0]/Src[1] of \p I ("M[" consumed).
+  std::string parseAddress(LineCursor &C, Rtl &I) {
+    if (!parseBase(C, I.Src[0]))
+      return "expected address base";
+    int64_t Off = 0;
+    if (C.consume("+")) {
+      if (!C.number(Off))
+        return "expected offset";
+    }
+    I.Src[1] = Operand::imm(static_cast<int32_t>(Off));
+    if (!C.consume("]"))
+      return "expected ']'";
+    return "";
+  }
+
+  /// Parses "@G(args)" after the "call" keyword.
+  std::string parseCallTail(LineCursor &C, Rtl &I) {
+    if (!C.consume("@"))
+      return "expected '@' callee";
+    int64_t G;
+    if (!C.number(G))
+      return "expected callee id";
+    I.Src[0] = Operand::global(static_cast<int32_t>(G));
+    if (!C.consume("("))
+      return "expected '('";
+    if (!C.consume(")")) {
+      do {
+        Operand A;
+        if (!parseValue(C, A))
+          return "expected call argument";
+        I.Args.push_back(A);
+      } while (C.consume(","));
+      if (!C.consume(")"))
+        return "expected ')'";
+    }
+    return "";
+  }
+
+  std::string expectSemi(LineCursor &C) {
+    if (!C.consume(";"))
+      return "expected ';'";
+    if (!C.atEnd())
+      return "trailing characters";
+    return "";
+  }
+};
+
+} // namespace
+
+std::string pose::parseFunction(const std::string &Text, Function &Out) {
+  return RtlParser(Text, Out).run();
+}

@@ -1,0 +1,152 @@
+//===- Printer.cpp - Textual RTL dump -------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Printer.h"
+
+#include "src/ir/Function.h"
+
+using namespace pose;
+
+static std::string printOperand(const Operand &O) {
+  switch (O.Kind) {
+  case OperandKind::None:
+    return "";
+  case OperandKind::Reg:
+    return "r[" + std::to_string(O.Value) + "]";
+  case OperandKind::Imm:
+    return std::to_string(O.Value);
+  case OperandKind::Slot:
+    return "S" + std::to_string(O.Value);
+  case OperandKind::Global:
+    return "@" + std::to_string(O.Value);
+  case OperandKind::Label:
+    return "L" + std::to_string(O.Value);
+  }
+  return "?";
+}
+
+static const char *binarySymbol(Op O) {
+  switch (O) {
+  case Op::Add:
+    return "+";
+  case Op::Sub:
+    return "-";
+  case Op::Mul:
+    return "*";
+  case Op::Div:
+    return "/";
+  case Op::Rem:
+    return "%";
+  case Op::And:
+    return "&";
+  case Op::Or:
+    return "|";
+  case Op::Xor:
+    return "^";
+  case Op::Shl:
+    return "<<";
+  case Op::Shr:
+    return ">>";
+  case Op::Ushr:
+    return ">>u";
+  default:
+    return "?";
+  }
+}
+
+std::string pose::printRtl(const Rtl &I) {
+  const std::string D = printOperand(I.Dst);
+  const std::string A = printOperand(I.Src[0]);
+  const std::string B = printOperand(I.Src[1]);
+  switch (I.Opcode) {
+  case Op::Mov:
+    return D + "=" + A + ";";
+  case Op::Lea:
+    return D + "=&" + A + ";";
+  case Op::Neg:
+    return D + "=-" + A + ";";
+  case Op::Not:
+    return D + "=~" + A + ";";
+  case Op::Load:
+    return D + "=M[" + A + (I.Src[1].Value ? "+" + B : "") + "];";
+  case Op::Store:
+    return "M[" + A + (I.Src[1].Value ? "+" + B : "") +
+           "]=" + printOperand(I.Src[2]) + ";";
+  case Op::Cmp:
+    return "IC=" + A + "?" + B + ";";
+  case Op::Branch:
+    return std::string("PC=IC") + condName(I.CC) + "0," + A + ";";
+  case Op::Jump:
+    return "PC=" + A + ";";
+  case Op::Call: {
+    std::string S = (I.Dst.isNone() ? "" : D + "=") + "call " + A + "(";
+    for (size_t J = 0; J < I.Args.size(); ++J) {
+      if (J)
+        S += ",";
+      S += printOperand(I.Args[J]);
+    }
+    return S + ");";
+  }
+  case Op::Ret:
+    return I.Src[0].isNone() ? "ret;" : "ret " + A + ";";
+  case Op::Prologue:
+    return "prologue;";
+  case Op::Epilogue:
+    return "epilogue;";
+  default:
+    break;
+  }
+  if (I.isBinary())
+    return D + "=" + A + binarySymbol(I.Opcode) + B + ";";
+  return "<?>;";
+}
+
+std::string pose::printFunction(const Function &F) {
+  std::string Out = "function " + F.Name + "(";
+  for (int32_t I = 0; I < F.NumParams; ++I) {
+    if (I)
+      Out += ",";
+    Out += F.Slots[I].Name;
+  }
+  Out += ")";
+  if (!F.Slots.empty()) {
+    Out += " [";
+    for (size_t I = 0; I < F.Slots.size(); ++I) {
+      if (I)
+        Out += ",";
+      const StackSlot &S = F.Slots[I];
+      if (S.IsArray)
+        Out += S.Name + "[" + std::to_string(S.SizeWords) + "]";
+      else
+        Out += S.Name + ":" + std::to_string(S.SizeWords);
+    }
+    Out += "]";
+  }
+  if (F.State.RegsAssigned || F.State.RegAllocDone) {
+    Out += " {";
+    if (F.State.RegsAssigned)
+      Out += "assigned";
+    if (F.State.RegAllocDone)
+      Out += F.State.RegsAssigned ? ",allocated" : "allocated";
+    Out += "}";
+  }
+  Out += "\n";
+  for (const BasicBlock &B : F.Blocks) {
+    Out += "L" + std::to_string(B.Label) + ":\n";
+    for (const Rtl &I : B.Insts)
+      Out += "  " + printRtl(I) + "\n";
+  }
+  return Out;
+}
+
+std::string pose::printModule(const Module &M) {
+  std::string Out;
+  for (const Function &F : M.Functions) {
+    Out += printFunction(F);
+    Out += "\n";
+  }
+  return Out;
+}

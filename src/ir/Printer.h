@@ -1,0 +1,35 @@
+//===- Printer.h - Textual RTL dump ----------------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints RTL code in a VPO-like textual syntax ("r[32]=r[33]+1;",
+/// "PC=IC<0,L3;"). Used for debugging, golden tests, and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_IR_PRINTER_H
+#define POSE_IR_PRINTER_H
+
+#include <string>
+
+namespace pose {
+
+class Function;
+class Module;
+struct Rtl;
+
+/// Renders one instruction in VPO-like syntax (no trailing newline).
+std::string printRtl(const Rtl &I);
+
+/// Renders a whole function: header, slots, then labeled blocks.
+std::string printFunction(const Function &F);
+
+/// Renders every function in the module.
+std::string printModule(const Module &M);
+
+} // namespace pose
+
+#endif // POSE_IR_PRINTER_H

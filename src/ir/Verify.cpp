@@ -1,0 +1,197 @@
+//===- Verify.cpp - IR structural invariants ------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Verify.h"
+
+#include "src/ir/Function.h"
+#include "src/ir/Printer.h"
+
+using namespace pose;
+
+namespace {
+
+/// Accumulates the first error found while walking one function.
+class Verifier {
+public:
+  explicit Verifier(const Function &F) : F(F) {}
+
+  std::string run() {
+    if (F.Blocks.empty())
+      return fail("function has no blocks");
+    for (size_t I = 0, E = F.Blocks.size(); I != E && Error.empty(); ++I)
+      checkBlock(I);
+    if (!Error.empty())
+      return Error;
+    // The last block must not fall through into nothing.
+    const BasicBlock &Last = F.Blocks.back();
+    if (Cfg::fallsThrough(Last))
+      return fail("last block falls off the end of the function");
+    return Error;
+  }
+
+private:
+  const Function &F;
+  std::string Error;
+
+  std::string fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "verify(" + F.Name + "): " + Msg;
+    return Error;
+  }
+
+  void failInst(const Rtl &I, const std::string &Msg) {
+    fail(Msg + " in '" + printRtl(I) + "'");
+  }
+
+  void checkBlock(size_t BlockIndex) {
+    const BasicBlock &B = F.Blocks[BlockIndex];
+    for (size_t J = 0, N = B.Insts.size(); J != N; ++J) {
+      const Rtl &I = B.Insts[J];
+      if (I.isControl() && J + 1 != N) {
+        failInst(I, "control transfer not at end of block");
+        return;
+      }
+      checkInst(I);
+      if (!Error.empty())
+        return;
+    }
+  }
+
+  bool isValueOperand(const Operand &O) const {
+    return O.isReg() || O.isImm();
+  }
+
+  void checkSlotRef(const Rtl &I, const Operand &O) {
+    if (O.Value < 0 || static_cast<size_t>(O.Value) >= F.Slots.size())
+      failInst(I, "slot index out of range");
+  }
+
+  void checkLabelRef(const Rtl &I, const Operand &O) {
+    if (!O.isLabel()) {
+      failInst(I, "control target is not a label");
+      return;
+    }
+    if (F.findBlock(O.Value) < 0)
+      failInst(I, "branch to unknown label L" + std::to_string(O.Value));
+  }
+
+  void checkInst(const Rtl &I) {
+    // Destinations, where present, must be registers.
+    if (!I.Dst.isNone() && !I.Dst.isReg()) {
+      failInst(I, "destination is not a register");
+      return;
+    }
+    switch (I.Opcode) {
+    case Op::Mov:
+      if (!I.Dst.isReg() || !isValueOperand(I.Src[0]))
+        failInst(I, "malformed mov");
+      break;
+    case Op::Lea:
+      if (!I.Dst.isReg() || !(I.Src[0].isSlot() || I.Src[0].isGlobal()))
+        failInst(I, "lea source must be a slot or global");
+      else if (I.Src[0].isSlot())
+        checkSlotRef(I, I.Src[0]);
+      break;
+    case Op::Neg:
+    case Op::Not:
+      if (!I.Dst.isReg() || !isValueOperand(I.Src[0]))
+        failInst(I, "malformed unary op");
+      break;
+    case Op::Load:
+      if (!I.Dst.isReg() ||
+          !(I.Src[0].isReg() || I.Src[0].isSlot() || I.Src[0].isGlobal()) ||
+          !I.Src[1].isImm())
+        failInst(I, "malformed load");
+      else if (I.Src[0].isSlot())
+        checkSlotRef(I, I.Src[0]);
+      break;
+    case Op::Store:
+      if (!(I.Src[0].isReg() || I.Src[0].isSlot() || I.Src[0].isGlobal()) ||
+          !I.Src[1].isImm() || !I.Src[2].isReg())
+        failInst(I, "malformed store");
+      else if (I.Src[0].isSlot())
+        checkSlotRef(I, I.Src[0]);
+      break;
+    case Op::Cmp:
+      if (!isValueOperand(I.Src[0]) || !isValueOperand(I.Src[1]))
+        failInst(I, "malformed cmp");
+      break;
+    case Op::Branch:
+      if (I.CC == Cond::None)
+        failInst(I, "branch without condition");
+      else
+        checkLabelRef(I, I.Src[0]);
+      break;
+    case Op::Jump:
+      checkLabelRef(I, I.Src[0]);
+      break;
+    case Op::Call:
+      if (!I.Src[0].isGlobal())
+        failInst(I, "call target is not a global");
+      for (const Operand &A : I.Args)
+        if (!isValueOperand(A))
+          failInst(I, "call argument is not a value");
+      break;
+    case Op::Ret:
+      if (!I.Src[0].isNone() && !isValueOperand(I.Src[0]))
+        failInst(I, "malformed return value");
+      break;
+    case Op::Prologue:
+    case Op::Epilogue:
+      break;
+    default:
+      if (I.isBinary()) {
+        if (!I.Dst.isReg() || !isValueOperand(I.Src[0]) ||
+            !isValueOperand(I.Src[1]))
+          failInst(I, "malformed binary op");
+        break;
+      }
+      failInst(I, "unknown opcode");
+      break;
+    }
+  }
+};
+
+} // namespace
+
+std::string pose::verifyFunction(const Function &F) {
+  return Verifier(F).run();
+}
+
+std::string pose::verifyModule(const Module &M) {
+  for (size_t Id = 0, E = M.Globals.size(); Id != E; ++Id) {
+    const Global &G = M.Globals[Id];
+    if (G.Kind == GlobalKind::Func) {
+      if (G.FuncIndex < 0 ||
+          static_cast<size_t>(G.FuncIndex) >= M.Functions.size())
+        return "verify(module): bad function index for " + G.Name;
+    }
+  }
+  for (const Function &F : M.Functions) {
+    std::string Err = verifyFunction(F);
+    if (!Err.empty())
+      return Err;
+    // Check call sites against callee signatures.
+    for (const BasicBlock &B : F.Blocks) {
+      for (const Rtl &I : B.Insts) {
+        if (I.Opcode != Op::Call)
+          continue;
+        int32_t Id = I.Src[0].Value;
+        if (Id < 0 || static_cast<size_t>(Id) >= M.Globals.size())
+          return "verify(" + F.Name + "): call to unknown global";
+        const Global &Callee = M.Globals[Id];
+        if (Callee.Kind == GlobalKind::Var)
+          return "verify(" + F.Name + "): call to data global " +
+                 Callee.Name;
+        if (Callee.Kind == GlobalKind::Func &&
+            static_cast<int32_t>(I.Args.size()) != Callee.NumParams)
+          return "verify(" + F.Name + "): call arity mismatch for " +
+                 Callee.Name;
+      }
+    }
+  }
+  return "";
+}

@@ -1,0 +1,39 @@
+//===- Verify.h - IR structural invariants ---------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of RTL functions. Phases must leave functions in
+/// a verifiable state; the test suite runs the verifier after every phase
+/// application. Returns a diagnostic string instead of asserting so tests
+/// can report what broke.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_IR_VERIFY_H
+#define POSE_IR_VERIFY_H
+
+#include <string>
+
+namespace pose {
+
+class Function;
+class Module;
+
+/// Checks structural invariants of \p F: control transfers only terminate
+/// blocks, all branch targets resolve, the last block cannot fall off the
+/// end, operand kinds fit their opcode, slot and label references are in
+/// range. Returns an empty string if the function is well formed, otherwise
+/// a description of the first problem found.
+std::string verifyFunction(const Function &F);
+
+/// Verifies every function in \p M plus module-level invariants (global
+/// ids in range, call arity matching the callee). Returns an empty string
+/// on success.
+std::string verifyModule(const Module &M);
+
+} // namespace pose
+
+#endif // POSE_IR_VERIFY_H

@@ -1,0 +1,29 @@
+//===- EntryExit.cpp - Activation record management -------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/EntryExit.h"
+
+#include "src/ir/Function.h"
+
+using namespace pose;
+
+void pose::fixEntryExit(Function &F) {
+  if (F.Blocks.empty())
+    return;
+  BasicBlock &Entry = F.Blocks.front();
+  if (!Entry.Insts.empty() && Entry.Insts.front().Opcode == Op::Prologue)
+    return; // Already done.
+  Entry.Insts.insert(Entry.Insts.begin(), Rtl(Op::Prologue));
+  for (BasicBlock &B : F.Blocks) {
+    for (size_t J = 0; J < B.Insts.size(); ++J) {
+      if (B.Insts[J].Opcode == Op::Ret) {
+        B.Insts.insert(B.Insts.begin() + static_cast<long>(J),
+                       Rtl(Op::Epilogue));
+        ++J;
+      }
+    }
+  }
+}

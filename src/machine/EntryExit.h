@@ -1,0 +1,29 @@
+//===- EntryExit.h - Activation record management --------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compulsory "fix entry exit" phase: after the last code-improving
+/// phase, VPO "inserts instructions at the entry and exit of the function
+/// to manage the activation record on the run-time stack" (paper,
+/// Section 3). It is applied when producing final code, never during the
+/// phase-order search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_MACHINE_ENTRYEXIT_H
+#define POSE_MACHINE_ENTRYEXIT_H
+
+namespace pose {
+
+class Function;
+
+/// Inserts a Prologue at function entry and an Epilogue before every Ret.
+/// Idempotent.
+void fixEntryExit(Function &F);
+
+} // namespace pose
+
+#endif // POSE_MACHINE_ENTRYEXIT_H

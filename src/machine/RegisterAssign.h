@@ -1,0 +1,33 @@
+//===- RegisterAssign.h - Compulsory register assignment -------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register assignment maps pseudo registers onto hardware registers. It is
+/// a compulsory phase, not one of the fifteen reorderable ones: "VPO
+/// implicitly performs register assignment before the first code-improving
+/// phase in a sequence that requires it" (paper, Section 3). In this
+/// reproduction, common subexpression elimination (c) and register
+/// allocation (k) require it; evaluation order determination (o) becomes
+/// illegal once it has run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_MACHINE_REGISTERASSIGN_H
+#define POSE_MACHINE_REGISTERASSIGN_H
+
+namespace pose {
+
+class Function;
+
+/// Assigns every pseudo register of \p F to one of the target's
+/// allocatable hardware registers by graph coloring, spilling live ranges
+/// to fresh stack slots if the pressure exceeds the register file. Sets
+/// F.State.RegsAssigned. Idempotent: returns immediately if already done.
+void assignRegisters(Function &F);
+
+} // namespace pose
+
+#endif // POSE_MACHINE_REGISTERASSIGN_H

@@ -1,0 +1,42 @@
+//===- Schedule.h - Final instruction scheduling ----------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compulsory late pass of the paper's Section 3: "the compiler also
+/// performs … instruction scheduling before generating the final output
+/// code. These last two optimizations should only be performed late in the
+/// compilation process, and so are not included in our set of phases used
+/// for exhaustive optimization space exploration."
+///
+/// The scheduler list-schedules each basic block against a simple
+/// single-issue pipeline with a one-cycle load-use delay (the SA-110
+/// family's load latency): it tries to put an independent instruction
+/// between a load and its first consumer. The simulator's LoadUseStalls
+/// counter measures the effect. (Predication is not implemented: the
+/// simulator models no branch penalty, so it would be unobservable;
+/// DESIGN.md records the deviation.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_MACHINE_SCHEDULE_H
+#define POSE_MACHINE_SCHEDULE_H
+
+namespace pose {
+
+class Function;
+
+/// Reorders instructions within each block to hide load-use latency.
+/// Preserves all dependences (registers, IC, memory order as in phase o).
+/// Returns true if any block's order changed.
+bool scheduleFunction(Function &F);
+
+/// Final code generation sequence: instruction scheduling followed by
+/// activation-record insertion (fix entry/exit).
+void finalizeFunction(Function &F);
+
+} // namespace pose
+
+#endif // POSE_MACHINE_SCHEDULE_H

@@ -1,0 +1,96 @@
+//===- Target.cpp - StrongARM-like machine model ---------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/Target.h"
+
+using namespace pose;
+
+bool target::immediateAllowed(Op O, int SrcIndex, int32_t V) {
+  switch (O) {
+  case Op::Mov:
+    // The model allows materializing any 32-bit constant with one move
+    // (a simplification of ARM's mov/mvn/ldr= idioms).
+    return SrcIndex == 0;
+  case Op::Add:
+  case Op::Sub:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+    return SrcIndex == 1 && fitsImmediate(V);
+  case Op::Shl:
+  case Op::Shr:
+  case Op::Ushr:
+    return SrcIndex == 1 && V >= 0 && V <= 31;
+  case Op::Mul:
+  case Op::Div:
+  case Op::Rem:
+    return false; // No immediate forms.
+  case Op::Neg:
+  case Op::Not:
+    return false;
+  case Op::Cmp:
+    return SrcIndex == 1 && fitsImmediate(V);
+  case Op::Load:
+  case Op::Store:
+    return SrcIndex == 1 && fitsImmediate(V); // The offset field.
+  case Op::Ret:
+    return SrcIndex == 0; // Pseudo-op; any constant return value.
+  case Op::Call:
+    return true; // Arguments are ABI-level, any constant.
+  default:
+    return false;
+  }
+}
+
+bool target::isLegal(const Rtl &I) {
+  // Structural checks are the verifier's job; here we only check the
+  // machine-encoding constraints on immediates and operand positions.
+  auto CheckSrc = [&I](int Index) {
+    const Operand &S = I.Src[Index];
+    if (!S.isImm())
+      return true;
+    return immediateAllowed(I.Opcode, Index, S.Value);
+  };
+  switch (I.Opcode) {
+  case Op::Mov:
+    return CheckSrc(0);
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Rem:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Shl:
+  case Op::Shr:
+  case Op::Ushr:
+    // First operand must be a register; second register or legal imm.
+    return I.Src[0].isReg() && CheckSrc(1);
+  case Op::Neg:
+  case Op::Not:
+    return I.Src[0].isReg();
+  case Op::Cmp:
+    return I.Src[0].isReg() && CheckSrc(1);
+  case Op::Load:
+  case Op::Store:
+    if (!CheckSrc(1))
+      return false;
+    // Stores write register values only (no store-immediate form).
+    if (I.Opcode == Op::Store && !I.Src[2].isReg())
+      return false;
+    return true;
+  case Op::Ret:
+  case Op::Call:
+  case Op::Lea:
+  case Op::Branch:
+  case Op::Jump:
+  case Op::Prologue:
+  case Op::Epilogue:
+    return true;
+  }
+  return false;
+}

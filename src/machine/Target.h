@@ -1,0 +1,53 @@
+//===- Target.h - StrongARM-like machine model -----------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine model: which RTLs are legal instructions. VPO maintains the
+/// invariant that every RTL is a legal instruction of the target at all
+/// times; instruction selection "checks if the resulting effect is a legal
+/// instruction before committing to the transformation" (paper, Table 1).
+/// Every phase that rewrites operands must consult these predicates.
+///
+/// The model is StrongARM-flavored: 12 allocatable registers, moderate
+/// immediate fields, no immediate operand on multiply/divide, stores take
+/// register values only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_MACHINE_TARGET_H
+#define POSE_MACHINE_TARGET_H
+
+#include "src/ir/Rtl.h"
+
+namespace pose {
+
+namespace target {
+
+/// Number of registers the register assigner and allocator may use.
+constexpr unsigned NumAllocatableRegs = 12;
+
+/// Largest magnitude usable as an ALU/compare/memory immediate.
+constexpr int32_t MaxImmediate = 4095;
+
+/// Returns true if \p V fits the ALU/compare/memory-offset immediate field.
+inline bool fitsImmediate(int32_t V) {
+  return V >= -MaxImmediate && V <= MaxImmediate;
+}
+
+/// Returns true if \p I is a legal machine instruction. This is the
+/// predicate instruction selection and constant propagation must check
+/// before rewriting an operand into an immediate or folding instructions.
+bool isLegal(const Rtl &I);
+
+/// Returns true if operand position \p SrcIndex of opcode \p O may hold an
+/// immediate with value \p V.
+bool immediateAllowed(Op O, int SrcIndex, int32_t V);
+
+} // namespace target
+
+} // namespace pose
+
+#endif // POSE_MACHINE_TARGET_H

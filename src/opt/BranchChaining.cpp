@@ -1,0 +1,62 @@
+//===- BranchChaining.cpp - Phase b -------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Replaces a branch or jump target with the target of the last jump in the
+// jump chain" (Table 1). A chain link is a block whose only instruction is
+// an unconditional jump. Per Section 5.1 of the paper, unreachable code
+// occasionally left behind by branch chaining is removed during branch
+// chaining itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Function.h"
+#include "src/opt/Cleanup.h"
+#include "src/opt/Phases.h"
+
+#include <set>
+
+using namespace pose;
+
+namespace {
+
+/// Returns the label at the end of the jump chain starting at \p Label:
+/// while the target block consists solely of an unconditional jump, follow
+/// it. Cycles (empty infinite loops) terminate the walk.
+int32_t chaseChain(const Function &F, int32_t Label) {
+  std::set<int32_t> Visited;
+  int32_t Cur = Label;
+  while (Visited.insert(Cur).second) {
+    int Index = F.findBlock(Cur);
+    assert(Index >= 0 && "dangling label");
+    const BasicBlock &B = F.Blocks[static_cast<size_t>(Index)];
+    if (B.Insts.size() != 1 || B.Insts[0].Opcode != Op::Jump)
+      break;
+    Cur = B.Insts[0].Src[0].Value;
+  }
+  return Cur;
+}
+
+} // namespace
+
+bool BranchChainingPhase::apply(Function &F) const {
+  bool Changed = false;
+  for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+    BasicBlock &B = F.Blocks[BI];
+    Rtl *T = B.terminator();
+    if (!T || (T->Opcode != Op::Jump && T->Opcode != Op::Branch))
+      continue;
+    // Never retarget a jump-only block to itself chasing its own chain.
+    int32_t Target = T->Src[0].Value;
+    int32_t Final = chaseChain(F, Target);
+    if (Final != Target && Final != B.Label) {
+      T->Src[0] = Operand::label(Final);
+      Changed = true;
+    }
+  }
+  if (Changed)
+    removeUnreachableBlocks(F);
+  return Changed;
+}

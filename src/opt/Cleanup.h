@@ -1,0 +1,39 @@
+//===- Cleanup.h - Implicit CFG normalization ------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two implicit phases the paper excludes from the search alphabet:
+/// "merge basic blocks and eliminate empty blocks ... only change the
+/// internal control-flow representation as seen by the compiler and do not
+/// directly affect the final generated code. These phases are now
+/// implicitly performed after any transformation that has the potential of
+/// enabling them" (paper, Section 3). Neither removes or adds an
+/// instruction; they only normalize block structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_OPT_CLEANUP_H
+#define POSE_OPT_CLEANUP_H
+
+namespace pose {
+
+class Function;
+
+/// Eliminates instruction-less blocks (retargeting references to the next
+/// block in layout) and merges fall-through pairs where the successor has
+/// exactly one predecessor. Emitted instructions are unchanged. Returns
+/// true if the representation changed.
+bool cleanupCfg(Function &F);
+
+/// Deletes blocks unreachable from the entry block. Used by the
+/// unreachable-code phase (d) and by branch chaining (b), which per the
+/// paper removes the unreachable code it creates itself. Returns true if
+/// any block was removed.
+bool removeUnreachableBlocks(Function &F);
+
+} // namespace pose
+
+#endif // POSE_OPT_CLEANUP_H

@@ -1,0 +1,457 @@
+//===- Cse.cpp - Phase c --------------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Performs global analysis to eliminate fully redundant calculations,
+// which also includes global constant and copy propagation" (Table 1).
+// Requires register assignment (Section 3): the analysis runs over the
+// target's hardware registers.
+//
+// Three cooperating transformations, iterated to a fixed point:
+//   1. Global constant propagation — forward lattice (const/NAC) per
+//      register; constant uses are rewritten into immediates where the
+//      machine encoding allows (VPO keeps every RTL legal), and
+//      all-constant computations fold into moves.
+//   2. Local copy propagation — within a block, uses of a copied register
+//      are renamed to the copy source, exposing dead moves and CSE.
+//   3. Global common subexpression elimination — available-expression
+//      dataflow over (dst, op, src0, src1) tuples; a recomputation whose
+//      tuple is available turns into a move from the holding register (or
+//      disappears when it targets the same register).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Function.h"
+#include "src/machine/Target.h"
+#include "src/opt/Phases.h"
+#include "src/support/BitVector.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace pose;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Global constant propagation
+//===----------------------------------------------------------------------===//
+
+/// Lattice value for one register: unknown-yet (Top), a constant, or
+/// not-a-constant (Bottom).
+struct LatticeVal {
+  enum KindT : uint8_t { Top, Const, Bottom } Kind = Top;
+  int32_t Value = 0;
+
+  static LatticeVal top() { return {}; }
+  static LatticeVal constant(int32_t V) { return {Const, V}; }
+  static LatticeVal bottom() { return {Bottom, 0}; }
+
+  bool operator==(const LatticeVal &O) const {
+    return Kind == O.Kind && (Kind != Const || Value == O.Value);
+  }
+};
+
+LatticeVal meet(const LatticeVal &A, const LatticeVal &B) {
+  if (A.Kind == LatticeVal::Top)
+    return B;
+  if (B.Kind == LatticeVal::Top)
+    return A;
+  if (A.Kind == LatticeVal::Const && B.Kind == LatticeVal::Const &&
+      A.Value == B.Value)
+    return A;
+  return LatticeVal::bottom();
+}
+
+using RegState = std::map<RegNum, LatticeVal>;
+
+LatticeVal lookup(const RegState &S, RegNum R) {
+  auto It = S.find(R);
+  return It == S.end() ? LatticeVal::top() : It->second;
+}
+
+std::optional<int32_t> foldConst(Op O, int32_t A, int32_t B) {
+  const uint32_t UA = static_cast<uint32_t>(A);
+  const uint32_t UB = static_cast<uint32_t>(B);
+  switch (O) {
+  case Op::Add:
+    return static_cast<int32_t>(UA + UB);
+  case Op::Sub:
+    return static_cast<int32_t>(UA - UB);
+  case Op::Mul:
+    return static_cast<int32_t>(UA * UB);
+  case Op::Div:
+    if (B == 0 || (A == INT32_MIN && B == -1))
+      return std::nullopt;
+    return A / B;
+  case Op::Rem:
+    if (B == 0 || (A == INT32_MIN && B == -1))
+      return std::nullopt;
+    return A % B;
+  case Op::And:
+    return A & B;
+  case Op::Or:
+    return A | B;
+  case Op::Xor:
+    return A ^ B;
+  case Op::Shl:
+    return static_cast<int32_t>(UA << (UB & 31));
+  case Op::Shr:
+    return A >> (UB & 31);
+  case Op::Ushr:
+    return static_cast<int32_t>(UA >> (UB & 31));
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Value of an operand under \p S, if statically known.
+std::optional<int32_t> operandConst(const Operand &O, const RegState &S) {
+  if (O.isImm())
+    return O.Value;
+  if (O.isReg()) {
+    LatticeVal V = lookup(S, O.getReg());
+    if (V.Kind == LatticeVal::Const)
+      return V.Value;
+  }
+  return std::nullopt;
+}
+
+/// Transfer function of one instruction for constant propagation.
+void transfer(const Rtl &I, RegState &S) {
+  if (!I.definesReg())
+    return;
+  RegNum D = I.Dst.getReg();
+  if (I.Opcode == Op::Mov) {
+    std::optional<int32_t> V = operandConst(I.Src[0], S);
+    S[D] = V ? LatticeVal::constant(*V) : LatticeVal::bottom();
+    return;
+  }
+  if (I.isBinary()) {
+    std::optional<int32_t> A = operandConst(I.Src[0], S);
+    std::optional<int32_t> B = operandConst(I.Src[1], S);
+    if (A && B) {
+      if (std::optional<int32_t> V = foldConst(I.Opcode, *A, *B)) {
+        S[D] = LatticeVal::constant(*V);
+        return;
+      }
+    }
+    S[D] = LatticeVal::bottom();
+    return;
+  }
+  if (I.Opcode == Op::Neg || I.Opcode == Op::Not) {
+    std::optional<int32_t> A = operandConst(I.Src[0], S);
+    if (A) {
+      int32_t V = I.Opcode == Op::Neg
+                      ? static_cast<int32_t>(0u - static_cast<uint32_t>(*A))
+                      : ~*A;
+      S[D] = LatticeVal::constant(V);
+      return;
+    }
+    S[D] = LatticeVal::bottom();
+    return;
+  }
+  S[D] = LatticeVal::bottom(); // Lea, Load, Call.
+}
+
+bool constantPropagation(Function &F) {
+  const size_t N = F.Blocks.size();
+  Cfg C = Cfg::build(F);
+  std::vector<RegState> In(N), Out(N);
+  bool Iterate = true;
+  while (Iterate) {
+    Iterate = false;
+    for (size_t B = 0; B != N; ++B) {
+      RegState NewIn;
+      if (B == 0) {
+        // Entry: nothing known (parameters arrive in memory).
+      } else {
+        bool First = true;
+        for (int P : C.Preds[B]) {
+          if (First) {
+            NewIn = Out[static_cast<size_t>(P)];
+            First = false;
+            continue;
+          }
+          // Pointwise meet; registers missing on either side are Top and
+          // take the other side's value.
+          RegState Met;
+          const RegState &OtherS = Out[static_cast<size_t>(P)];
+          std::set<RegNum> Keys;
+          for (const auto &[R, V] : NewIn)
+            Keys.insert(R);
+          for (const auto &[R, V] : OtherS)
+            Keys.insert(R);
+          for (RegNum R : Keys)
+            Met[R] = meet(lookup(NewIn, R), lookup(OtherS, R));
+          NewIn = std::move(Met);
+        }
+      }
+      RegState NewOut = NewIn;
+      for (const Rtl &I : F.Blocks[B].Insts)
+        transfer(I, NewOut);
+      if (NewIn != In[B] || NewOut != Out[B]) {
+        In[B] = std::move(NewIn);
+        Out[B] = std::move(NewOut);
+        Iterate = true;
+      }
+    }
+  }
+
+  // Rewrite pass: replace known-constant register uses with immediates
+  // wherever the machine encoding allows, and fold all-constant ops.
+  bool Changed = false;
+  for (size_t B = 0; B != N; ++B) {
+    RegState S = In[B];
+    for (Rtl &I : F.Blocks[B].Insts) {
+      Rtl New = I;
+      bool Rewrote = false;
+      // Try each source position (not Args: call arguments accept
+      // immediates but rewriting them obscures nothing — still do it).
+      auto TryOperand = [&](Operand &O, int SrcIndex) {
+        if (!O.isReg())
+          return;
+        LatticeVal V = lookup(S, O.getReg());
+        if (V.Kind != LatticeVal::Const)
+          return;
+        if (!target::immediateAllowed(New.Opcode, SrcIndex, V.Value))
+          return;
+        O = Operand::imm(V.Value);
+        Rewrote = true;
+      };
+      for (int SI = 0; SI != 3; ++SI)
+        if (New.Src[SI].isReg())
+          TryOperand(New.Src[SI], SI);
+      // Fold if everything became constant.
+      if (New.isBinary() && New.Src[0].isImm() && New.Src[1].isImm()) {
+        if (std::optional<int32_t> V =
+                foldConst(New.Opcode, New.Src[0].Value, New.Src[1].Value)) {
+          New = rtl::mov(New.Dst, Operand::imm(*V));
+          Rewrote = true;
+        }
+      }
+      if ((New.Opcode == Op::Neg || New.Opcode == Op::Not) &&
+          New.Src[0].isImm()) {
+        int32_t V = New.Opcode == Op::Neg
+                        ? static_cast<int32_t>(
+                              0u - static_cast<uint32_t>(New.Src[0].Value))
+                        : ~New.Src[0].Value;
+        New = rtl::mov(New.Dst, Operand::imm(V));
+        Rewrote = true;
+      }
+      if (Rewrote && target::isLegal(New) && !(New == I)) {
+        I = New;
+        Changed = true;
+      }
+      transfer(I, S);
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Local copy propagation
+//===----------------------------------------------------------------------===//
+
+bool copyPropagation(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    std::map<RegNum, RegNum> CopyOf; // d -> s for an active "mov d, s".
+    auto Kill = [&CopyOf](RegNum W) {
+      CopyOf.erase(W);
+      for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+        if (It->second == W)
+          It = CopyOf.erase(It);
+        else
+          ++It;
+      }
+    };
+    for (Rtl &I : B.Insts) {
+      // Rewrite uses through active copies.
+      I.forEachUseOperand([&](Operand &O) {
+        auto It = CopyOf.find(O.getReg());
+        if (It != CopyOf.end() && It->second != O.getReg()) {
+          O = Operand::reg(It->second);
+          Changed = true;
+        }
+      });
+      if (I.definesReg()) {
+        RegNum D = I.Dst.getReg();
+        Kill(D);
+        if (I.Opcode == Op::Mov && I.Src[0].isReg() &&
+            I.Src[0].getReg() != D)
+          CopyOf[D] = I.Src[0].getReg();
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Global CSE via available (dst, op, src0, src1) tuples
+//===----------------------------------------------------------------------===//
+
+/// A pure computation whose recomputation can be elided.
+struct ExprKey {
+  Op Opcode;
+  Operand Dst, S0, S1;
+
+  bool operator<(const ExprKey &O) const {
+    auto Tup = [](const ExprKey &E) {
+      return std::tuple(static_cast<int>(E.Opcode),
+                        static_cast<int>(E.Dst.Kind), E.Dst.Value,
+                        static_cast<int>(E.S0.Kind), E.S0.Value,
+                        static_cast<int>(E.S1.Kind), E.S1.Value);
+    };
+    return Tup(*this) < Tup(O);
+  }
+};
+
+/// Returns the expression tuple computed by \p I, when CSE-able: pure,
+/// register-writing, non-trivial (moves are copy propagation's business).
+/// Self-referencing computations (destination among the sources, e.g.
+/// "r4 = r4 + 1") are excluded: their tuple would describe the *new*
+/// value of the source register, which is never what was computed.
+std::optional<ExprKey> exprOf(const Rtl &I) {
+  if (!I.definesReg())
+    return std::nullopt;
+  if (I.isBinary() || I.Opcode == Op::Neg || I.Opcode == Op::Not ||
+      I.Opcode == Op::Lea) {
+    const RegNum D = I.Dst.getReg();
+    for (const Operand &S : I.Src)
+      if (S.isReg() && S.getReg() == D)
+        return std::nullopt;
+    return ExprKey{I.Opcode, I.Dst, I.Src[0], I.Src[1]};
+  }
+  return std::nullopt;
+}
+
+bool cseAvailableExpressions(Function &F) {
+  // Collect the expression universe.
+  std::vector<ExprKey> Universe;
+  std::map<ExprKey, size_t> Index;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Rtl &I : B.Insts)
+      if (std::optional<ExprKey> E = exprOf(I))
+        if (Index.emplace(*E, Universe.size()).second)
+          Universe.push_back(*E);
+  if (Universe.empty())
+    return false;
+  const size_t NE = Universe.size();
+  const size_t N = F.Blocks.size();
+
+  auto Kills = [&](const Rtl &I, const ExprKey &E) {
+    if (!I.definesReg())
+      return false;
+    RegNum W = I.Dst.getReg();
+    auto Touches = [W](const Operand &O) {
+      return O.isReg() && O.getReg() == W;
+    };
+    // Writing the holding register kills availability unless the write is
+    // the generating computation itself (handled by gen after kill).
+    return Touches(E.Dst) || Touches(E.S0) || Touches(E.S1);
+  };
+
+  auto TransferBlock = [&](size_t B, BitVector Avail) {
+    for (const Rtl &I : F.Blocks[B].Insts) {
+      for (size_t K = 0; K != NE; ++K)
+        if (Avail.test(K) && Kills(I, Universe[K]))
+          Avail.reset(K);
+      if (std::optional<ExprKey> E = exprOf(I))
+        Avail.set(Index.at(*E));
+    }
+    return Avail;
+  };
+
+  // Forward all-paths dataflow.
+  BitVector Full(NE);
+  for (size_t K = 0; K != NE; ++K)
+    Full.set(K);
+  std::vector<BitVector> In(N, Full), Out(N, Full);
+  In[0] = BitVector(NE);
+  Cfg C = Cfg::build(F);
+  bool Iterate = true;
+  while (Iterate) {
+    Iterate = false;
+    for (size_t B = 0; B != N; ++B) {
+      BitVector NewIn = B == 0 ? BitVector(NE) : Full;
+      for (int P : C.Preds[B])
+        NewIn.intersectWith(Out[static_cast<size_t>(P)]);
+      if (C.Preds[B].empty() && B != 0)
+        NewIn = BitVector(NE); // Unreachable: claim nothing.
+      BitVector NewOut = TransferBlock(B, NewIn);
+      if (NewIn != In[B] || NewOut != Out[B]) {
+        In[B] = std::move(NewIn);
+        Out[B] = std::move(NewOut);
+        Iterate = true;
+      }
+    }
+  }
+
+  // Rewrite: a recomputation of an available tuple becomes a move from
+  // the holding register (or vanishes when it already targets it).
+  bool Changed = false;
+  for (size_t B = 0; B != N; ++B) {
+    BitVector Avail = In[B];
+    auto &Insts = F.Blocks[B].Insts;
+    for (size_t J = 0; J < Insts.size(); ++J) {
+      Rtl &I = Insts[J];
+      std::optional<ExprKey> E = exprOf(I);
+      bool Elide = false;
+      if (E) {
+        size_t K = Index.at(*E);
+        if (Avail.test(K)) {
+          // The tuple's destination currently holds the value.
+          if (I.Dst == E->Dst) {
+            Insts.erase(Insts.begin() + static_cast<long>(J));
+            Changed = true;
+            --J;
+            Elide = true;
+          }
+        } else {
+          // Same (op, srcs) but a different destination? Check whether
+          // any available tuple matches the computation.
+          for (size_t K2 = 0; K2 != NE; ++K2) {
+            const ExprKey &Cand = Universe[K2];
+            if (!Avail.test(K2))
+              continue;
+            if (Cand.Opcode == E->Opcode && Cand.S0 == E->S0 &&
+                Cand.S1 == E->S1 && !(Cand.Dst == I.Dst)) {
+              I = rtl::mov(I.Dst, Cand.Dst);
+              Changed = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!Elide) {
+        for (size_t K = 0; K != NE; ++K)
+          if (Avail.test(K) && Kills(Insts[J], Universe[K]))
+            Avail.reset(K);
+        if (std::optional<ExprKey> E2 = exprOf(Insts[J]))
+          Avail.set(Index.at(*E2));
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool CsePhase::apply(Function &F) const {
+  assert(F.State.RegsAssigned &&
+         "CSE requires register assignment (PhaseManager enforces this)");
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    Progress |= constantPropagation(F);
+    Progress |= copyPropagation(F);
+    Progress |= cseAvailableExpressions(F);
+    Changed |= Progress;
+  }
+  return Changed;
+}

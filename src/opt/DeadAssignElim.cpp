@@ -1,0 +1,54 @@
+//===- DeadAssignElim.cpp - Phase h -------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Uses global analysis to remove assignments when the assigned value is
+// never used" (Table 1). Covers register assignments and compares whose
+// condition code is never tested (the debris useless-jump removal leaves
+// behind — an enabling interaction measured in Section 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/Liveness.h"
+#include "src/ir/Function.h"
+#include "src/opt/Phases.h"
+
+using namespace pose;
+
+bool DeadAssignElimPhase::apply(Function &F) const {
+  bool Changed = false;
+  bool Progress = true;
+  // Deleting one dead assignment can kill the uses that kept another
+  // alive; iterate to a fixed point.
+  while (Progress) {
+    Progress = false;
+    Cfg C = Cfg::build(F);
+    Liveness LV(F, C);
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      BasicBlock &B = F.Blocks[BI];
+      std::vector<BitVector> After = LV.liveAfterEach(F, BI);
+      for (size_t J = B.Insts.size(); J-- > 0;) {
+        const Rtl &I = B.Insts[J];
+        if (I.hasSideEffects())
+          continue;
+        bool Dead = false;
+        if (I.definesReg())
+          Dead = !After[J].test(I.Dst.getReg());
+        else if (I.definesIC())
+          Dead = !After[J].test(LV.icIndex());
+        else
+          continue;
+        if (!Dead)
+          continue;
+        B.Insts.erase(B.Insts.begin() + static_cast<long>(J));
+        Changed = true;
+        Progress = true;
+      }
+      if (Progress)
+        break; // Liveness is stale after a deletion; recompute.
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,120 @@
+//===- EvalOrder.cpp - Phase o ------------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Reorders instructions within a single basic block in an attempt to use
+// fewer registers" (Table 1). Legal only before register assignment: the
+// point of the phase is to reduce the number of temporaries that register
+// assignment will later have to map onto hardware registers (Section 3).
+//
+// Implementation: per-block dependence DAG plus greedy list scheduling.
+// The ready instruction that frees the most registers (operands whose last
+// use it is, minus a new value it creates) is emitted first, which
+// approximates Sethi-Ullman ordering of independent expression trees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/DependenceDag.h"
+#include "src/analysis/Liveness.h"
+#include "src/ir/Function.h"
+#include "src/opt/Phases.h"
+
+#include <map>
+#include <set>
+
+using namespace pose;
+
+namespace {
+
+/// Greedy schedule of one block. Returns the new order (indices into the
+/// original instruction vector).
+std::vector<size_t> scheduleBlock(const Function &F, const BasicBlock &B,
+                                  const BitVector &LiveOut) {
+  const size_t N = B.Insts.size();
+  std::vector<std::set<size_t>> Preds = blockDependences(B);
+  std::vector<int> PendingPreds(N, 0);
+  std::vector<std::vector<size_t>> Succs(N);
+  for (size_t J = 0; J != N; ++J) {
+    PendingPreds[J] = static_cast<int>(Preds[J].size());
+    for (size_t P : Preds[J])
+      Succs[P].push_back(J);
+  }
+  // Remaining use counts per register, to know when an instruction's
+  // operand dies (its last use in this block and not live out).
+  std::map<RegNum, int> UsesLeft;
+  for (const Rtl &I : B.Insts)
+    I.forEachUsedReg([&](RegNum R) { ++UsesLeft[R]; });
+
+  std::set<size_t> Ready;
+  for (size_t J = 0; J != N; ++J)
+    if (PendingPreds[J] == 0)
+      Ready.insert(J);
+
+  std::vector<size_t> Order;
+  Order.reserve(N);
+  while (!Ready.empty()) {
+    // Score = registers freed minus registers created; higher is better.
+    size_t Best = SIZE_MAX;
+    int BestScore = INT32_MIN;
+    for (size_t J : Ready) {
+      const Rtl &I = B.Insts[J];
+      int Freed = 0;
+      std::set<RegNum> Seen;
+      I.forEachUsedReg([&](RegNum R) {
+        if (!Seen.insert(R).second)
+          return;
+        if (UsesLeft.at(R) == 1 && !LiveOut.test(R) &&
+            !(I.definesReg() && I.Dst.getReg() == R))
+          ++Freed;
+      });
+      int Created = I.definesReg() ? 1 : 0;
+      int Score = Freed - Created;
+      // Prefer higher score; break ties toward original program order so
+      // the schedule is deterministic and respects source structure.
+      if (Score > BestScore || (Score == BestScore && J < Best)) {
+        BestScore = Score;
+        Best = J;
+      }
+    }
+    Ready.erase(Best);
+    Order.push_back(Best);
+    B.Insts[Best].forEachUsedReg([&](RegNum R) { --UsesLeft[R]; });
+    for (size_t S : Succs[Best])
+      if (--PendingPreds[S] == 0)
+        Ready.insert(S);
+  }
+  (void)F;
+  assert(Order.size() == N && "dependence cycle in a basic block");
+  return Order;
+}
+
+} // namespace
+
+bool EvalOrderPhase::apply(Function &F) const {
+  assert(!F.State.RegsAssigned &&
+         "evaluation order determination is illegal after register "
+         "assignment");
+  bool Changed = false;
+  Cfg C = Cfg::build(F);
+  Liveness LV(F, C);
+  for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+    BasicBlock &B = F.Blocks[BI];
+    if (B.Insts.size() < 3)
+      continue;
+    std::vector<size_t> Order = scheduleBlock(F, B, LV.liveOut(BI));
+    bool Identity = true;
+    for (size_t J = 0; J != Order.size(); ++J)
+      Identity &= (Order[J] == J);
+    if (Identity)
+      continue;
+    std::vector<Rtl> NewInsts;
+    NewInsts.reserve(B.Insts.size());
+    for (size_t J : Order)
+      NewInsts.push_back(B.Insts[J]);
+    B.Insts = std::move(NewInsts);
+    Changed = true;
+  }
+  return Changed;
+}

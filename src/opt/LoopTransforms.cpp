@@ -1,0 +1,247 @@
+//===- LoopTransforms.cpp - Phase l -------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Performs loop-invariant code motion, recurrence elimination, loop
+// strength reduction, and induction variable elimination on each loop
+// ordered by loop nesting level" (Table 1). Legal only after register
+// allocation: the analyses reason about values kept in registers
+// (Section 3).
+//
+// This reproduction implements loop-invariant code motion and induction-
+// variable strength reduction (i*c with unit-step i becomes an accumulator
+// updated by +/- c). Recurrence elimination and full induction-variable
+// elimination are not implemented; DESIGN.md records the deviation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/Dominators.h"
+#include "src/analysis/Liveness.h"
+#include "src/analysis/Loops.h"
+#include "src/ir/Function.h"
+#include "src/machine/Target.h"
+#include "src/opt/Phases.h"
+
+#include <set>
+
+using namespace pose;
+
+namespace {
+
+/// Returns the register-defining instructions inside \p L, as
+/// (block, index) pairs, for register \p R.
+std::vector<std::pair<int, size_t>> defsInLoop(const Function &F,
+                                               const Loop &L, RegNum R) {
+  std::vector<std::pair<int, size_t>> Defs;
+  for (int B : L.Blocks) {
+    const BasicBlock &Blk = F.Blocks[static_cast<size_t>(B)];
+    for (size_t J = 0; J != Blk.Insts.size(); ++J)
+      if (Blk.Insts[J].definesReg() && Blk.Insts[J].Dst.getReg() == R)
+        Defs.push_back({B, J});
+  }
+  return Defs;
+}
+
+/// True when every register source of \p I has no definition inside \p L.
+bool sourcesInvariant(const Function &F, const Loop &L, const Rtl &I) {
+  bool Invariant = true;
+  I.forEachUsedReg([&](RegNum R) {
+    if (!defsInLoop(F, L, R).empty())
+      Invariant = false;
+  });
+  return Invariant;
+}
+
+/// True if block \p B dominates every latch and every source of an exit
+/// edge of \p L — i.e. it executes before the loop can either repeat or
+/// leave, making motion of single-def pure code out of it safe.
+bool dominatesLatchesAndExits(const Function &, const Loop &L,
+                              const Cfg &C, const Dominators &D, int B) {
+  for (int Latch : L.Latches)
+    if (!D.dominates(static_cast<size_t>(B), static_cast<size_t>(Latch)))
+      return false;
+  for (int Blk : L.Blocks)
+    for (int S : C.Succs[static_cast<size_t>(Blk)])
+      if (!L.contains(S) &&
+          !D.dominates(static_cast<size_t>(B), static_cast<size_t>(Blk)))
+        return false;
+  return true;
+}
+
+/// True when every in-loop predecessor of the header reaches it through an
+/// explicit jump or branch (no fall-through back edges), which preheader
+/// insertion requires.
+bool backEdgesExplicit(const Function &F, const Loop &L, const Cfg &C) {
+  size_t H = static_cast<size_t>(L.Header);
+  for (int P : C.Preds[H]) {
+    if (!L.contains(P))
+      continue;
+    const Rtl *T = F.Blocks[static_cast<size_t>(P)].terminator();
+    if (!T || T->Opcode == Op::Ret)
+      return false;
+    if (T->Src[0].Value != F.Blocks[H].Label)
+      return false; // Reaches the header by fall-through.
+  }
+  return true;
+}
+
+/// Returns the index of the loop's preheader block, creating one if
+/// needed: a block placed directly before the header in layout, into
+/// which all outside entry edges are redirected.
+size_t getOrCreatePreheader(Function &F, const Loop &L) {
+  size_t H = static_cast<size_t>(L.Header);
+  const int32_t HeaderLabel = F.Blocks[H].Label;
+  BasicBlock P(F.makeLabel());
+  const int32_t PLabel = P.Label;
+  // Redirect outside jumps/branches targeting the header.
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    if (L.contains(static_cast<int>(B)))
+      continue;
+    Rtl *T = F.Blocks[B].terminator();
+    if (T && (T->Opcode == Op::Jump || T->Opcode == Op::Branch) &&
+        T->Src[0].Value == HeaderLabel)
+      T->Src[0] = Operand::label(PLabel);
+  }
+  F.Blocks.insert(F.Blocks.begin() + static_cast<long>(H), std::move(P));
+  return H; // The preheader now sits at the header's old index.
+}
+
+/// Attempts one loop-invariant hoist out of \p L. Returns true if code
+/// changed.
+bool hoistOneInvariant(Function &F, const Loop &L, const Cfg &C,
+                       const Dominators &D, const Liveness &LV) {
+  size_t H = static_cast<size_t>(L.Header);
+  if (!backEdgesExplicit(F, L, C))
+    return false;
+  for (int B : L.Blocks) {
+    if (!dominatesLatchesAndExits(F, L, C, D, B))
+      continue;
+    BasicBlock &Blk = F.Blocks[static_cast<size_t>(B)];
+    for (size_t J = 0; J != Blk.Insts.size(); ++J) {
+      const Rtl &I = Blk.Insts[J];
+      if (I.hasSideEffects() || I.readsMemory() || I.definesIC() ||
+          !I.definesReg())
+        continue;
+      if (!sourcesInvariant(F, L, I))
+        continue;
+      RegNum R = I.Dst.getReg();
+      if (defsInLoop(F, L, R).size() != 1)
+        continue;
+      // The old value of R must not be consumed inside the loop before
+      // the definition: if it were, R would be live into the header.
+      if (LV.liveIn(H).test(R))
+        continue;
+      // Hoist into the preheader.
+      Rtl Moved = I;
+      Blk.Insts.erase(Blk.Insts.begin() + static_cast<long>(J));
+      size_t PH = getOrCreatePreheader(F, L);
+      F.Blocks[PH].Insts.push_back(Moved);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Attempts one induction-variable strength reduction in \p L: replaces
+/// t = i * r (unit-step basic induction variable i, invariant r) with an
+/// accumulator register updated alongside i's increment.
+bool strengthReduceOneIv(Function &F, const Loop &L, const Cfg &C,
+                         const Dominators &D) {
+  if (!backEdgesExplicit(F, L, C))
+    return false;
+  for (int B : L.Blocks) {
+    BasicBlock &Blk = F.Blocks[static_cast<size_t>(B)];
+    for (size_t J = 0; J != Blk.Insts.size(); ++J) {
+      const Rtl &MulI = Blk.Insts[J];
+      if (MulI.Opcode != Op::Mul || !MulI.Src[0].isReg() ||
+          !MulI.Src[1].isReg())
+        continue;
+      for (int IvSide = 0; IvSide != 2; ++IvSide) {
+        RegNum IV = MulI.Src[IvSide].getReg();
+        RegNum Inv = MulI.Src[1 - IvSide].getReg();
+        if (!defsInLoop(F, L, Inv).empty())
+          continue; // Multiplier must be invariant.
+        // IV must have exactly one in-loop def: IV = IV +/- 1.
+        auto IvDefs = defsInLoop(F, L, IV);
+        if (IvDefs.size() != 1)
+          continue;
+        const Rtl &Step = F.Blocks[static_cast<size_t>(IvDefs[0].first)]
+                              .Insts[IvDefs[0].second];
+        if (!(Step.Opcode == Op::Add || Step.Opcode == Op::Sub) ||
+            !Step.Src[0].isReg() || Step.Src[0].getReg() != IV ||
+            !Step.Src[1].isImm() || Step.Src[1].Value != 1)
+          continue;
+        // The product must be the only in-loop def of its register, and
+        // both the multiply and the step must run once per iteration.
+        RegNum T = MulI.Dst.getReg();
+        if (T == IV || defsInLoop(F, L, T).size() != 1)
+          continue;
+        if (!dominatesLatchesAndExits(F, L, C, D, B) ||
+            !dominatesLatchesAndExits(F, L, C, D, IvDefs[0].first))
+          continue;
+        // Find a register untouched anywhere in the function.
+        std::set<RegNum> Used;
+        for (const BasicBlock &AB : F.Blocks)
+          for (const Rtl &AI : AB.Insts) {
+            if (AI.definesReg())
+              Used.insert(AI.Dst.getReg());
+            AI.forEachUsedReg([&](RegNum R) { Used.insert(R); });
+          }
+        RegNum Acc = target::NumAllocatableRegs;
+        for (RegNum R = 0; R != target::NumAllocatableRegs; ++R)
+          if (!Used.count(R)) {
+            Acc = R;
+            break;
+          }
+        if (Acc == target::NumAllocatableRegs)
+          continue; // No free register.
+
+        const Op UpdateOp = Step.Opcode; // Add or Sub mirrors the step.
+        // Rewrite the multiply first (indices still valid), then insert
+        // the update after the step, then seed the preheader.
+        Blk.Insts[J] = rtl::mov(Operand::reg(T), Operand::reg(Acc));
+        BasicBlock &StepBlk =
+            F.Blocks[static_cast<size_t>(IvDefs[0].first)];
+        StepBlk.Insts.insert(
+            StepBlk.Insts.begin() + static_cast<long>(IvDefs[0].second) + 1,
+            rtl::binary(UpdateOp, Operand::reg(Acc), Operand::reg(Acc),
+                        Operand::reg(Inv)));
+        size_t PH = getOrCreatePreheader(F, L);
+        F.Blocks[PH].Insts.push_back(rtl::binary(Op::Mul,
+                                                 Operand::reg(Acc),
+                                                 Operand::reg(IV),
+                                                 Operand::reg(Inv)));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool LoopTransformsPhase::apply(Function &F) const {
+  assert(F.State.RegAllocDone &&
+         "loop transformations are restricted to run after register "
+         "allocation");
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    Cfg C = Cfg::build(F);
+    Dominators D(F, C);
+    LoopInfo LI(F, C, D);
+    Liveness LV(F, C);
+    for (const Loop &L : LI.loops()) {
+      if (hoistOneInvariant(F, L, C, D, LV) ||
+          strengthReduceOneIv(F, L, C, D)) {
+        Progress = true;
+        Changed = true;
+        break; // Analyses are stale; restart.
+      }
+    }
+  }
+  return Changed;
+}

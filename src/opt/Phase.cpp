@@ -1,0 +1,69 @@
+//===- Phase.cpp - Optimization phase interface ------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/opt/Phase.h"
+
+#include <cassert>
+
+using namespace pose;
+
+Phase::~Phase() = default;
+
+static constexpr char Codes[NumPhases + 1] = "bcdghijklnoqrsu";
+
+PhaseId pose::phaseByIndex(int Index) {
+  assert(Index >= 0 && Index < NumPhases && "phase index out of range");
+  return static_cast<PhaseId>(Index);
+}
+
+char pose::phaseCode(PhaseId P) {
+  return Codes[static_cast<int>(P)];
+}
+
+PhaseId pose::phaseFromCode(char Code) {
+  for (int I = 0; I != NumPhases; ++I)
+    if (Codes[I] == Code)
+      return static_cast<PhaseId>(I);
+  assert(false && "unknown phase code");
+  return PhaseId::BranchChaining;
+}
+
+const char *pose::phaseName(PhaseId P) {
+  switch (P) {
+  case PhaseId::BranchChaining:
+    return "branch chaining";
+  case PhaseId::Cse:
+    return "common subexpression elimination";
+  case PhaseId::UnreachableCode:
+    return "remove unreachable code";
+  case PhaseId::LoopUnrolling:
+    return "loop unrolling";
+  case PhaseId::DeadAssignElim:
+    return "dead assignment elim.";
+  case PhaseId::BlockReordering:
+    return "block reordering";
+  case PhaseId::MinimizeLoopJumps:
+    return "minimize loop jumps";
+  case PhaseId::RegisterAllocation:
+    return "register allocation";
+  case PhaseId::LoopTransforms:
+    return "loop transformations";
+  case PhaseId::CodeAbstraction:
+    return "code abstraction";
+  case PhaseId::EvalOrder:
+    return "evaluation order deter.";
+  case PhaseId::StrengthReduction:
+    return "strength reduction";
+  case PhaseId::ReverseBranches:
+    return "reverse branches";
+  case PhaseId::InstructionSelection:
+    return "instruction selection";
+  case PhaseId::UselessJumps:
+    return "remove useless jumps";
+  }
+  assert(false && "unknown phase");
+  return "?";
+}

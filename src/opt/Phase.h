@@ -1,0 +1,76 @@
+//===- Phase.h - Optimization phase interface ------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fifteen reorderable code-improving phases of the compiler, keyed by
+/// the single-letter designations of the paper's Table 1. A phase applied
+/// to a function is *active* when it changes the code and *dormant* when it
+/// finds no opportunity — the distinction that drives both the exhaustive
+/// enumeration pruning and the interaction analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_OPT_PHASE_H
+#define POSE_OPT_PHASE_H
+
+#include <cstdint>
+
+namespace pose {
+
+class Function;
+
+/// The candidate optimization phases (paper Table 1). Enumerator values
+/// are contiguous so matrices can be indexed by phase.
+enum class PhaseId : uint8_t {
+  BranchChaining = 0,       ///< b
+  Cse,                      ///< c: common subexpression elimination
+  UnreachableCode,          ///< d: remove unreachable code
+  LoopUnrolling,            ///< g
+  DeadAssignElim,           ///< h: dead assignment elimination
+  BlockReordering,          ///< i
+  MinimizeLoopJumps,        ///< j
+  RegisterAllocation,       ///< k
+  LoopTransforms,           ///< l
+  CodeAbstraction,          ///< n
+  EvalOrder,                ///< o: evaluation order determination
+  StrengthReduction,        ///< q
+  ReverseBranches,          ///< r
+  InstructionSelection,     ///< s
+  UselessJumps,             ///< u: remove useless jumps
+};
+
+/// Number of reorderable phases.
+constexpr int NumPhases = 15;
+
+/// All phases, in designation order (b c d g h i j k l n o q r s u).
+PhaseId phaseByIndex(int Index);
+
+/// Returns the paper's single-letter designation for \p P.
+char phaseCode(PhaseId P);
+
+/// Returns the phase for designation \p Code, or -1-cast if unknown;
+/// asserts on unknown codes.
+PhaseId phaseFromCode(char Code);
+
+/// Returns the descriptive name from Table 1 ("branch chaining", ...).
+const char *phaseName(PhaseId P);
+
+/// Interface implemented by each of the fifteen phases.
+class Phase {
+public:
+  virtual ~Phase();
+
+  virtual PhaseId id() const = 0;
+
+  /// Applies the phase to \p F. Returns true if the phase was *active*
+  /// (changed the code), false if *dormant*. Implementations transform as
+  /// much as they can in one application, as VPO phases do.
+  virtual bool apply(Function &F) const = 0;
+};
+
+} // namespace pose
+
+#endif // POSE_OPT_PHASE_H

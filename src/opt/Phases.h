@@ -1,0 +1,49 @@
+//===- Phases.h - The fifteen phase implementations ------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations of the fifteen phase classes (one implementation file
+/// each). Clients normally go through PhaseManager rather than
+/// instantiating these directly; the classes are exposed so unit tests can
+/// exercise a single phase in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_OPT_PHASES_H
+#define POSE_OPT_PHASES_H
+
+#include "src/opt/Phase.h"
+
+namespace pose {
+
+#define POSE_DECLARE_PHASE(ClassName, EnumName)                              \
+  class ClassName final : public Phase {                                     \
+  public:                                                                    \
+    PhaseId id() const override { return PhaseId::EnumName; }                \
+    bool apply(Function &F) const override;                                  \
+  }
+
+POSE_DECLARE_PHASE(BranchChainingPhase, BranchChaining);           // b
+POSE_DECLARE_PHASE(CsePhase, Cse);                                 // c
+POSE_DECLARE_PHASE(UnreachableCodePhase, UnreachableCode);         // d
+POSE_DECLARE_PHASE(LoopUnrollingPhase, LoopUnrolling);             // g
+POSE_DECLARE_PHASE(DeadAssignElimPhase, DeadAssignElim);           // h
+POSE_DECLARE_PHASE(BlockReorderingPhase, BlockReordering);         // i
+POSE_DECLARE_PHASE(MinimizeLoopJumpsPhase, MinimizeLoopJumps);     // j
+POSE_DECLARE_PHASE(RegisterAllocationPhase, RegisterAllocation);   // k
+POSE_DECLARE_PHASE(LoopTransformsPhase, LoopTransforms);           // l
+POSE_DECLARE_PHASE(CodeAbstractionPhase, CodeAbstraction);         // n
+POSE_DECLARE_PHASE(EvalOrderPhase, EvalOrder);                     // o
+POSE_DECLARE_PHASE(StrengthReductionPhase, StrengthReduction);     // q
+POSE_DECLARE_PHASE(ReverseBranchesPhase, ReverseBranches);         // r
+POSE_DECLARE_PHASE(InstructionSelectionPhase, InstructionSelection); // s
+POSE_DECLARE_PHASE(UselessJumpsPhase, UselessJumps);               // u
+
+#undef POSE_DECLARE_PHASE
+
+} // namespace pose
+
+#endif // POSE_OPT_PHASES_H

@@ -1,0 +1,48 @@
+//===- ReverseBranches.cpp - Phase r ------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Removes an unconditional jump by reversing a conditional branch
+// branching over the jump" (Table 1). Pattern, in layout order:
+//
+//   A:  ... ; PC = IC cond, L1
+//   B:  PC = L2            (single-instruction block, fall-through of A)
+//   L1: ...                (the block immediately after B)
+//
+// becomes A: ... ; PC = IC !cond, L2, with B emptied (the implicit
+// empty-block elimination then removes it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Function.h"
+#include "src/opt/Phases.h"
+
+using namespace pose;
+
+bool ReverseBranchesPhase::apply(Function &F) const {
+  bool Changed = false;
+  for (size_t BI = 0; BI + 2 < F.Blocks.size(); ++BI) {
+    BasicBlock &A = F.Blocks[BI];
+    BasicBlock &B = F.Blocks[BI + 1];
+    Rtl *T = A.terminator();
+    if (!T || T->Opcode != Op::Branch)
+      continue;
+    if (B.Insts.size() != 1 || B.Insts[0].Opcode != Op::Jump)
+      continue;
+    // The branch must hop exactly over B.
+    if (T->Src[0].Value != F.Blocks[BI + 2].Label)
+      continue;
+    // B must be reached only as A's fall-through: a jump elsewhere into B
+    // would change meaning when B disappears.
+    Cfg C = Cfg::build(F);
+    if (C.Preds[BI + 1].size() != 1)
+      continue;
+    T->CC = invertCond(T->CC);
+    T->Src[0] = B.Insts[0].Src[0];
+    B.Insts.clear();
+    Changed = true;
+  }
+  return Changed;
+}

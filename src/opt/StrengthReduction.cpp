@@ -1,0 +1,126 @@
+//===- StrengthReduction.cpp - Phase q ----------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Replaces an expensive instruction with one or more cheaper ones. For
+// this version of the compiler, this means changing a multiply by a
+// constant into a series of shift, adds, and subtracts" (Table 1).
+//
+// The target has no multiply-by-immediate form, so a constant multiplier
+// lives in a register; the phase recognizes a multiply whose operand is
+// defined by a known constant move earlier in the same block. The move is
+// left in place — if the register has no other use, dead assignment
+// elimination collects it (one of the measured enabling interactions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Function.h"
+#include "src/opt/Phases.h"
+
+#include <optional>
+
+using namespace pose;
+
+namespace {
+
+/// Returns the constant held by \p R at instruction position \p At of
+/// \p B, when the unique in-block reaching definition is "mov R, imm".
+std::optional<int32_t> constantAt(const BasicBlock &B, size_t At, RegNum R) {
+  for (size_t K = At; K-- > 0;) {
+    const Rtl &I = B.Insts[K];
+    if (I.definesReg() && I.Dst.getReg() == R) {
+      if (I.Opcode == Op::Mov && I.Src[0].isImm())
+        return I.Src[0].Value;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Emits the cheap replacement of d = a * C into \p Out, or returns false
+/// when no profitable series of at most two shifts/adds/subs exists.
+bool expandMultiply(Operand D, Operand A, int32_t C,
+                    std::vector<Rtl> &Out) {
+  const RegNum DReg = D.getReg();
+  const bool DistinctDst = !A.isReg() || A.getReg() != DReg;
+  auto IsPow2 = [](int64_t V) { return V > 0 && (V & (V - 1)) == 0; };
+  auto Log2 = [](int64_t V) {
+    int K = 0;
+    while ((int64_t(1) << K) < V)
+      ++K;
+    return K;
+  };
+
+  if (C == 0) {
+    Out.push_back(rtl::mov(D, Operand::imm(0)));
+    return true;
+  }
+  if (C == 1) {
+    Out.push_back(rtl::mov(D, A));
+    return true;
+  }
+  if (IsPow2(C)) {
+    Out.push_back(rtl::binary(Op::Shl, D, A, Operand::imm(Log2(C))));
+    return true;
+  }
+  if (C == -1) {
+    Out.push_back(rtl::unary(Op::Neg, D, A));
+    return true;
+  }
+  if (C < 0 && C != INT32_MIN && IsPow2(-static_cast<int64_t>(C))) {
+    // d = a << k; d = -d. Safe even when d == a.
+    Out.push_back(rtl::binary(Op::Shl, D, A,
+                              Operand::imm(Log2(-static_cast<int64_t>(C)))));
+    Out.push_back(rtl::unary(Op::Neg, D, D));
+    return true;
+  }
+  // 2^k + 1 and 2^k - 1 need to re-read a after writing d.
+  if (DistinctDst && C > 2 && IsPow2(static_cast<int64_t>(C) - 1)) {
+    Out.push_back(rtl::binary(Op::Shl, D, A,
+                              Operand::imm(Log2(static_cast<int64_t>(C) - 1))));
+    Out.push_back(rtl::binary(Op::Add, D, D, A));
+    return true;
+  }
+  if (DistinctDst && C > 3 && IsPow2(static_cast<int64_t>(C) + 1)) {
+    Out.push_back(rtl::binary(Op::Shl, D, A,
+                              Operand::imm(Log2(static_cast<int64_t>(C) + 1))));
+    Out.push_back(rtl::binary(Op::Sub, D, D, A));
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool StrengthReductionPhase::apply(Function &F) const {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    for (size_t J = 0; J < B.Insts.size(); ++J) {
+      const Rtl I = B.Insts[J];
+      if (I.Opcode != Op::Mul)
+        continue;
+      // Either operand may be the constant one.
+      for (int ConstSide = 0; ConstSide != 2; ++ConstSide) {
+        const Operand &CandC = I.Src[ConstSide];
+        const Operand &CandA = I.Src[1 - ConstSide];
+        if (!CandC.isReg() || !CandA.isReg())
+          continue;
+        std::optional<int32_t> C = constantAt(B, J, CandC.getReg());
+        if (!C)
+          continue;
+        std::vector<Rtl> Replacement;
+        if (!expandMultiply(I.Dst, CandA, *C, Replacement))
+          continue;
+        B.Insts.erase(B.Insts.begin() + static_cast<long>(J));
+        B.Insts.insert(B.Insts.begin() + static_cast<long>(J),
+                       Replacement.begin(), Replacement.end());
+        J += Replacement.size() - 1;
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,21 @@
+//===- UnreachableCode.cpp - Phase d ------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Removes basic blocks that cannot be reached from the function entry
+// block" (Table 1). Rarely active in practice because branch chaining
+// cleans up after itself (Section 5.1), but front ends can produce
+// unreachable code (e.g. statements after a return inside a loop).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/opt/Cleanup.h"
+#include "src/opt/Phases.h"
+
+using namespace pose;
+
+bool UnreachableCodePhase::apply(Function &F) const {
+  return removeUnreachableBlocks(F);
+}

@@ -1,0 +1,32 @@
+//===- UselessJumps.cpp - Phase u ---------------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Removes jumps and branches whose target is the following positional
+// block" (Table 1). Removing a branch can leave its compare dead; cleaning
+// that up is dead assignment elimination's job (one of the enabling
+// interactions the analysis of Section 5 measures).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Function.h"
+#include "src/opt/Phases.h"
+
+using namespace pose;
+
+bool UselessJumpsPhase::apply(Function &F) const {
+  bool Changed = false;
+  for (size_t BI = 0; BI + 1 < F.Blocks.size(); ++BI) {
+    BasicBlock &B = F.Blocks[BI];
+    Rtl *T = B.terminator();
+    if (!T || (T->Opcode != Op::Jump && T->Opcode != Op::Branch))
+      continue;
+    if (T->Src[0].Value != F.Blocks[BI + 1].Label)
+      continue;
+    B.Insts.pop_back();
+    Changed = true;
+  }
+  return Changed;
+}

@@ -1,0 +1,105 @@
+//===- BitVector.h - Dense bit vector --------------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, fixed-size bit vector with the set-algebra operations the
+/// dataflow analyses need. Kept header-only and minimal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SUPPORT_BITVECTOR_H
+#define POSE_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pose {
+
+/// Fixed-size dense bit vector.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void set(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= (uint64_t(1) << (I % 64));
+  }
+
+  void reset(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Set union; returns true if this vector changed.
+  bool unionWith(const BitVector &O) {
+    assert(NumBits == O.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t New = Words[I] | O.Words[I];
+      Changed |= (New != Words[I]);
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// Set intersection.
+  void intersectWith(const BitVector &O) {
+    assert(NumBits == O.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= O.Words[I];
+  }
+
+  /// Removes every bit set in \p O.
+  void subtract(const BitVector &O) {
+    assert(NumBits == O.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~O.Words[I];
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool operator==(const BitVector &O) const {
+    return NumBits == O.NumBits && Words == O.Words;
+  }
+  bool operator!=(const BitVector &O) const { return !(*this == O); }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace pose
+
+#endif // POSE_SUPPORT_BITVECTOR_H

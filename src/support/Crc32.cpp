@@ -1,0 +1,49 @@
+//===- Crc32.cpp - CRC-32 checksum ---------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Crc32.h"
+
+#include <array>
+
+using namespace pose;
+
+namespace {
+
+/// Builds the 256-entry lookup table for the reflected IEEE polynomial
+/// 0xEDB88320 at compile time, avoiding a static constructor.
+constexpr std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? (0xEDB88320u ^ (C >> 1)) : (C >> 1);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+constexpr std::array<uint32_t, 256> CrcTable = makeTable();
+
+} // namespace
+
+void Crc32Stream::update(uint8_t Byte) {
+  State = CrcTable[(State ^ Byte) & 0xFFu] ^ (State >> 8);
+}
+
+void Crc32Stream::update(const uint8_t *Data, size_t Size) {
+  for (size_t I = 0; I < Size; ++I)
+    update(Data[I]);
+}
+
+uint32_t pose::crc32(const uint8_t *Data, size_t Size) {
+  Crc32Stream S;
+  S.update(Data, Size);
+  return S.value();
+}
+
+uint32_t pose::crc32(const std::vector<uint8_t> &Bytes) {
+  return crc32(Bytes.data(), Bytes.size());
+}

@@ -1,0 +1,15 @@
+//===- Rng.cpp - Deterministic pseudo-random numbers ---------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Rng.h"
+
+// Rng is header-only; this file anchors the translation unit so the library
+// always has at least one object file for it and future out-of-line helpers.
+namespace pose {
+namespace detail {
+int RngAnchor = 0;
+} // namespace detail
+} // namespace pose

@@ -1,0 +1,63 @@
+//===- Rng.h - Deterministic pseudo-random numbers ------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xorshift128+ variant) used by the
+/// property-based tests and workload input generators. Determinism across
+/// platforms matters more here than statistical quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SUPPORT_RNG_H
+#define POSE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace pose {
+
+/// Deterministic 64-bit PRNG with a fixed algorithm (not std::mt19937, whose
+/// distributions vary across standard library implementations).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 seeding so that small seeds still give well-mixed states.
+    auto Mix = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Mix();
+    S1 = Mix();
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a uniformly distributed value in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace pose
+
+#endif // POSE_SUPPORT_RNG_H

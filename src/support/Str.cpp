@@ -1,0 +1,52 @@
+//===- Str.cpp - String formatting helpers -------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Str.h"
+
+#include <cstdio>
+
+using namespace pose;
+
+std::string pose::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string pose::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string pose::fmtDouble(double V, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  return Buf;
+}
+
+std::string pose::fmtGrouped(uint64_t V) {
+  std::string Raw = std::to_string(V);
+  std::string Out;
+  size_t Count = 0;
+  for (size_t I = Raw.size(); I > 0; --I) {
+    Out.insert(Out.begin(), Raw[I - 1]);
+    if (++Count % 3 == 0 && I != 1)
+      Out.insert(Out.begin(), ',');
+  }
+  return Out;
+}
+
+std::string pose::join(const std::vector<std::string> &Parts,
+                       const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- Str.h - String formatting helpers ----------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny string helpers used by printers and table writers: fixed-width
+/// padding, float formatting, and joining. Kept deliberately minimal; the
+/// project does not depend on iostreams in library code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SUPPORT_STR_H
+#define POSE_SUPPORT_STR_H
+
+#include <string>
+#include <vector>
+
+namespace pose {
+
+/// Right-justifies \p S in a field of \p Width characters.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Left-justifies \p S in a field of \p Width characters.
+std::string padRight(const std::string &S, size_t Width);
+
+/// Formats \p V with \p Decimals digits after the point ("%.*f").
+std::string fmtDouble(double V, int Decimals);
+
+/// Formats \p V with thousands separators ("12,345").
+std::string fmtGrouped(uint64_t V);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace pose
+
+#endif // POSE_SUPPORT_STR_H

@@ -1,0 +1,834 @@
+//===- Workloads.cpp - MiBench-modelled benchmark programs --------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/Workloads.h"
+
+using namespace pose;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// auto/bitcount — "test processor bit manipulation abilities"
+//===----------------------------------------------------------------------===//
+
+const char *BitcountSource = R"MC(
+int nibble_tbl[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+int byte_tbl[256];
+
+int bit_count(int x) {
+  /* Kernighan: clear the lowest set bit per iteration. */
+  int n = 0;
+  while (x != 0) {
+    n = n + 1;
+    x = x & (x - 1);
+  }
+  return n;
+}
+
+int bit_shifter(int x) {
+  int n = 0;
+  int i;
+  for (i = 0; i < 32; i = i + 1) {
+    n = n + (x & 1);
+    x = x >>> 1;
+  }
+  return n;
+}
+
+int ntbl_bitcount(int x) {
+  return nibble_tbl[x & 15]
+       + nibble_tbl[(x >>> 4) & 15]
+       + nibble_tbl[(x >>> 8) & 15]
+       + nibble_tbl[(x >>> 12) & 15]
+       + nibble_tbl[(x >>> 16) & 15]
+       + nibble_tbl[(x >>> 20) & 15]
+       + nibble_tbl[(x >>> 24) & 15]
+       + nibble_tbl[(x >>> 28) & 15];
+}
+
+void btbl_init() {
+  int i;
+  for (i = 0; i < 256; i = i + 1)
+    byte_tbl[i] = nibble_tbl[i & 15] + nibble_tbl[(i >>> 4) & 15];
+}
+
+int btbl_bitcount(int x) {
+  return byte_tbl[x & 255]
+       + byte_tbl[(x >>> 8) & 255]
+       + byte_tbl[(x >>> 16) & 255]
+       + byte_tbl[(x >>> 24) & 255];
+}
+
+int bitcount_swar(int x) {
+  /* SWAR reduction, 32-bit. */
+  x = x - ((x >>> 1) & 0x55555555);
+  x = (x & 0x33333333) + ((x >>> 2) & 0x33333333);
+  x = (x + (x >>> 4)) & 0x0F0F0F0F;
+  x = x + (x >>> 8);
+  x = x + (x >>> 16);
+  return x & 63;
+}
+
+int bitcount_recursive(int x) {
+  if (x == 0) return 0;
+  return (x & 1) + bitcount_recursive(x >>> 1);
+}
+
+int bitcount_dense(int x) {
+  /* MiBench's "bitcount": fold pairs, nibbles, bytes via subtraction. */
+  x = x - ((x >>> 1) & 0x77777777)
+        - ((x >>> 2) & 0x33333333)
+        - ((x >>> 3) & 0x11111111);
+  x = (x + (x >>> 4)) & 0x0F0F0F0F;
+  x = x * 0x01010101;
+  return x >>> 24;
+}
+
+int main() {
+  int seed = 1013904223;
+  int n = 0;
+  int i;
+  btbl_init();
+  for (i = 0; i < 64; i = i + 1) {
+    int k = bit_count(seed);
+    if (k != bit_shifter(seed)) out(0 - 1);
+    if (k != ntbl_bitcount(seed)) out(0 - 2);
+    if (k != btbl_bitcount(seed)) out(0 - 3);
+    if (k != bitcount_swar(seed)) out(0 - 4);
+    if (k != bitcount_recursive(seed)) out(0 - 5);
+    if (k != bitcount_dense(seed)) out(0 - 6);
+    n = n + k;
+    seed = seed * 1664525 + 1013904223;
+  }
+  out(n);
+  return n;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// network/dijkstra — "Dijkstra's shortest path algorithm"
+//===----------------------------------------------------------------------===//
+
+const char *DijkstraSource = R"MC(
+int NONE = 9999;
+int adj[64];      /* 8x8 adjacency matrix */
+int dist[8];
+int prev[8];
+int visited[8];
+
+void build_graph() {
+  int i;
+  int j;
+  int seed = 7;
+  for (i = 0; i < 8; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) {
+      seed = seed * 1103515245 + 12345;
+      int w = (seed >>> 16) & 31;
+      if (i == j) w = 0;
+      if (w == 0 && i != j) w = 9999;
+      adj[i * 8 + j] = w;
+    }
+  }
+}
+
+int pick_nearest() {
+  int best = 0 - 1;
+  int bestd = 9999;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    if (visited[i] == 0 && dist[i] < bestd) {
+      bestd = dist[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+int dijkstra(int src, int dst) {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    dist[i] = 9999;
+    prev[i] = 0 - 1;
+    visited[i] = 0;
+  }
+  dist[src] = 0;
+  while (1) {
+    int u = pick_nearest();
+    if (u < 0) break;
+    visited[u] = 1;
+    if (u == dst) break;
+    for (i = 0; i < 8; i = i + 1) {
+      int w = adj[u * 8 + i];
+      if (w < 9999 && visited[i] == 0) {
+        int nd = dist[u] + w;
+        if (nd < dist[i]) {
+          dist[i] = nd;
+          prev[i] = u;
+        }
+      }
+    }
+  }
+  return dist[dst];
+}
+
+int qnode[64];
+int qdist[64];
+int qhead = 0;
+int qtail = 0;
+
+void enqueue(int node, int d) {
+  qnode[qtail & 63] = node;
+  qdist[qtail & 63] = d;
+  qtail = qtail + 1;
+}
+
+int dequeue() {
+  int n = qnode[qhead & 63];
+  qhead = qhead + 1;
+  return n;
+}
+
+int qcount() {
+  return qtail - qhead;
+}
+
+int path_length(int dst) {
+  /* Walks the prev[] chain back to the source. */
+  int hops = 0;
+  int cur = dst;
+  while (cur >= 0 && hops < 16) {
+    cur = prev[cur];
+    hops = hops + 1;
+  }
+  return hops;
+}
+
+int main() {
+  int total = 0;
+  int s;
+  int d;
+  build_graph();
+  for (s = 0; s < 8; s = s + 1)
+    for (d = 0; d < 8; d = d + 1) {
+      total = total + dijkstra(s, d);
+      enqueue(d, total);
+    }
+  int hops = 0;
+  for (d = 0; d < 8; d = d + 1)
+    hops = hops + path_length(d);
+  while (qcount() > 0) {
+    int n = dequeue();
+    total = total + (n & 3);
+  }
+  out(total);
+  out(hops);
+  return total;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// telecomm/fft — "fast fourier transform" (fixed point; the SA-100 has no
+// FPU, and MC is integer-only — see DESIGN.md)
+//===----------------------------------------------------------------------===//
+
+const char *FftSource = R"MC(
+/* Radix-2 in-place FFT over Q14 fixed point, N = 32. */
+int N = 32;
+int re[32];
+int im[32];
+int sinetab[32];  /* quarter-resolution sine table, Q14 */
+
+int fix_mul(int a, int b) {
+  /* Q14 multiply; MC ints are 32 bits, inputs bounded by |1<<15|. */
+  return (a * b) >> 14;
+}
+
+void make_sine() {
+  /* Q14 sine via 2nd-order recurrence: s[k] = 2c*s[k-1] - s[k-2],
+     c = cos(2*pi/32) in Q14 = 16069. */
+  int twoc = 32138;
+  int k;
+  sinetab[0] = 0;
+  sinetab[1] = 3196;   /* sin(2*pi/32) in Q14 */
+  for (k = 2; k < 32; k = k + 1)
+    sinetab[k] = fix_mul(twoc, sinetab[k - 1]) - sinetab[k - 2];
+}
+
+int sin_q(int idx) { return sinetab[idx & 31]; }
+int cos_q(int idx) { return sinetab[(idx + 8) & 31]; }
+
+void load_signal() {
+  int i;
+  int seed = 12345;
+  for (i = 0; i < 32; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    re[i] = ((seed >>> 17) & 2047) - 1024;
+    im[i] = 0;
+  }
+}
+
+void bit_reverse() {
+  int i;
+  int j = 0;
+  for (i = 0; i < 31; i = i + 1) {
+    if (i < j) {
+      int tr = re[i]; re[i] = re[j]; re[j] = tr;
+      int ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    int m = 16;
+    while (m <= j) {
+      j = j - m;
+      m = m >> 1;
+    }
+    j = j + m;
+  }
+}
+
+void fix_fft() {
+  bit_reverse();
+  int len = 1;
+  int stage = 0;
+  while (len < 32) {
+    int step = len << 1;
+    int twid = 32 / step;
+    int base;
+    for (base = 0; base < 32; base = base + step) {
+      int k;
+      for (k = 0; k < len; k = k + 1) {
+        int c = cos_q(k * twid);
+        int s = 0 - sin_q(k * twid);
+        int a = base + k;
+        int b = a + len;
+        int tr = fix_mul(re[b], c) - fix_mul(im[b], s);
+        int ti = fix_mul(re[b], s) + fix_mul(im[b], c);
+        /* scale by 1/2 each stage to avoid overflow */
+        int ur = re[a] >> 1;
+        int ui = im[a] >> 1;
+        tr = tr >> 1;
+        ti = ti >> 1;
+        re[a] = ur + tr;
+        im[a] = ui + ti;
+        re[b] = ur - tr;
+        im[b] = ui - ti;
+      }
+    }
+    len = step;
+    stage = stage + 1;
+  }
+}
+
+int isqrt(int v) {
+  /* Integer square root by binary descent (non-negative inputs). */
+  int r = 0;
+  int bit = 1 << 15;
+  while (bit != 0) {
+    int t = r | bit;
+    if (t * t <= v)
+      r = t;
+    bit = bit >> 1;
+  }
+  return r;
+}
+
+void window_signal() {
+  /* Triangular window applied in place, Q14 weights. */
+  int i;
+  for (i = 0; i < 32; i = i + 1) {
+    int w;
+    if (i < 16) w = i * 1024;
+    else w = (31 - i) * 1024;
+    re[i] = (re[i] * w) >> 14;
+  }
+}
+
+int spectrum_checksum() {
+  int sum = 0;
+  int i;
+  for (i = 0; i < 32; i = i + 1) {
+    int p = re[i] * re[i] + im[i] * im[i];
+    sum = sum ^ (p + i);
+  }
+  return sum;
+}
+
+int main() {
+  make_sine();
+  load_signal();
+  window_signal();
+  fix_fft();
+  int c = spectrum_checksum();
+  int m = isqrt(c & 0x7fffffff);
+  out(c);
+  out(m);
+  return c;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// consumer/jpeg — "image compression / decompression" utility kernels
+//===----------------------------------------------------------------------===//
+
+const char *JpegSource = R"MC(
+/* Color conversion, quantization, and zig-zag kernels modelled on the
+   cjpeg utility routines. 8x8 blocks, 16 pixels of RGB input. */
+int r_y_tab[256];
+int g_y_tab[256];
+int b_y_tab[256];
+int quant_tbl[64] = {16,11,10,16,24,40,51,61,
+                     12,12,14,19,26,58,60,55,
+                     14,13,16,24,40,57,69,56,
+                     14,17,22,29,51,87,80,62,
+                     18,22,37,56,68,109,103,77,
+                     24,35,55,64,81,104,113,92,
+                     49,64,78,87,103,121,120,101,
+                     72,92,95,98,112,100,103,99};
+int zigzag[64] = {0,1,8,16,9,2,3,10,17,24,32,25,18,11,4,5,
+                  12,19,26,33,40,48,41,34,27,20,13,6,7,14,21,28,
+                  35,42,49,56,57,50,43,36,29,22,15,23,30,37,44,51,
+                  58,59,52,45,38,31,39,46,53,60,61,54,47,55,62,63};
+int block[64];
+int coef[64];
+int outbuf[64];
+
+void rgb_ycc_setup() {
+  /* Fixed-point weights: Y = 0.299 R + 0.587 G + 0.114 B, Q16. */
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    r_y_tab[i] = i * 19595;
+    g_y_tab[i] = i * 38470;
+    b_y_tab[i] = i * 7471;
+  }
+}
+
+int rgb_to_y(int r, int g, int b) {
+  return (r_y_tab[r & 255] + g_y_tab[g & 255] + b_y_tab[b & 255] + 32768)
+         >>> 16;
+}
+
+void fill_block() {
+  int i;
+  int seed = 99;
+  for (i = 0; i < 64; i = i + 1) {
+    seed = seed * 69069 + 1;
+    int r = (seed >>> 8) & 255;
+    int g = (seed >>> 16) & 255;
+    int b = (seed >>> 24) & 255;
+    block[i] = rgb_to_y(r, g, b) - 128;
+  }
+}
+
+void forward_dct_rows() {
+  /* One butterfly pass per row (a light stand-in for the full DCT). */
+  int row;
+  for (row = 0; row < 8; row = row + 1) {
+    int base = row * 8;
+    int k;
+    for (k = 0; k < 4; k = k + 1) {
+      int a = block[base + k];
+      int b = block[base + 7 - k];
+      block[base + k] = a + b;
+      block[base + 7 - k] = (a - b) * (k + 1);
+    }
+  }
+}
+
+void forward_dct_cols() {
+  /* Column butterfly pass matching forward_dct_rows. */
+  int col;
+  for (col = 0; col < 8; col = col + 1) {
+    int k;
+    for (k = 0; k < 4; k = k + 1) {
+      int a = block[k * 8 + col];
+      int b = block[(7 - k) * 8 + col];
+      block[k * 8 + col] = a + b;
+      block[(7 - k) * 8 + col] = (a - b) * (k + 2);
+    }
+  }
+}
+
+void quantize_block() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int v = block[i];
+    int q = quant_tbl[i];
+    int half = q >> 1;
+    if (v < 0)
+      coef[i] = 0 - ((half - v) / q);
+    else
+      coef[i] = (v + half) / q;
+  }
+}
+
+void zigzag_order() {
+  int i;
+  for (i = 0; i < 64; i = i + 1)
+    outbuf[i] = coef[zigzag[i]];
+}
+
+void dequantize_block() {
+  /* The decoder's inverse of quantize_block, back into block[]. */
+  int i;
+  for (i = 0; i < 64; i = i + 1)
+    block[i] = coef[i] * quant_tbl[i];
+}
+
+int reconstruction_error() {
+  /* Sum of |dequantized| magnitudes — a proxy for decoder effort. */
+  int e = 0;
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int v = block[i];
+    if (v < 0) v = 0 - v;
+    e = e + v;
+  }
+  return e;
+}
+
+int bitbuf = 0;
+int bitcnt = 0;
+int packed[96];
+int packpos = 0;
+
+void emit_bits(int code, int size) {
+  /* cjpeg-style bit packer: accumulate MSB-first, spill full words. */
+  bitbuf = (bitbuf << size) | (code & ((1 << size) - 1));
+  bitcnt = bitcnt + size;
+  while (bitcnt >= 16) {
+    bitcnt = bitcnt - 16;
+    packed[packpos] = (bitbuf >>> bitcnt) & 0xffff;
+    packpos = packpos + 1;
+  }
+}
+
+void flush_bits() {
+  if (bitcnt > 0) {
+    packed[packpos] = (bitbuf << (16 - bitcnt)) & 0xffff;
+    packpos = packpos + 1;
+    bitcnt = 0;
+  }
+  bitbuf = 0;
+}
+
+int magnitude_bits(int v) {
+  /* Category of a coefficient: bits needed for |v|. */
+  int m = v;
+  if (m < 0) m = 0 - m;
+  int bits = 0;
+  while (m != 0) {
+    bits = bits + 1;
+    m = m >>> 1;
+  }
+  return bits;
+}
+
+void encode_block() {
+  /* Huffman-flavoured entropy coding of the zig-zag stream: runs of
+     zeros as (run,category) codes, then the magnitude bits. */
+  int run = 0;
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int v = outbuf[i];
+    if (v == 0) {
+      run = run + 1;
+      if (run == 16) {
+        emit_bits(0x7f9, 11);  /* ZRL */
+        run = 0;
+      }
+    } else {
+      int cat = magnitude_bits(v);
+      emit_bits((run << 4) | cat, 8);
+      if (v < 0) v = v - 1;
+      emit_bits(v, cat);
+      run = 0;
+    }
+  }
+  emit_bits(0x0a, 4);  /* EOB */
+  flush_bits();
+}
+
+int packed_checksum() {
+  int sum = 0;
+  int i;
+  for (i = 0; i < packpos; i = i + 1)
+    sum = sum * 31 + packed[i];
+  return sum;
+}
+
+int run_length_checksum() {
+  int run = 0;
+  int sum = 0;
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    if (outbuf[i] == 0) {
+      run = run + 1;
+    } else {
+      sum = sum + outbuf[i] * (run + 1) + i;
+      run = 0;
+    }
+  }
+  return sum;
+}
+
+int main() {
+  rgb_ycc_setup();
+  fill_block();
+  forward_dct_rows();
+  forward_dct_cols();
+  quantize_block();
+  zigzag_order();
+  int c = run_length_checksum();
+  encode_block();
+  int p = packed_checksum();
+  dequantize_block();
+  int e = reconstruction_error();
+  out(c);
+  out(e);
+  out(p);
+  out(packpos);
+  return c;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// security/sha — "secure hash algorithm" (SHA-1 rounds)
+//===----------------------------------------------------------------------===//
+
+const char *ShaSource = R"MC(
+int digest[5];
+int W[80];
+int data[16];
+
+int rotl(int x, int n) {
+  return (x << n) | (x >>> (32 - n));
+}
+
+void sha_init() {
+  digest[0] = 0x67452301;
+  digest[1] = 0xEFCDAB89;
+  digest[2] = 0x98BADCFE;
+  digest[3] = 0x10325476;
+  digest[4] = 0xC3D2E1F0;
+}
+
+void fill_data(int seed) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = seed;
+  }
+}
+
+void sha_transform() {
+  int i;
+  for (i = 0; i < 16; i = i + 1)
+    W[i] = data[i];
+  for (i = 16; i < 80; i = i + 1)
+    W[i] = rotl(W[i - 3] ^ W[i - 8] ^ W[i - 14] ^ W[i - 16], 1);
+  int a = digest[0];
+  int b = digest[1];
+  int c = digest[2];
+  int d = digest[3];
+  int e = digest[4];
+  for (i = 0; i < 20; i = i + 1) {
+    int t = rotl(a, 5) + ((b & c) | (~b & d)) + e + W[i] + 0x5A827999;
+    e = d; d = c; c = rotl(b, 30); b = a; a = t;
+  }
+  for (i = 20; i < 40; i = i + 1) {
+    int t = rotl(a, 5) + (b ^ c ^ d) + e + W[i] + 0x6ED9EBA1;
+    e = d; d = c; c = rotl(b, 30); b = a; a = t;
+  }
+  for (i = 40; i < 60; i = i + 1) {
+    int t = rotl(a, 5) + ((b & c) | (b & d) | (c & d)) + e + W[i]
+            + 0x8F1BBCDC;
+    e = d; d = c; c = rotl(b, 30); b = a; a = t;
+  }
+  for (i = 60; i < 80; i = i + 1) {
+    int t = rotl(a, 5) + (b ^ c ^ d) + e + W[i] + 0xCA62C1D6;
+    e = d; d = c; c = rotl(b, 30); b = a; a = t;
+  }
+  digest[0] = digest[0] + a;
+  digest[1] = digest[1] + b;
+  digest[2] = digest[2] + c;
+  digest[3] = digest[3] + d;
+  digest[4] = digest[4] + e;
+}
+
+int saved[16];
+
+void copy_block() {
+  int i;
+  for (i = 0; i < 16; i = i + 1)
+    saved[i] = data[i];
+}
+
+int block_checksum() {
+  /* Adler-ish rolling checksum of the saved block. */
+  int a = 1;
+  int b = 0;
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    a = (a + saved[i]) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | (a & 0xffff);
+}
+
+int main() {
+  int blockno;
+  int check = 0;
+  sha_init();
+  for (blockno = 0; blockno < 4; blockno = blockno + 1) {
+    fill_data(blockno + 42);
+    copy_block();
+    check = check ^ block_checksum();
+    sha_transform();
+  }
+  int i;
+  int sum = 0;
+  for (i = 0; i < 5; i = i + 1) {
+    out(digest[i]);
+    sum = sum ^ digest[i];
+  }
+  out(check);
+  return sum;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// office/stringsearch — "searches for given words in phrases"
+//===----------------------------------------------------------------------===//
+
+const char *StringsearchSource = R"MC(
+int text[] = "the quick brown fox jumps over the lazy dog while the cat naps by the warm stove and dreams of fish";
+int pat1[] = "the";
+int pat2[] = "fox";
+int pat3[] = "stove";
+int pat4[] = "fishy";
+int skip[128];
+int patbuf[32];
+int patlen = 0;
+
+int str_len(int which) {
+  /* Copies the selected pattern into patbuf and returns its length
+     (arrays cannot be passed in MC; selection happens by index). */
+  int n = 0;
+  if (which == 1) { while (pat1[n] != 0) { patbuf[n] = pat1[n]; n = n + 1; } }
+  if (which == 2) { while (pat2[n] != 0) { patbuf[n] = pat2[n]; n = n + 1; } }
+  if (which == 3) { while (pat3[n] != 0) { patbuf[n] = pat3[n]; n = n + 1; } }
+  if (which == 4) { while (pat4[n] != 0) { patbuf[n] = pat4[n]; n = n + 1; } }
+  patbuf[n] = 0;
+  return n;
+}
+
+void bmh_init(int which) {
+  int i;
+  patlen = str_len(which);
+  for (i = 0; i < 128; i = i + 1)
+    skip[i] = patlen;
+  for (i = 0; i < patlen - 1; i = i + 1)
+    skip[patbuf[i] & 127] = patlen - i - 1;
+}
+
+int text_len() {
+  int n = 0;
+  while (text[n] != 0) n = n + 1;
+  return n;
+}
+
+int bmh_search(int start) {
+  /* Boyer-Moore-Horspool; returns match position or -1. */
+  int n = text_len();
+  int pos = start;
+  while (pos + patlen <= n) {
+    int j = patlen - 1;
+    while (j >= 0 && text[pos + j] == patbuf[j])
+      j = j - 1;
+    if (j < 0) return pos;
+    pos = pos + skip[text[pos + patlen - 1] & 127];
+  }
+  return 0 - 1;
+}
+
+int to_lower(int c) {
+  if (c >= 'A' && c <= 'Z')
+    return c + 32;
+  return c;
+}
+
+int naive_search(int start) {
+  /* Brute-force comparator, the baseline Horspool beats. */
+  int n = text_len();
+  int pos = start;
+  while (pos + patlen <= n) {
+    int j = 0;
+    while (j < patlen && to_lower(text[pos + j]) == to_lower(patbuf[j]))
+      j = j + 1;
+    if (j == patlen) return pos;
+    pos = pos + 1;
+  }
+  return 0 - 1;
+}
+
+int count_matches(int which) {
+  int count = 0;
+  int pos = 0;
+  bmh_init(which);
+  while (1) {
+    int hit = bmh_search(pos);
+    if (hit < 0) break;
+    count = count + 1;
+    pos = hit + 1;
+  }
+  return count;
+}
+
+int count_naive(int which) {
+  int count = 0;
+  int pos = 0;
+  patlen = str_len(which);
+  while (1) {
+    int hit = naive_search(pos);
+    if (hit < 0) break;
+    count = count + 1;
+    pos = hit + 1;
+  }
+  return count;
+}
+
+int main() {
+  int c1 = count_matches(1);
+  int c2 = count_matches(2);
+  int c3 = count_matches(3);
+  int c4 = count_matches(4);
+  out(c1); out(c2); out(c3); out(c4);
+  out(count_naive(1));
+  out(count_naive(4));
+  return c1 * 1000 + c2 * 100 + c3 * 10 + c4;
+}
+)MC";
+
+const std::vector<Workload> Registry = {
+    {"auto", "bitcount", "test processor bit manipulation abilities",
+     BitcountSource},
+    {"network", "dijkstra", "Dijkstra's shortest path algorithm",
+     DijkstraSource},
+    {"telecomm", "fft", "fast fourier transform (fixed point)", FftSource},
+    {"consumer", "jpeg", "image compression kernels", JpegSource},
+    {"security", "sha", "secure hash algorithm", ShaSource},
+    {"office", "stringsearch", "searches for given words in phrases",
+     StringsearchSource},
+};
+
+} // namespace
+
+const std::vector<Workload> &pose::allWorkloads() { return Registry; }
+
+const Workload *pose::findWorkload(const std::string &Name) {
+  for (const Workload &W : Registry)
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,44 @@
+//===- Workloads.h - MiBench-modelled benchmark programs -------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite: six MC programs modelled on the MiBench subset the
+/// paper evaluates (Table 2) — one per category. The kernels re-implement
+/// the same algorithms (bit twiddling, shortest path, fixed-point FFT,
+/// image color conversion, SHA rounds, string searching) so the phase
+/// interactions match in character; they are not the original MiBench
+/// sources (see DESIGN.md for the substitution rationale).
+///
+/// Every program defines main() that emits checksums via out(), so any
+/// function instance can be validated and timed differentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_WORKLOADS_WORKLOADS_H
+#define POSE_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace pose {
+
+/// One benchmark program.
+struct Workload {
+  const char *Category;    ///< MiBench category (auto, network, …).
+  const char *Name;        ///< Program name (bitcount, dijkstra, …).
+  const char *Description; ///< Table 2-style description.
+  const char *Source;      ///< MC source text.
+};
+
+/// Returns the six benchmark programs in Table 2 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Returns the workload named \p Name, or nullptr.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace pose
+
+#endif // POSE_WORKLOADS_WORKLOADS_H

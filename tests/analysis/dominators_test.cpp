@@ -1,0 +1,91 @@
+//===- dominators_test.cpp - Dominator analysis tests ------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/Dominators.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+/// B0 -> {B1, B2} -> B3 diamond.
+Function makeDiamond() {
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+         B3 = F.addBlock();
+  RegNum R = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[B0].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B2].Label));
+  F.Blocks[B1].Insts.push_back(rtl::jump(F.Blocks[B3].Label));
+  F.Blocks[B2].Insts.push_back(rtl::mov(Operand::reg(R), Operand::imm(2)));
+  F.Blocks[B3].Insts.push_back(rtl::ret(Operand::none()));
+  return F;
+}
+
+TEST(Dominators, Diamond) {
+  Function F = makeDiamond();
+  Cfg C = Cfg::build(F);
+  Dominators D(F, C);
+  EXPECT_TRUE(D.dominates(0, 0));
+  EXPECT_TRUE(D.dominates(0, 1));
+  EXPECT_TRUE(D.dominates(0, 2));
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_FALSE(D.dominates(1, 3)); // Join reachable around either arm.
+  EXPECT_FALSE(D.dominates(2, 3));
+  EXPECT_TRUE(D.dominates(3, 3));
+  EXPECT_FALSE(D.dominates(3, 0));
+}
+
+TEST(Dominators, LinearChain) {
+  Function F;
+  F.addBlock();
+  F.addBlock();
+  F.addBlock();
+  F.Blocks[2].Insts.push_back(rtl::ret(Operand::none()));
+  Cfg C = Cfg::build(F);
+  Dominators D(F, C);
+  EXPECT_TRUE(D.dominates(0, 2));
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+TEST(Dominators, UnreachableBlockExcluded) {
+  Function F;
+  size_t B0 = F.addBlock();
+  size_t B1 = F.addBlock(); // Unreachable: B0 jumps over it.
+  size_t B2 = F.addBlock();
+  F.Blocks[B0].Insts.push_back(rtl::jump(F.Blocks[B2].Label));
+  F.Blocks[B1].Insts.push_back(rtl::jump(F.Blocks[B2].Label));
+  F.Blocks[B2].Insts.push_back(rtl::ret(Operand::none()));
+  Cfg C = Cfg::build(F);
+  Dominators D(F, C);
+  EXPECT_TRUE(D.isReachable(B0));
+  EXPECT_FALSE(D.isReachable(B1));
+  EXPECT_TRUE(D.isReachable(B2));
+  // B2's dominators must not be poisoned by the unreachable predecessor.
+  EXPECT_TRUE(D.dominates(0, 2));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  // B0 -> B1(header) -> B2(body) -> B1, B1 -> B3(exit)
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+         B3 = F.addBlock();
+  (void)B0;
+  RegNum R = F.makePseudo();
+  F.Blocks[B1].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[B1].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B3].Label));
+  F.Blocks[B2].Insts.push_back(rtl::jump(F.Blocks[B1].Label));
+  F.Blocks[B3].Insts.push_back(rtl::ret(Operand::none()));
+  Cfg C = Cfg::build(F);
+  Dominators D(F, C);
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_TRUE(D.dominates(1, 3));
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- liveness_test.cpp - Liveness analysis tests ---------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/Liveness.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(Liveness, StraightLine) {
+  // r32 = 1; r33 = r32 + 2; ret r33
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo(), B = F.makePseudo();
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::mov(Operand::reg(A), Operand::imm(1)));
+  I.push_back(rtl::binary(Op::Add, Operand::reg(B), Operand::reg(A),
+                          Operand::imm(2)));
+  I.push_back(rtl::ret(Operand::reg(B)));
+
+  Cfg C = Cfg::build(F);
+  Liveness LV(F, C);
+  EXPECT_FALSE(LV.liveIn(0).test(A));
+  EXPECT_FALSE(LV.liveIn(0).test(B));
+  EXPECT_FALSE(LV.liveOut(0).any());
+
+  std::vector<BitVector> After = LV.liveAfterEach(F, 0);
+  EXPECT_TRUE(After[0].test(A));  // A live after its def.
+  EXPECT_FALSE(After[1].test(A)); // A dead after last use.
+  EXPECT_TRUE(After[1].test(B));
+}
+
+TEST(Liveness, AcrossLoop) {
+  // B0: r32=0          (accumulator)
+  // B1: r32=r32+1; cmp r32?10; branch Lt -> B1
+  // B2: ret r32
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock();
+  RegNum A = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::mov(Operand::reg(A), Operand::imm(0)));
+  F.Blocks[B1].Insts.push_back(rtl::binary(Op::Add, Operand::reg(A),
+                                           Operand::reg(A),
+                                           Operand::imm(1)));
+  F.Blocks[B1].Insts.push_back(rtl::cmp(Operand::reg(A), Operand::imm(10)));
+  F.Blocks[B1].Insts.push_back(rtl::branch(Cond::Lt, F.Blocks[B1].Label));
+  F.Blocks[B2].Insts.push_back(rtl::ret(Operand::reg(A)));
+
+  Cfg C = Cfg::build(F);
+  Liveness LV(F, C);
+  EXPECT_TRUE(LV.liveOut(B0).test(A));
+  EXPECT_TRUE(LV.liveIn(B1).test(A));
+  EXPECT_TRUE(LV.liveOut(B1).test(A));
+  EXPECT_TRUE(LV.liveIn(B2).test(A));
+  EXPECT_FALSE(LV.liveOut(B2).test(A));
+}
+
+TEST(Liveness, ConditionCodeTracked) {
+  // cmp r32?0 ; branch — IC must be live between them.
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock();
+  RegNum A = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::mov(Operand::reg(A), Operand::imm(1)));
+  F.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(A), Operand::imm(0)));
+  F.Blocks[B0].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B1].Label));
+  F.Blocks[B1].Insts.push_back(rtl::ret(Operand::none()));
+
+  Cfg C = Cfg::build(F);
+  Liveness LV(F, C);
+  std::vector<BitVector> After = LV.liveAfterEach(F, B0);
+  EXPECT_TRUE(After[1].test(LV.icIndex()));  // IC live after cmp.
+  EXPECT_FALSE(After[2].test(LV.icIndex())); // Dead after branch.
+  EXPECT_FALSE(After[0].test(LV.icIndex()));
+}
+
+TEST(Liveness, CallArgumentsAreUses) {
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo();
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::mov(Operand::reg(A), Operand::imm(9)));
+  I.push_back(rtl::call(Operand::none(), 0, {Operand::reg(A)}));
+  I.push_back(rtl::ret(Operand::none()));
+
+  Cfg C = Cfg::build(F);
+  Liveness LV(F, C);
+  std::vector<BitVector> After = LV.liveAfterEach(F, 0);
+  EXPECT_TRUE(After[0].test(A));
+  EXPECT_FALSE(After[1].test(A));
+}
+
+TEST(Liveness, DiamondMerge) {
+  // Value defined on both arms of a diamond, used at the join.
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+         B3 = F.addBlock();
+  RegNum P = F.makePseudo(), V = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::mov(Operand::reg(P), Operand::imm(1)));
+  F.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(P), Operand::imm(0)));
+  F.Blocks[B0].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B2].Label));
+  F.Blocks[B1].Insts.push_back(rtl::mov(Operand::reg(V), Operand::imm(1)));
+  F.Blocks[B1].Insts.push_back(rtl::jump(F.Blocks[B3].Label));
+  F.Blocks[B2].Insts.push_back(rtl::mov(Operand::reg(V), Operand::imm(2)));
+  F.Blocks[B3].Insts.push_back(rtl::ret(Operand::reg(V)));
+
+  Cfg C = Cfg::build(F);
+  Liveness LV(F, C);
+  EXPECT_TRUE(LV.liveOut(B1).test(V));
+  EXPECT_TRUE(LV.liveOut(B2).test(V));
+  EXPECT_FALSE(LV.liveIn(B1).test(V)); // Defined before use on each arm.
+  EXPECT_FALSE(LV.liveOut(B0).test(V));
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===- loops_test.cpp - Natural loop detection tests --------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/Loops.h"
+
+#include "src/analysis/Dominators.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+LoopInfo analyze(const Function &F) {
+  Cfg C = Cfg::build(F);
+  Dominators D(F, C);
+  return LoopInfo(F, C, D);
+}
+
+TEST(Loops, NoLoops) {
+  Function F;
+  F.addBlock();
+  F.Blocks[0].Insts.push_back(rtl::ret(Operand::none()));
+  EXPECT_EQ(analyze(F).count(), 0u);
+}
+
+TEST(Loops, SimpleWhile) {
+  // B0 -> B1(header: test) -> B2(body) -> B1; B1 -> B3(exit)
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+         B3 = F.addBlock();
+  (void)B0;
+  RegNum R = F.makePseudo();
+  F.Blocks[B1].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[B1].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B3].Label));
+  F.Blocks[B2].Insts.push_back(rtl::jump(F.Blocks[B1].Label));
+  F.Blocks[B3].Insts.push_back(rtl::ret(Operand::none()));
+
+  LoopInfo LI = analyze(F);
+  ASSERT_EQ(LI.count(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 1);
+  EXPECT_EQ(L.Latches, (std::vector<int>{2}));
+  EXPECT_EQ(L.Blocks, (std::vector<int>{1, 2}));
+  EXPECT_EQ(L.Depth, 1);
+}
+
+TEST(Loops, SelfLoop) {
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock();
+  (void)B0;
+  RegNum R = F.makePseudo();
+  F.Blocks[B1].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[B1].Insts.push_back(rtl::branch(Cond::Ne, F.Blocks[B1].Label));
+  F.Blocks[B2].Insts.push_back(rtl::ret(Operand::none()));
+  LoopInfo LI = analyze(F);
+  ASSERT_EQ(LI.count(), 1u);
+  EXPECT_EQ(LI.loops()[0].Header, 1);
+  EXPECT_EQ(LI.loops()[0].Blocks, (std::vector<int>{1}));
+}
+
+TEST(Loops, NestedLoopsInnermostFirst) {
+  // B0 -> B1(outer hdr) -> B2(inner hdr) -> B3(inner body) -> B2
+  //       B2 -> B4(outer latch) -> B1 ; B1 -> B5(exit)
+  Function F;
+  for (int I = 0; I < 6; ++I)
+    F.addBlock();
+  RegNum R = F.makePseudo();
+  auto Cmp = [&]() { return rtl::cmp(Operand::reg(R), Operand::imm(0)); };
+  F.Blocks[1].Insts.push_back(Cmp());
+  F.Blocks[1].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[5].Label));
+  F.Blocks[2].Insts.push_back(Cmp());
+  F.Blocks[2].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[4].Label));
+  F.Blocks[3].Insts.push_back(rtl::jump(F.Blocks[2].Label));
+  F.Blocks[4].Insts.push_back(rtl::jump(F.Blocks[1].Label));
+  F.Blocks[5].Insts.push_back(rtl::ret(Operand::none()));
+
+  LoopInfo LI = analyze(F);
+  ASSERT_EQ(LI.count(), 2u);
+  // Innermost first: the loop headed at B2.
+  EXPECT_EQ(LI.loops()[0].Header, 2);
+  EXPECT_EQ(LI.loops()[0].Depth, 2);
+  EXPECT_EQ(LI.loops()[1].Header, 1);
+  EXPECT_EQ(LI.loops()[1].Depth, 1);
+  // Outer loop contains the inner blocks.
+  EXPECT_TRUE(LI.loops()[1].contains(2));
+  EXPECT_TRUE(LI.loops()[1].contains(3));
+  EXPECT_TRUE(LI.loops()[1].contains(4));
+  EXPECT_FALSE(LI.loops()[0].contains(4));
+}
+
+TEST(Loops, TwoBackEdgesOneLoop) {
+  // Two latches to one header form a single natural loop.
+  Function F;
+  for (int I = 0; I < 5; ++I)
+    F.addBlock();
+  RegNum R = F.makePseudo();
+  F.Blocks[1].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[1].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[4].Label));
+  F.Blocks[2].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(1)));
+  F.Blocks[2].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[1].Label));
+  F.Blocks[3].Insts.push_back(rtl::jump(F.Blocks[1].Label));
+  F.Blocks[4].Insts.push_back(rtl::ret(Operand::none()));
+  LoopInfo LI = analyze(F);
+  ASSERT_EQ(LI.count(), 1u);
+  EXPECT_EQ(LI.loops()[0].Latches.size(), 2u);
+  EXPECT_EQ(LI.loops()[0].Blocks, (std::vector<int>{1, 2, 3}));
+}
+
+} // namespace

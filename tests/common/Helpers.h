@@ -1,0 +1,45 @@
+//===- Helpers.h - Shared test utilities -----------------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_TESTS_COMMON_HELPERS_H
+#define POSE_TESTS_COMMON_HELPERS_H
+
+#include "src/frontend/Compile.h"
+#include "src/ir/Function.h"
+#include "src/ir/Printer.h"
+#include "src/ir/Verify.h"
+
+#include <gtest/gtest.h>
+
+namespace pose {
+namespace testhelpers {
+
+/// Compiles MC source, failing the current test on any diagnostic.
+inline Module compileOrDie(const std::string &Source) {
+  CompileResult R = compileMC(Source);
+  EXPECT_TRUE(R.ok()) << R.diagText();
+  return std::move(R.M);
+}
+
+/// Returns the function named \p Name, failing the test if absent.
+inline Function &functionNamed(Module &M, const std::string &Name) {
+  int Id = M.findGlobal(Name);
+  EXPECT_GE(Id, 0) << "no function " << Name;
+  Function *F = M.functionFor(Id);
+  EXPECT_NE(F, nullptr) << Name << " is not a function";
+  return *F;
+}
+
+/// Expects that \p F passes the IR verifier, printing it otherwise.
+inline void expectVerifies(const Function &F) {
+  std::string Err = verifyFunction(F);
+  EXPECT_EQ(Err, "") << printFunction(F);
+}
+
+} // namespace testhelpers
+} // namespace pose
+
+#endif // POSE_TESTS_COMMON_HELPERS_H

@@ -1,0 +1,177 @@
+//===- canonical_test.cpp - Canonicalization tests -----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Canonical.h"
+
+#include "src/ir/Function.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+Function renameRegs(const Function &F, int Delta) {
+  Function G = F;
+  for (BasicBlock &B : G.Blocks)
+    for (Rtl &I : B.Insts) {
+      if (I.Dst.isReg())
+        I.Dst = Operand::reg(I.Dst.getReg() + Delta);
+      I.forEachUseOperand(
+          [&](Operand &O) { O = Operand::reg(O.getReg() + Delta); });
+    }
+  return G;
+}
+
+/// The paper's Figure 5 loop body, parameterized by register names and
+/// label number: sum += a[i] with pointer-style iteration.
+Function figure5(RegNum R10, RegNum R12, RegNum R1, RegNum R9, RegNum R8,
+                 int32_t Label) {
+  Function F;
+  F.Name = "fig5";
+  Global unusedG; // Document: global id 0 = the array "a".
+  (void)unusedG;
+  BasicBlock Head(Label + 100);
+  Head.Insts.push_back(rtl::mov(Operand::reg(R10), Operand::imm(0)));
+  Head.Insts.push_back(rtl::lea(Operand::reg(R12), Operand::global(0)));
+  Head.Insts.push_back(rtl::mov(Operand::reg(R1), Operand::reg(R12)));
+  Head.Insts.push_back(rtl::binary(Op::Add, Operand::reg(R9),
+                                   Operand::reg(R12),
+                                   Operand::imm(4000)));
+  BasicBlock Loop(Label);
+  Loop.Insts.push_back(rtl::load(Operand::reg(R8), Operand::reg(R1), 0));
+  Loop.Insts.push_back(rtl::binary(Op::Add, Operand::reg(R10),
+                                   Operand::reg(R10), Operand::reg(R8)));
+  Loop.Insts.push_back(rtl::binary(Op::Add, Operand::reg(R1),
+                                   Operand::reg(R1), Operand::imm(4)));
+  Loop.Insts.push_back(rtl::cmp(Operand::reg(R1), Operand::reg(R9)));
+  Loop.Insts.push_back(rtl::branch(Cond::Lt, Label));
+  BasicBlock Tail(Label + 200);
+  Tail.Insts.push_back(rtl::ret(Operand::reg(R10)));
+  F.Blocks.push_back(std::move(Head));
+  F.Blocks.push_back(std::move(Loop));
+  F.Blocks.push_back(std::move(Tail));
+  F.recomputeCounters();
+  return F;
+}
+
+TEST(Canonical, IdenticalFunctionsMatch) {
+  Function A = figure5(10, 12, 1, 9, 8, 3);
+  Function B = figure5(10, 12, 1, 9, 8, 3);
+  EXPECT_EQ(canonicalize(A).Hash, canonicalize(B).Hash);
+}
+
+TEST(Canonical, PaperFigure5RegisterAndLabelRemapping) {
+  // Figure 5(b) vs 5(c): same code modulo register numbers and labels —
+  // "the same function instance is obtained after remapping".
+  Function B = figure5(10, 12, 1, 9, 8, 3); // registers of Fig 5(b), L3
+  Function C = figure5(11, 10, 1, 9, 8, 5); // registers of Fig 5(c), L5
+  EXPECT_EQ(canonicalize(B).Hash, canonicalize(C).Hash);
+  // And the exact canonical bytes agree, not just the hashes.
+  EXPECT_EQ(canonicalize(B, true).Bytes, canonicalize(C, true).Bytes);
+}
+
+TEST(Canonical, UniformRenameMatches) {
+  Function A = figure5(10, 12, 1, 9, 8, 3);
+  Function B = renameRegs(A, 7);
+  EXPECT_EQ(canonicalize(A).Hash, canonicalize(B).Hash);
+}
+
+TEST(Canonical, DifferentCodeDiffers) {
+  Function A = figure5(10, 12, 1, 9, 8, 3);
+  Function B = A;
+  B.Blocks[1].Insts[2].Src[1] = Operand::imm(8); // Step 8 instead of 4.
+  EXPECT_NE(canonicalize(A).Hash, canonicalize(B).Hash);
+}
+
+TEST(Canonical, InstructionOrderMatters) {
+  // CRC is order sensitive — the reason the paper prefers it over a sum.
+  Function A, B;
+  A.addBlock();
+  B.addBlock();
+  RegNum R1 = 32, R2 = 33;
+  A.Blocks[0].Insts.push_back(rtl::mov(Operand::reg(R1), Operand::imm(1)));
+  A.Blocks[0].Insts.push_back(rtl::mov(Operand::reg(R2), Operand::imm(2)));
+  A.Blocks[0].Insts.push_back(rtl::ret(Operand::reg(R1)));
+  B.Blocks[0].Insts.push_back(rtl::mov(Operand::reg(R1), Operand::imm(2)));
+  B.Blocks[0].Insts.push_back(rtl::mov(Operand::reg(R2), Operand::imm(1)));
+  B.Blocks[0].Insts.push_back(rtl::ret(Operand::reg(R1)));
+  EXPECT_NE(canonicalize(A).Hash, canonicalize(B).Hash);
+  // Byte sums collide (same multiset of bytes once remapped names align),
+  // demonstrating why the triple includes a CRC. (Not asserted: the sum
+  // may or may not collide depending on encoding details.)
+}
+
+TEST(Canonical, HardwareVsPseudoRegistersDiffer) {
+  // Register assignment must be visible in instance identity.
+  Function A;
+  A.addBlock();
+  A.Blocks[0].Insts.push_back(rtl::mov(Operand::reg(32), Operand::imm(1)));
+  A.Blocks[0].Insts.push_back(rtl::ret(Operand::reg(32)));
+  Function B;
+  B.addBlock();
+  B.Blocks[0].Insts.push_back(rtl::mov(Operand::reg(0), Operand::imm(1)));
+  B.Blocks[0].Insts.push_back(rtl::ret(Operand::reg(0)));
+  EXPECT_NE(canonicalize(A).Hash, canonicalize(B).Hash);
+}
+
+TEST(Canonical, PhaseStateParticipates) {
+  Function A;
+  A.addBlock();
+  A.Blocks[0].Insts.push_back(rtl::ret(Operand::imm(0)));
+  Function B = A;
+  B.State.RegAllocDone = true;
+  EXPECT_NE(canonicalize(A).Hash, canonicalize(B).Hash);
+}
+
+TEST(Canonical, EmptyBlocksAreTransparent) {
+  // Branching to an empty block is the same emitted code as branching to
+  // the block it falls into.
+  Function A;
+  size_t A0 = A.addBlock(), A1 = A.addBlock(), A2 = A.addBlock();
+  (void)A1; // Empty.
+  RegNum R = A.makePseudo();
+  A.Blocks[A0].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  A.Blocks[A0].Insts.push_back(rtl::branch(Cond::Eq, A.Blocks[A1].Label));
+  A.Blocks[A2].Insts.push_back(rtl::ret(Operand::none()));
+
+  Function B;
+  size_t B0 = B.addBlock(), B1 = B.addBlock();
+  RegNum R2 = B.makePseudo();
+  B.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(R2), Operand::imm(0)));
+  B.Blocks[B0].Insts.push_back(rtl::branch(Cond::Eq, B.Blocks[B1].Label));
+  B.Blocks[B1].Insts.push_back(rtl::ret(Operand::none()));
+
+  EXPECT_EQ(canonicalize(A).Hash, canonicalize(B).Hash);
+}
+
+TEST(Canonical, TripleComponents) {
+  Function A = figure5(10, 12, 1, 9, 8, 3);
+  CanonicalForm CF = canonicalize(A, true);
+  EXPECT_EQ(CF.Hash.InstCount, A.instructionCount());
+  EXPECT_FALSE(CF.Bytes.empty());
+  // Default mode omits the bytes.
+  EXPECT_TRUE(canonicalize(A).Bytes.empty());
+}
+
+TEST(Canonical, ControlFlowHashIgnoresPayload) {
+  Function A = figure5(10, 12, 1, 9, 8, 3);
+  Function B = A;
+  B.Blocks[1].Insts[2].Src[1] = Operand::imm(8); // Payload change.
+  EXPECT_EQ(controlFlowHash(A), controlFlowHash(B));
+  // Structural change: make the branch a jump (loses fall-through edge).
+  Function C = A;
+  C.Blocks[1].Insts.back() = rtl::jump(C.Blocks[1].Label);
+  EXPECT_NE(controlFlowHash(A), controlFlowHash(C));
+}
+
+TEST(Canonical, HasherSpreads) {
+  HashTripleHasher H;
+  HashTriple A{1, 2, 3}, B{1, 2, 4};
+  EXPECT_NE(H(A), H(B));
+}
+
+} // namespace

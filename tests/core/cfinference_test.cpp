@@ -1,0 +1,104 @@
+//===- cfinference_test.cpp - CF-class dynamic-count inference tests -----------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/CfInference.h"
+
+#include "src/opt/PhaseManager.h"
+#include "src/sim/Interpreter.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+const char *ProgramSource =
+    "int t[16] = {5,3,8,1,9,2,7,4,6,0,11,13,12,10,15,14};\n"
+    "int weigh(int n) {\n"
+    "  int s = 0; int i = 0;\n"
+    "  while (i < n) { if (t[i] % 2 == 0) s = s + t[i] * 3; i = i + 1; }\n"
+    "  return s;\n"
+    "}\n"
+    "int main() { out(weigh(16)); out(weigh(7)); return weigh(12); }\n";
+
+TEST(Profiling, BlockCountsMatchExecution) {
+  Module M = compileOrDie(ProgramSource);
+  Interpreter Sim(M);
+  Sim.setProfileFunction("weigh");
+  RunResult R = Sim.run("main", {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const Function &F = functionNamed(M, "weigh");
+  ASSERT_EQ(R.BlockCounts.size(), F.Blocks.size());
+  // Entry block executes once per call: three calls from main.
+  EXPECT_EQ(R.BlockCounts[0], 3u);
+  // The frequencies weighted by block sizes must reconstruct the
+  // function's share of the dynamic count exactly.
+  uint64_t InFunction = 0;
+  for (size_t B = 0; B != F.Blocks.size(); ++B)
+    InFunction += R.BlockCounts[B] * F.Blocks[B].Insts.size();
+  EXPECT_LT(InFunction, R.DynamicInsts);
+  EXPECT_GT(InFunction, 0u);
+}
+
+TEST(Profiling, DisabledByDefault) {
+  Module M = compileOrDie(ProgramSource);
+  Interpreter Sim(M);
+  RunResult R = Sim.run("main", {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.BlockCounts.empty());
+}
+
+TEST(CfInference, InferredCountsAreExact) {
+  // The paper's Section 7 claim, validated instance by instance: inferred
+  // dynamic counts must equal fully simulated ones.
+  Module M = compileOrDie(ProgramSource);
+  const Function Root = functionNamed(M, "weigh");
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  EnumerationResult R = E.enumerate(Root);
+  ASSERT_TRUE(R.Complete);
+  DagPaths Paths(R);
+  CfCountEvaluator Eval(M, "main", "weigh", Root, PM);
+
+  Interpreter Sim(M);
+  size_t Checked = 0;
+  for (uint32_t Id = 0; Id != R.Nodes.size(); ++Id) {
+    CfCountEvaluator::Count C = Eval.evaluate(R, Paths, Id);
+    ASSERT_TRUE(C.Valid) << "node " << Id;
+    // Ground truth: simulate this exact instance.
+    Function Inst = Paths.materialize(Root, PM, Id);
+    Sim.overrideFunction("weigh", &Inst);
+    RunResult Truth = Sim.run("main", {});
+    Sim.overrideFunction("weigh", nullptr);
+    ASSERT_TRUE(Truth.Ok);
+    EXPECT_EQ(C.Dynamic, Truth.DynamicInsts) << "node " << Id;
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, R.Nodes.size());
+  // The whole point: far fewer simulations than instances.
+  EXPECT_LT(Eval.simulations(), R.Nodes.size() / 4);
+  EXPECT_GT(Eval.simulations(), 0u);
+}
+
+TEST(DagPathsTest, PathsReplayToMatchingHashes) {
+  Module M = compileOrDie(ProgramSource);
+  const Function Root = functionNamed(M, "weigh");
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  EnumerationResult R = E.enumerate(Root);
+  DagPaths Paths(R);
+  for (uint32_t Id = 0; Id != R.Nodes.size(); ++Id) {
+    Function Inst = Paths.materialize(Root, PM, Id);
+    EXPECT_EQ(canonicalize(Inst).Hash, R.Nodes[Id].Hash) << "node " << Id;
+    EXPECT_EQ(Paths.pathTo(Id).size(), R.Nodes[Id].Level)
+        << "BFS paths are shortest";
+  }
+  EXPECT_EQ(Paths.sequenceTo(0), "");
+}
+
+} // namespace

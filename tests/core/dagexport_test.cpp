@@ -1,0 +1,77 @@
+//===- dagexport_test.cpp - DOT export tests ------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/DagExport.h"
+
+#include "src/opt/PhaseManager.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+EnumerationResult enumerateSum() {
+  Module M = compileOrDie(
+      "int f(int n){int s=0;int i=0;while(i<n){s=s+i;i=i+1;}return s;}");
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  return E.enumerate(functionNamed(M, "f"));
+}
+
+TEST(DagExport, WellFormedDot) {
+  EnumerationResult R = enumerateSum();
+  std::string Dot = dagToDot(R);
+  EXPECT_EQ(Dot.rfind("digraph", 0), 0u);
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_NE(Dot.find("}"), std::string::npos);
+  // Root is bold, leaves are double circles, edges carry phase letters.
+  EXPECT_NE(Dot.find("style=bold"), std::string::npos);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"s\""), std::string::npos);
+  // No dangling edge targets: every "-> nX" has a matching node line.
+  size_t Pos = 0;
+  while ((Pos = Dot.find("-> n", Pos)) != std::string::npos) {
+    Pos += 3;
+    size_t End = Dot.find(' ', Pos);
+    std::string Node = Dot.substr(Pos, End - Pos);
+    EXPECT_NE(Dot.find("  " + Node + " ["), std::string::npos) << Node;
+  }
+}
+
+TEST(DagExport, TruncationByMaxNodes) {
+  EnumerationResult R = enumerateSum();
+  ASSERT_GT(R.Nodes.size(), 10u);
+  DagExportOptions Opts;
+  Opts.MaxNodes = 10;
+  std::string Dot = dagToDot(R, Opts);
+  EXPECT_NE(Dot.find("more nodes"), std::string::npos);
+  // Exactly 10 node-declaration lines (start with "  n", no "->").
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Dot.find("\n  n", Pos)) != std::string::npos) {
+    size_t LineEnd = Dot.find('\n', Pos + 1);
+    std::string Line = Dot.substr(Pos + 1, LineEnd - Pos - 1);
+    // Node declarations are "  n<digits> [..." without an edge arrow
+    // (this skips the "node [shape=...]" preamble).
+    if (Line.size() > 3 && std::isdigit(static_cast<unsigned char>(Line[3])) &&
+        Line.find("->") == std::string::npos)
+      ++Count;
+    Pos = LineEnd;
+  }
+  EXPECT_EQ(Count, 10u);
+}
+
+TEST(DagExport, EmptyResult) {
+  EnumerationResult R;
+  std::string Dot = dagToDot(R);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- model_io_test.cpp - Interaction model persistence tests -------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Interaction.h"
+
+#include "src/core/Compilers.h"
+#include "src/opt/PhaseManager.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+InteractionAnalysis trainedModel() {
+  Module M = compileOrDie(
+      "int t[8]={2,7,1,8,2,8,1,8};\n"
+      "int f(int n){int s=0;int i=0;while(i<n){s=s+t[i&7]*6;i=i+1;}"
+      "return s;}\n"
+      "int g(int a,int b){if(a>b)return a-b;return b-a;}\n");
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  InteractionAnalysis IA;
+  for (Function &F : M.Functions) {
+    EnumerationResult R = E.enumerate(F);
+    EXPECT_TRUE(R.Complete);
+    IA.addFunction(R);
+  }
+  return IA;
+}
+
+TEST(ModelIo, RoundTripIsExact) {
+  InteractionAnalysis IA = trainedModel();
+  std::string Text = IA.serialize();
+  InteractionAnalysis Loaded;
+  ASSERT_TRUE(Loaded.deserialize(Text));
+  EXPECT_EQ(Loaded.functionCount(), IA.functionCount());
+  for (int Y = 0; Y != NumPhases; ++Y) {
+    PhaseId PY = phaseByIndex(Y);
+    EXPECT_DOUBLE_EQ(Loaded.startProbability(PY), IA.startProbability(PY));
+    EXPECT_DOUBLE_EQ(Loaded.averageBenefit(PY), IA.averageBenefit(PY));
+    for (int X = 0; X != NumPhases; ++X) {
+      PhaseId PX = phaseByIndex(X);
+      EXPECT_DOUBLE_EQ(Loaded.enabling(PY, PX), IA.enabling(PY, PX));
+      EXPECT_DOUBLE_EQ(Loaded.disabling(PY, PX), IA.disabling(PY, PX));
+      EXPECT_DOUBLE_EQ(Loaded.independence(PY, PX),
+                       IA.independence(PY, PX));
+      EXPECT_EQ(Loaded.alwaysIndependent(PY, PX),
+                IA.alwaysIndependent(PY, PX));
+    }
+  }
+  // And the serialized forms agree byte for byte.
+  EXPECT_EQ(Loaded.serialize(), Text);
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  InteractionAnalysis IA;
+  EXPECT_FALSE(IA.deserialize(""));
+  EXPECT_FALSE(IA.deserialize("not a model"));
+  EXPECT_FALSE(IA.deserialize("pose-interaction-model v1\nfunctions x\n"));
+  // Truncated body.
+  std::string Text = trainedModel().serialize();
+  EXPECT_FALSE(IA.deserialize(Text.substr(0, Text.size() / 2)));
+}
+
+TEST(ModelIo, LoadedModelDrivesTheCompiler) {
+  InteractionAnalysis IA = trainedModel();
+  InteractionAnalysis Loaded;
+  ASSERT_TRUE(Loaded.deserialize(IA.serialize()));
+  Module M = compileOrDie(
+      "int f(int n){int s=0;int i=0;while(i<n){s=s+i*6;i=i+1;}return s;}");
+  PhaseManager PM;
+  ProbabilisticCompiler A(PM, IA), B(PM, Loaded);
+  Module M2 = compileOrDie(
+      "int f(int n){int s=0;int i=0;while(i<n){s=s+i*6;i=i+1;}return s;}");
+  CompileStats SA = A.compile(functionNamed(M, "f"));
+  CompileStats SB = B.compile(functionNamed(M2, "f"));
+  EXPECT_EQ(SA.Attempted, SB.Attempted);
+  EXPECT_EQ(SA.ActiveSequence, SB.ActiveSequence);
+}
+
+} // namespace

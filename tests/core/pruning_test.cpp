@@ -1,0 +1,121 @@
+//===- pruning_test.cpp - Independence-pruning tests ----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the Section 7 future-work feature: enumeration with
+// independence-based edge prediction must reproduce the ground-truth DAG
+// exactly when trained on the same function, while skipping optimizer
+// invocations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Interaction.h"
+#include "src/opt/PhaseManager.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+const char *Sources[] = {
+    "int f(int n){int s=0;int i=0;while(i<n){s=s+i;i=i+1;}return s;}",
+    "int t[8]={1,2,3,4,5,6,7,8};\n"
+    "int f(int n){int s=0;int i=0;while(i<n){s=s+t[i&7]*3;i=i+1;}"
+    "return s;}",
+    "int f(int a,int b){int r;if(a>b)r=a*2;else r=b*4;return r+a;}",
+};
+
+/// Compares two enumeration results node by node (same hashes, same
+/// edge structure under the node-id correspondence induced by hashes).
+void expectSameDag(const EnumerationResult &A, const EnumerationResult &B) {
+  ASSERT_EQ(A.Nodes.size(), B.Nodes.size());
+  // Hash -> index maps (hashes are unique per result).
+  auto SortedEdges = [](const EnumerationResult &R, const DagNode &N) {
+    std::vector<std::pair<char, HashTriple>> Out;
+    for (const DagEdge &E : N.Edges)
+      Out.push_back({phaseCode(E.Phase), R.Nodes[E.To].Hash});
+    std::sort(Out.begin(), Out.end(),
+              [](const auto &X, const auto &Y) {
+                if (X.first != Y.first)
+                  return X.first < Y.first;
+                return X.second.Crc < Y.second.Crc;
+              });
+    return Out;
+  };
+  for (size_t I = 0; I != A.Nodes.size(); ++I) {
+    // Find B's node with A's hash.
+    const DagNode *BN = nullptr;
+    for (const DagNode &Cand : B.Nodes)
+      if (Cand.Hash == A.Nodes[I].Hash) {
+        BN = &Cand;
+        break;
+      }
+    ASSERT_NE(BN, nullptr) << "node " << I << " missing";
+    EXPECT_EQ(A.Nodes[I].ActiveMask, BN->ActiveMask) << "node " << I;
+    auto EA = SortedEdges(A, A.Nodes[I]);
+    auto EB = SortedEdges(B, *BN);
+    ASSERT_EQ(EA.size(), EB.size()) << "node " << I;
+    for (size_t K = 0; K != EA.size(); ++K) {
+      EXPECT_EQ(EA[K].first, EB[K].first);
+      EXPECT_EQ(EA[K].second, EB[K].second);
+    }
+  }
+}
+
+TEST(IndependencePruning, ReproducesGroundTruthWithFewerAttempts) {
+  PhaseManager PM;
+  for (const char *Src : Sources) {
+    Module M = compileOrDie(Src);
+    Function &F = functionNamed(M, "f");
+
+    // Ground truth + training.
+    Enumerator Plain(PM, EnumeratorConfig{});
+    EnumerationResult Truth = Plain.enumerate(F);
+    ASSERT_TRUE(Truth.Complete);
+    InteractionAnalysis IA;
+    IA.addFunction(Truth);
+
+    EnumeratorConfig Pruned;
+    Pruned.UseIndependencePruning = true;
+    for (int X = 0; X != NumPhases; ++X)
+      for (int Y = 0; Y != NumPhases; ++Y)
+        Pruned.TrainedIndependence[X][Y] =
+            IA.alwaysIndependent(phaseByIndex(X), phaseByIndex(Y));
+    Enumerator Fast(PM, Pruned);
+    EnumerationResult R = Fast.enumerate(F);
+    ASSERT_TRUE(R.Complete);
+
+    expectSameDag(Truth, R);
+    // Some pairs are always independent in loops; predictions fire there
+    // and save attempts. (Straight-line functions may train nothing.)
+    EXPECT_LE(R.AttemptedPhases + R.PredictedEdges, Truth.AttemptedPhases);
+    if (R.PredictedEdges > 0) {
+      EXPECT_LT(R.AttemptedPhases, Truth.AttemptedPhases);
+    }
+  }
+}
+
+TEST(IndependencePruning, OffByDefault) {
+  EnumeratorConfig Cfg;
+  EXPECT_FALSE(Cfg.UseIndependencePruning);
+  Module M = compileOrDie(Sources[0]);
+  PhaseManager PM;
+  Enumerator E(PM, Cfg);
+  EnumerationResult R = E.enumerate(functionNamed(M, "f"));
+  EXPECT_EQ(R.PredictedEdges, 0u);
+}
+
+TEST(IndependencePruning, AlwaysIndependentRequiresObservations) {
+  InteractionAnalysis Empty;
+  EXPECT_FALSE(Empty.alwaysIndependent(PhaseId::BranchChaining,
+                                       PhaseId::Cse));
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- codegen_test.cpp - MC codegen tests -------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+TEST(Codegen, MinimalFunction) {
+  Module M = compileOrDie("int f() { return 3; }");
+  Function &F = functionNamed(M, "f");
+  expectVerifies(F);
+  // mov t,3 ; ret t
+  ASSERT_EQ(F.Blocks.size(), 1u);
+  ASSERT_EQ(F.Blocks[0].Insts.size(), 2u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Opcode, Op::Mov);
+  EXPECT_EQ(F.Blocks[0].Insts[1].Opcode, Op::Ret);
+}
+
+TEST(Codegen, ParamsBecomeSlots) {
+  Module M = compileOrDie("int f(int a, int b) { return a; }");
+  Function &F = functionNamed(M, "f");
+  EXPECT_EQ(F.NumParams, 2);
+  ASSERT_GE(F.Slots.size(), 2u);
+  EXPECT_TRUE(F.Slots[0].IsParam);
+  EXPECT_EQ(F.Slots[0].Name, "a");
+  // Naive code reads the parameter through Lea + Load.
+  EXPECT_EQ(F.Blocks[0].Insts[0].Opcode, Op::Lea);
+  EXPECT_TRUE(F.Blocks[0].Insts[0].Src[0].isSlot());
+  EXPECT_EQ(F.Blocks[0].Insts[1].Opcode, Op::Load);
+}
+
+TEST(Codegen, AssignmentThroughStore) {
+  Module M = compileOrDie("int f() { int x; x = 7; return x; }");
+  Function &F = functionNamed(M, "f");
+  expectVerifies(F);
+  bool SawStore = false;
+  for (const Rtl &I : F.Blocks[0].Insts)
+    SawStore |= (I.Opcode == Op::Store);
+  EXPECT_TRUE(SawStore) << printFunction(F);
+}
+
+TEST(Codegen, GlobalAccess) {
+  Module M = compileOrDie("int g = 4; int f() { return g; }");
+  Function &F = functionNamed(M, "f");
+  bool SawGlobalLea = false;
+  for (const Rtl &I : F.Blocks[0].Insts)
+    SawGlobalLea |= (I.Opcode == Op::Lea && I.Src[0].isGlobal());
+  EXPECT_TRUE(SawGlobalLea);
+}
+
+TEST(Codegen, WhileLoopShape) {
+  Module M = compileOrDie(
+      "int f(int n) { int i; i = 0; while (i < n) i = i + 1; return i; }");
+  Function &F = functionNamed(M, "f");
+  expectVerifies(F);
+  // There must be a backward jump and a conditional branch.
+  bool SawBranch = false, SawJump = false;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Rtl &I : B.Insts) {
+      SawBranch |= (I.Opcode == Op::Branch);
+      SawJump |= (I.Opcode == Op::Jump);
+    }
+  EXPECT_TRUE(SawBranch);
+  EXPECT_TRUE(SawJump);
+  EXPECT_GE(F.Blocks.size(), 3u);
+}
+
+TEST(Codegen, CallsCheckedAndEmitted) {
+  Module M = compileOrDie(
+      "int add(int a, int b) { return a + b; }\n"
+      "int f() { return add(1, 2); }");
+  Function &F = functionNamed(M, "f");
+  bool SawCall = false;
+  for (const Rtl &I : F.Blocks[0].Insts)
+    if (I.Opcode == Op::Call) {
+      SawCall = true;
+      EXPECT_EQ(I.Args.size(), 2u);
+      EXPECT_TRUE(I.Dst.isReg());
+    }
+  EXPECT_TRUE(SawCall);
+}
+
+TEST(Codegen, VoidCallNoDest) {
+  Module M = compileOrDie("void f() { out(1); }");
+  Function &F = functionNamed(M, "f");
+  bool SawCall = false;
+  for (const Rtl &I : F.Blocks[0].Insts)
+    if (I.Opcode == Op::Call) {
+      SawCall = true;
+      EXPECT_TRUE(I.Dst.isNone());
+    }
+  EXPECT_TRUE(SawCall);
+}
+
+TEST(Codegen, NoEmptyBlocks) {
+  Module M = compileOrDie(
+      "int f(int n) {\n"
+      "  int s = 0; int i;\n"
+      "  for (i = 0; i < n; i = i + 1) { if (i % 2) s = s + i; }\n"
+      "  return s;\n"
+      "}");
+  Function &F = functionNamed(M, "f");
+  for (const BasicBlock &B : F.Blocks)
+    EXPECT_FALSE(B.empty()) << printFunction(F);
+}
+
+TEST(Codegen, SemanticErrors) {
+  auto Fails = [](const std::string &S) {
+    CompileResult R = compileMC(S);
+    EXPECT_FALSE(R.ok()) << "expected diagnostics for: " << S;
+  };
+  Fails("int f() { return x; }");              // Undeclared.
+  Fails("int f() { int x; int x; return 0; }");// Redeclared.
+  Fails("int a[3]; int f() { return a; }");    // Array as scalar.
+  Fails("int g; int f() { return g[0]; }");    // Scalar subscripted.
+  Fails("int f() { return f(1); }");           // Arity mismatch.
+  Fails("void v() {} int f() { return v(); }");// Void in expression.
+  Fails("void f() { return 1; }");             // Value from void.
+  Fails("int f() { return; }");                // Missing value.
+  Fails("int f() { break; }");                 // Break outside loop.
+  Fails("int g; int g; ");                     // Duplicate global.
+  Fails("int f() {} int f() {}");              // Duplicate function.
+  Fails("int f() { out(1,2); }");              // Builtin arity.
+}
+
+TEST(Codegen, ShadowingInNestedScopeAllowed) {
+  Module M = compileOrDie(
+      "int f() { int x = 1; { int x = 2; out(x); } return x; }");
+  expectVerifies(functionNamed(M, "f"));
+}
+
+TEST(Codegen, AllFunctionsVerify) {
+  Module M = compileOrDie(
+      "int tbl[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};\n"
+      "int popcount(int x) {\n"
+      "  int n = 0;\n"
+      "  while (x != 0) { n = n + tbl[x & 15]; x = x >>> 4; }\n"
+      "  return n;\n"
+      "}\n"
+      "int main() { out(popcount(0x1234)); return 0; }");
+  for (const Function &F : M.Functions)
+    expectVerifies(F);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- lexer_test.cpp - MC lexer tests ---------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+std::vector<Token> lex(const std::string &S) {
+  return Lexer(S).lexAll();
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto T = lex("int foo void while whilex");
+  ASSERT_EQ(T.size(), 6u);
+  EXPECT_EQ(T[0].Kind, Tok::KwInt);
+  EXPECT_EQ(T[1].Kind, Tok::Ident);
+  EXPECT_EQ(T[1].Text, "foo");
+  EXPECT_EQ(T[2].Kind, Tok::KwVoid);
+  EXPECT_EQ(T[3].Kind, Tok::KwWhile);
+  EXPECT_EQ(T[4].Kind, Tok::Ident); // Not a keyword prefix match.
+  EXPECT_EQ(T[5].Kind, Tok::Eof);
+}
+
+TEST(Lexer, Numbers) {
+  auto T = lex("0 42 0x1F 0X10");
+  EXPECT_EQ(T[0].Value, 0);
+  EXPECT_EQ(T[1].Value, 42);
+  EXPECT_EQ(T[2].Value, 31);
+  EXPECT_EQ(T[3].Value, 16);
+}
+
+TEST(Lexer, CharLiterals) {
+  auto T = lex("'a' '\\n' '\\0' '\\\\'");
+  EXPECT_EQ(T[0].Value, 'a');
+  EXPECT_EQ(T[1].Value, '\n');
+  EXPECT_EQ(T[2].Value, 0);
+  EXPECT_EQ(T[3].Value, '\\');
+}
+
+TEST(Lexer, StringLiteral) {
+  auto T = lex("\"hi\\n\"");
+  ASSERT_EQ(T[0].Kind, Tok::String);
+  EXPECT_EQ(T[0].Text, "hi\n");
+}
+
+TEST(Lexer, ShiftOperators) {
+  auto T = lex("<< >> >>> < <= > >=");
+  EXPECT_EQ(T[0].Kind, Tok::Shl);
+  EXPECT_EQ(T[1].Kind, Tok::Shr);
+  EXPECT_EQ(T[2].Kind, Tok::Ushr);
+  EXPECT_EQ(T[3].Kind, Tok::Lt);
+  EXPECT_EQ(T[4].Kind, Tok::Le);
+  EXPECT_EQ(T[5].Kind, Tok::Gt);
+  EXPECT_EQ(T[6].Kind, Tok::Ge);
+}
+
+TEST(Lexer, LogicalAndBitwise) {
+  auto T = lex("&& & || | == = != !");
+  EXPECT_EQ(T[0].Kind, Tok::AmpAmp);
+  EXPECT_EQ(T[1].Kind, Tok::Amp);
+  EXPECT_EQ(T[2].Kind, Tok::PipePipe);
+  EXPECT_EQ(T[3].Kind, Tok::Pipe);
+  EXPECT_EQ(T[4].Kind, Tok::EqEq);
+  EXPECT_EQ(T[5].Kind, Tok::Assign);
+  EXPECT_EQ(T[6].Kind, Tok::NotEq);
+  EXPECT_EQ(T[7].Kind, Tok::Bang);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto T = lex("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto T = lex("a\nb\n  c");
+  EXPECT_EQ(T[0].Line, 1);
+  EXPECT_EQ(T[1].Line, 2);
+  EXPECT_EQ(T[2].Line, 3);
+  EXPECT_EQ(T[2].Col, 3);
+}
+
+TEST(Lexer, ErrorToken) {
+  auto T = lex("a $ b");
+  ASSERT_GE(T.size(), 2u);
+  EXPECT_EQ(T[1].Kind, Tok::Error);
+}
+
+TEST(Lexer, UnterminatedString) {
+  auto T = lex("\"abc");
+  EXPECT_EQ(T[0].Kind, Tok::Error);
+}
+
+} // namespace

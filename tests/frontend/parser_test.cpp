@@ -1,0 +1,127 @@
+//===- parser_test.cpp - MC parser tests --------------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+Program parseOk(const std::string &S) {
+  std::vector<Diag> Diags;
+  Program P = parseMC(S, Diags);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : Diags[0].Message);
+  return P;
+}
+
+void parseFails(const std::string &S) {
+  std::vector<Diag> Diags;
+  parseMC(S, Diags);
+  EXPECT_FALSE(Diags.empty()) << "expected a parse error for: " << S;
+}
+
+TEST(Parser, GlobalScalar) {
+  Program P = parseOk("int g; int h = 5; int i = -3;");
+  ASSERT_EQ(P.Globals.size(), 3u);
+  EXPECT_EQ(P.Globals[0].Name, "g");
+  EXPECT_FALSE(P.Globals[0].IsArray);
+  EXPECT_EQ(P.Globals[1].Init, (std::vector<int32_t>{5}));
+  EXPECT_EQ(P.Globals[2].Init, (std::vector<int32_t>{-3}));
+}
+
+TEST(Parser, GlobalArrays) {
+  Program P = parseOk("int a[4]; int b[] = {1,2,3}; int c[5] = {9};");
+  ASSERT_EQ(P.Globals.size(), 3u);
+  EXPECT_TRUE(P.Globals[0].IsArray);
+  EXPECT_EQ(P.Globals[0].Size, 4);
+  EXPECT_EQ(P.Globals[1].Size, 3);
+  EXPECT_EQ(P.Globals[1].Init, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(P.Globals[2].Size, 5);
+}
+
+TEST(Parser, StringInitializer) {
+  Program P = parseOk("int s[] = \"ab\";");
+  ASSERT_EQ(P.Globals.size(), 1u);
+  EXPECT_EQ(P.Globals[0].Size, 3); // 'a', 'b', NUL.
+  EXPECT_EQ(P.Globals[0].Init, (std::vector<int32_t>{'a', 'b', 0}));
+}
+
+TEST(Parser, FunctionShapes) {
+  Program P = parseOk("int f(int a, int b) { return a + b; }\n"
+                      "void g() { }\n"
+                      "void h(void) { }\n");
+  ASSERT_EQ(P.Funcs.size(), 3u);
+  EXPECT_TRUE(P.Funcs[0].ReturnsValue);
+  EXPECT_EQ(P.Funcs[0].Params, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(P.Funcs[1].ReturnsValue);
+  EXPECT_TRUE(P.Funcs[1].Params.empty());
+  EXPECT_TRUE(P.Funcs[2].Params.empty());
+}
+
+TEST(Parser, Precedence) {
+  // a + b * c parses as a + (b * c).
+  Program P = parseOk("int f() { return 1 + 2 * 3; }");
+  const Stmt &Ret = *P.Funcs[0].Body->Stmts[0];
+  ASSERT_EQ(Ret.Kind, StmtKind::Return);
+  const Expr &E = *Ret.E;
+  ASSERT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.Op, Tok::Plus);
+  EXPECT_EQ(E.Rhs->Op, Tok::Star);
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  Program P = parseOk("int f() { int a; int b; a = b = 1; return a; }");
+  const Stmt &S = *P.Funcs[0].Body->Stmts[2];
+  ASSERT_EQ(S.Kind, StmtKind::Expr);
+  ASSERT_EQ(S.E->Kind, ExprKind::Assign);
+  EXPECT_EQ(S.E->Rhs->Kind, ExprKind::Assign);
+}
+
+TEST(Parser, StatementsParse) {
+  parseOk("int f(int n) {\n"
+          "  int s = 0;\n"
+          "  int i;\n"
+          "  for (i = 0; i < n; i = i + 1) s = s + i;\n"
+          "  while (s > 100) { s = s - 1; }\n"
+          "  do { s = s + 1; } while (s < 10);\n"
+          "  if (s == 7) return 1; else return s;\n"
+          "}");
+}
+
+TEST(Parser, BreakContinue) {
+  Program P = parseOk(
+      "int f() { while (1) { if (1) break; continue; } return 0; }");
+  EXPECT_EQ(P.Funcs.size(), 1u);
+}
+
+TEST(Parser, LocalArray) {
+  Program P = parseOk("int f() { int a[8]; a[0] = 1; return a[0]; }");
+  const Stmt &D = *P.Funcs[0].Body->Stmts[0];
+  EXPECT_EQ(D.Kind, StmtKind::Decl);
+  EXPECT_EQ(D.DeclArraySize, 8);
+}
+
+TEST(Parser, Errors) {
+  parseFails("int f() { return 1 }");      // Missing semicolon.
+  parseFails("int f() { a = ; }");         // Missing expression.
+  parseFails("int 3x;");                   // Bad name.
+  parseFails("float f;");                  // Unknown type.
+  parseFails("int f() { 1 = 2; }");        // Bad assignment target.
+  parseFails("int a[] ;");                 // No size, no initializer.
+  parseFails("int a[0];");                 // Non-positive size.
+  parseFails("void g;");                   // Void variable.
+  parseFails("int f(int) {}");             // Missing parameter name.
+  parseFails("int s = \"x\";");            // String needs array.
+}
+
+TEST(Parser, UnaryOperators) {
+  Program P = parseOk("int f(int x) { return -x + !x + ~x; }");
+  EXPECT_EQ(P.Funcs.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- golden_space_test.cpp - Enumeration golden anchors ------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the exact shape of several enumerated spaces. Any change to a
+// phase, to canonicalization, or to the enumerator that alters the space
+// of these functions shows up here first — with the understanding that an
+// intentional optimizer change legitimately updates these numbers (like a
+// compiler's golden-output tests).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/SpaceStats.h"
+#include "src/opt/PhaseManager.h"
+#include "src/workloads/Workloads.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+struct GoldenSpace {
+  const char *Program;
+  const char *Function;
+  uint64_t Instances;
+  uint64_t Attempted;
+  uint32_t MaxLen;
+  uint64_t Leaves;
+  uint32_t BestSize;
+  uint32_t WorstSize;
+};
+
+// Values recorded from the 1M-budget enumeration (see bench_output.txt).
+const GoldenSpace Goldens[] = {
+    {"dijkstra", "dijkstra", 1927, 21038, 16, 10, 88, 115},
+    {"sha", "sha_transform", 120, 1431, 11, 8, 190, 248},
+    {"bitcount", "bit_count", 194, 2388, 12, 5, 15, 25},
+    {"fft", "bit_reverse", 242, 2791, 12, 5, 46, 72},
+};
+
+TEST(GoldenSpace, KnownSpacesStayStable) {
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  for (const GoldenSpace &G : Goldens) {
+    const Workload *W = findWorkload(G.Program);
+    ASSERT_NE(W, nullptr);
+    Module M = compileOrDie(W->Source);
+    Function &F = functionNamed(M, G.Function);
+    EnumerationResult R = E.enumerate(F);
+    ASSERT_TRUE(R.Complete) << G.Function;
+    SpaceStats S = computeSpaceStats(F, R);
+    EXPECT_EQ(S.FnInstances, G.Instances) << G.Function;
+    EXPECT_EQ(S.AttemptedPhases, G.Attempted) << G.Function;
+    EXPECT_EQ(S.MaxActiveLen, G.MaxLen) << G.Function;
+    EXPECT_EQ(S.LeafInstances, G.Leaves) << G.Function;
+    EXPECT_EQ(S.LeafCodeSizeMin, G.BestSize) << G.Function;
+    EXPECT_EQ(S.LeafCodeSizeMax, G.WorstSize) << G.Function;
+  }
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- function_test.cpp - Function/CFG unit tests --------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Function.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+/// Builds the diamond CFG used by several tests:
+///   B0: cmp; branch Eq -> B2
+///   B1: mov; jump -> B3
+///   B2: mov (falls through)
+///   B3: ret
+Function makeDiamond() {
+  Function F;
+  F.Name = "diamond";
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+         B3 = F.addBlock();
+  RegNum R = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[B0].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B2].Label));
+  F.Blocks[B1].Insts.push_back(rtl::mov(Operand::reg(R), Operand::imm(1)));
+  F.Blocks[B1].Insts.push_back(rtl::jump(F.Blocks[B3].Label));
+  F.Blocks[B2].Insts.push_back(rtl::mov(Operand::reg(R), Operand::imm(2)));
+  F.Blocks[B3].Insts.push_back(rtl::ret(Operand::reg(R)));
+  return F;
+}
+
+TEST(Function, CountersAndSlots) {
+  Function F;
+  RegNum R1 = F.makePseudo();
+  RegNum R2 = F.makePseudo();
+  EXPECT_EQ(R1, FirstPseudoReg);
+  EXPECT_EQ(R2, FirstPseudoReg + 1);
+  EXPECT_EQ(F.pseudoLimit(), FirstPseudoReg + 2);
+
+  StackSlot S;
+  S.Name = "x";
+  EXPECT_EQ(F.addSlot(S), 0);
+  S.Name = "y";
+  EXPECT_EQ(F.addSlot(S), 1);
+  EXPECT_EQ(F.Slots.size(), 2u);
+}
+
+TEST(Function, FindBlockAndInstructionCount) {
+  Function F = makeDiamond();
+  EXPECT_EQ(F.instructionCount(), 6u);
+  EXPECT_EQ(F.findBlock(F.Blocks[2].Label), 2);
+  EXPECT_EQ(F.findBlock(9999), -1);
+}
+
+TEST(Function, CfgDiamond) {
+  Function F = makeDiamond();
+  Cfg C = Cfg::build(F);
+  ASSERT_EQ(C.Succs.size(), 4u);
+  // B0: branch to B2 plus fall-through to B1.
+  EXPECT_EQ(C.Succs[0], (std::vector<int>{2, 1}));
+  EXPECT_EQ(C.Succs[1], (std::vector<int>{3}));
+  EXPECT_EQ(C.Succs[2], (std::vector<int>{3}));
+  EXPECT_TRUE(C.Succs[3].empty());
+  EXPECT_TRUE(C.Preds[0].empty());
+  EXPECT_EQ(C.Preds[3].size(), 2u);
+}
+
+TEST(Function, CfgBranchToNextBlockHasOneEdge) {
+  // A branch that targets the fall-through block must not produce a
+  // duplicate successor edge.
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock();
+  RegNum R = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(R), Operand::imm(0)));
+  F.Blocks[B0].Insts.push_back(rtl::branch(Cond::Eq, F.Blocks[B1].Label));
+  F.Blocks[B1].Insts.push_back(rtl::ret(Operand::none()));
+  Cfg C = Cfg::build(F);
+  EXPECT_EQ(C.Succs[0], (std::vector<int>{1}));
+  EXPECT_EQ(C.Preds[1], (std::vector<int>{0}));
+}
+
+TEST(Function, RecomputeCounters) {
+  Function F;
+  F.Blocks.emplace_back(12);
+  F.Blocks.back().Insts.push_back(
+      rtl::mov(Operand::reg(77), Operand::imm(0)));
+  F.Blocks.back().Insts.push_back(rtl::ret(Operand::reg(77)));
+  F.recomputeCounters();
+  EXPECT_EQ(F.pseudoLimit(), 78u);
+  EXPECT_EQ(F.makeLabel(), 13);
+  EXPECT_EQ(F.makePseudo(), 78u);
+}
+
+TEST(Function, ModuleLookup) {
+  Module M;
+  Global GV;
+  GV.Name = "data";
+  GV.Kind = GlobalKind::Var;
+  M.Globals.push_back(GV);
+  Global GF;
+  GF.Name = "f";
+  GF.Kind = GlobalKind::Func;
+  GF.FuncIndex = 0;
+  M.Globals.push_back(GF);
+  M.Functions.emplace_back();
+  M.Functions[0].Name = "f";
+
+  EXPECT_EQ(M.findGlobal("data"), 0);
+  EXPECT_EQ(M.findGlobal("f"), 1);
+  EXPECT_EQ(M.findGlobal("missing"), -1);
+  EXPECT_EQ(M.functionFor(0), nullptr); // Var, not function.
+  ASSERT_NE(M.functionFor(1), nullptr);
+  EXPECT_EQ(M.functionFor(1)->Name, "f");
+  EXPECT_EQ(M.functionFor(-1), nullptr);
+}
+
+TEST(Function, FallsThrough) {
+  Function F = makeDiamond();
+  EXPECT_TRUE(Cfg::fallsThrough(F.Blocks[0]));  // Branch falls through.
+  EXPECT_FALSE(Cfg::fallsThrough(F.Blocks[1])); // Jump does not.
+  EXPECT_TRUE(Cfg::fallsThrough(F.Blocks[2]));  // No terminator.
+  EXPECT_FALSE(Cfg::fallsThrough(F.Blocks[3])); // Ret does not.
+}
+
+} // namespace

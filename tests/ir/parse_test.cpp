@@ -1,0 +1,153 @@
+//===- parse_test.cpp - Textual RTL parser tests ------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Parse.h"
+
+#include "src/core/Canonical.h"
+#include "src/core/Compilers.h"
+#include "src/ir/Printer.h"
+#include "src/opt/PhaseManager.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+Function parseOk(const std::string &Text) {
+  Function F;
+  std::string Err = parseFunction(Text, F);
+  EXPECT_EQ(Err, "") << Text;
+  return F;
+}
+
+void parseFails(const std::string &Text) {
+  Function F;
+  EXPECT_NE(parseFunction(Text, F), "") << "expected failure:\n" << Text;
+}
+
+TEST(RtlParse, MinimalFunction) {
+  Function F = parseOk("function f()\n"
+                       "L0:\n"
+                       "  ret 0;\n");
+  EXPECT_EQ(F.Name, "f");
+  ASSERT_EQ(F.Blocks.size(), 1u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Opcode, Op::Ret);
+}
+
+TEST(RtlParse, AllInstructionForms) {
+  Function F = parseOk(
+      "function g(a) [a:1,x:1,buf[8]] {assigned}\n"
+      "L0:\n"
+      "  r[1]=5;\n"
+      "  r[2]=r[1];\n"
+      "  r[3]=&S1;\n"
+      "  r[4]=&@2;\n"
+      "  r[5]=r[1]+r[2];\n"
+      "  r[5]=r[5]-3;\n"
+      "  r[5]=r[5]>>u2;\n"
+      "  r[5]=r[5]<<1;\n"
+      "  r[5]=r[5]>>1;\n"
+      "  r[6]=-r[5];\n"
+      "  r[6]=~r[6];\n"
+      "  r[7]=-12;\n"
+      "  r[8]=M[r[3]+4];\n"
+      "  r[8]=M[S0];\n"
+      "  M[r[3]]=r[8];\n"
+      "  IC=r[8]?0;\n"
+      "  PC=IC==0,L2;\n"
+      "L1:\n"
+      "  r[9]=call @3(r[8],7);\n"
+      "  call @4();\n"
+      "  PC=L0;\n"
+      "L2:\n"
+      "  prologue;\n"
+      "  epilogue;\n"
+      "  ret r[9];\n");
+  EXPECT_TRUE(F.State.RegsAssigned);
+  EXPECT_FALSE(F.State.RegAllocDone);
+  EXPECT_EQ(F.NumParams, 1);
+  EXPECT_TRUE(F.Slots[2].IsArray);
+  EXPECT_EQ(F.Slots[2].SizeWords, 8);
+  EXPECT_EQ(F.Blocks.size(), 3u);
+  expectVerifies(F);
+}
+
+TEST(RtlParse, RoundTripThroughPrinter) {
+  const char *Text = "function f(a,b) [a:1,b:1,t:1]\n"
+                     "L0:\n"
+                     "  r[32]=&S0;\n"
+                     "  r[33]=M[r[32]];\n"
+                     "  IC=r[33]?0;\n"
+                     "  PC=IC<=0,L2;\n"
+                     "L1:\n"
+                     "  r[34]=r[33]*r[33];\n"
+                     "  r[35]=r[34]+-1;\n"
+                     "  ret r[35];\n"
+                     "L2:\n"
+                     "  ret 0;\n";
+  Function F = parseOk(Text);
+  Function G = parseOk(printFunction(F));
+  EXPECT_EQ(printFunction(F), printFunction(G));
+  EXPECT_EQ(canonicalize(F).Hash, canonicalize(G).Hash);
+}
+
+TEST(RtlParse, RoundTripsCompiledWorkloadCode) {
+  // Naive code, batch-optimized code, and allocated code must all
+  // round-trip text -> function -> text.
+  Module M = compileOrDie(
+      "int f(int n){int s=0;int i=0;while(i<n){s=s+i*7;i=i+1;}return s;}");
+  Function &F = functionNamed(M, "f");
+  PhaseManager PM;
+  for (int Stage = 0; Stage < 2; ++Stage) {
+    std::string Text = printFunction(F);
+    Function G;
+    ASSERT_EQ(parseFunction(Text, G), "") << Text;
+    EXPECT_EQ(printFunction(G), Text);
+    EXPECT_EQ(canonicalize(G).Hash, canonicalize(F).Hash);
+    batchCompile(PM, F); // Second round: optimized + assigned code.
+  }
+}
+
+TEST(RtlParse, CommentsAndBlankLines) {
+  Function F = parseOk("# leading comment\n"
+                       "function f()   # trailing comment\n"
+                       "\n"
+                       "L0:\n"
+                       "  ret 0;  # done\n");
+  EXPECT_EQ(F.Blocks[0].Insts.size(), 1u);
+}
+
+TEST(RtlParse, Errors) {
+  parseFails("");                                    // No header.
+  parseFails("function f(\nL0:\n ret 0;\n");         // Bad header.
+  parseFails("function f()\n  ret 0;\n");            // Inst before label.
+  parseFails("function f()\nL0:\n  ret 0\n");        // Missing semicolon.
+  parseFails("function f()\nL0:\n  bogus;\n");       // Unknown statement.
+  parseFails("function f()\nL0:\n  r[1]=M[r[2];\n"); // Unclosed bracket.
+  parseFails("function f()\nL0:\n  PC=IC<<0,L0;\n"); // Bad condition.
+  parseFails("function f()\nL0:\n  r[1]=5;\n");      // Falls off the end.
+  parseFails("function f(a) [x:1]\nL0:\n ret 0;\n"); // Param not slot 0.
+  parseFails("function f() {weird}\nL0:\n ret 0;\n");// Unknown flag.
+  parseFails("function f()\nL0:\n  PC=L99;\n");      // Dangling label.
+}
+
+TEST(RtlParse, ConditionSpellings) {
+  const char *Conds[] = {"==", "!=", "<",  "<=",  ">",  ">=",
+                         "<u", "<=u", ">u", ">=u"};
+  for (const char *CondStr : Conds) {
+    std::string Text = std::string("function f()\nL0:\n  IC=r[1]?0;\n"
+                                   "  PC=IC") +
+                       CondStr + "0,L1;\nL1:\n  ret 0;\n";
+    Function F = parseOk(Text);
+    Function G = parseOk(printFunction(F));
+    EXPECT_EQ(printFunction(F), printFunction(G)) << CondStr;
+  }
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+//===- printer_test.cpp - RTL printer unit tests ----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Printer.h"
+
+#include "src/ir/Function.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(Printer, BasicInstructions) {
+  EXPECT_EQ(printRtl(rtl::mov(Operand::reg(32), Operand::imm(1))),
+            "r[32]=1;");
+  EXPECT_EQ(printRtl(rtl::binary(Op::Add, Operand::reg(3), Operand::reg(4),
+                                 Operand::reg(5))),
+            "r[3]=r[4]+r[5];");
+  EXPECT_EQ(printRtl(rtl::load(Operand::reg(8), Operand::reg(1), 0)),
+            "r[8]=M[r[1]];");
+  EXPECT_EQ(printRtl(rtl::load(Operand::reg(8), Operand::reg(1), 4)),
+            "r[8]=M[r[1]+4];");
+  EXPECT_EQ(printRtl(rtl::store(Operand::reg(1), 0, Operand::reg(2))),
+            "M[r[1]]=r[2];");
+  EXPECT_EQ(printRtl(rtl::cmp(Operand::reg(1), Operand::reg(9))),
+            "IC=r[1]?r[9];");
+  EXPECT_EQ(printRtl(rtl::branch(Cond::Lt, 3)), "PC=IC<0,L3;");
+  EXPECT_EQ(printRtl(rtl::jump(5)), "PC=L5;");
+  EXPECT_EQ(printRtl(rtl::ret(Operand::reg(2))), "ret r[2];");
+  EXPECT_EQ(printRtl(rtl::ret(Operand::none())), "ret;");
+  EXPECT_EQ(printRtl(rtl::lea(Operand::reg(32), Operand::slot(1))),
+            "r[32]=&S1;");
+  EXPECT_EQ(printRtl(rtl::call(Operand::reg(32), 4,
+                               {Operand::reg(33), Operand::imm(2)})),
+            "r[32]=call @4(r[33],2);");
+}
+
+TEST(Printer, ShiftsDistinguished) {
+  Rtl A = rtl::binary(Op::Shr, Operand::reg(1), Operand::reg(2),
+                      Operand::imm(3));
+  Rtl L = rtl::binary(Op::Ushr, Operand::reg(1), Operand::reg(2),
+                      Operand::imm(3));
+  EXPECT_NE(printRtl(A), printRtl(L));
+}
+
+TEST(Printer, FunctionSkeleton) {
+  Function F;
+  F.Name = "f";
+  StackSlot S;
+  S.Name = "x";
+  F.addSlot(S);
+  F.addBlock();
+  F.Blocks[0].Insts.push_back(rtl::ret(Operand::imm(0)));
+  std::string Text = printFunction(F);
+  EXPECT_NE(Text.find("function f()"), std::string::npos);
+  EXPECT_NE(Text.find("x:1"), std::string::npos);
+  EXPECT_NE(Text.find("L0:"), std::string::npos);
+  EXPECT_NE(Text.find("ret 0;"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- rtl_test.cpp - RTL instruction unit tests ----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Rtl.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(Rtl, OperandFactories) {
+  EXPECT_TRUE(Operand::none().isNone());
+  EXPECT_TRUE(Operand::reg(33).isReg());
+  EXPECT_EQ(Operand::reg(33).getReg(), 33u);
+  EXPECT_TRUE(Operand::imm(-5).isImm());
+  EXPECT_EQ(Operand::imm(-5).Value, -5);
+  EXPECT_TRUE(Operand::slot(2).isSlot());
+  EXPECT_TRUE(Operand::global(1).isGlobal());
+  EXPECT_TRUE(Operand::label(7).isLabel());
+}
+
+TEST(Rtl, RegisterClasses) {
+  EXPECT_TRUE(isHardwareReg(0));
+  EXPECT_TRUE(isHardwareReg(FirstPseudoReg - 1));
+  EXPECT_FALSE(isHardwareReg(FirstPseudoReg));
+  EXPECT_FALSE(isHardwareReg(1000));
+}
+
+TEST(Rtl, Classification) {
+  Rtl Add = rtl::binary(Op::Add, Operand::reg(32), Operand::reg(33),
+                        Operand::imm(1));
+  EXPECT_TRUE(Add.isBinary());
+  EXPECT_FALSE(Add.isControl());
+  EXPECT_TRUE(Add.definesReg());
+  EXPECT_FALSE(Add.hasSideEffects());
+
+  Rtl Br = rtl::branch(Cond::Lt, 3);
+  EXPECT_TRUE(Br.isControl());
+  EXPECT_TRUE(Br.usesIC());
+  EXPECT_FALSE(Br.definesReg());
+
+  Rtl Cmp = rtl::cmp(Operand::reg(32), Operand::imm(0));
+  EXPECT_TRUE(Cmp.definesIC());
+  EXPECT_FALSE(Cmp.usesIC());
+
+  Rtl St = rtl::store(Operand::reg(32), 0, Operand::reg(33));
+  EXPECT_TRUE(St.hasSideEffects());
+  EXPECT_FALSE(St.definesReg());
+
+  Rtl Ld = rtl::load(Operand::reg(34), Operand::slot(0), 0);
+  EXPECT_TRUE(Ld.readsMemory());
+  EXPECT_FALSE(Ld.hasSideEffects());
+}
+
+TEST(Rtl, ForEachUsedReg) {
+  Rtl C = rtl::call(Operand::reg(40), 1,
+                    {Operand::reg(35), Operand::imm(3), Operand::reg(36)});
+  std::vector<RegNum> Used;
+  C.forEachUsedReg([&Used](RegNum R) { Used.push_back(R); });
+  EXPECT_EQ(Used, (std::vector<RegNum>{35, 36}));
+}
+
+TEST(Rtl, Equality) {
+  Rtl A = rtl::binary(Op::Add, Operand::reg(32), Operand::reg(33),
+                      Operand::imm(1));
+  Rtl B = A;
+  EXPECT_EQ(A, B);
+  B.Src[1] = Operand::imm(2);
+  EXPECT_NE(A, B);
+}
+
+TEST(Rtl, InvertCondRoundTrips) {
+  for (Cond C : {Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge,
+                 Cond::ULt, Cond::ULe, Cond::UGt, Cond::UGe}) {
+    EXPECT_NE(invertCond(C), C);
+    EXPECT_EQ(invertCond(invertCond(C)), C);
+  }
+}
+
+TEST(Rtl, OpNamesDistinct) {
+  EXPECT_STREQ(opName(Op::Add), "add");
+  EXPECT_STRNE(opName(Op::Shr), opName(Op::Ushr));
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- verify_test.cpp - IR verifier unit tests -----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/ir/Verify.h"
+
+#include "src/ir/Function.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+Function makeMinimal() {
+  Function F;
+  F.Name = "f";
+  F.addBlock();
+  F.Blocks[0].Insts.push_back(rtl::ret(Operand::imm(0)));
+  return F;
+}
+
+TEST(Verify, MinimalFunctionPasses) {
+  EXPECT_EQ(verifyFunction(makeMinimal()), "");
+}
+
+TEST(Verify, EmptyFunctionFails) {
+  Function F;
+  F.Name = "f";
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, FallOffEndFails) {
+  Function F;
+  F.Name = "f";
+  F.addBlock();
+  F.Blocks[0].Insts.push_back(
+      rtl::mov(Operand::reg(F.makePseudo()), Operand::imm(1)));
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, ControlInMiddleFails) {
+  Function F = makeMinimal();
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(),
+                           rtl::jump(F.Blocks[0].Label));
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(),
+                           rtl::mov(Operand::reg(32), Operand::imm(0)));
+  // Layout: mov; jump; ret  -> jump is not last.
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, BranchToUnknownLabelFails) {
+  Function F = makeMinimal();
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(),
+                           rtl::cmp(Operand::reg(32), Operand::imm(0)));
+  F.Blocks.insert(F.Blocks.begin(), BasicBlock(55));
+  F.Blocks[0].Insts.push_back(rtl::branch(Cond::Eq, 9999));
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, BranchWithoutConditionFails) {
+  Function F = makeMinimal();
+  Rtl B = rtl::branch(Cond::Eq, F.Blocks[0].Label);
+  B.CC = Cond::None;
+  F.Blocks.insert(F.Blocks.begin(), BasicBlock(77));
+  F.Blocks[0].Insts.push_back(B);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, SlotOutOfRangeFails) {
+  Function F = makeMinimal();
+  F.Blocks[0].Insts.insert(
+      F.Blocks[0].Insts.begin(),
+      rtl::lea(Operand::reg(F.makePseudo()), Operand::slot(3)));
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, StoreOfImmediateFails) {
+  // The IR requires stores to write register values (no store-imm form).
+  Function F = makeMinimal();
+  Rtl Bad = rtl::store(Operand::reg(32), 0, Operand::reg(33));
+  Bad.Src[2] = Operand::imm(7);
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(), Bad);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, DestinationMustBeRegister) {
+  Function F = makeMinimal();
+  Rtl Bad = rtl::mov(Operand::reg(32), Operand::imm(1));
+  Bad.Dst = Operand::imm(3);
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(), Bad);
+  EXPECT_NE(verifyFunction(F), "");
+}
+
+TEST(Verify, ModuleCallArityChecked) {
+  Module M;
+  Global GF;
+  GF.Name = "callee";
+  GF.Kind = GlobalKind::Func;
+  GF.FuncIndex = 0;
+  GF.NumParams = 2;
+  M.Globals.push_back(GF);
+  M.Functions.push_back(makeMinimal());
+
+  Global GMain;
+  GMain.Name = "main";
+  GMain.Kind = GlobalKind::Func;
+  GMain.FuncIndex = 1;
+  M.Globals.push_back(GMain);
+  Function Main = makeMinimal();
+  Main.Name = "main";
+  Main.Blocks[0].Insts.insert(
+      Main.Blocks[0].Insts.begin(),
+      rtl::call(Operand::none(), 0, {Operand::imm(1)})); // One arg, not 2.
+  M.Functions.push_back(Main);
+
+  EXPECT_NE(verifyModule(M), "");
+  M.Functions[1].Blocks[0].Insts[0].Args.push_back(Operand::imm(2));
+  EXPECT_EQ(verifyModule(M), "");
+}
+
+TEST(Verify, CallToDataGlobalFails) {
+  Module M;
+  Global GV;
+  GV.Name = "data";
+  GV.Kind = GlobalKind::Var;
+  M.Globals.push_back(GV);
+  Global GMain;
+  GMain.Name = "main";
+  GMain.Kind = GlobalKind::Func;
+  GMain.FuncIndex = 0;
+  M.Globals.push_back(GMain);
+  Function Main = makeMinimal();
+  Main.Blocks[0].Insts.insert(Main.Blocks[0].Insts.begin(),
+                              rtl::call(Operand::none(), 0, {}));
+  M.Functions.push_back(Main);
+  EXPECT_NE(verifyModule(M), "");
+}
+
+} // namespace

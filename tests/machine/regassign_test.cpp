@@ -1,0 +1,125 @@
+//===- regassign_test.cpp - Register assignment tests --------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/RegisterAssign.h"
+
+#include "src/machine/Target.h"
+#include "src/sim/Interpreter.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+/// Returns true if no pseudo register remains anywhere in \p F.
+bool allHardware(const Function &F) {
+  for (const BasicBlock &B : F.Blocks)
+    for (const Rtl &I : B.Insts) {
+      if (I.Dst.isReg() && !isHardwareReg(I.Dst.getReg()))
+        return false;
+      bool Bad = false;
+      I.forEachUsedReg([&Bad](RegNum R) { Bad |= !isHardwareReg(R); });
+      if (Bad)
+        return false;
+    }
+  return true;
+}
+
+TEST(RegisterAssign, MapsAllPseudosToHardware) {
+  Module M = compileOrDie(
+      "int f(int a, int b) { return a * b + a - b; }");
+  Function &F = functionNamed(M, "f");
+  assignRegisters(F);
+  EXPECT_TRUE(F.State.RegsAssigned);
+  EXPECT_TRUE(allHardware(F)) << printFunction(F);
+  expectVerifies(F);
+}
+
+TEST(RegisterAssign, Idempotent) {
+  Module M = compileOrDie("int f(int a) { return a + 1; }");
+  Function &F = functionNamed(M, "f");
+  assignRegisters(F);
+  Function Snapshot = F;
+  assignRegisters(F);
+  EXPECT_EQ(F.instructionCount(), Snapshot.instructionCount());
+}
+
+TEST(RegisterAssign, PreservesSemantics) {
+  const char *Src =
+      "int f(int a, int b, int c) {\n"
+      "  int x = a * b; int y = b * c; int z = a * c;\n"
+      "  return x + y * z - (x ^ y) + (z & a);\n"
+      "}";
+  Module M = compileOrDie(Src);
+  Interpreter I(M);
+  RunResult Before = I.run("f", {3, 5, 7});
+  ASSERT_TRUE(Before.Ok) << Before.Error;
+
+  Function &F = functionNamed(M, "f");
+  assignRegisters(F);
+  RunResult After = I.run("f", {3, 5, 7});
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.ReturnValue, After.ReturnValue);
+}
+
+TEST(RegisterAssign, HighPressureSpills) {
+  // Build a function with more simultaneously-live values than registers:
+  // sum of 20 products all live until the end.
+  std::string Src = "int f(int a) {\n";
+  for (int I = 0; I < 20; ++I)
+    Src += "  int v" + std::to_string(I) + " = a * " +
+           std::to_string(I + 2) + ";\n";
+  // One expression using them all, then using them again in reverse so
+  // every value stays live across the whole computation.
+  Src += "  int s = 0;\n";
+  for (int I = 0; I < 20; ++I)
+    Src += "  s = s + v" + std::to_string(I) + ";\n";
+  for (int I = 19; I >= 0; --I)
+    Src += "  s = s * 2 + v" + std::to_string(I) + ";\n";
+  Src += "  return s;\n}\n";
+
+  Module M = compileOrDie(Src);
+  Interpreter I(M);
+  RunResult Before = I.run("f", {3});
+  ASSERT_TRUE(Before.Ok) << Before.Error;
+
+  Function &F = functionNamed(M, "f");
+  assignRegisters(F);
+  EXPECT_TRUE(allHardware(F));
+  expectVerifies(F);
+  RunResult After = I.run("f", {3});
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.ReturnValue, After.ReturnValue);
+}
+
+TEST(RegisterAssign, UsesOnlyAllocatableRegisters) {
+  Module M = compileOrDie("int f(int a,int b){return (a+b)*(a-b);}");
+  Function &F = functionNamed(M, "f");
+  assignRegisters(F);
+  for (const BasicBlock &B : F.Blocks)
+    for (const Rtl &I : B.Insts) {
+      if (I.Dst.isReg()) {
+        EXPECT_LT(I.Dst.getReg(), target::NumAllocatableRegs);
+      }
+      I.forEachUsedReg(
+          [](RegNum R) { EXPECT_LT(R, target::NumAllocatableRegs); });
+    }
+}
+
+TEST(RegisterAssign, DeterministicAcrossRuns) {
+  Module M1 = compileOrDie("int f(int a,int b){return a*b+(a^b);}");
+  Module M2 = compileOrDie("int f(int a,int b){return a*b+(a^b);}");
+  Function &F1 = functionNamed(M1, "f");
+  Function &F2 = functionNamed(M2, "f");
+  assignRegisters(F1);
+  assignRegisters(F2);
+  EXPECT_EQ(printFunction(F1), printFunction(F2));
+}
+
+} // namespace

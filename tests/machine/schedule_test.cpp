@@ -1,0 +1,118 @@
+//===- schedule_test.cpp - Final instruction scheduler tests --------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/Schedule.h"
+
+#include "src/core/Compilers.h"
+#include "src/opt/PhaseManager.h"
+#include "src/sim/Interpreter.h"
+#include "src/workloads/Workloads.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+TEST(Schedule, HidesLoadUseDelay) {
+  // Two independent load+add chains interleaved pessimally: the scheduler
+  // must separate each load from its consumer.
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo(), B = F.makePseudo(), S1 = F.makePseudo(),
+         S2 = F.makePseudo(), T = F.makePseudo();
+  StackSlot X;
+  X.Name = "x";
+  StackSlot Y;
+  Y.Name = "y";
+  F.addSlot(X);
+  F.addSlot(Y);
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::load(Operand::reg(A), Operand::slot(0), 0));
+  I.push_back(rtl::binary(Op::Add, Operand::reg(S1), Operand::reg(A),
+                          Operand::imm(1))); // Stalls on A.
+  I.push_back(rtl::load(Operand::reg(B), Operand::slot(1), 0));
+  I.push_back(rtl::binary(Op::Add, Operand::reg(S2), Operand::reg(B),
+                          Operand::imm(2))); // Stalls on B.
+  I.push_back(rtl::binary(Op::Add, Operand::reg(T), Operand::reg(S1),
+                          Operand::reg(S2)));
+  I.push_back(rtl::ret(Operand::reg(T)));
+
+  Module M;
+  Global G;
+  G.Name = "f";
+  G.Kind = GlobalKind::Func;
+  G.FuncIndex = 0;
+  G.ReturnsValue = true;
+  M.Globals.push_back(G);
+  F.Name = "f";
+  F.ReturnsValue = true;
+  M.Functions.push_back(F);
+
+  Interpreter Sim(M);
+  RunResult Before = Sim.run("f", {});
+  ASSERT_TRUE(Before.Ok);
+  EXPECT_EQ(Before.LoadUseStalls, 2u);
+
+  Function Scheduled = F;
+  EXPECT_TRUE(scheduleFunction(Scheduled));
+  expectVerifies(Scheduled);
+  Sim.overrideFunction("f", &Scheduled);
+  RunResult After = Sim.run("f", {});
+  ASSERT_TRUE(After.Ok);
+  EXPECT_TRUE(Before.sameBehavior(After));
+  EXPECT_EQ(After.DynamicInsts, Before.DynamicInsts); // Same count…
+  EXPECT_EQ(After.LoadUseStalls, 0u);                 // …fewer stalls.
+}
+
+TEST(Schedule, NoOpOnDependentChain) {
+  // A strict dependence chain cannot be improved; order must not change.
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo(), B = F.makePseudo();
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::mov(Operand::reg(A), Operand::imm(1)));
+  I.push_back(rtl::binary(Op::Add, Operand::reg(B), Operand::reg(A),
+                          Operand::imm(2)));
+  I.push_back(rtl::binary(Op::Mul, Operand::reg(B), Operand::reg(B),
+                          Operand::reg(A)));
+  I.push_back(rtl::ret(Operand::reg(B)));
+  EXPECT_FALSE(scheduleFunction(F));
+}
+
+TEST(Schedule, WholeSuiteStallsNeverIncreaseAndBehaviorHolds) {
+  PhaseManager PM;
+  for (const Workload &W : allWorkloads()) {
+    Module M = compileOrDie(W.Source);
+    for (Function &F : M.Functions)
+      batchCompile(PM, F);
+    Interpreter Sim(M);
+    RunResult Before = Sim.run("main", {});
+    ASSERT_TRUE(Before.Ok) << W.Name;
+    for (Function &F : M.Functions) {
+      scheduleFunction(F);
+      expectVerifies(F);
+    }
+    RunResult After = Sim.run("main", {});
+    ASSERT_TRUE(After.Ok) << W.Name;
+    EXPECT_TRUE(Before.sameBehavior(After)) << W.Name;
+    EXPECT_EQ(After.DynamicInsts, Before.DynamicInsts) << W.Name;
+    EXPECT_LE(After.LoadUseStalls, Before.LoadUseStalls) << W.Name;
+  }
+}
+
+TEST(Schedule, FinalizeAddsActivationRecordCode) {
+  Module M = compileOrDie("int f(int a) { return a * 3; }");
+  Function &F = functionNamed(M, "f");
+  size_t Before = F.instructionCount();
+  finalizeFunction(F);
+  EXPECT_GT(F.instructionCount(), Before);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Opcode, Op::Prologue);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- target_test.cpp - Machine model tests -----------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/Target.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(Target, ImmediateRanges) {
+  EXPECT_TRUE(target::fitsImmediate(0));
+  EXPECT_TRUE(target::fitsImmediate(4095));
+  EXPECT_TRUE(target::fitsImmediate(-4095));
+  EXPECT_FALSE(target::fitsImmediate(4096));
+  EXPECT_FALSE(target::fitsImmediate(-4096));
+}
+
+TEST(Target, AluImmediates) {
+  Rtl I = rtl::binary(Op::Add, Operand::reg(1), Operand::reg(2),
+                      Operand::imm(100));
+  EXPECT_TRUE(target::isLegal(I));
+  I.Src[1] = Operand::imm(100000);
+  EXPECT_FALSE(target::isLegal(I));
+  // Immediate in the first operand slot is not encodable.
+  I = rtl::binary(Op::Sub, Operand::reg(1), Operand::imm(5),
+                  Operand::reg(2));
+  EXPECT_FALSE(target::isLegal(I));
+}
+
+TEST(Target, MultiplyHasNoImmediateForm) {
+  Rtl I = rtl::binary(Op::Mul, Operand::reg(1), Operand::reg(2),
+                      Operand::imm(3));
+  EXPECT_FALSE(target::isLegal(I));
+  I.Src[1] = Operand::reg(3);
+  EXPECT_TRUE(target::isLegal(I));
+  EXPECT_FALSE(target::isLegal(rtl::binary(Op::Div, Operand::reg(1),
+                                           Operand::reg(2),
+                                           Operand::imm(2))));
+}
+
+TEST(Target, ShiftImmediates) {
+  EXPECT_TRUE(target::isLegal(rtl::binary(Op::Shl, Operand::reg(1),
+                                          Operand::reg(2),
+                                          Operand::imm(31))));
+  EXPECT_FALSE(target::isLegal(rtl::binary(Op::Shl, Operand::reg(1),
+                                           Operand::reg(2),
+                                           Operand::imm(32))));
+  EXPECT_FALSE(target::isLegal(rtl::binary(Op::Shr, Operand::reg(1),
+                                           Operand::reg(2),
+                                           Operand::imm(-1))));
+}
+
+TEST(Target, MovMaterializesAnyConstant) {
+  EXPECT_TRUE(target::isLegal(
+      rtl::mov(Operand::reg(1), Operand::imm(0x7FFFFFFF))));
+}
+
+TEST(Target, MemoryOffsets) {
+  EXPECT_TRUE(
+      target::isLegal(rtl::load(Operand::reg(1), Operand::reg(2), 4095)));
+  EXPECT_FALSE(
+      target::isLegal(rtl::load(Operand::reg(1), Operand::reg(2), 4096)));
+  Rtl St = rtl::store(Operand::reg(2), 0, Operand::reg(3));
+  EXPECT_TRUE(target::isLegal(St));
+  St.Src[2] = Operand::imm(1);
+  EXPECT_FALSE(target::isLegal(St)); // No store-immediate form.
+}
+
+TEST(Target, CmpImmediates) {
+  EXPECT_TRUE(target::isLegal(rtl::cmp(Operand::reg(1), Operand::imm(0))));
+  EXPECT_FALSE(
+      target::isLegal(rtl::cmp(Operand::reg(1), Operand::imm(99999))));
+  EXPECT_FALSE(target::isLegal(rtl::cmp(Operand::imm(0), Operand::reg(1))));
+}
+
+} // namespace

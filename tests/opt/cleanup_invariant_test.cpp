@@ -1,0 +1,59 @@
+//===- cleanup_invariant_test.cpp - Implicit-cleanup invariants ------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's justification for keeping block merging and empty-block
+// elimination out of the search alphabet is that they "only change the
+// internal control-flow representation as seen by the compiler and do not
+// directly affect the final generated code". In this implementation that
+// is a checkable invariant: cleanupCfg must never change the canonical
+// form (emitted code) of any function, at any pipeline stage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Canonical.h"
+#include "src/opt/Cleanup.h"
+#include "src/opt/PhaseManager.h"
+#include "src/workloads/Workloads.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+TEST(CleanupInvariant, NeverChangesEmittedCode) {
+  PhaseManager PM;
+  const char *Stages[] = {"", "s", "sck", "sckshjlg", "oscbh"};
+  for (const Workload &W : allWorkloads()) {
+    for (const char *Stage : Stages) {
+      Module M = compileOrDie(W.Source);
+      for (Function &F : M.Functions) {
+        PM.applySequence(F, Stage);
+        HashTriple Before = canonicalize(F).Hash;
+        size_t InstsBefore = F.instructionCount();
+        cleanupCfg(F);
+        EXPECT_EQ(canonicalize(F).Hash, Before)
+            << W.Name << "/" << F.Name << " stage '" << Stage << "'";
+        EXPECT_EQ(F.instructionCount(), InstsBefore);
+        expectVerifies(F);
+      }
+    }
+  }
+}
+
+TEST(CleanupInvariant, Idempotent) {
+  for (const Workload &W : allWorkloads()) {
+    Module M = compileOrDie(W.Source);
+    for (Function &F : M.Functions) {
+      cleanupCfg(F);
+      EXPECT_FALSE(cleanupCfg(F)) << W.Name << "/" << F.Name;
+    }
+  }
+}
+
+} // namespace

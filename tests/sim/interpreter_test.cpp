@@ -1,0 +1,193 @@
+//===- interpreter_test.cpp - RTL interpreter tests ---------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sim/Interpreter.h"
+
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+int32_t runInt(const std::string &Src, const std::string &Fn,
+               std::vector<int32_t> Args) {
+  Module M = compileOrDie(Src);
+  Interpreter I(M);
+  RunResult R = I.run(Fn, Args);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.ReturnValue;
+}
+
+TEST(Interpreter, Arithmetic) {
+  EXPECT_EQ(runInt("int f(int a,int b){return a+b;}", "f", {3, 4}), 7);
+  EXPECT_EQ(runInt("int f(int a,int b){return a-b;}", "f", {3, 4}), -1);
+  EXPECT_EQ(runInt("int f(int a,int b){return a*b;}", "f", {-3, 4}), -12);
+  EXPECT_EQ(runInt("int f(int a,int b){return a/b;}", "f", {7, 2}), 3);
+  EXPECT_EQ(runInt("int f(int a,int b){return a%b;}", "f", {7, 2}), 1);
+  EXPECT_EQ(runInt("int f(int a,int b){return a&b;}", "f", {6, 3}), 2);
+  EXPECT_EQ(runInt("int f(int a,int b){return a|b;}", "f", {6, 3}), 7);
+  EXPECT_EQ(runInt("int f(int a,int b){return a^b;}", "f", {6, 3}), 5);
+  EXPECT_EQ(runInt("int f(int a){return -a;}", "f", {5}), -5);
+  EXPECT_EQ(runInt("int f(int a){return ~a;}", "f", {0}), -1);
+}
+
+TEST(Interpreter, Shifts) {
+  EXPECT_EQ(runInt("int f(int a,int b){return a<<b;}", "f", {1, 4}), 16);
+  EXPECT_EQ(runInt("int f(int a,int b){return a>>b;}", "f", {-8, 1}), -4);
+  EXPECT_EQ(runInt("int f(int a,int b){return a>>>b;}", "f", {-8, 1}),
+            0x7FFFFFFC);
+}
+
+TEST(Interpreter, Comparisons) {
+  EXPECT_EQ(runInt("int f(int a,int b){return a<b;}", "f", {1, 2}), 1);
+  EXPECT_EQ(runInt("int f(int a,int b){return a<b;}", "f", {2, 1}), 0);
+  EXPECT_EQ(runInt("int f(int a,int b){return a==b;}", "f", {2, 2}), 1);
+  EXPECT_EQ(runInt("int f(int a,int b){return a!=b;}", "f", {2, 2}), 0);
+  EXPECT_EQ(runInt("int f(int a){return !a;}", "f", {0}), 1);
+  EXPECT_EQ(runInt("int f(int a){return !a;}", "f", {5}), 0);
+}
+
+TEST(Interpreter, ShortCircuit) {
+  // Division by zero on the right must not execute when guarded.
+  EXPECT_EQ(
+      runInt("int f(int a,int b){ return b != 0 && a / b > 1; }", "f",
+             {10, 0}),
+      0);
+  EXPECT_EQ(
+      runInt("int f(int a,int b){ return b == 0 || a / b > 1; }", "f",
+             {10, 0}),
+      1);
+}
+
+TEST(Interpreter, LoopsAndLocals) {
+  EXPECT_EQ(runInt("int f(int n){int s=0;int i;for(i=1;i<=n;i=i+1)s=s+i;"
+                   "return s;}",
+                   "f", {100}),
+            5050);
+  EXPECT_EQ(runInt("int f(int n){int s=0;while(n>0){s=s+n;n=n-1;}return s;}",
+                   "f", {4}),
+            10);
+  EXPECT_EQ(runInt("int f(){int i=0;do{i=i+1;}while(i<5);return i;}", "f",
+                   {}),
+            5);
+}
+
+TEST(Interpreter, BreakContinue) {
+  EXPECT_EQ(runInt("int f(){int s=0;int i;for(i=0;i<10;i=i+1){"
+                   "if(i==5)break; if(i%2==0)continue; s=s+i;}return s;}",
+                   "f", {}),
+            1 + 3);
+}
+
+TEST(Interpreter, GlobalsAndArrays) {
+  const char *Src = "int a[5] = {10,20,30,40,50};\n"
+                    "int g = 7;\n"
+                    "int f(int i) { g = g + 1; return a[i] + g; }";
+  EXPECT_EQ(runInt(Src, "f", {2}), 38);
+}
+
+TEST(Interpreter, GlobalsResetBetweenRuns) {
+  Module M = compileOrDie("int g = 1; int f() { g = g + 1; return g; }");
+  Interpreter I(M);
+  EXPECT_EQ(I.run("f", {}).ReturnValue, 2);
+  EXPECT_EQ(I.run("f", {}).ReturnValue, 2); // Not 3: memory re-initialized.
+}
+
+TEST(Interpreter, LocalArrays) {
+  EXPECT_EQ(runInt("int f(){int a[4];int i;for(i=0;i<4;i=i+1)a[i]=i*i;"
+                   "return a[3];}",
+                   "f", {}),
+            9);
+}
+
+TEST(Interpreter, CallsAndRecursion) {
+  const char *Src = "int fib(int n){ if(n<2) return n;"
+                    " return fib(n-1)+fib(n-2); }";
+  EXPECT_EQ(runInt(Src, "fib", {10}), 55);
+}
+
+TEST(Interpreter, OutBuiltinCollectsOutput) {
+  Module M = compileOrDie("void f(){ out(1); out(2); out(3); }");
+  Interpreter I(M);
+  RunResult R = I.run("f", {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(Interpreter, DynamicCountsPositiveAndDeterministic) {
+  Module M = compileOrDie("int f(int n){int s=0;int i;"
+                          "for(i=0;i<n;i=i+1)s=s+i;return s;}");
+  Interpreter I(M);
+  uint64_t C1 = I.run("f", {10}).DynamicInsts;
+  uint64_t C2 = I.run("f", {10}).DynamicInsts;
+  uint64_t C3 = I.run("f", {20}).DynamicInsts;
+  EXPECT_GT(C1, 0u);
+  EXPECT_EQ(C1, C2);
+  EXPECT_GT(C3, C1); // More iterations, more instructions.
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  Module M = compileOrDie("int f(int a){ return 10 / a; }");
+  Interpreter I(M);
+  RunResult R = I.run("f", {0});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division"), std::string::npos);
+}
+
+TEST(Interpreter, StepLimitTraps) {
+  Module M = compileOrDie("int f(){ while(1) {} return 0; }");
+  Interpreter I(M);
+  RunResult R = I.run("f", {}, /*StepLimit=*/10'000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Interpreter, RecursionDepthTraps) {
+  Module M = compileOrDie("int f(int n){ return f(n+1); }");
+  Interpreter I(M);
+  RunResult R = I.run("f", {0});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Interpreter, OutOfBoundsTraps) {
+  Module M = compileOrDie("int a[2]; int f(int i){ return a[i]; }");
+  Interpreter I(M);
+  RunResult R = I.run("f", {-1000000});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Interpreter, OverrideFunction) {
+  Module M = compileOrDie("int f() { return 1; }");
+  // Hand-build a replacement body returning 42.
+  Function Alt;
+  Alt.Name = "f";
+  Alt.ReturnsValue = true;
+  Alt.addBlock();
+  Alt.Blocks[0].Insts.push_back(rtl::ret(Operand::imm(42)));
+  Interpreter I(M);
+  EXPECT_EQ(I.run("f", {}).ReturnValue, 1);
+  I.overrideFunction("f", &Alt);
+  EXPECT_EQ(I.run("f", {}).ReturnValue, 42);
+  I.overrideFunction("f", nullptr);
+  EXPECT_EQ(I.run("f", {}).ReturnValue, 1);
+}
+
+TEST(Interpreter, SameBehaviorComparison) {
+  RunResult A, B;
+  A.Ok = B.Ok = true;
+  A.ReturnValue = B.ReturnValue = 3;
+  A.Output = B.Output = {1, 2};
+  A.DynamicInsts = 10;
+  B.DynamicInsts = 99; // Different cost, same behaviour.
+  EXPECT_TRUE(A.sameBehavior(B));
+  B.Output.push_back(3);
+  EXPECT_FALSE(A.sameBehavior(B));
+}
+
+} // namespace

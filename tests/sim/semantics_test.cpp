@@ -1,0 +1,137 @@
+//===- semantics_test.cpp - Corner-case machine semantics ------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Direct-IR tests of the simulator's machine semantics at the edges the MC
+// front end cannot reach (unsigned condition codes, extreme operands,
+// trapping divisions with INT_MIN).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sim/Interpreter.h"
+
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+/// Wraps a hand-built single function into a runnable module.
+Module moduleOf(Function F, int NumParams) {
+  Module M;
+  Global G;
+  G.Name = "f";
+  G.Kind = GlobalKind::Func;
+  G.FuncIndex = 0;
+  G.ReturnsValue = true;
+  G.NumParams = NumParams;
+  M.Globals.push_back(G);
+  F.Name = "f";
+  F.ReturnsValue = true;
+  F.NumParams = NumParams;
+  while (static_cast<int>(F.Slots.size()) < NumParams) {
+    StackSlot S;
+    S.Name = "p" + std::to_string(F.Slots.size());
+    S.IsParam = true;
+    F.addSlot(S);
+  }
+  M.Functions.push_back(std::move(F));
+  return M;
+}
+
+/// f(a, b) = 1 if (a <cond> b) else 0, via the given condition code.
+int32_t evalCond(Cond C, int32_t A, int32_t B) {
+  Function F;
+  size_t B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock();
+  (void)B1;
+  RegNum RA = F.makePseudo(), RB = F.makePseudo();
+  F.Blocks[B0].Insts.push_back(rtl::load(Operand::reg(RA),
+                                         Operand::slot(0), 0));
+  F.Blocks[B0].Insts.push_back(rtl::load(Operand::reg(RB),
+                                         Operand::slot(1), 0));
+  F.Blocks[B0].Insts.push_back(rtl::cmp(Operand::reg(RA),
+                                        Operand::reg(RB)));
+  F.Blocks[B0].Insts.push_back(rtl::branch(C, F.Blocks[B2].Label));
+  F.Blocks[1].Insts.push_back(rtl::ret(Operand::imm(0)));
+  F.Blocks[B2].Insts.push_back(rtl::ret(Operand::imm(1)));
+  // Parameters need slots before moduleOf fills the rest.
+  StackSlot S0;
+  S0.Name = "a";
+  S0.IsParam = true;
+  StackSlot S1;
+  S1.Name = "b";
+  S1.IsParam = true;
+  F.Slots.insert(F.Slots.begin(), {S0, S1});
+  Module M = moduleOf(std::move(F), 2);
+  Interpreter Sim(M);
+  RunResult R = Sim.run("f", {A, B});
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.ReturnValue;
+}
+
+TEST(Semantics, UnsignedConditions) {
+  // -1 is the largest unsigned value.
+  EXPECT_EQ(evalCond(Cond::ULt, -1, 1), 0);
+  EXPECT_EQ(evalCond(Cond::ULt, 1, -1), 1);
+  EXPECT_EQ(evalCond(Cond::UGt, -1, 1), 1);
+  EXPECT_EQ(evalCond(Cond::UGe, INT32_MIN, INT32_MAX), 1);
+  EXPECT_EQ(evalCond(Cond::ULe, 0, 0), 1);
+  // Signed counterparts disagree, proving the distinction is live.
+  EXPECT_EQ(evalCond(Cond::Lt, -1, 1), 1);
+  EXPECT_EQ(evalCond(Cond::Gt, -1, 1), 0);
+}
+
+TEST(Semantics, IntMinDivideTraps) {
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo(), B = F.makePseudo(), C = F.makePseudo();
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::mov(Operand::reg(A), Operand::imm(INT32_MIN)));
+  I.push_back(rtl::mov(Operand::reg(B), Operand::imm(-1)));
+  I.push_back(rtl::binary(Op::Div, Operand::reg(C), Operand::reg(A),
+                          Operand::reg(B)));
+  I.push_back(rtl::ret(Operand::reg(C)));
+  Module M = moduleOf(std::move(F), 0);
+  Interpreter Sim(M);
+  RunResult R = Sim.run("f", {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division"), std::string::npos);
+}
+
+TEST(Semantics, NegateIntMinWraps) {
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo(), B = F.makePseudo();
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::mov(Operand::reg(A), Operand::imm(INT32_MIN)));
+  I.push_back(rtl::unary(Op::Neg, Operand::reg(B), Operand::reg(A)));
+  I.push_back(rtl::ret(Operand::reg(B)));
+  Module M = moduleOf(std::move(F), 0);
+  Interpreter Sim(M);
+  RunResult R = Sim.run("f", {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue, INT32_MIN); // -INT_MIN wraps to itself.
+}
+
+TEST(Semantics, ShiftAmountsMasked) {
+  Function F;
+  F.addBlock();
+  RegNum A = F.makePseudo(), B = F.makePseudo(), C = F.makePseudo();
+  auto &I = F.Blocks[0].Insts;
+  I.push_back(rtl::mov(Operand::reg(A), Operand::imm(1)));
+  I.push_back(rtl::mov(Operand::reg(B), Operand::imm(33)));
+  I.push_back(rtl::binary(Op::Shl, Operand::reg(C), Operand::reg(A),
+                          Operand::reg(B))); // 33 & 31 == 1.
+  I.push_back(rtl::ret(Operand::reg(C)));
+  Module M = moduleOf(std::move(F), 0);
+  Interpreter Sim(M);
+  RunResult R = Sim.run("f", {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, 2);
+}
+
+} // namespace

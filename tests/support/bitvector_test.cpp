@@ -1,0 +1,69 @@
+//===- bitvector_test.cpp - BitVector unit tests ---------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(BitVector, SetTestReset) {
+  BitVector V(130);
+  EXPECT_FALSE(V.test(0));
+  EXPECT_FALSE(V.test(129));
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(63));
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+}
+
+TEST(BitVector, UnionReportsChange) {
+  BitVector A(70), B(70);
+  B.set(3);
+  B.set(69);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(B)); // Second union is a no-op.
+  EXPECT_TRUE(A.test(3));
+  EXPECT_TRUE(A.test(69));
+}
+
+TEST(BitVector, IntersectAndSubtract) {
+  BitVector A(10), B(10);
+  A.set(1);
+  A.set(2);
+  A.set(3);
+  B.set(2);
+  B.set(3);
+  B.set(4);
+  BitVector C = A;
+  C.intersectWith(B);
+  EXPECT_FALSE(C.test(1));
+  EXPECT_TRUE(C.test(2));
+  EXPECT_TRUE(C.test(3));
+  A.subtract(B);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(2));
+}
+
+TEST(BitVector, EqualityAndClear) {
+  BitVector A(65), B(65);
+  EXPECT_EQ(A, B);
+  A.set(64);
+  EXPECT_NE(A, B);
+  A.clear();
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.any());
+}
+
+} // namespace

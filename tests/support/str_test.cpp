@@ -1,0 +1,43 @@
+//===- str_test.cpp - String helper unit tests ------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Str.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(Str, PadLeft) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(Str, PadRight) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(Str, FmtDouble) {
+  EXPECT_EQ(fmtDouble(0.5, 2), "0.50");
+  EXPECT_EQ(fmtDouble(37.849, 1), "37.8");
+}
+
+TEST(Str, FmtGrouped) {
+  EXPECT_EQ(fmtGrouped(0), "0");
+  EXPECT_EQ(fmtGrouped(999), "999");
+  EXPECT_EQ(fmtGrouped(1000), "1,000");
+  EXPECT_EQ(fmtGrouped(1234567), "1,234,567");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+} // namespace

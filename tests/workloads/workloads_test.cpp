@@ -1,0 +1,111 @@
+//===- workloads_test.cpp - Benchmark program tests ----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/workloads/Workloads.h"
+
+#include "src/core/Compilers.h"
+#include "src/opt/PhaseManager.h"
+#include "src/sim/Interpreter.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+TEST(Workloads, RegistryShape) {
+  const auto &All = allWorkloads();
+  ASSERT_EQ(All.size(), 6u); // One per MiBench category (Table 2).
+  EXPECT_STREQ(All[0].Category, "auto");
+  EXPECT_STREQ(All[5].Category, "office");
+  EXPECT_NE(findWorkload("sha"), nullptr);
+  EXPECT_EQ(findWorkload("missing"), nullptr);
+}
+
+TEST(Workloads, AllCompileAndVerify) {
+  for (const Workload &W : allWorkloads()) {
+    CompileResult R = compileMC(W.Source);
+    ASSERT_TRUE(R.ok()) << W.Name << ": " << R.diagText();
+    EXPECT_EQ(verifyModule(R.M), "") << W.Name;
+    EXPECT_GE(R.M.Functions.size(), 7u) << W.Name;
+  }
+}
+
+struct Golden {
+  const char *Name;
+  int32_t Ret;
+  std::vector<int32_t> Output;
+};
+
+const Golden Goldens[] = {
+    {"bitcount", 1024, {1024}},
+    {"dijkstra", 760, {760, 8}},
+    {"fft", 2600, {2600, 50}},
+    {"jpeg", 1839, {1839, 19135, 2026446817, 40}},
+    {"sha",
+     -1714223431,
+     {1929437655, -1946583909, 1990426008, -1953974923, -1677634792,
+      699010992}},
+    {"stringsearch", 4110, {4, 1, 1, 0, 4, 0}},
+};
+
+TEST(Workloads, GoldenOutputs) {
+  for (const Golden &G : Goldens) {
+    const Workload *W = findWorkload(G.Name);
+    ASSERT_NE(W, nullptr) << G.Name;
+    Module M = compileOrDie(W->Source);
+    Interpreter Sim(M);
+    RunResult R = Sim.run("main", {});
+    ASSERT_TRUE(R.Ok) << G.Name << ": " << R.Error;
+    EXPECT_EQ(R.ReturnValue, G.Ret) << G.Name;
+    EXPECT_EQ(R.Output, G.Output) << G.Name;
+  }
+}
+
+TEST(Workloads, BatchCompilationPreservesGoldens) {
+  PhaseManager PM;
+  for (const Golden &G : Goldens) {
+    const Workload *W = findWorkload(G.Name);
+    Module M = compileOrDie(W->Source);
+    Interpreter Sim(M);
+    uint64_t DynBefore = Sim.run("main", {}).DynamicInsts;
+    for (Function &F : M.Functions) {
+      batchCompile(PM, F);
+      expectVerifies(F);
+    }
+    RunResult R = Sim.run("main", {});
+    ASSERT_TRUE(R.Ok) << G.Name << ": " << R.Error;
+    EXPECT_EQ(R.ReturnValue, G.Ret) << G.Name;
+    EXPECT_EQ(R.Output, G.Output) << G.Name;
+    // Optimization pays: at least 2x fewer dynamic instructions on these
+    // naive-codegen programs.
+    EXPECT_LT(R.DynamicInsts, DynBefore / 2) << G.Name;
+  }
+}
+
+TEST(Workloads, FunctionSizesSpanARange) {
+  // The suite must exercise both small and large functions, as Table 3's
+  // 111 functions do (60-to-1371 instructions unoptimized).
+  size_t MinSize = SIZE_MAX, MaxSize = 0, Total = 0, Count = 0;
+  for (const Workload &W : allWorkloads()) {
+    Module M = compileOrDie(W.Source);
+    for (const Function &F : M.Functions) {
+      size_t S = F.instructionCount();
+      MinSize = std::min(MinSize, S);
+      MaxSize = std::max(MaxSize, S);
+      Total += S;
+      ++Count;
+    }
+  }
+  EXPECT_GE(Count, 50u);
+  EXPECT_LT(MinSize, 15u);
+  EXPECT_GT(MaxSize, 300u);
+  EXPECT_GT(Total / Count, 40u);
+}
+
+} // namespace

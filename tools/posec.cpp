@@ -1,0 +1,265 @@
+//===- posec.cpp - POSE command-line driver -----------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compile, optimize, run, and explore MC programs from the command line.
+//
+//   posec prog.mc                         compile + batch-optimize, print RTL
+//   posec prog.mc --opt=none|batch|prob   pick the optimization strategy
+//   posec prog.mc --run [--entry=main]    simulate and print outputs
+//   posec prog.mc --enumerate=FUNC        exhaustively enumerate one function
+//   posec prog.mc --dot=FUNC              write FUNC's phase-order DAG as DOT
+//   posec prog.mc --sequence=sckh         apply an explicit phase sequence
+//   posec prog.mc --budget=N              enumeration budget
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Compilers.h"
+#include "src/core/DagExport.h"
+#include "src/core/SpaceStats.h"
+#include "src/frontend/Compile.h"
+#include "src/ir/Printer.h"
+#include "src/machine/EntryExit.h"
+#include "src/opt/PhaseManager.h"
+#include "src/sim/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace pose;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  std::string Opt = "batch"; // none | batch | prob | sequence
+  std::string Sequence;
+  std::string Entry = "main";
+  std::string EnumerateFunc;
+  std::string DotFunc;
+  uint64_t Budget = 1'000'000;
+  std::string ModelPath;     // --model=FILE: load a trained model.
+  std::string SaveModelPath; // --save-model=FILE: save after training.
+  bool Run = false;
+  bool EmitRtl = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: posec <file.mc> [options]\n"
+      "  --opt=none|batch|prob   optimization strategy (default batch)\n"
+      "  --sequence=LETTERS      apply an explicit phase sequence instead\n"
+      "  --run                   simulate --entry (default main)\n"
+      "  --entry=NAME            entry function for --run\n"
+      "  --emit-rtl              print the final RTL of every function\n"
+      "  --enumerate=FUNC        exhaustively enumerate FUNC's space\n"
+      "  --dot=FUNC              print FUNC's phase-order DAG as Graphviz\n"
+      "  --budget=N              enumeration budget (active sequences per\n"
+      "                          level; default 1000000)\n"
+      "  --model=FILE            load a trained interaction model for\n"
+      "                          --opt=prob instead of self-training\n"
+      "  --save-model=FILE       save the trained model after --opt=prob\n"
+      "  --list-phases           print the 15 phases and exit\n");
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    auto Value = [&A](const char *Flag) -> const char * {
+      size_t L = std::strlen(Flag);
+      if (A.compare(0, L, Flag) == 0 && A.size() > L && A[L] == '=')
+        return A.c_str() + L + 1;
+      return nullptr;
+    };
+    if (A == "--run")
+      O.Run = true;
+    else if (A == "--emit-rtl")
+      O.EmitRtl = true;
+    else if (A == "--list-phases") {
+      for (int P = 0; P != NumPhases; ++P)
+        std::printf(" %c  %s\n", phaseCode(phaseByIndex(P)),
+                    phaseName(phaseByIndex(P)));
+      std::exit(0);
+    } else if (const char *V = Value("--opt"))
+      O.Opt = V;
+    else if (const char *V2 = Value("--sequence")) {
+      O.Sequence = V2;
+      O.Opt = "sequence";
+    } else if (const char *V3 = Value("--entry"))
+      O.Entry = V3;
+    else if (const char *V4 = Value("--enumerate"))
+      O.EnumerateFunc = V4;
+    else if (const char *V5 = Value("--dot"))
+      O.DotFunc = V5;
+    else if (const char *V6 = Value("--budget"))
+      O.Budget = std::strtoull(V6, nullptr, 10);
+    else if (const char *V7 = Value("--model"))
+      O.ModelPath = V7;
+    else if (const char *V8 = Value("--save-model"))
+      O.SaveModelPath = V8;
+    else if (A.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", A.c_str());
+      return false;
+    } else if (O.InputPath.empty())
+      O.InputPath = A;
+    else {
+      std::fprintf(stderr, "multiple input files\n");
+      return false;
+    }
+  }
+  return !O.InputPath.empty();
+}
+
+int enumerateFunction(const Options &O, Module &M) {
+  int Id = M.findGlobal(O.EnumerateFunc.empty() ? O.DotFunc
+                                                : O.EnumerateFunc);
+  Function *F = Id >= 0 ? M.functionFor(Id) : nullptr;
+  if (!F) {
+    std::fprintf(stderr, "no function named '%s'\n",
+                 (O.EnumerateFunc + O.DotFunc).c_str());
+    return 1;
+  }
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Cfg.MaxLevelSequences = O.Budget;
+  Enumerator E(PM, Cfg);
+  EnumerationResult R = E.enumerate(*F);
+
+  if (!O.DotFunc.empty()) {
+    std::printf("%s", dagToDot(R).c_str());
+    return 0;
+  }
+
+  SpaceStats S = computeSpaceStats(*F, R);
+  std::printf("%s: %s\n", F->Name.c_str(),
+              R.Complete ? "exhaustively enumerated"
+                         : "budget exceeded (partial space)");
+  std::printf("  unoptimized: %u insts, %u blocks, %u branches, %u loops\n",
+              S.Insts, S.Blocks, S.Branches, S.Loops);
+  std::printf("  distinct instances: %llu  attempted phases: %llu\n",
+              static_cast<unsigned long long>(S.FnInstances),
+              static_cast<unsigned long long>(S.AttemptedPhases));
+  std::printf("  max active sequence length: %u  control flows: %llu\n",
+              S.MaxActiveLen,
+              static_cast<unsigned long long>(S.DistinctControlFlows));
+  std::printf("  leaves: %llu  code size best/worst: %u/%u (%.1f%%)\n",
+              static_cast<unsigned long long>(S.LeafInstances),
+              S.LeafCodeSizeMin, S.LeafCodeSizeMax,
+              S.codeSizeDiffPercent());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(O.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", O.InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  CompileResult CR = compileMC(Buf.str());
+  if (!CR.ok()) {
+    std::fprintf(stderr, "%s", CR.diagText().c_str());
+    return 1;
+  }
+  Module &M = CR.M;
+
+  if (!O.EnumerateFunc.empty() || !O.DotFunc.empty())
+    return enumerateFunction(O, M);
+
+  PhaseManager PM;
+  if (O.Opt == "batch") {
+    for (Function &F : M.Functions) {
+      CompileStats S = batchCompile(PM, F);
+      std::fprintf(stderr, "%-20s %3llu attempted, %2llu active (%s)\n",
+                   F.Name.c_str(),
+                   static_cast<unsigned long long>(S.Attempted),
+                   static_cast<unsigned long long>(S.Active),
+                   S.ActiveSequence.c_str());
+      fixEntryExit(F);
+    }
+  } else if (O.Opt == "prob") {
+    InteractionAnalysis IA;
+    if (!O.ModelPath.empty()) {
+      std::ifstream ModelIn(O.ModelPath);
+      std::stringstream ModelBuf;
+      ModelBuf << ModelIn.rdbuf();
+      if (!ModelIn || !IA.deserialize(ModelBuf.str())) {
+        std::fprintf(stderr, "cannot load model %s\n",
+                     O.ModelPath.c_str());
+        return 1;
+      }
+    } else {
+      // Self-trained: enumerate this very module's functions first.
+      EnumeratorConfig Cfg;
+      Cfg.MaxLevelSequences = O.Budget;
+      Enumerator E(PM, Cfg);
+      for (Function &F : M.Functions) {
+        EnumerationResult R = E.enumerate(F);
+        if (R.Complete)
+          IA.addFunction(R);
+      }
+    }
+    if (!O.SaveModelPath.empty()) {
+      std::ofstream ModelOut(O.SaveModelPath);
+      ModelOut << IA.serialize();
+      if (!ModelOut) {
+        std::fprintf(stderr, "cannot write model %s\n",
+                     O.SaveModelPath.c_str());
+        return 1;
+      }
+    }
+    ProbabilisticCompiler PC(PM, IA);
+    for (Function &F : M.Functions) {
+      CompileStats S = PC.compile(F);
+      std::fprintf(stderr, "%-20s %3llu attempted, %2llu active (%s)\n",
+                   F.Name.c_str(),
+                   static_cast<unsigned long long>(S.Attempted),
+                   static_cast<unsigned long long>(S.Active),
+                   S.ActiveSequence.c_str());
+      fixEntryExit(F);
+    }
+  } else if (O.Opt == "sequence") {
+    for (Function &F : M.Functions) {
+      std::string Active = PM.applySequence(F, O.Sequence);
+      std::fprintf(stderr, "%-20s active: %s\n", F.Name.c_str(),
+                   Active.c_str());
+      fixEntryExit(F);
+    }
+  } else if (O.Opt != "none") {
+    std::fprintf(stderr, "unknown --opt value '%s'\n", O.Opt.c_str());
+    return 2;
+  }
+
+  if (O.EmitRtl || (!O.Run && O.EnumerateFunc.empty()))
+    std::printf("%s", printModule(M).c_str());
+
+  if (O.Run) {
+    Interpreter Sim(M);
+    RunResult R = Sim.run(O.Entry, {});
+    if (!R.Ok) {
+      std::fprintf(stderr, "simulation failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    for (int32_t V : R.Output)
+      std::printf("%d\n", V);
+    std::fprintf(stderr, "return value: %d\ndynamic instructions: %llu\n",
+                 R.ReturnValue,
+                 static_cast<unsigned long long>(R.DynamicInsts));
+  }
+  return 0;
+}
