@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cf_inference.dir/bench_cf_inference.cpp.o"
+  "CMakeFiles/bench_cf_inference.dir/bench_cf_inference.cpp.o.d"
+  "bench_cf_inference"
+  "bench_cf_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cf_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

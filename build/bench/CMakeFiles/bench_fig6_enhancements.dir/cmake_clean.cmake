@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_enhancements.dir/bench_fig6_enhancements.cpp.o"
+  "CMakeFiles/bench_fig6_enhancements.dir/bench_fig6_enhancements.cpp.o.d"
+  "bench_fig6_enhancements"
+  "bench_fig6_enhancements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_searches.dir/bench_searches.cpp.o"
+  "CMakeFiles/bench_searches.dir/bench_searches.cpp.o.d"
+  "bench_searches"
+  "bench_searches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_searches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

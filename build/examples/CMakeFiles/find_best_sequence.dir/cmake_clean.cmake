@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_best_sequence.dir/find_best_sequence.cpp.o"
+  "CMakeFiles/find_best_sequence.dir/find_best_sequence.cpp.o.d"
+  "find_best_sequence"
+  "find_best_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_best_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_compiler.dir/probabilistic_compiler.cpp.o"
+  "CMakeFiles/probabilistic_compiler.dir/probabilistic_compiler.cpp.o.d"
+  "probabilistic_compiler"
+  "probabilistic_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_analysis.dir/DependenceDag.cpp.o"
+  "CMakeFiles/pose_analysis.dir/DependenceDag.cpp.o.d"
+  "CMakeFiles/pose_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/pose_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/pose_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/pose_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/pose_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/pose_analysis.dir/Loops.cpp.o.d"
+  "libpose_analysis.a"
+  "libpose_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Canonical.cpp" "src/core/CMakeFiles/pose_core.dir/Canonical.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/Canonical.cpp.o.d"
+  "/root/repo/src/core/CfInference.cpp" "src/core/CMakeFiles/pose_core.dir/CfInference.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/CfInference.cpp.o.d"
+  "/root/repo/src/core/Compilers.cpp" "src/core/CMakeFiles/pose_core.dir/Compilers.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/Compilers.cpp.o.d"
+  "/root/repo/src/core/DagExport.cpp" "src/core/CMakeFiles/pose_core.dir/DagExport.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/DagExport.cpp.o.d"
+  "/root/repo/src/core/DagPaths.cpp" "src/core/CMakeFiles/pose_core.dir/DagPaths.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/DagPaths.cpp.o.d"
+  "/root/repo/src/core/Enumerator.cpp" "src/core/CMakeFiles/pose_core.dir/Enumerator.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/Enumerator.cpp.o.d"
+  "/root/repo/src/core/Interaction.cpp" "src/core/CMakeFiles/pose_core.dir/Interaction.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/Interaction.cpp.o.d"
+  "/root/repo/src/core/Search.cpp" "src/core/CMakeFiles/pose_core.dir/Search.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/Search.cpp.o.d"
+  "/root/repo/src/core/SpaceStats.cpp" "src/core/CMakeFiles/pose_core.dir/SpaceStats.cpp.o" "gcc" "src/core/CMakeFiles/pose_core.dir/SpaceStats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/pose_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pose_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pose_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pose_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pose_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pose_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_core.dir/Canonical.cpp.o"
+  "CMakeFiles/pose_core.dir/Canonical.cpp.o.d"
+  "CMakeFiles/pose_core.dir/CfInference.cpp.o"
+  "CMakeFiles/pose_core.dir/CfInference.cpp.o.d"
+  "CMakeFiles/pose_core.dir/Compilers.cpp.o"
+  "CMakeFiles/pose_core.dir/Compilers.cpp.o.d"
+  "CMakeFiles/pose_core.dir/DagExport.cpp.o"
+  "CMakeFiles/pose_core.dir/DagExport.cpp.o.d"
+  "CMakeFiles/pose_core.dir/DagPaths.cpp.o"
+  "CMakeFiles/pose_core.dir/DagPaths.cpp.o.d"
+  "CMakeFiles/pose_core.dir/Enumerator.cpp.o"
+  "CMakeFiles/pose_core.dir/Enumerator.cpp.o.d"
+  "CMakeFiles/pose_core.dir/Interaction.cpp.o"
+  "CMakeFiles/pose_core.dir/Interaction.cpp.o.d"
+  "CMakeFiles/pose_core.dir/Search.cpp.o"
+  "CMakeFiles/pose_core.dir/Search.cpp.o.d"
+  "CMakeFiles/pose_core.dir/SpaceStats.cpp.o"
+  "CMakeFiles/pose_core.dir/SpaceStats.cpp.o.d"
+  "libpose_core.a"
+  "libpose_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

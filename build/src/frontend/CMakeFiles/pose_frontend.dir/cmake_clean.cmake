@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_frontend.dir/Codegen.cpp.o"
+  "CMakeFiles/pose_frontend.dir/Codegen.cpp.o.d"
+  "CMakeFiles/pose_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/pose_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pose_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/pose_frontend.dir/Parser.cpp.o.d"
+  "libpose_frontend.a"
+  "libpose_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

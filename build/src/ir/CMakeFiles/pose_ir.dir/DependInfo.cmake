@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/pose_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/pose_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Parse.cpp" "src/ir/CMakeFiles/pose_ir.dir/Parse.cpp.o" "gcc" "src/ir/CMakeFiles/pose_ir.dir/Parse.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/pose_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/pose_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Rtl.cpp" "src/ir/CMakeFiles/pose_ir.dir/Rtl.cpp.o" "gcc" "src/ir/CMakeFiles/pose_ir.dir/Rtl.cpp.o.d"
+  "/root/repo/src/ir/Verify.cpp" "src/ir/CMakeFiles/pose_ir.dir/Verify.cpp.o" "gcc" "src/ir/CMakeFiles/pose_ir.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pose_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

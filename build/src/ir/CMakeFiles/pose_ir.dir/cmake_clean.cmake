@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_ir.dir/Function.cpp.o"
+  "CMakeFiles/pose_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/pose_ir.dir/Parse.cpp.o"
+  "CMakeFiles/pose_ir.dir/Parse.cpp.o.d"
+  "CMakeFiles/pose_ir.dir/Printer.cpp.o"
+  "CMakeFiles/pose_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/pose_ir.dir/Rtl.cpp.o"
+  "CMakeFiles/pose_ir.dir/Rtl.cpp.o.d"
+  "CMakeFiles/pose_ir.dir/Verify.cpp.o"
+  "CMakeFiles/pose_ir.dir/Verify.cpp.o.d"
+  "libpose_ir.a"
+  "libpose_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/EntryExit.cpp" "src/machine/CMakeFiles/pose_machine.dir/EntryExit.cpp.o" "gcc" "src/machine/CMakeFiles/pose_machine.dir/EntryExit.cpp.o.d"
+  "/root/repo/src/machine/RegisterAssign.cpp" "src/machine/CMakeFiles/pose_machine.dir/RegisterAssign.cpp.o" "gcc" "src/machine/CMakeFiles/pose_machine.dir/RegisterAssign.cpp.o.d"
+  "/root/repo/src/machine/Schedule.cpp" "src/machine/CMakeFiles/pose_machine.dir/Schedule.cpp.o" "gcc" "src/machine/CMakeFiles/pose_machine.dir/Schedule.cpp.o.d"
+  "/root/repo/src/machine/Target.cpp" "src/machine/CMakeFiles/pose_machine.dir/Target.cpp.o" "gcc" "src/machine/CMakeFiles/pose_machine.dir/Target.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pose_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pose_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pose_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_machine.dir/EntryExit.cpp.o"
+  "CMakeFiles/pose_machine.dir/EntryExit.cpp.o.d"
+  "CMakeFiles/pose_machine.dir/RegisterAssign.cpp.o"
+  "CMakeFiles/pose_machine.dir/RegisterAssign.cpp.o.d"
+  "CMakeFiles/pose_machine.dir/Schedule.cpp.o"
+  "CMakeFiles/pose_machine.dir/Schedule.cpp.o.d"
+  "CMakeFiles/pose_machine.dir/Target.cpp.o"
+  "CMakeFiles/pose_machine.dir/Target.cpp.o.d"
+  "libpose_machine.a"
+  "libpose_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

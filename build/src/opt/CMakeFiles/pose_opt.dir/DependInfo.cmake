@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/BlockReordering.cpp" "src/opt/CMakeFiles/pose_opt.dir/BlockReordering.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/BlockReordering.cpp.o.d"
+  "/root/repo/src/opt/BranchChaining.cpp" "src/opt/CMakeFiles/pose_opt.dir/BranchChaining.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/BranchChaining.cpp.o.d"
+  "/root/repo/src/opt/Cleanup.cpp" "src/opt/CMakeFiles/pose_opt.dir/Cleanup.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/Cleanup.cpp.o.d"
+  "/root/repo/src/opt/CodeAbstraction.cpp" "src/opt/CMakeFiles/pose_opt.dir/CodeAbstraction.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/CodeAbstraction.cpp.o.d"
+  "/root/repo/src/opt/Cse.cpp" "src/opt/CMakeFiles/pose_opt.dir/Cse.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/Cse.cpp.o.d"
+  "/root/repo/src/opt/DeadAssignElim.cpp" "src/opt/CMakeFiles/pose_opt.dir/DeadAssignElim.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/DeadAssignElim.cpp.o.d"
+  "/root/repo/src/opt/EvalOrder.cpp" "src/opt/CMakeFiles/pose_opt.dir/EvalOrder.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/EvalOrder.cpp.o.d"
+  "/root/repo/src/opt/InstructionSelection.cpp" "src/opt/CMakeFiles/pose_opt.dir/InstructionSelection.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/InstructionSelection.cpp.o.d"
+  "/root/repo/src/opt/LoopTransforms.cpp" "src/opt/CMakeFiles/pose_opt.dir/LoopTransforms.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/LoopTransforms.cpp.o.d"
+  "/root/repo/src/opt/LoopUnrolling.cpp" "src/opt/CMakeFiles/pose_opt.dir/LoopUnrolling.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/LoopUnrolling.cpp.o.d"
+  "/root/repo/src/opt/MinimizeLoopJumps.cpp" "src/opt/CMakeFiles/pose_opt.dir/MinimizeLoopJumps.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/MinimizeLoopJumps.cpp.o.d"
+  "/root/repo/src/opt/Phase.cpp" "src/opt/CMakeFiles/pose_opt.dir/Phase.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/Phase.cpp.o.d"
+  "/root/repo/src/opt/PhaseManager.cpp" "src/opt/CMakeFiles/pose_opt.dir/PhaseManager.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/PhaseManager.cpp.o.d"
+  "/root/repo/src/opt/RegisterAllocation.cpp" "src/opt/CMakeFiles/pose_opt.dir/RegisterAllocation.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/RegisterAllocation.cpp.o.d"
+  "/root/repo/src/opt/ReverseBranches.cpp" "src/opt/CMakeFiles/pose_opt.dir/ReverseBranches.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/ReverseBranches.cpp.o.d"
+  "/root/repo/src/opt/StrengthReduction.cpp" "src/opt/CMakeFiles/pose_opt.dir/StrengthReduction.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/StrengthReduction.cpp.o.d"
+  "/root/repo/src/opt/UnreachableCode.cpp" "src/opt/CMakeFiles/pose_opt.dir/UnreachableCode.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/UnreachableCode.cpp.o.d"
+  "/root/repo/src/opt/UselessJumps.cpp" "src/opt/CMakeFiles/pose_opt.dir/UselessJumps.cpp.o" "gcc" "src/opt/CMakeFiles/pose_opt.dir/UselessJumps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pose_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pose_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pose_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pose_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpose_opt.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_sim.dir/Interpreter.cpp.o"
+  "CMakeFiles/pose_sim.dir/Interpreter.cpp.o.d"
+  "libpose_sim.a"
+  "libpose_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_support.dir/Crc32.cpp.o"
+  "CMakeFiles/pose_support.dir/Crc32.cpp.o.d"
+  "CMakeFiles/pose_support.dir/Rng.cpp.o"
+  "CMakeFiles/pose_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/pose_support.dir/Str.cpp.o"
+  "CMakeFiles/pose_support.dir/Str.cpp.o.d"
+  "libpose_support.a"
+  "libpose_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/pose_workloads.dir/Workloads.cpp.o.d"
+  "libpose_workloads.a"
+  "libpose_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_analysis_test.dir/analysis/dependence_test.cpp.o"
+  "CMakeFiles/pose_analysis_test.dir/analysis/dependence_test.cpp.o.d"
+  "CMakeFiles/pose_analysis_test.dir/analysis/dominators_test.cpp.o"
+  "CMakeFiles/pose_analysis_test.dir/analysis/dominators_test.cpp.o.d"
+  "CMakeFiles/pose_analysis_test.dir/analysis/liveness_test.cpp.o"
+  "CMakeFiles/pose_analysis_test.dir/analysis/liveness_test.cpp.o.d"
+  "CMakeFiles/pose_analysis_test.dir/analysis/loops_test.cpp.o"
+  "CMakeFiles/pose_analysis_test.dir/analysis/loops_test.cpp.o.d"
+  "pose_analysis_test"
+  "pose_analysis_test.pdb"
+  "pose_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

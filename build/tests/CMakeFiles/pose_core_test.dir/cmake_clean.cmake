@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_core_test.dir/core/canonical_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/canonical_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/cfinference_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/cfinference_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/compilers_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/compilers_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/dagexport_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/dagexport_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/enumerator_extra_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/enumerator_extra_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/enumerator_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/enumerator_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/interaction_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/interaction_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/model_io_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/model_io_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/pruning_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/pruning_test.cpp.o.d"
+  "CMakeFiles/pose_core_test.dir/core/search_test.cpp.o"
+  "CMakeFiles/pose_core_test.dir/core/search_test.cpp.o.d"
+  "pose_core_test"
+  "pose_core_test.pdb"
+  "pose_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

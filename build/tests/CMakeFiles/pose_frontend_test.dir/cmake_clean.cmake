@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_frontend_test.dir/frontend/codegen_test.cpp.o"
+  "CMakeFiles/pose_frontend_test.dir/frontend/codegen_test.cpp.o.d"
+  "CMakeFiles/pose_frontend_test.dir/frontend/lexer_test.cpp.o"
+  "CMakeFiles/pose_frontend_test.dir/frontend/lexer_test.cpp.o.d"
+  "CMakeFiles/pose_frontend_test.dir/frontend/parser_test.cpp.o"
+  "CMakeFiles/pose_frontend_test.dir/frontend/parser_test.cpp.o.d"
+  "pose_frontend_test"
+  "pose_frontend_test.pdb"
+  "pose_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_integration_test.dir/integration/expr_conformance_test.cpp.o"
+  "CMakeFiles/pose_integration_test.dir/integration/expr_conformance_test.cpp.o.d"
+  "CMakeFiles/pose_integration_test.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/pose_integration_test.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/pose_integration_test.dir/integration/golden_space_test.cpp.o"
+  "CMakeFiles/pose_integration_test.dir/integration/golden_space_test.cpp.o.d"
+  "pose_integration_test"
+  "pose_integration_test.pdb"
+  "pose_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_ir_test.dir/ir/function_test.cpp.o"
+  "CMakeFiles/pose_ir_test.dir/ir/function_test.cpp.o.d"
+  "CMakeFiles/pose_ir_test.dir/ir/parse_test.cpp.o"
+  "CMakeFiles/pose_ir_test.dir/ir/parse_test.cpp.o.d"
+  "CMakeFiles/pose_ir_test.dir/ir/printer_test.cpp.o"
+  "CMakeFiles/pose_ir_test.dir/ir/printer_test.cpp.o.d"
+  "CMakeFiles/pose_ir_test.dir/ir/rtl_test.cpp.o"
+  "CMakeFiles/pose_ir_test.dir/ir/rtl_test.cpp.o.d"
+  "CMakeFiles/pose_ir_test.dir/ir/verify_test.cpp.o"
+  "CMakeFiles/pose_ir_test.dir/ir/verify_test.cpp.o.d"
+  "pose_ir_test"
+  "pose_ir_test.pdb"
+  "pose_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_machine_test.dir/machine/regassign_test.cpp.o"
+  "CMakeFiles/pose_machine_test.dir/machine/regassign_test.cpp.o.d"
+  "CMakeFiles/pose_machine_test.dir/machine/schedule_test.cpp.o"
+  "CMakeFiles/pose_machine_test.dir/machine/schedule_test.cpp.o.d"
+  "CMakeFiles/pose_machine_test.dir/machine/target_test.cpp.o"
+  "CMakeFiles/pose_machine_test.dir/machine/target_test.cpp.o.d"
+  "pose_machine_test"
+  "pose_machine_test.pdb"
+  "pose_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

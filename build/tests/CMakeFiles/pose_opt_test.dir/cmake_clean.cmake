@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_opt_test.dir/opt/cleanup_invariant_test.cpp.o"
+  "CMakeFiles/pose_opt_test.dir/opt/cleanup_invariant_test.cpp.o.d"
+  "CMakeFiles/pose_opt_test.dir/opt/differential_test.cpp.o"
+  "CMakeFiles/pose_opt_test.dir/opt/differential_test.cpp.o.d"
+  "CMakeFiles/pose_opt_test.dir/opt/phase_edge_test.cpp.o"
+  "CMakeFiles/pose_opt_test.dir/opt/phase_edge_test.cpp.o.d"
+  "CMakeFiles/pose_opt_test.dir/opt/phases_test.cpp.o"
+  "CMakeFiles/pose_opt_test.dir/opt/phases_test.cpp.o.d"
+  "pose_opt_test"
+  "pose_opt_test.pdb"
+  "pose_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

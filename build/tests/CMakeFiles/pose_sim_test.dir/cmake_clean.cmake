@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_sim_test.dir/sim/interpreter_test.cpp.o"
+  "CMakeFiles/pose_sim_test.dir/sim/interpreter_test.cpp.o.d"
+  "CMakeFiles/pose_sim_test.dir/sim/semantics_test.cpp.o"
+  "CMakeFiles/pose_sim_test.dir/sim/semantics_test.cpp.o.d"
+  "pose_sim_test"
+  "pose_sim_test.pdb"
+  "pose_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_support_test.dir/support/bitvector_test.cpp.o"
+  "CMakeFiles/pose_support_test.dir/support/bitvector_test.cpp.o.d"
+  "CMakeFiles/pose_support_test.dir/support/crc32_test.cpp.o"
+  "CMakeFiles/pose_support_test.dir/support/crc32_test.cpp.o.d"
+  "CMakeFiles/pose_support_test.dir/support/rng_test.cpp.o"
+  "CMakeFiles/pose_support_test.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/pose_support_test.dir/support/str_test.cpp.o"
+  "CMakeFiles/pose_support_test.dir/support/str_test.cpp.o.d"
+  "pose_support_test"
+  "pose_support_test.pdb"
+  "pose_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_workloads_test.dir/workloads/workloads_test.cpp.o"
+  "CMakeFiles/pose_workloads_test.dir/workloads/workloads_test.cpp.o.d"
+  "pose_workloads_test"
+  "pose_workloads_test.pdb"
+  "pose_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pose_support_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_core_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_integration_test[1]_include.cmake")

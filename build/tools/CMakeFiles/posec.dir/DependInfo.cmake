@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/posec.cpp" "tools/CMakeFiles/posec.dir/posec.cpp.o" "gcc" "tools/CMakeFiles/posec.dir/posec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pose_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pose_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pose_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pose_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pose_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pose_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pose_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pose_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posec.dir/posec.cpp.o"
+  "CMakeFiles/posec.dir/posec.cpp.o.d"
+  "posec"
+  "posec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

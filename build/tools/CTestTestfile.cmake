@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(posec_run "/root/repo/build/tools/posec" "/root/repo/examples/mc/squares.mc" "--run")
+set_tests_properties(posec_run PROPERTIES  PASS_REGULAR_EXPRESSION "285" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(posec_enumerate "/root/repo/build/tools/posec" "/root/repo/examples/mc/squares.mc" "--enumerate=squares" "--budget=50000")
+set_tests_properties(posec_enumerate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(posec_dot "/root/repo/build/tools/posec" "/root/repo/examples/mc/squares.mc" "--dot=squares" "--budget=50000")
+set_tests_properties(posec_dot PROPERTIES  PASS_REGULAR_EXPRESSION "digraph" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(posec_sequence "/root/repo/build/tools/posec" "/root/repo/examples/mc/squares.mc" "--sequence=oskcshuirjnq" "--run")
+set_tests_properties(posec_sequence PROPERTIES  PASS_REGULAR_EXPRESSION "285" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(posec_prob "/root/repo/build/tools/posec" "/root/repo/examples/mc/squares.mc" "--opt=prob" "--run" "--budget=50000")
+set_tests_properties(posec_prob PROPERTIES  PASS_REGULAR_EXPRESSION "285" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
