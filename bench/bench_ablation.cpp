@@ -47,8 +47,8 @@ int main(int Argc, char **Argv) {
       EnumerationResult RW = EWith.enumerate(F);
       EnumerationResult RO = EWithout.enumerate(F);
       std::string Note;
-      if (!RW.Complete || !RO.Complete)
-        Note = !RO.Complete ? " (no-remap exceeded budget)"
+      if (!RW.complete() || !RO.complete())
+        Note = !RO.complete() ? " (no-remap exceeded budget)"
                             : " (exceeded budget)";
       double Blowup = static_cast<double>(RO.Nodes.size()) /
                       static_cast<double>(RW.Nodes.size());
@@ -59,7 +59,7 @@ int main(int Argc, char **Argv) {
                   RO.Nodes.size(),
                   static_cast<unsigned long long>(RO.AttemptedPhases),
                   Blowup, Note.c_str());
-      if (RW.Complete && RO.Complete) {
+      if (RW.complete() && RO.complete()) {
         SumWith += RW.Nodes.size();
         SumWithout += RO.Nodes.size();
         ++Counted;
@@ -85,7 +85,7 @@ int main(int Argc, char **Argv) {
   for (CompiledWorkload &W : compileAllWorkloads()) {
     for (Function &F : W.M.Functions) {
       EnumerationResult Truth = EWith.enumerate(F);
-      if (!Truth.Complete)
+      if (!Truth.complete())
         continue;
       InteractionAnalysis IA;
       IA.addFunction(Truth);

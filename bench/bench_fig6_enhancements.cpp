@@ -52,7 +52,7 @@ int main(int Argc, char **Argv) {
       auto T1 = std::chrono::steady_clock::now();
       EnumerationResult RF = EFast.enumerate(F);
       auto T2 = std::chrono::steady_clock::now();
-      if (!RN.Complete || !RF.Complete)
+      if (!RN.complete() || !RF.complete())
         continue;
       double SN = std::chrono::duration<double>(T1 - T0).count();
       double SF = std::chrono::duration<double>(T2 - T1).count();

@@ -155,7 +155,7 @@ int main(int Argc, char **Argv) {
                       ? ">1.8e19"
                       : fmtGrouped(naiveSpaceSize(R.MaxActiveLength))
                             .c_str(),
-                  R.MaxActiveLength, R.Complete ? "yes" : "no");
+                  R.MaxActiveLength, R.complete() ? "yes" : "no");
       return 0;
     }
   }

@@ -44,7 +44,7 @@ int main(int Argc, char **Argv) {
     SequenceSearch S(PM, W.M, "main");
     for (Function &F : W.M.Functions) {
       EnumerationResult R = E.enumerate(F);
-      if (!R.Complete)
+      if (!R.complete())
         continue;
       uint32_t Optimal = UINT32_MAX;
       for (const DagNode &N : R.Nodes)

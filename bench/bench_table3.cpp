@@ -61,7 +61,7 @@ int main(int Argc, char **Argv) {
       S.Name = F.Name + "(" + programTag(W.Info->Name) + ")";
       Rows.push_back(S);
       ++Total;
-      Completed += S.Complete;
+      Completed += S.complete();
     }
   }
 
@@ -74,7 +74,7 @@ int main(int Argc, char **Argv) {
   double SumDiff = 0;
   size_t DiffCount = 0;
   for (const SpaceStats &S : Rows) {
-    if (!S.Complete) {
+    if (!S.complete()) {
       std::printf("%-24s %6u %4u %5u %5u %9s %11s %4s %4s %6s %6s %6s %7s\n",
                   S.Name.c_str(), S.Insts, S.Blocks, S.Branches, S.Loops,
                   "N/A", "N/A", "N/A", "N/A", "N/A", "N/A", "N/A", "N/A");

@@ -35,7 +35,7 @@ int main(int Argc, char **Argv) {
     for (CompiledWorkload &W : compileAllWorkloads())
       for (Function &F : W.M.Functions) {
         EnumerationResult R = E.enumerate(F);
-        if (R.Complete)
+        if (R.complete())
           IA.addFunction(R);
       }
   }

@@ -52,7 +52,7 @@ int main(int Argc, char **Argv) {
     PhaseManager PM;
     Enumerator E(PM, EnumeratorConfig{});
     EnumerationResult R = E.enumerate(Root);
-    if (!R.Complete) {
+    if (!R.complete()) {
       std::printf("space of %s is too big to enumerate exhaustively\n",
                   Target);
       return 1;

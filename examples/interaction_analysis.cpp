@@ -40,7 +40,7 @@ int main(int Argc, char **Argv) {
   InteractionAnalysis IA;
   for (Function &F : CR.M.Functions) {
     EnumerationResult R = E.enumerate(F);
-    if (R.Complete) {
+    if (R.complete()) {
       IA.addFunction(R);
       std::printf("enumerated %-22s %6zu instances, %5zu leaves\n",
                   F.Name.c_str(), R.Nodes.size(), R.leafCount());

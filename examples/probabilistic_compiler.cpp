@@ -42,7 +42,7 @@ int main(int Argc, char **Argv) {
     CompileResult CR = compileMC(W.Source);
     for (Function &F : CR.M.Functions) {
       EnumerationResult R = E.enumerate(F);
-      if (R.Complete)
+      if (R.complete())
         IA.addFunction(R);
     }
   }

@@ -51,7 +51,7 @@ int main() {
               "%llu attempted phases, %s\n",
               static_cast<unsigned long long>(S.FnInstances),
               static_cast<unsigned long long>(S.AttemptedPhases),
-              R.Complete ? "exhaustively enumerated" : "budget exceeded");
+              R.complete() ? "exhaustively enumerated" : "budget exceeded");
   std::printf("longest active sequence: %u phases "
               "(the attempted space would hold 15^%u orderings)\n",
               S.MaxActiveLen, S.MaxActiveLen);

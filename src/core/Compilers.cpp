@@ -37,9 +37,16 @@ private:
 
 } // namespace
 
-CompileStats pose::batchCompile(const PhaseManager &PM, Function &F) {
+CompileStats pose::batchCompile(const PhaseManager &PM, Function &F,
+                                const ResourceGovernor *Gov) {
   CompileStats S;
   Stopwatch Timer;
+  auto Stopped = [&] {
+    if (!Gov)
+      return false;
+    S.Stop = Gov->check();
+    return S.Stop != StopReason::Complete;
+  };
   auto Try = [&](char Code) {
     PhaseId P = phaseFromCode(Code);
     if (!PM.isLegal(P, F))
@@ -51,12 +58,12 @@ CompileStats pose::batchCompile(const PhaseManager &PM, Function &F) {
     S.ActiveSequence += Code;
     return true;
   };
-  for (const char *C = BatchPrefix; *C; ++C)
+  for (const char *C = BatchPrefix; *C && !Stopped(); ++C)
     Try(*C);
   bool Changed = true;
-  while (Changed) {
+  while (Changed && !Stopped()) {
     Changed = false;
-    for (const char *C = BatchLoop; *C; ++C)
+    for (const char *C = BatchLoop; *C && !Stopped(); ++C)
       Changed |= Try(*C);
   }
   S.Seconds = Timer.seconds();
@@ -83,7 +90,8 @@ ProbabilisticCompiler::ProbabilisticCompiler(const PhaseManager &PM,
   }
 }
 
-CompileStats ProbabilisticCompiler::compile(Function &F) const {
+CompileStats ProbabilisticCompiler::compile(Function &F,
+                                            const ResourceGovernor *Gov) const {
   CompileStats S;
   Stopwatch Timer;
   double P[NumPhases];
@@ -91,6 +99,8 @@ CompileStats ProbabilisticCompiler::compile(Function &F) const {
     P[I] = Start[I];
 
   while (true) {
+    if (Gov && (S.Stop = Gov->check()) != StopReason::Complete)
+      break;
     // Select the legal phase with the highest probability of being
     // active (Figure 8).
     int J = -1;

@@ -24,6 +24,7 @@
 
 #include "src/core/Interaction.h"
 #include "src/opt/Phase.h"
+#include "src/support/StopToken.h"
 
 #include <string>
 
@@ -38,12 +39,17 @@ struct CompileStats {
   uint64_t Active = 0;    ///< Attempts that changed the code.
   double Seconds = 0;     ///< Wall-clock optimization time.
   std::string ActiveSequence; ///< Letters of the active phases, in order.
+  /// Complete for a full compilation; Deadline/Cancelled when the
+  /// governor stopped it between phase attempts. The function is left in
+  /// a consistent (verifiable) but less-optimized state in that case.
+  StopReason Stop = StopReason::Complete;
 };
 
 /// Compiles \p F with the old fixed-order batch strategy. Does not insert
 /// the activation-record code; call fixEntryExit afterwards for final
-/// code.
-CompileStats batchCompile(const PhaseManager &PM, Function &F);
+/// code. \p Gov, when given, is polled between phase attempts.
+CompileStats batchCompile(const PhaseManager &PM, Function &F,
+                          const ResourceGovernor *Gov = nullptr);
 
 /// The Figure 8 compiler, parameterized by measured interactions.
 class ProbabilisticCompiler {
@@ -60,7 +66,9 @@ public:
                         bool UseBenefits = false);
 
   /// Compiles \p F by always applying the phase most likely to be active.
-  CompileStats compile(Function &F) const;
+  /// \p Gov, when given, is polled between phase attempts.
+  CompileStats compile(Function &F,
+                       const ResourceGovernor *Gov = nullptr) const;
 
   /// Probability floor below which a phase is not worth attempting; the
   /// paper's tables blank values below 0.005 and the loop of Figure 8

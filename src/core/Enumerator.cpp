@@ -38,13 +38,46 @@ struct FrontierEntry {
   uint64_t Sequences = 1;
 };
 
+/// Approximate heap footprint of one function instance, for the memory
+/// accounting of the resource governor. Deterministic by construction
+/// (derived from instruction/slot counts, never from the allocator).
+uint64_t functionFootprint(const Function &F) {
+  uint64_t Bytes = sizeof(Function) + F.Slots.size() * sizeof(StackSlot);
+  for (const BasicBlock &B : F.Blocks)
+    Bytes += sizeof(BasicBlock) + B.Insts.size() * sizeof(Rtl);
+  return Bytes;
+}
+
+uint64_t entryFootprint(const FrontierEntry &E) {
+  return sizeof(FrontierEntry) + functionFootprint(E.Instance) +
+         E.Path.size() * sizeof(PhaseId);
+}
+
 } // namespace
 
 EnumerationResult Enumerator::enumerate(const Function &Root) const {
   EnumerationResult R;
+  ResourceGovernor Gov;
+  Gov.setDeadline(Config.DeadlineMs);
+  Gov.setMemoryBudget(Config.MaxMemoryBytes);
+  Gov.setStopToken(Config.Stop);
+  PhaseGuard Guard(PM, {Config.VerifyIr, Config.Faults});
   std::unordered_map<HashTriple, uint32_t, HashTripleHasher> Seen;
   // Paranoid mode: canonical bytes per node for exact comparison.
   std::vector<std::vector<uint8_t>> NodeBytes;
+
+  // Seals the result: collects guard diagnostics, resolves the stop
+  // reason (a run that finished but pruned edges after rollbacks is not
+  // the complete space), and weights the — possibly partial — DAG.
+  auto Finish = [&](StopReason Why) {
+    for (PhaseDiagnostic &D : Guard.takeDiagnostics())
+      R.Diagnostics.push_back(std::move(D));
+    if (Why == StopReason::Complete && !R.Diagnostics.empty())
+      Why = StopReason::VerifierFailure;
+    R.Stop = Why;
+    R.ApproxMemoryBytes = Gov.chargedBytes();
+    computeWeights(R);
+  };
 
   auto Intern = [&](const Function &F) -> std::pair<uint32_t, bool> {
     CanonicalForm CF =
@@ -57,6 +90,7 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
       N.CodeSize = CF.Hash.InstCount;
       N.CfHash = controlFlowHash(F);
       R.Nodes.push_back(N);
+      Gov.charge(sizeof(DagNode) + CF.Bytes.size());
       if (Config.ParanoidCompare)
         NodeBytes.push_back(std::move(CF.Bytes));
       return {It->second, true};
@@ -72,11 +106,14 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
   R.Nodes[RootId].Level = 0;
 
   std::vector<FrontierEntry> Frontier;
+  uint64_t FrontierBytes = 0;
   {
     FrontierEntry E;
     E.Node = RootId;
     E.Instance = RootCopy;
     E.State = RootCopy.State;
+    FrontierBytes = entryFootprint(E);
+    Gov.charge(FrontierBytes);
     Frontier.push_back(std::move(E));
   }
   {
@@ -134,6 +171,7 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
               ++LS.Active;
               R.Nodes[E.Node].ActiveMask |= Bit;
               R.Nodes[E.Node].Edges.push_back({P, Predicted});
+              Gov.charge(sizeof(DagEdge));
               if (R.Nodes[Predicted].Level == Level) {
                 auto It = NextIndex.find(Predicted);
                 if (It != NextIndex.end()) {
@@ -163,8 +201,11 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
         ++R.PhaseApplications;
         ++LS.Attempted;
         R.Nodes[E.Node].AttemptedMask |= Bit;
-        bool Active = PM.attempt(P, Work);
-        if (!Active) {
+        PhaseGuard::Outcome Out = Guard.attempt(P, Work);
+        if (Out != PhaseGuard::Outcome::Active) {
+          // Dormant — or rolled back after a verifier failure, which
+          // prunes the edge and ends this branch of the space the same
+          // way (the diagnostic is already recorded in the guard).
           R.Nodes[E.Node].DormantMask |= Bit;
           continue;
         }
@@ -172,6 +213,7 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
         auto [Child, IsNew] = Intern(Work);
         R.Nodes[E.Node].ActiveMask |= Bit;
         R.Nodes[E.Node].Edges.push_back({P, Child});
+        Gov.charge(sizeof(DagEdge));
         if (IsNew) {
           R.Nodes[Child].Level = Level;
           FrontierEntry NE;
@@ -193,8 +235,20 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
           // Rediscovered at the current level before expansion: merge the
           // sequence counts and the known-dormant information.
           auto It = NextIndex.find(Child);
-          assert(It != NextIndex.end() &&
-                 "same-level node missing from the frontier");
+          if (It == NextIndex.end()) {
+            // Broken internal invariant (a same-level node must be in
+            // the frontier). A release-mode assert would silently read
+            // garbage here; surface it as a diagnosed partial result
+            // instead.
+            PhaseDiagnostic D;
+            D.Phase = P;
+            D.Func = Root.Name;
+            D.Message =
+                "internal error: same-level node missing from the frontier";
+            R.Diagnostics.push_back(std::move(D));
+            Finish(StopReason::InternalError);
+            return R;
+          }
           Next[It->second].IncomingMask |= Bit;
           Next[It->second].Sequences += E.Sequences;
         }
@@ -205,24 +259,39 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
     }
 
     LS.NewNodes = Next.size();
-    for (const FrontierEntry &E : Next)
+    uint64_t NextBytes = 0;
+    for (const FrontierEntry &E : Next) {
       LS.ActiveSequences += E.Sequences;
+      NextBytes += entryFootprint(E);
+    }
     if (LS.Attempted || LS.NewNodes)
       R.Levels.push_back(LS);
     if (!Next.empty())
       R.MaxActiveLength = Level;
 
-    if (LS.ActiveSequences > Config.MaxLevelSequences ||
-        R.Nodes.size() > Config.MaxTotalNodes) {
-      R.Complete = false;
-      computeWeights(R);
+    // Level boundary: the expanded frontier is released, the next one
+    // charged, and every stop condition polled while the DAG is in a
+    // self-consistent state.
+    Gov.release(FrontierBytes);
+    Gov.charge(NextBytes);
+    FrontierBytes = NextBytes;
+
+    if (LS.ActiveSequences > Config.MaxLevelSequences) {
+      Finish(StopReason::LevelBudget);
+      return R;
+    }
+    if (R.Nodes.size() > Config.MaxTotalNodes) {
+      Finish(StopReason::NodeBudget);
+      return R;
+    }
+    if (StopReason Why = Gov.check(); Why != StopReason::Complete) {
+      Finish(Why);
       return R;
     }
     Frontier = std::move(Next);
   }
 
-  R.Complete = true;
-  computeWeights(R);
+  Finish(StopReason::Complete);
 
   // "Len": the largest active sequence length is the longest path in the
   // DAG (cross edges can make it exceed the BFS depth). Valid only when

@@ -28,6 +28,8 @@
 
 #include "src/core/Canonical.h"
 #include "src/opt/Phase.h"
+#include "src/opt/PhaseGuard.h"
+#include "src/support/StopToken.h"
 
 #include <cstdint>
 #include <vector>
@@ -130,13 +132,33 @@ struct EnumeratorConfig {
   /// Pairs treated as independent when UseIndependencePruning is on:
   /// Trained[x][y] true means x and y always commute. Symmetric.
   bool TrainedIndependence[NumPhases][NumPhases] = {};
+  /// Wall-clock deadline in milliseconds, measured from the start of
+  /// enumerate(); 0 = unlimited. Checked at level boundaries, so the
+  /// overrun is bounded by one level's work.
+  uint64_t DeadlineMs = 0;
+  /// Approximate memory budget in bytes, tracked by node, canonical-byte
+  /// and frontier-instance accounting; 0 = unlimited. Checked at level
+  /// boundaries.
+  uint64_t MaxMemoryBytes = 0;
+  /// Cooperative cancellation (not owned; may be nullptr). Polled at
+  /// level boundaries.
+  const StopToken *Stop = nullptr;
+  /// Run the IR verifier after every active phase application; a failure
+  /// rolls the instance back, records a diagnostic, and marks the phase
+  /// dormant at that node (see PhaseGuard).
+  bool VerifyIr = false;
+  /// Deterministic fault injection for testing the rollback path (not
+  /// owned; may be nullptr).
+  const FaultPlan *Faults = nullptr;
 };
 
 /// Result of one exhaustive enumeration.
 struct EnumerationResult {
   std::vector<DagNode> Nodes; ///< Node 0 is the unoptimized instance.
-  bool Complete = false;      ///< False when a budget stopped the search.
-  bool Cyclic = false;        ///< True if an edge closes a cycle.
+  /// Why the enumeration ended: Complete for an exhausted space, any
+  /// other value for the specific limit (or failure) that stopped it.
+  StopReason Stop = StopReason::Complete;
+  bool Cyclic = false; ///< True if an edge closes a cycle.
   uint64_t AttemptedPhases = 0;
   /// Optimizer invocations including prefix replays; equals
   /// AttemptedPhases under prefix sharing, larger in naive mode (Fig 6).
@@ -150,6 +172,16 @@ struct EnumerationResult {
   /// Independence pruning: edges completed by prediction instead of
   /// running the optimizer.
   uint64_t PredictedEdges = 0;
+  /// Guarded failures: one entry per rolled-back phase application (and
+  /// per internal error). Empty on a clean run.
+  std::vector<PhaseDiagnostic> Diagnostics;
+  /// Bytes accounted against MaxMemoryBytes when the run ended.
+  uint64_t ApproxMemoryBytes = 0;
+
+  /// Derived from Stop: true only for a fully exhausted, failure-free
+  /// space (the old Complete flag, with pruned-by-rollback runs now
+  /// correctly reported as incomplete).
+  bool complete() const { return Stop == StopReason::Complete; }
 
   size_t leafCount() const {
     size_t N = 0;

@@ -82,6 +82,18 @@ private:
   }
 };
 
+namespace {
+
+/// Arms the search governor from the config's deadline and token.
+ResourceGovernor makeGovernor(const SearchConfig &Config) {
+  ResourceGovernor Gov;
+  Gov.setDeadline(Config.DeadlineMs);
+  Gov.setStopToken(Config.Stop);
+  return Gov;
+}
+
+} // namespace
+
 SequenceSearch::SequenceSearch(const PhaseManager &PM, const Module &M,
                                std::string Entry)
     : PM(PM), M(M), Entry(std::move(Entry)) {}
@@ -92,6 +104,7 @@ SearchResult SequenceSearch::geneticSearch(const Function &Root,
   SearchResult Stats;
   Stats.BestInstance = Root;
   Evaluator Eval(*this, Root, Obj, Config);
+  ResourceGovernor Gov = makeGovernor(Config);
   Rng R(Config.Seed);
 
   const int Len = Config.SequenceLength;
@@ -103,8 +116,11 @@ SearchResult SequenceSearch::geneticSearch(const Function &Root,
 
   std::vector<uint64_t> Fit(Pop);
   for (int Gen = 0; Gen != Config.Generations; ++Gen) {
-    for (int I = 0; I != Pop; ++I)
+    for (int I = 0; I != Pop; ++I) {
+      if ((Stats.Stop = Gov.check()) != StopReason::Complete)
+        return Stats;
       Fit[I] = Eval.fitness(Population[I], Stats);
+    }
 
     // Rank; elitism keeps the top half, crossover refills the rest.
     std::vector<int> Order(Pop);
@@ -133,8 +149,11 @@ SearchResult SequenceSearch::geneticSearch(const Function &Root,
     Population = std::move(Next);
   }
   // Final evaluation of the last generation.
-  for (auto &Genes : Population)
+  for (auto &Genes : Population) {
+    if ((Stats.Stop = Gov.check()) != StopReason::Complete)
+      return Stats;
     Eval.fitness(Genes, Stats);
+  }
   return Stats;
 }
 
@@ -143,6 +162,7 @@ SearchResult SequenceSearch::hillClimb(const Function &Root, Objective Obj,
   SearchResult Stats;
   Stats.BestInstance = Root;
   Evaluator Eval(*this, Root, Obj, Config);
+  ResourceGovernor Gov = makeGovernor(Config);
   Rng R(Config.Seed);
 
   const int Len = Config.SequenceLength;
@@ -161,6 +181,8 @@ SearchResult SequenceSearch::hillClimb(const Function &Root, Objective Obj,
       for (int G = 0; G != NumPhases; ++G) {
         if (G == Current[Pos])
           continue;
+        if ((Stats.Stop = Gov.check()) != StopReason::Complete)
+          return Stats;
         std::vector<int> Neighbor = Current;
         Neighbor[Pos] = G;
         uint64_t F = Eval.fitness(Neighbor, Stats);
@@ -189,9 +211,12 @@ SearchResult SequenceSearch::randomSearch(const Function &Root,
   SearchResult Stats;
   Stats.BestInstance = Root;
   Evaluator Eval(*this, Root, Obj, Config);
+  ResourceGovernor Gov = makeGovernor(Config);
   Rng R(Config.Seed);
   const int Len = Config.SequenceLength;
   while (Stats.Evaluations < Config.MaxEvaluations) {
+    if ((Stats.Stop = Gov.check()) != StopReason::Complete)
+      return Stats;
     std::vector<int> Genes(Len);
     for (int &G : Genes)
       G = static_cast<int>(R.below(NumPhases));

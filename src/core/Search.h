@@ -25,6 +25,7 @@
 
 #include "src/ir/Function.h"
 #include "src/opt/Phase.h"
+#include "src/support/StopToken.h"
 
 #include <cstdint>
 #include <string>
@@ -57,6 +58,11 @@ struct SearchConfig {
   /// Reference [14]: skip evaluating sequences whose instance hash was
   /// already seen.
   bool DedupWithHashes = true;
+  /// Wall-clock deadline in milliseconds for the whole search; 0 =
+  /// unlimited. Checked between fitness evaluations.
+  uint64_t DeadlineMs = 0;
+  /// Cooperative cancellation (not owned; may be nullptr).
+  const StopToken *Stop = nullptr;
 };
 
 /// Outcome of one search.
@@ -67,6 +73,10 @@ struct SearchResult {
   uint64_t Evaluations = 0; ///< Distinct fitness evaluations performed.
   uint64_t CacheHits = 0;   ///< Evaluations avoided by hash dedup.
   uint64_t PhaseAttempts = 0;
+  /// Complete when the strategy ran to its natural end; Deadline or
+  /// Cancelled when the governor stopped it early. The best-so-far
+  /// fields above stay valid either way.
+  StopReason Stop = StopReason::Complete;
 };
 
 /// Shared driver for the three search strategies.

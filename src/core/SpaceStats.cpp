@@ -31,7 +31,7 @@ SpaceStats pose::computeSpaceStats(const Function &F,
     S.Loops = static_cast<uint32_t>(LI.count());
   }
 
-  S.Complete = R.Complete;
+  S.Stop = R.Stop;
   S.FnInstances = R.Nodes.size();
   S.AttemptedPhases = R.AttemptedPhases;
   S.MaxActiveLen = R.MaxActiveLength;

@@ -32,7 +32,7 @@ struct SpaceStats {
   uint32_t Branches = 0; ///< Conditional + unconditional transfers.
   uint32_t Loops = 0;
   // Search-space measures.
-  bool Complete = false;
+  StopReason Stop = StopReason::Complete;
   uint64_t FnInstances = 0;
   uint64_t AttemptedPhases = 0;
   uint32_t MaxActiveLen = 0;
@@ -40,6 +40,9 @@ struct SpaceStats {
   uint64_t LeafInstances = 0;
   uint32_t LeafCodeSizeMax = 0;
   uint32_t LeafCodeSizeMin = 0;
+
+  /// True when the enumeration behind this row exhausted the space.
+  bool complete() const { return Stop == StopReason::Complete; }
 
   /// Percentage gap between worst and best leaf code size
   /// ((max-min)/min * 100), the paper's "% Diff" column.

@@ -1,0 +1,78 @@
+//===- PhaseGuard.cpp - Verified, fault-tolerant phase application ------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/opt/PhaseGuard.h"
+
+#include "src/ir/Function.h"
+#include "src/ir/Verify.h"
+#include "src/opt/PhaseManager.h"
+
+using namespace pose;
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
+  FaultPlan Plan;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    const std::string Item = Spec.substr(Pos, End - Pos);
+    // "<letter>:<nth>", nth a positive decimal number.
+    if (Item.size() < 3 || Item[1] != ':')
+      return false;
+    int Index = -1;
+    for (int I = 0; I != NumPhases; ++I)
+      if (phaseCode(phaseByIndex(I)) == Item[0])
+        Index = I;
+    if (Index < 0)
+      return false;
+    uint64_t Nth = 0;
+    for (size_t I = 2; I != Item.size(); ++I) {
+      if (Item[I] < '0' || Item[I] > '9')
+        return false;
+      Nth = Nth * 10 + static_cast<uint64_t>(Item[I] - '0');
+    }
+    if (Nth == 0)
+      return false;
+    Plan.add(phaseByIndex(Index), Nth);
+    Pos = End + 1;
+  }
+  if (Plan.empty())
+    return false;
+  Out = std::move(Plan);
+  return true;
+}
+
+PhaseGuard::Outcome PhaseGuard::attempt(PhaseId P, Function &F) {
+  const uint64_t Nth = ++Counts[static_cast<int>(P)];
+  if (!guarding())
+    return PM.attempt(P, F) ? Outcome::Active : Outcome::Dormant;
+
+  Function Snapshot = F;
+  const bool Active = PM.attempt(P, F);
+  std::string Err;
+  bool Injected = false;
+  if (Opts.Faults && Opts.Faults->shouldFail(P, Nth)) {
+    Err = "injected fault";
+    Injected = true;
+  } else if (Opts.Verify && Active) {
+    // Dormant attempts leave the code untouched; only active ones can
+    // break it.
+    Err = verifyFunction(F);
+  }
+  if (Err.empty())
+    return Active ? Outcome::Active : Outcome::Dormant;
+
+  F = std::move(Snapshot);
+  PhaseDiagnostic D;
+  D.Phase = P;
+  D.Func = F.Name;
+  D.Message = std::move(Err);
+  D.Application = Nth;
+  D.Injected = Injected;
+  Diags.push_back(std::move(D));
+  return Outcome::RolledBack;
+}

@@ -1,0 +1,126 @@
+//===- PhaseGuard.h - Verified, fault-tolerant phase application -*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wraps PhaseManager::attempt with an optional post-phase IR verification
+/// and a rollback path: when a phase leaves the function structurally
+/// broken, the guard restores the exact pre-phase instance, records a
+/// structured diagnostic, and reports the phase as rolled back so callers
+/// can mark it dormant and continue instead of crashing. Exhaustive
+/// enumeration applies phases millions of times; one miscompiling phase
+/// must cost one pruned edge, not the whole run.
+///
+/// Because genuine verifier failures are (by design) rare, the rollback
+/// path carries a deterministic fault-injection hook: a FaultPlan names
+/// applications that must be treated as verifier failures ("fail the Nth
+/// application of phase P"), making the recovery machinery itself
+/// testable end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_OPT_PHASEGUARD_H
+#define POSE_OPT_PHASEGUARD_H
+
+#include "src/opt/Phase.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+class Function;
+class PhaseManager;
+
+/// One guarded failure: which phase broke which function, and how.
+struct PhaseDiagnostic {
+  PhaseId Phase = PhaseId::BranchChaining;
+  std::string Func;    ///< Name of the function being optimized.
+  std::string Message; ///< Verifier message (or injected-fault note).
+  /// 1-based count of applications of Phase through this guard when the
+  /// failure happened (the FaultPlan coordinate).
+  uint64_t Application = 0;
+  bool Injected = false; ///< True when produced by a FaultPlan.
+};
+
+/// Deterministic fault injection: fail the Nth application of phase P.
+/// Counts are per phase and 1-based, matching PhaseGuard::applications().
+struct FaultPlan {
+  struct Fault {
+    PhaseId Phase = PhaseId::BranchChaining;
+    uint64_t Application = 0;
+  };
+  std::vector<Fault> Faults;
+
+  void add(PhaseId P, uint64_t Nth) { Faults.push_back({P, Nth}); }
+  bool empty() const { return Faults.empty(); }
+  bool shouldFail(PhaseId P, uint64_t Nth) const {
+    for (const Fault &F : Faults)
+      if (F.Phase == P && F.Application == Nth)
+        return true;
+    return false;
+  }
+
+  /// Parses a comma-separated "<letter>:<nth>" spec, e.g. "c:3" or
+  /// "c:3,s:1" (the posec --inject-fault format). Returns false on an
+  /// unknown phase letter, a missing/zero/non-numeric count, or any
+  /// other malformed input; \p Out is unchanged on failure.
+  static bool parse(const std::string &Spec, FaultPlan &Out);
+};
+
+/// Guarded phase application. With verification and fault injection both
+/// off the guard is a pass-through over PhaseManager::attempt (one counter
+/// increment); with either on, it snapshots the function before the
+/// attempt so a failure can be rolled back exactly.
+class PhaseGuard {
+public:
+  enum class Outcome : uint8_t {
+    Dormant,    ///< Phase ran and changed nothing.
+    Active,     ///< Phase ran, changed the code, and (if asked) verified.
+    RolledBack, ///< Phase broke the IR; the pre-phase instance was
+                ///< restored and a diagnostic recorded. Treat as dormant.
+  };
+
+  struct Options {
+    /// Run verifyFunction after every active application.
+    bool Verify = false;
+    /// Deterministic fault injection (not owned; may be nullptr).
+    const FaultPlan *Faults = nullptr;
+  };
+
+  explicit PhaseGuard(const PhaseManager &PM) : PM(PM) {}
+  PhaseGuard(const PhaseManager &PM, Options Opts) : PM(PM), Opts(Opts) {}
+
+  /// Attempts \p P on \p F under the guard. \p P must be legal for \p F.
+  Outcome attempt(PhaseId P, Function &F);
+
+  /// True when attempts snapshot and can roll back.
+  bool guarding() const {
+    return Opts.Verify || (Opts.Faults && !Opts.Faults->empty());
+  }
+
+  /// 1-based count of applications of \p P so far through this guard.
+  uint64_t applications(PhaseId P) const {
+    return Counts[static_cast<int>(P)];
+  }
+
+  const std::vector<PhaseDiagnostic> &diagnostics() const { return Diags; }
+  std::vector<PhaseDiagnostic> takeDiagnostics() {
+    return std::move(Diags);
+  }
+
+  const PhaseManager &manager() const { return PM; }
+
+private:
+  const PhaseManager &PM;
+  Options Opts{};
+  uint64_t Counts[NumPhases] = {};
+  std::vector<PhaseDiagnostic> Diags;
+};
+
+} // namespace pose
+
+#endif // POSE_OPT_PHASEGUARD_H

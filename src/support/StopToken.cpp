@@ -1,0 +1,31 @@
+//===- StopToken.cpp - Cooperative cancellation and resource limits -----------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/StopToken.h"
+
+using namespace pose;
+
+const char *pose::stopReasonName(StopReason R) {
+  switch (R) {
+  case StopReason::Complete:
+    return "complete";
+  case StopReason::LevelBudget:
+    return "level-budget";
+  case StopReason::NodeBudget:
+    return "node-budget";
+  case StopReason::Deadline:
+    return "deadline";
+  case StopReason::MemoryBudget:
+    return "memory-budget";
+  case StopReason::Cancelled:
+    return "cancelled";
+  case StopReason::VerifierFailure:
+    return "verifier-failure";
+  case StopReason::InternalError:
+    return "internal-error";
+  }
+  return "?";
+}

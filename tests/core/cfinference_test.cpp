@@ -61,7 +61,7 @@ TEST(CfInference, InferredCountsAreExact) {
   PhaseManager PM;
   Enumerator E(PM, EnumeratorConfig{});
   EnumerationResult R = E.enumerate(Root);
-  ASSERT_TRUE(R.Complete);
+  ASSERT_TRUE(R.complete());
   DagPaths Paths(R);
   CfCountEvaluator Eval(M, "main", "weigh", Root, PM);
 

@@ -36,7 +36,7 @@ InteractionAnalysis trainOn(const char *Source,
   InteractionAnalysis IA;
   for (const char *Name : Funcs) {
     EnumerationResult R = E.enumerate(functionNamed(M, Name));
-    EXPECT_TRUE(R.Complete);
+    EXPECT_TRUE(R.complete());
     IA.addFunction(R);
   }
   return IA;

@@ -37,7 +37,7 @@ TEST(EnumeratorExtra, LevelBookkeepingIsConsistent) {
   PhaseManager PM;
   Enumerator E(PM, EnumeratorConfig{});
   EnumerationResult R = E.enumerate(functionNamed(M, "f"));
-  ASSERT_TRUE(R.Complete);
+  ASSERT_TRUE(R.complete());
 
   // Levels: new-node counts must sum to the node count; level 0 holds
   // exactly the root; attempted >= active at every level.
@@ -88,7 +88,7 @@ TEST(EnumeratorExtra, SequenceBudgetTriggersIncomplete) {
   PhaseManager PM;
   Enumerator E(PM, Cfg);
   EnumerationResult R = E.enumerate(functionNamed(M, "f"));
-  EXPECT_FALSE(R.Complete);
+  EXPECT_FALSE(R.complete());
   // Weights still computed for the partial space (finite).
   for (const DagNode &N : R.Nodes)
     EXPECT_GE(N.Weight, 0u);

@@ -33,7 +33,7 @@ EnumerationResult enumerateFn(Module &M, const std::string &Name,
 TEST(Enumerator, TrivialFunctionTinySpace) {
   Module M = compileOrDie("int f() { return 3; }");
   EnumerationResult R = enumerateFn(M, "f");
-  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.complete());
   EXPECT_FALSE(R.Cyclic);
   // mov t,3 ; ret t — instruction selection collapses to ret 3; evaluation
   // order has nothing to do. A handful of instances at most.
@@ -45,7 +45,7 @@ TEST(Enumerator, TrivialFunctionTinySpace) {
 TEST(Enumerator, CompletesOnLoopFunction) {
   Module M = compileOrDie(SumSource);
   EnumerationResult R = enumerateFn(M, "f");
-  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.complete());
   EXPECT_FALSE(R.Cyclic);
   EXPECT_GT(R.Nodes.size(), 10u);
   EXPECT_GT(R.leafCount(), 0u);
@@ -75,7 +75,7 @@ TEST(Enumerator, ParanoidModeSeesNoCollisions) {
   EnumeratorConfig Cfg;
   Cfg.ParanoidCompare = true;
   EnumerationResult R = enumerateFn(M, "f", Cfg);
-  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.complete());
   // The paper: "we have never encountered an instance" of a triple
   // collision. Neither must we.
   EXPECT_EQ(R.HashCollisions, 0u);
@@ -134,7 +134,7 @@ TEST(Enumerator, BudgetStopsSearch) {
   EnumeratorConfig Tight;
   Tight.MaxTotalNodes = 20;
   EnumerationResult R = enumerateFn(M, "f", Tight);
-  EXPECT_FALSE(R.Complete);
+  EXPECT_FALSE(R.complete());
   EXPECT_GT(R.Nodes.size(), 20u);
 }
 
@@ -213,7 +213,7 @@ TEST(SpaceStatsTest, Table3RowFields) {
   EXPECT_GT(S.Blocks, 2u);
   EXPECT_GT(S.Branches, 1u);
   EXPECT_EQ(S.Loops, 1u);
-  EXPECT_TRUE(S.Complete);
+  EXPECT_TRUE(S.complete());
   EXPECT_EQ(S.FnInstances, R.Nodes.size());
   EXPECT_EQ(S.LeafInstances, R.leafCount());
   EXPECT_GE(S.LeafCodeSizeMax, S.LeafCodeSizeMin);

@@ -73,7 +73,7 @@ EnumerationResult figure7() {
   R.Nodes[NC].Edges = {{A, NAC}, {B, NCB}};
   R.Nodes[NAB].Edges = {{A, NABA}};
   R.Nodes[NBC].Edges = {{D, NBCD}};
-  R.Complete = true;
+  R.Stop = StopReason::Complete;
   computeWeights(R);
   return R;
 }
@@ -173,7 +173,7 @@ TEST(Interaction, RealEnumerationHasSaneProbabilities) {
   PhaseManager PM;
   Enumerator E(PM, EnumeratorConfig{});
   EnumerationResult R = E.enumerate(functionNamed(M, "f"));
-  ASSERT_TRUE(R.Complete);
+  ASSERT_TRUE(R.complete());
   InteractionAnalysis IA;
   IA.addFunction(R);
   for (int Y = 0; Y != NumPhases; ++Y)

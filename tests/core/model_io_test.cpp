@@ -28,7 +28,7 @@ InteractionAnalysis trainedModel() {
   InteractionAnalysis IA;
   for (Function &F : M.Functions) {
     EnumerationResult R = E.enumerate(F);
-    EXPECT_TRUE(R.Complete);
+    EXPECT_TRUE(R.complete());
     IA.addFunction(R);
   }
   return IA;

@@ -78,7 +78,7 @@ TEST(IndependencePruning, ReproducesGroundTruthWithFewerAttempts) {
     // Ground truth + training.
     Enumerator Plain(PM, EnumeratorConfig{});
     EnumerationResult Truth = Plain.enumerate(F);
-    ASSERT_TRUE(Truth.Complete);
+    ASSERT_TRUE(Truth.complete());
     InteractionAnalysis IA;
     IA.addFunction(Truth);
 
@@ -90,7 +90,7 @@ TEST(IndependencePruning, ReproducesGroundTruthWithFewerAttempts) {
             IA.alwaysIndependent(phaseByIndex(X), phaseByIndex(Y));
     Enumerator Fast(PM, Pruned);
     EnumerationResult R = Fast.enumerate(F);
-    ASSERT_TRUE(R.Complete);
+    ASSERT_TRUE(R.complete());
 
     expectSameDag(Truth, R);
     // Some pairs are always independent in loops; predictions fire there

@@ -34,7 +34,7 @@ uint32_t optimalCodeSize(const Function &Root) {
   PhaseManager PM;
   Enumerator E(PM, EnumeratorConfig{});
   EnumerationResult R = E.enumerate(Root);
-  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.complete());
   uint32_t Best = UINT32_MAX;
   for (const DagNode &N : R.Nodes)
     Best = std::min(Best, N.CodeSize);

@@ -255,7 +255,7 @@ TEST(FuzzEnumerate, SmallRandomFunctionsEnumerateAndPreserve) {
         continue;
       EnumerationResult R = E.enumerate(F);
       EXPECT_EQ(R.HashCollisions, 0u);
-      if (!R.Complete)
+      if (!R.complete())
         continue;
       DagPaths Paths(R);
       for (uint32_t Id = 0; Id != R.Nodes.size(); ++Id) {

@@ -52,7 +52,7 @@ TEST(GoldenSpace, KnownSpacesStayStable) {
     Module M = compileOrDie(W->Source);
     Function &F = functionNamed(M, G.Function);
     EnumerationResult R = E.enumerate(F);
-    ASSERT_TRUE(R.Complete) << G.Function;
+    ASSERT_TRUE(R.complete()) << G.Function;
     SpaceStats S = computeSpaceStats(F, R);
     EXPECT_EQ(S.FnInstances, G.Instances) << G.Function;
     EXPECT_EQ(S.AttemptedPhases, G.Attempted) << G.Function;

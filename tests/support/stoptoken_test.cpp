@@ -1,0 +1,83 @@
+//===- stoptoken_test.cpp - Cancellation and resource governor tests ------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/StopToken.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace pose;
+
+namespace {
+
+TEST(StopToken, RequestAndReset) {
+  StopToken T;
+  EXPECT_FALSE(T.stopRequested());
+  T.requestStop();
+  EXPECT_TRUE(T.stopRequested());
+  T.reset();
+  EXPECT_FALSE(T.stopRequested());
+}
+
+TEST(StopReasonName, AllValuesNamed) {
+  EXPECT_STREQ(stopReasonName(StopReason::Complete), "complete");
+  EXPECT_STREQ(stopReasonName(StopReason::LevelBudget), "level-budget");
+  EXPECT_STREQ(stopReasonName(StopReason::NodeBudget), "node-budget");
+  EXPECT_STREQ(stopReasonName(StopReason::Deadline), "deadline");
+  EXPECT_STREQ(stopReasonName(StopReason::MemoryBudget), "memory-budget");
+  EXPECT_STREQ(stopReasonName(StopReason::Cancelled), "cancelled");
+  EXPECT_STREQ(stopReasonName(StopReason::VerifierFailure),
+               "verifier-failure");
+  EXPECT_STREQ(stopReasonName(StopReason::InternalError), "internal-error");
+}
+
+TEST(ResourceGovernor, UnlimitedByDefault) {
+  ResourceGovernor Gov;
+  EXPECT_TRUE(Gov.unlimited());
+  EXPECT_EQ(Gov.check(), StopReason::Complete);
+  Gov.charge(1'000'000'000);
+  EXPECT_EQ(Gov.check(), StopReason::Complete);
+}
+
+TEST(ResourceGovernor, DeadlineExpires) {
+  ResourceGovernor Gov;
+  Gov.setDeadline(1);
+  EXPECT_FALSE(Gov.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(Gov.check(), StopReason::Deadline);
+  // Disarming restores Complete.
+  Gov.setDeadline(0);
+  EXPECT_EQ(Gov.check(), StopReason::Complete);
+}
+
+TEST(ResourceGovernor, MemoryAccounting) {
+  ResourceGovernor Gov;
+  Gov.setMemoryBudget(100);
+  Gov.charge(60);
+  EXPECT_EQ(Gov.check(), StopReason::Complete);
+  Gov.charge(60);
+  EXPECT_EQ(Gov.chargedBytes(), 120u);
+  EXPECT_EQ(Gov.check(), StopReason::MemoryBudget);
+  Gov.release(60);
+  EXPECT_EQ(Gov.check(), StopReason::Complete);
+  // Release saturates at zero instead of wrapping.
+  Gov.release(1'000);
+  EXPECT_EQ(Gov.chargedBytes(), 0u);
+}
+
+TEST(ResourceGovernor, CancellationWinsOverOtherReasons) {
+  StopToken T;
+  ResourceGovernor Gov;
+  Gov.setStopToken(&T);
+  Gov.setMemoryBudget(1);
+  Gov.charge(10);
+  EXPECT_EQ(Gov.check(), StopReason::MemoryBudget);
+  T.requestStop();
+  EXPECT_EQ(Gov.check(), StopReason::Cancelled);
+}
+
+} // namespace

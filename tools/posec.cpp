@@ -13,6 +13,12 @@
 //   posec prog.mc --dot=FUNC              write FUNC's phase-order DAG as DOT
 //   posec prog.mc --sequence=sckh         apply an explicit phase sequence
 //   posec prog.mc --budget=N              enumeration budget
+//   posec prog.mc --deadline-ms=N         wall-clock limit on optimization
+//   posec prog.mc --max-memory-mb=N       approx. memory budget (enumerate)
+//   posec prog.mc --verify-ir             verify after every phase, roll
+//                                         back and prune on failure
+//   posec prog.mc --inject-fault=c:3      fail the 3rd application of c
+//                                         (tests the rollback path)
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,8 +28,10 @@
 #include "src/frontend/Compile.h"
 #include "src/ir/Printer.h"
 #include "src/machine/EntryExit.h"
+#include "src/opt/PhaseGuard.h"
 #include "src/opt/PhaseManager.h"
 #include "src/sim/Interpreter.h"
+#include "src/support/StopToken.h"
 
 #include <cstdio>
 #include <cstring>
@@ -43,10 +51,14 @@ struct Options {
   std::string EnumerateFunc;
   std::string DotFunc;
   uint64_t Budget = 1'000'000;
+  uint64_t DeadlineMs = 0;   // --deadline-ms=N: 0 = unlimited.
+  uint64_t MaxMemoryMb = 0;  // --max-memory-mb=N: 0 = unlimited.
+  FaultPlan Faults;          // --inject-fault=SPEC.
   std::string ModelPath;     // --model=FILE: load a trained model.
   std::string SaveModelPath; // --save-model=FILE: save after training.
   bool Run = false;
   bool EmitRtl = false;
+  bool VerifyIr = false;
 };
 
 void usage() {
@@ -62,10 +74,37 @@ void usage() {
       "  --dot=FUNC              print FUNC's phase-order DAG as Graphviz\n"
       "  --budget=N              enumeration budget (active sequences per\n"
       "                          level; default 1000000)\n"
+      "  --deadline-ms=N         wall-clock limit for optimization and\n"
+      "                          enumeration (0 = unlimited)\n"
+      "  --max-memory-mb=N       approximate memory budget for\n"
+      "                          enumeration (0 = unlimited)\n"
+      "  --verify-ir             verify the IR after every phase; failures\n"
+      "                          roll back and prune that edge\n"
+      "  --inject-fault=SPEC     deterministic fault injection, e.g. c:3\n"
+      "                          or c:3,s:1 (Nth application of a phase)\n"
       "  --model=FILE            load a trained interaction model for\n"
       "                          --opt=prob instead of self-training\n"
       "  --save-model=FILE       save the trained model after --opt=prob\n"
       "  --list-phases           print the 15 phases and exit\n");
+}
+
+/// Strict decimal parser for flag values: rejects empty strings, signs,
+/// whitespace, trailing garbage, and overflow (strtoull would silently
+/// accept all of those).
+bool parseUint(const char *S, uint64_t &Out) {
+  if (*S < '0' || *S > '9')
+    return false;
+  uint64_t V = 0;
+  for (const char *C = S; *C; ++C) {
+    if (*C < '0' || *C > '9')
+      return false;
+    const uint64_t Digit = static_cast<uint64_t>(*C - '0');
+    if (V > (UINT64_MAX - Digit) / 10)
+      return false;
+    V = V * 10 + Digit;
+  }
+  Out = V;
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -81,6 +120,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Run = true;
     else if (A == "--emit-rtl")
       O.EmitRtl = true;
+    else if (A == "--verify-ir")
+      O.VerifyIr = true;
     else if (A == "--list-phases") {
       for (int P = 0; P != NumPhases; ++P)
         std::printf(" %c  %s\n", phaseCode(phaseByIndex(P)),
@@ -97,9 +138,35 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.EnumerateFunc = V4;
     else if (const char *V5 = Value("--dot"))
       O.DotFunc = V5;
-    else if (const char *V6 = Value("--budget"))
-      O.Budget = std::strtoull(V6, nullptr, 10);
-    else if (const char *V7 = Value("--model"))
+    else if (const char *V6 = Value("--budget")) {
+      if (!parseUint(V6, O.Budget) || O.Budget == 0) {
+        std::fprintf(stderr,
+                     "--budget expects a positive integer, got '%s'\n", V6);
+        return false;
+      }
+    } else if (const char *VD = Value("--deadline-ms")) {
+      if (!parseUint(VD, O.DeadlineMs)) {
+        std::fprintf(
+            stderr, "--deadline-ms expects a non-negative integer, got '%s'\n",
+            VD);
+        return false;
+      }
+    } else if (const char *VM = Value("--max-memory-mb")) {
+      if (!parseUint(VM, O.MaxMemoryMb)) {
+        std::fprintf(
+            stderr,
+            "--max-memory-mb expects a non-negative integer, got '%s'\n", VM);
+        return false;
+      }
+    } else if (const char *VF = Value("--inject-fault")) {
+      if (!FaultPlan::parse(VF, O.Faults)) {
+        std::fprintf(stderr,
+                     "--inject-fault expects <phase>:<nth>[,...] with a "
+                     "known phase letter and a positive count, got '%s'\n",
+                     VF);
+        return false;
+      }
+    } else if (const char *V7 = Value("--model"))
       O.ModelPath = V7;
     else if (const char *V8 = Value("--save-model"))
       O.SaveModelPath = V8;
@@ -116,20 +183,39 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   return !O.InputPath.empty();
 }
 
+/// Prints every guarded failure of \p R to stderr (a pruned edge is worth
+/// reporting, not worth a non-zero exit: the surviving space is sound).
+void reportDiagnostics(const EnumerationResult &R) {
+  for (const PhaseDiagnostic &D : R.Diagnostics)
+    std::fprintf(stderr,
+                 "warning: phase %c (%s) rolled back on application %llu "
+                 "of %s: %s%s\n",
+                 phaseCode(D.Phase), phaseName(D.Phase),
+                 static_cast<unsigned long long>(D.Application),
+                 D.Func.c_str(), D.Message.c_str(),
+                 D.Injected ? " [injected]" : "");
+}
+
 int enumerateFunction(const Options &O, Module &M) {
-  int Id = M.findGlobal(O.EnumerateFunc.empty() ? O.DotFunc
-                                                : O.EnumerateFunc);
+  const std::string &Name =
+      O.EnumerateFunc.empty() ? O.DotFunc : O.EnumerateFunc;
+  int Id = M.findGlobal(Name);
   Function *F = Id >= 0 ? M.functionFor(Id) : nullptr;
   if (!F) {
-    std::fprintf(stderr, "no function named '%s'\n",
-                 (O.EnumerateFunc + O.DotFunc).c_str());
+    std::fprintf(stderr, "no function named '%s'\n", Name.c_str());
     return 1;
   }
   PhaseManager PM;
   EnumeratorConfig Cfg;
   Cfg.MaxLevelSequences = O.Budget;
+  Cfg.DeadlineMs = O.DeadlineMs;
+  Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
+  Cfg.VerifyIr = O.VerifyIr;
+  if (!O.Faults.empty())
+    Cfg.Faults = &O.Faults;
   Enumerator E(PM, Cfg);
   EnumerationResult R = E.enumerate(*F);
+  reportDiagnostics(R);
 
   if (!O.DotFunc.empty()) {
     std::printf("%s", dagToDot(R).c_str());
@@ -137,9 +223,11 @@ int enumerateFunction(const Options &O, Module &M) {
   }
 
   SpaceStats S = computeSpaceStats(*F, R);
+  char StopText[64];
+  std::snprintf(StopText, sizeof(StopText), "partial space (stopped: %s)",
+                stopReasonName(R.Stop));
   std::printf("%s: %s\n", F->Name.c_str(),
-              R.Complete ? "exhaustively enumerated"
-                         : "budget exceeded (partial space)");
+              R.complete() ? "exhaustively enumerated" : StopText);
   std::printf("  unoptimized: %u insts, %u blocks, %u branches, %u loops\n",
               S.Insts, S.Blocks, S.Branches, S.Loops);
   std::printf("  distinct instances: %llu  attempted phases: %llu\n",
@@ -182,14 +270,26 @@ int main(int Argc, char **Argv) {
     return enumerateFunction(O, M);
 
   PhaseManager PM;
+  // One governor for the whole compilation: the deadline covers all
+  // functions together, so a stuck function cannot starve the rest of
+  // the run past the requested wall-clock limit.
+  ResourceGovernor Gov;
+  Gov.setDeadline(O.DeadlineMs);
+  const ResourceGovernor *GovPtr = O.DeadlineMs != 0 ? &Gov : nullptr;
+  auto ReportStats = [](const Function &F, const CompileStats &S) {
+    std::fprintf(stderr, "%-20s %3llu attempted, %2llu active (%s)%s%s\n",
+                 F.Name.c_str(),
+                 static_cast<unsigned long long>(S.Attempted),
+                 static_cast<unsigned long long>(S.Active),
+                 S.ActiveSequence.c_str(),
+                 S.Stop == StopReason::Complete ? "" : " stopped: ",
+                 S.Stop == StopReason::Complete ? ""
+                                                : stopReasonName(S.Stop));
+  };
   if (O.Opt == "batch") {
     for (Function &F : M.Functions) {
-      CompileStats S = batchCompile(PM, F);
-      std::fprintf(stderr, "%-20s %3llu attempted, %2llu active (%s)\n",
-                   F.Name.c_str(),
-                   static_cast<unsigned long long>(S.Attempted),
-                   static_cast<unsigned long long>(S.Active),
-                   S.ActiveSequence.c_str());
+      CompileStats S = batchCompile(PM, F, GovPtr);
+      ReportStats(F, S);
       fixEntryExit(F);
     }
   } else if (O.Opt == "prob") {
@@ -207,10 +307,14 @@ int main(int Argc, char **Argv) {
       // Self-trained: enumerate this very module's functions first.
       EnumeratorConfig Cfg;
       Cfg.MaxLevelSequences = O.Budget;
+      Cfg.DeadlineMs = O.DeadlineMs;
+      Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
+      Cfg.VerifyIr = O.VerifyIr;
       Enumerator E(PM, Cfg);
       for (Function &F : M.Functions) {
         EnumerationResult R = E.enumerate(F);
-        if (R.Complete)
+        reportDiagnostics(R);
+        if (R.complete())
           IA.addFunction(R);
       }
     }
@@ -225,12 +329,8 @@ int main(int Argc, char **Argv) {
     }
     ProbabilisticCompiler PC(PM, IA);
     for (Function &F : M.Functions) {
-      CompileStats S = PC.compile(F);
-      std::fprintf(stderr, "%-20s %3llu attempted, %2llu active (%s)\n",
-                   F.Name.c_str(),
-                   static_cast<unsigned long long>(S.Attempted),
-                   static_cast<unsigned long long>(S.Active),
-                   S.ActiveSequence.c_str());
+      CompileStats S = PC.compile(F, GovPtr);
+      ReportStats(F, S);
       fixEntryExit(F);
     }
   } else if (O.Opt == "sequence") {
