@@ -1,0 +1,95 @@
+//===- bench_parallel.cpp - Parallel enumeration speedup ----------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the level-parallel enumerator against the sequential engine at
+// 1/2/4/8 jobs, on real workload functions large enough for a level to
+// amortize the barrier. The engines produce byte-identical DAGs (enforced
+// by tests/core/parallel_enumerator_test.cpp), so this benchmark is a
+// pure wall-clock comparison; speedup is bounded by the host's core count
+// and by Amdahl on the single-threaded barrier commit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/core/Compilers.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pose;
+using namespace pose::bench;
+
+namespace {
+
+Function workloadFunction(const char *Program, const char *Name) {
+  const Workload *W = findWorkload(Program);
+  CompileResult R = compileMC(W->Source);
+  Module &M = R.M;
+  return *M.functionFor(M.findGlobal(Name));
+}
+
+/// Enumeration of a mid-size function whose space completes, at the job
+/// count given by the benchmark argument.
+void BM_EnumerateJobs(benchmark::State &State) {
+  Function F = workloadFunction("fft", "make_sine");
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Cfg.Jobs = static_cast<unsigned>(State.range(0));
+  Enumerator E(PM, Cfg);
+  uint64_t Nodes = 0;
+  for (auto _ : State) {
+    EnumerationResult R = E.enumerate(F);
+    Nodes = R.Nodes.size();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_EnumerateJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// A large function under a node budget: wide levels, where parallel
+/// expansion matters most.
+void BM_EnumerateLargeBudgeted(benchmark::State &State) {
+  Function F = workloadFunction("sha", "sha_transform");
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Cfg.Jobs = static_cast<unsigned>(State.range(0));
+  Cfg.MaxTotalNodes = 2'000;
+  Enumerator E(PM, Cfg);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(E.enumerate(F));
+}
+BENCHMARK(BM_EnumerateLargeBudgeted)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Verified enumeration: the per-attempt snapshot + verifyFunction makes
+/// each work item heavier, improving the parallel fraction.
+void BM_EnumerateVerifiedJobs(benchmark::State &State) {
+  Function F = workloadFunction("fft", "make_sine");
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Cfg.Jobs = static_cast<unsigned>(State.range(0));
+  Cfg.VerifyIr = true;
+  Enumerator E(PM, Cfg);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(E.enumerate(F));
+}
+BENCHMARK(BM_EnumerateVerifiedJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Whole-module batch compilation, parallel across functions.
+void BM_BatchCompileModuleJobs(benchmark::State &State) {
+  const Workload *W = findWorkload("jpeg");
+  PhaseManager PM;
+  for (auto _ : State) {
+    State.PauseTiming();
+    CompileResult R = compileMC(W->Source);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(batchCompileModule(
+        PM, R.M, static_cast<unsigned>(State.range(0))));
+  }
+}
+BENCHMARK(BM_BatchCompileModuleJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

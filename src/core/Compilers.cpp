@@ -8,6 +8,7 @@
 
 #include "src/ir/Function.h"
 #include "src/opt/PhaseManager.h"
+#include "src/support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
@@ -68,6 +69,17 @@ CompileStats pose::batchCompile(const PhaseManager &PM, Function &F,
   }
   S.Seconds = Timer.seconds();
   return S;
+}
+
+std::vector<CompileStats>
+pose::batchCompileModule(const PhaseManager &PM, Module &M, unsigned Jobs,
+                         const ResourceGovernor *Gov) {
+  std::vector<CompileStats> Stats(M.Functions.size());
+  ThreadPool Pool(Jobs > 0 ? Jobs - 1 : 0);
+  Pool.parallelFor(M.Functions.size(), [&](size_t I) {
+    Stats[I] = batchCompile(PM, M.Functions[I], Gov);
+  });
+  return Stats;
 }
 
 ProbabilisticCompiler::ProbabilisticCompiler(const PhaseManager &PM,

@@ -27,10 +27,12 @@
 #include "src/support/StopToken.h"
 
 #include <string>
+#include <vector>
 
 namespace pose {
 
 class Function;
+class Module;
 class PhaseManager;
 
 /// Outcome of compiling one function with either strategy.
@@ -50,6 +52,17 @@ struct CompileStats {
 /// code. \p Gov, when given, is polled between phase attempts.
 CompileStats batchCompile(const PhaseManager &PM, Function &F,
                           const ResourceGovernor *Gov = nullptr);
+
+/// Batch-compiles every function of \p M, \p Jobs functions at a time
+/// (1 = sequential). Functions are independent compilations, so the
+/// per-function stats and optimized code are identical for any job count;
+/// only wall-clock Seconds varies. Returns stats in module function
+/// order. Like batchCompile this leaves fixEntryExit to the caller, and
+/// \p Gov (shared by all workers) is polled between phase attempts — a
+/// stop leaves every function consistent but possibly unoptimized.
+std::vector<CompileStats>
+batchCompileModule(const PhaseManager &PM, Module &M, unsigned Jobs,
+                   const ResourceGovernor *Gov = nullptr);
 
 /// The Figure 8 compiler, parameterized by measured interactions.
 class ProbabilisticCompiler {

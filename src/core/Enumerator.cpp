@@ -6,10 +6,14 @@
 
 #include "src/core/Enumerator.h"
 
+#include "src/core/InstanceTable.h"
 #include "src/ir/Function.h"
 #include "src/opt/PhaseManager.h"
+#include "src/support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <unordered_map>
 
 using namespace pose;
@@ -53,9 +57,47 @@ uint64_t entryFootprint(const FrontierEntry &E) {
          E.Path.size() * sizeof(PhaseId);
 }
 
+/// "Len": the largest active sequence length is the longest path in the
+/// DAG (cross edges can make it exceed the BFS depth). Valid only when
+/// the space is acyclic.
+uint32_t longestPathLength(const EnumerationResult &R) {
+  const size_t N = R.Nodes.size();
+  std::vector<uint32_t> InDegree(N, 0), Dist(N, 0);
+  for (const DagNode &Nd : R.Nodes)
+    for (const DagEdge &E : Nd.Edges)
+      ++InDegree[E.To];
+  std::vector<uint32_t> Ready;
+  for (size_t I = 0; I != N; ++I)
+    if (InDegree[I] == 0)
+      Ready.push_back(static_cast<uint32_t>(I));
+  uint32_t Longest = 0;
+  while (!Ready.empty()) {
+    uint32_t Id = Ready.back();
+    Ready.pop_back();
+    for (const DagEdge &E : R.Nodes[Id].Edges) {
+      if (Dist[E.To] < Dist[Id] + 1) {
+        Dist[E.To] = Dist[Id] + 1;
+        Longest = std::max(Longest, Dist[E.To]);
+      }
+      if (--InDegree[E.To] == 0)
+        Ready.push_back(E.To);
+    }
+  }
+  return Longest;
+}
+
 } // namespace
 
 EnumerationResult Enumerator::enumerate(const Function &Root) const {
+  // Independence pruning predicts edges from edges committed earlier in
+  // the *same* level, an intrinsically sequential dependence; everything
+  // else parallelizes.
+  if (Config.Jobs > 1 && !Config.UseIndependencePruning)
+    return enumerateParallel(Root);
+  return enumerateSequential(Root);
+}
+
+EnumerationResult Enumerator::enumerateSequential(const Function &Root) const {
   EnumerationResult R;
   ResourceGovernor Gov;
   Gov.setDeadline(Config.DeadlineMs);
@@ -293,34 +335,355 @@ EnumerationResult Enumerator::enumerate(const Function &Root) const {
 
   Finish(StopReason::Complete);
 
-  // "Len": the largest active sequence length is the longest path in the
-  // DAG (cross edges can make it exceed the BFS depth). Valid only when
-  // the space is acyclic; otherwise keep the BFS depth.
-  if (!R.Cyclic) {
-    const size_t N = R.Nodes.size();
-    std::vector<uint32_t> InDegree(N, 0), Dist(N, 0);
-    for (const DagNode &Nd : R.Nodes)
-      for (const DagEdge &E : Nd.Edges)
-        ++InDegree[E.To];
-    std::vector<uint32_t> Ready;
-    for (size_t I = 0; I != N; ++I)
-      if (InDegree[I] == 0)
-        Ready.push_back(static_cast<uint32_t>(I));
-    uint32_t Longest = 0;
-    while (!Ready.empty()) {
-      uint32_t Id = Ready.back();
-      Ready.pop_back();
-      for (const DagEdge &E : R.Nodes[Id].Edges) {
-        if (Dist[E.To] < Dist[Id] + 1) {
-          Dist[E.To] = Dist[Id] + 1;
-          Longest = std::max(Longest, Dist[E.To]);
-        }
-        if (--InDegree[E.To] == 0)
-          Ready.push_back(E.To);
-      }
-    }
-    R.MaxActiveLength = Longest;
+  // Keep the BFS depth when the space is cyclic.
+  if (!R.Cyclic)
+    R.MaxActiveLength = longestPathLength(R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Level-parallel engine
+//===----------------------------------------------------------------------===//
+//
+// Within one BFS level every frontier entry expands independently: the
+// phases it attempts depend only on its own state and on masks resolved
+// *before* the level started. The only shared mutable structure the
+// sequential engine touches per attempt is the instance table and the DAG
+// itself — so workers here do the expensive part (phase application +
+// canonicalization) into private buffers, consulting a sharded concurrent
+// table for read-only hits against earlier levels, and a single-threaded
+// barrier then commits buffered discoveries in exact frontier order.
+// Because node ids, edge order, statistics and memory charges are all
+// assigned at the barrier in that order, the result is byte-identical to
+// the sequential engine for any thread count.
+//
+// Two details need care:
+//  * FaultPlan coordinates ("fail the Nth application of P") must not
+//    depend on which worker wins a race. Attempts are predictable from
+//    pre-level state (legal && !incoming && !resolved-at-level-start), so
+//    per-entry application numbers are precomputed as prefix sums and
+//    passed to PhaseGuard::attemptNth.
+//  * Deadline/Cancelled stops are polled by workers at node granularity
+//    (the whole point of stopping promptly); when one fires the in-flight
+//    level is discarded entirely, leaving the self-consistent DAG of the
+//    previous barrier. Budget stops (Level/Node/Memory) are evaluated
+//    only at the barrier, in the sequential order, and match exactly.
+
+namespace {
+
+/// One buffered active edge discovered by a worker.
+struct ActiveResult {
+  PhaseId P = PhaseId::BranchChaining;
+  /// Resolved target when the instance hit the table (an earlier-level
+  /// node); UINT32_MAX when the instance is new-at-this-level and must be
+  /// resolved at the barrier.
+  uint32_t KnownTarget = UINT32_MAX;
+  uint64_t CfHash = 0;
+  PhaseState State{};
+  /// The instance (prefix-sharing mode only; naive mode replays paths).
+  Function Instance;
+  CanonicalForm CF;
+};
+
+/// Everything one worker produced for one frontier entry.
+struct TaskResult {
+  uint16_t DormantBits = 0;
+  uint16_t AttemptedBits = 0;
+  uint64_t Attempted = 0;
+  uint64_t PhaseApplications = 0;
+  std::vector<ActiveResult> Active;
+  std::vector<PhaseDiagnostic> Diags;
+  /// Set when the entry was skipped because a worker observed a stop.
+  bool Skipped = false;
+};
+
+} // namespace
+
+EnumerationResult Enumerator::enumerateParallel(const Function &Root) const {
+  EnumerationResult R;
+  ResourceGovernor Gov;
+  Gov.setDeadline(Config.DeadlineMs);
+  Gov.setMemoryBudget(Config.MaxMemoryBytes);
+  Gov.setStopToken(Config.Stop);
+  InstanceTable Table;
+  std::vector<std::vector<uint8_t>> NodeBytes;
+  ThreadPool Pool(Config.Jobs - 1);
+
+  auto Finish = [&](StopReason Why) {
+    if (Why == StopReason::Complete && !R.Diagnostics.empty())
+      Why = StopReason::VerifierFailure;
+    R.Stop = Why;
+    R.ApproxMemoryBytes = Gov.chargedBytes();
+    computeWeights(R);
+  };
+
+  // Root interning, mirroring the sequential Intern() path.
+  Function RootCopy = Root;
+  {
+    CanonicalForm CF =
+        canonicalize(RootCopy, Config.ParanoidCompare, Config.RemapRegisters);
+    DagNode N;
+    N.Hash = CF.Hash;
+    N.CodeSize = CF.Hash.InstCount;
+    N.CfHash = controlFlowHash(RootCopy);
+    R.Nodes.push_back(N);
+    Gov.charge(sizeof(DagNode) + CF.Bytes.size());
+    Table.tryEmplace(CF.Hash, 0);
+    if (Config.ParanoidCompare)
+      NodeBytes.push_back(std::move(CF.Bytes));
   }
+
+  std::vector<FrontierEntry> Frontier;
+  uint64_t FrontierBytes = 0;
+  {
+    FrontierEntry E;
+    E.Node = 0;
+    E.Instance = RootCopy;
+    E.State = RootCopy.State;
+    FrontierBytes = entryFootprint(E);
+    Gov.charge(FrontierBytes);
+    Frontier.push_back(std::move(E));
+  }
+  {
+    LevelStat L0;
+    L0.Level = 0;
+    L0.NewNodes = 1;
+    L0.ActiveSequences = 1;
+    R.Levels.push_back(L0);
+  }
+
+  // Per-phase application counts so far, in sequential numbering (the
+  // FaultPlan coordinate space). Persisted across levels.
+  uint64_t AppCount[NumPhases] = {};
+  const PhaseGuard::Options GuardOpts{Config.VerifyIr, Config.Faults};
+
+  uint32_t Level = 0;
+  while (!Frontier.empty()) {
+    ++Level;
+    LevelStat LS;
+    LS.Level = Level;
+
+    const size_t N = Frontier.size();
+
+    // Precompute the application number every would-be attempt gets in
+    // sequential order: entry I attempts phase P iff P is legal for its
+    // state and not on an incoming edge (a node is expanded exactly once
+    // per run, so no mask is ever partially resolved at level start).
+    std::vector<uint64_t> Base(N * NumPhases);
+    for (size_t I = 0; I != N; ++I)
+      for (int PI = 0; PI != NumPhases; ++PI) {
+        Base[I * NumPhases + PI] = AppCount[PI];
+        if (PM.isLegal(phaseByIndex(PI), Frontier[I].State) &&
+            !(Frontier[I].IncomingMask & (1u << PI)))
+          ++AppCount[PI];
+      }
+
+    std::vector<TaskResult> Results(N);
+    // First stop observed by any worker this level (Deadline/Cancelled
+    // only); Complete means the level ran through.
+    std::atomic<uint8_t> LevelStop{
+        static_cast<uint8_t>(StopReason::Complete)};
+
+    Pool.parallelFor(N, [&](size_t I) {
+      // Node-granularity stop poll: one in-flight stop discards the rest
+      // of the level cheaply.
+      if (LevelStop.load(std::memory_order_relaxed) !=
+          static_cast<uint8_t>(StopReason::Complete)) {
+        Results[I].Skipped = true;
+        return;
+      }
+      if (StopReason Why = Gov.check(); Why == StopReason::Cancelled ||
+                                        Why == StopReason::Deadline) {
+        LevelStop.store(static_cast<uint8_t>(Why),
+                        std::memory_order_relaxed);
+        Results[I].Skipped = true;
+        return;
+      }
+
+      const FrontierEntry &E = Frontier[I];
+      TaskResult &T = Results[I];
+      PhaseGuard Guard(PM, GuardOpts);
+      for (int PI = 0; PI != NumPhases; ++PI) {
+        PhaseId P = phaseByIndex(PI);
+        const uint16_t Bit = static_cast<uint16_t>(1u << PI);
+        if (!PM.isLegal(P, E.State)) {
+          T.DormantBits |= Bit;
+          continue;
+        }
+        if (E.IncomingMask & Bit) {
+          T.DormantBits |= Bit;
+          continue;
+        }
+        // The sequential engine's already-resolved check is a no-op here:
+        // each node enters the frontier exactly once, and this worker is
+        // its only expander.
+
+        Function Work;
+        if (Config.NaiveReapply) {
+          Work = Root;
+          for (PhaseId Prev : E.Path) {
+            PM.attempt(Prev, Work);
+            ++T.PhaseApplications;
+          }
+        } else {
+          Work = E.Instance;
+        }
+
+        ++T.Attempted;
+        ++T.PhaseApplications;
+        T.AttemptedBits |= Bit;
+        PhaseGuard::Outcome Out =
+            Guard.attemptNth(P, Work, Base[I * NumPhases + PI] + 1);
+        if (Out != PhaseGuard::Outcome::Active) {
+          T.DormantBits |= Bit;
+          continue;
+        }
+        ActiveResult A;
+        A.P = P;
+        A.CF = canonicalize(Work, Config.ParanoidCompare,
+                            Config.RemapRegisters);
+        if (std::optional<uint32_t> Hit = Table.lookup(A.CF.Hash)) {
+          // An earlier-level (or root) node: ids already published. Nodes
+          // discovered *this* level are not in the table yet, so this can
+          // never alias an uncommitted id.
+          A.KnownTarget = *Hit;
+          if (!Config.ParanoidCompare)
+            A.CF.Bytes.clear();
+        } else {
+          A.CfHash = controlFlowHash(Work);
+          A.State = Work.State;
+          if (!Config.NaiveReapply)
+            A.Instance = std::move(Work);
+        }
+        T.Active.push_back(std::move(A));
+      }
+      T.Diags = Guard.takeDiagnostics();
+    });
+
+    if (StopReason Why = static_cast<StopReason>(
+            LevelStop.load(std::memory_order_relaxed));
+        Why != StopReason::Complete) {
+      // Discard the in-flight level wholesale: the DAG still describes
+      // the space up to the previous barrier, self-consistently. (The
+      // sequential engine, polling only at barriers, would have finished
+      // this level first — the documented Deadline/Cancelled deviation.)
+      Finish(Why);
+      return R;
+    }
+
+    // Barrier commit, in exact frontier order.
+    std::unordered_map<uint32_t, size_t> NextIndex;
+    std::vector<FrontierEntry> Next;
+    for (size_t I = 0; I != N; ++I) {
+      const FrontierEntry &E = Frontier[I];
+      TaskResult &T = Results[I];
+      R.Nodes[E.Node].DormantMask |= T.DormantBits;
+      R.Nodes[E.Node].AttemptedMask |= T.AttemptedBits;
+      R.AttemptedPhases += T.Attempted;
+      R.PhaseApplications += T.PhaseApplications;
+      LS.Attempted += T.Attempted;
+      for (ActiveResult &A : T.Active) {
+        const uint16_t Bit =
+            static_cast<uint16_t>(1u << static_cast<int>(A.P));
+        ++LS.Active;
+        uint32_t Child;
+        bool IsNew = false;
+        if (A.KnownTarget != UINT32_MAX) {
+          Child = A.KnownTarget;
+          if (Config.ParanoidCompare && NodeBytes[Child] != A.CF.Bytes)
+            ++R.HashCollisions;
+        } else {
+          auto [Id, Inserted] = Table.tryEmplace(
+              A.CF.Hash, static_cast<uint32_t>(R.Nodes.size()));
+          Child = Id;
+          IsNew = Inserted;
+          if (Inserted) {
+            DagNode Nd;
+            Nd.Hash = A.CF.Hash;
+            Nd.CodeSize = A.CF.Hash.InstCount;
+            Nd.CfHash = A.CfHash;
+            Nd.Level = Level;
+            R.Nodes.push_back(Nd);
+            Gov.charge(sizeof(DagNode) + A.CF.Bytes.size());
+            if (Config.ParanoidCompare)
+              NodeBytes.push_back(std::move(A.CF.Bytes));
+          } else if (Config.ParanoidCompare &&
+                     NodeBytes[Child] != A.CF.Bytes) {
+            ++R.HashCollisions;
+          }
+        }
+        R.Nodes[E.Node].ActiveMask |= Bit;
+        R.Nodes[E.Node].Edges.push_back({A.P, Child});
+        Gov.charge(sizeof(DagEdge));
+        if (IsNew) {
+          FrontierEntry NE;
+          NE.Node = Child;
+          if (Config.NaiveReapply) {
+            NE.Path = E.Path;
+            NE.Path.push_back(A.P);
+          } else {
+            NE.Instance = std::move(A.Instance);
+          }
+          NE.State = A.State;
+          NE.IncomingMask = Bit;
+          NE.Parent = E.Node;
+          NE.ViaPhase = A.P;
+          NE.Sequences = E.Sequences;
+          NextIndex[Child] = Next.size();
+          Next.push_back(std::move(NE));
+        } else if (R.Nodes[Child].Level == Level) {
+          auto It = NextIndex.find(Child);
+          if (It == NextIndex.end()) {
+            PhaseDiagnostic D;
+            D.Phase = A.P;
+            D.Func = Root.Name;
+            D.Message =
+                "internal error: same-level node missing from the frontier";
+            R.Diagnostics.push_back(std::move(D));
+            Finish(StopReason::InternalError);
+            return R;
+          }
+          Next[It->second].IncomingMask |= Bit;
+          Next[It->second].Sequences += E.Sequences;
+        }
+      }
+      for (PhaseDiagnostic &D : T.Diags)
+        R.Diagnostics.push_back(std::move(D));
+    }
+
+    LS.NewNodes = Next.size();
+    uint64_t NextBytes = 0;
+    for (const FrontierEntry &E : Next) {
+      LS.ActiveSequences += E.Sequences;
+      NextBytes += entryFootprint(E);
+    }
+    if (LS.Attempted || LS.NewNodes)
+      R.Levels.push_back(LS);
+    if (!Next.empty())
+      R.MaxActiveLength = Level;
+
+    Gov.release(FrontierBytes);
+    Gov.charge(NextBytes);
+    FrontierBytes = NextBytes;
+
+    if (LS.ActiveSequences > Config.MaxLevelSequences) {
+      Finish(StopReason::LevelBudget);
+      return R;
+    }
+    if (R.Nodes.size() > Config.MaxTotalNodes) {
+      Finish(StopReason::NodeBudget);
+      return R;
+    }
+    if (StopReason Why = Gov.check(); Why != StopReason::Complete) {
+      Finish(Why);
+      return R;
+    }
+    Frontier = std::move(Next);
+  }
+
+  Finish(StopReason::Complete);
+  if (!R.Cyclic)
+    R.MaxActiveLength = longestPathLength(R);
   return R;
 }
 

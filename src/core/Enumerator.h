@@ -21,6 +21,13 @@
 /// the whole phase prefix from the unoptimized function for every
 /// evaluation, reproducing the Figure 6 comparison.
 ///
+/// Enumeration is embarrassingly parallel within a BFS level: every
+/// frontier instance attempts its phases independently, the only shared
+/// state being the instance table. EnumeratorConfig::Jobs > 1 enables the
+/// level-parallel engine, which is guaranteed to produce a DAG
+/// byte-identical to the sequential one (workers buffer their
+/// discoveries; a deterministic barrier commits them in frontier order).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POSE_CORE_ENUMERATOR_H
@@ -150,6 +157,19 @@ struct EnumeratorConfig {
   /// Deterministic fault injection for testing the rollback path (not
   /// owned; may be nullptr).
   const FaultPlan *Faults = nullptr;
+  /// Threads used to expand each BFS level (1 = the sequential engine).
+  /// The parallel engine buffers per-worker discoveries and commits them
+  /// in sequential frontier order at the level barrier, through a sharded
+  /// concurrent instance table, so the resulting DAG — node ids, edges,
+  /// statistics, stop reason, diagnostics, accounted memory — is
+  /// byte-identical to Jobs == 1 for every deterministic stop condition
+  /// (see docs/ROBUSTNESS.md for the exact contract; Deadline and
+  /// Cancelled stops are polled at node granularity instead of level
+  /// granularity, so only their partial DAGs may be smaller).
+  /// UseIndependencePruning has an inherently sequential intra-level
+  /// dependence (predictions read edges committed earlier in the same
+  /// level) and forces the sequential engine regardless of Jobs.
+  unsigned Jobs = 1;
 };
 
 /// Result of one exhaustive enumeration.
@@ -199,9 +219,15 @@ public:
 
   /// Enumerates all reachable instances of \p Root (which is copied;
   /// typically the unoptimized function straight out of the front end).
+  /// Dispatches to the sequential or the parallel engine according to
+  /// Config.Jobs; both produce identical results (differentially tested
+  /// in tests/core/parallel_enumerator_test.cpp).
   EnumerationResult enumerate(const Function &Root) const;
 
 private:
+  EnumerationResult enumerateSequential(const Function &Root) const;
+  EnumerationResult enumerateParallel(const Function &Root) const;
+
   const PhaseManager &PM;
   EnumeratorConfig Config;
 };

@@ -47,7 +47,13 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
 }
 
 PhaseGuard::Outcome PhaseGuard::attempt(PhaseId P, Function &F) {
-  const uint64_t Nth = ++Counts[static_cast<int>(P)];
+  const uint64_t Nth =
+      Counts[static_cast<int>(P)].fetch_add(1, std::memory_order_relaxed) + 1;
+  return attemptNth(P, F, Nth);
+}
+
+PhaseGuard::Outcome PhaseGuard::attemptNth(PhaseId P, Function &F,
+                                           uint64_t Nth) {
   if (!guarding())
     return PM.attempt(P, F) ? Outcome::Active : Outcome::Dormant;
 
@@ -73,6 +79,7 @@ PhaseGuard::Outcome PhaseGuard::attempt(PhaseId P, Function &F) {
   D.Message = std::move(Err);
   D.Application = Nth;
   D.Injected = Injected;
+  std::lock_guard<std::mutex> Lock(DiagsMutex);
   Diags.push_back(std::move(D));
   return Outcome::RolledBack;
 }

@@ -26,7 +26,9 @@
 
 #include "src/opt/Phase.h"
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,15 @@ struct FaultPlan {
 /// off the guard is a pass-through over PhaseManager::attempt (one counter
 /// increment); with either on, it snapshots the function before the
 /// attempt so a failure can be rolled back exactly.
+///
+/// A guard may be shared by several threads: application counts are
+/// atomic and diagnostics collection is mutex-protected, so concurrent
+/// attempt() calls are safe. The *numbering* of concurrent attempts is
+/// whatever order the threads win the counter, though — callers that need
+/// deterministic application numbers across thread counts (the parallel
+/// enumerator's FaultPlan coordinates) precompute them and use
+/// attemptNth() instead. diagnostics()/takeDiagnostics() must only be
+/// called once attempts have quiesced.
 class PhaseGuard {
 public:
   enum class Outcome : uint8_t {
@@ -97,18 +108,27 @@ public:
   /// Attempts \p P on \p F under the guard. \p P must be legal for \p F.
   Outcome attempt(PhaseId P, Function &F);
 
+  /// Same as attempt(), but with a caller-supplied 1-based application
+  /// number (the FaultPlan coordinate) instead of the internal counter,
+  /// which is left untouched. This is how the parallel enumerator keeps
+  /// fault injection deterministic: it numbers applications in sequential
+  /// frontier order regardless of which worker performs them.
+  Outcome attemptNth(PhaseId P, Function &F, uint64_t Nth);
+
   /// True when attempts snapshot and can roll back.
   bool guarding() const {
     return Opts.Verify || (Opts.Faults && !Opts.Faults->empty());
   }
 
-  /// 1-based count of applications of \p P so far through this guard.
+  /// 1-based count of applications of \p P so far through this guard
+  /// (attempt() only; attemptNth() does not count).
   uint64_t applications(PhaseId P) const {
-    return Counts[static_cast<int>(P)];
+    return Counts[static_cast<int>(P)].load(std::memory_order_relaxed);
   }
 
   const std::vector<PhaseDiagnostic> &diagnostics() const { return Diags; }
   std::vector<PhaseDiagnostic> takeDiagnostics() {
+    std::lock_guard<std::mutex> Lock(DiagsMutex);
     return std::move(Diags);
   }
 
@@ -117,7 +137,8 @@ public:
 private:
   const PhaseManager &PM;
   Options Opts{};
-  uint64_t Counts[NumPhases] = {};
+  std::atomic<uint64_t> Counts[NumPhases] = {};
+  std::mutex DiagsMutex;
   std::vector<PhaseDiagnostic> Diags;
 };
 

@@ -62,9 +62,32 @@ private:
 /// release() their dominant allocations (DAG nodes, canonical bytes,
 /// frontier instances), which keeps the check deterministic across runs
 /// and platforms.
+///
+/// Accounting is atomic, so one governor may be shared by a pool of
+/// workers (the parallel enumerator, parallel batch compilation): charges
+/// from any thread aggregate into one total, and check() may be polled
+/// concurrently. The set*() configuration calls are not synchronized —
+/// configure before sharing.
 class ResourceGovernor {
 public:
   ResourceGovernor() = default;
+
+  /// Copying is a setup-time convenience (factory functions returning a
+  /// configured governor); it snapshots the accounting and must not race
+  /// with concurrent charge()/release() on the source.
+  ResourceGovernor(const ResourceGovernor &O)
+      : DeadlineAt(O.DeadlineAt), HasDeadline(O.HasDeadline),
+        MemoryBudget(O.MemoryBudget),
+        Charged(O.Charged.load(std::memory_order_relaxed)), Token(O.Token) {}
+  ResourceGovernor &operator=(const ResourceGovernor &O) {
+    DeadlineAt = O.DeadlineAt;
+    HasDeadline = O.HasDeadline;
+    MemoryBudget = O.MemoryBudget;
+    Charged.store(O.Charged.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    Token = O.Token;
+    return *this;
+  }
 
   /// Arms a wall-clock deadline \p Ms milliseconds from now; 0 disarms.
   void setDeadline(uint64_t Ms) {
@@ -81,12 +104,21 @@ public:
   void setStopToken(const StopToken *T) { Token = T; }
 
   /// Accounts \p Bytes of live memory.
-  void charge(uint64_t Bytes) { Charged += Bytes; }
+  void charge(uint64_t Bytes) {
+    Charged.fetch_add(Bytes, std::memory_order_relaxed);
+  }
 
   /// Returns \p Bytes of accounted memory (saturating at zero).
-  void release(uint64_t Bytes) { Charged -= std::min(Charged, Bytes); }
+  void release(uint64_t Bytes) {
+    uint64_t Cur = Charged.load(std::memory_order_relaxed);
+    while (!Charged.compare_exchange_weak(Cur, Cur - std::min(Cur, Bytes),
+                                          std::memory_order_relaxed)) {
+    }
+  }
 
-  uint64_t chargedBytes() const { return Charged; }
+  uint64_t chargedBytes() const {
+    return Charged.load(std::memory_order_relaxed);
+  }
 
   /// True when no limit is armed (check() can never stop).
   bool unlimited() const {
@@ -101,7 +133,8 @@ public:
       return StopReason::Cancelled;
     if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt)
       return StopReason::Deadline;
-    if (MemoryBudget != 0 && Charged > MemoryBudget)
+    if (MemoryBudget != 0 &&
+        Charged.load(std::memory_order_relaxed) > MemoryBudget)
       return StopReason::MemoryBudget;
     return StopReason::Complete;
   }
@@ -110,7 +143,7 @@ private:
   std::chrono::steady_clock::time_point DeadlineAt{};
   bool HasDeadline = false;
   uint64_t MemoryBudget = 0;
-  uint64_t Charged = 0;
+  std::atomic<uint64_t> Charged{0};
   const StopToken *Token = nullptr;
 };
 

@@ -1,0 +1,73 @@
+//===- ThreadPool.cpp - Fixed-size worker pool --------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/ThreadPool.h"
+
+using namespace pose;
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I != WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (Workers.empty() || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  std::unique_lock<std::mutex> Lock(M);
+  Job = &Body;
+  Count = N;
+  Next = 0;
+  Pending = N;
+  ++Generation;
+  WakeWorkers.notify_all();
+  // The caller participates instead of blocking idle.
+  while (Next < Count) {
+    const size_t I = Next++;
+    Lock.unlock();
+    Body(I);
+    Lock.lock();
+    --Pending;
+  }
+  JobDone.wait(Lock, [this] { return Pending == 0; });
+  Job = nullptr;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(M);
+  uint64_t Seen = 0;
+  while (true) {
+    WakeWorkers.wait(Lock, [&] {
+      return ShuttingDown || (Generation != Seen && Job != nullptr);
+    });
+    if (ShuttingDown)
+      return;
+    Seen = Generation;
+    const std::function<void(size_t)> *Body = Job;
+    while (Next < Count) {
+      const size_t I = Next++;
+      Lock.unlock();
+      (*Body)(I);
+      Lock.lock();
+      if (--Pending == 0)
+        JobDone.notify_all();
+    }
+  }
+}

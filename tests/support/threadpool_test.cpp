@@ -1,0 +1,76 @@
+//===- threadpool_test.cpp - Worker pool tests ---------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace pose;
+
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.threads(), 4u);
+  constexpr size_t N = 10'000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossCalls) {
+  ThreadPool Pool(2);
+  std::atomic<uint64_t> Sum{0};
+  for (int Round = 0; Round != 50; ++Round) {
+    Sum.store(0);
+    Pool.parallelFor(100, [&](size_t I) {
+      Sum.fetch_add(I + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Sum.load(), 5050u) << "round " << Round;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  // Jobs == 1: no worker threads; the caller runs everything, in order.
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threads(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(5, [&](size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EmptyAndSingleCountsAreInline) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, [&](size_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 0);
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    Calls.fetch_add(1);
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentAccumulationStress) {
+  // Hammer the claim path: many tiny items per round, many rounds.
+  ThreadPool Pool(4);
+  for (int Round = 0; Round != 20; ++Round) {
+    constexpr size_t N = 2'000;
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(N, [&](size_t I) {
+      Sum.fetch_add(I, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Sum.load(), static_cast<uint64_t>(N) * (N - 1) / 2);
+  }
+}
+
+} // namespace

@@ -13,6 +13,8 @@
 //   posec prog.mc --dot=FUNC              write FUNC's phase-order DAG as DOT
 //   posec prog.mc --sequence=sckh         apply an explicit phase sequence
 //   posec prog.mc --budget=N              enumeration budget
+//   posec prog.mc --jobs=N                worker threads (enumeration
+//                                         levels, batch functions)
 //   posec prog.mc --deadline-ms=N         wall-clock limit on optimization
 //   posec prog.mc --max-memory-mb=N       approx. memory budget (enumerate)
 //   posec prog.mc --verify-ir             verify after every phase, roll
@@ -51,6 +53,7 @@ struct Options {
   std::string EnumerateFunc;
   std::string DotFunc;
   uint64_t Budget = 1'000'000;
+  uint64_t Jobs = 1;         // --jobs=N: worker threads (>= 1).
   uint64_t DeadlineMs = 0;   // --deadline-ms=N: 0 = unlimited.
   uint64_t MaxMemoryMb = 0;  // --max-memory-mb=N: 0 = unlimited.
   FaultPlan Faults;          // --inject-fault=SPEC.
@@ -74,6 +77,10 @@ void usage() {
       "  --dot=FUNC              print FUNC's phase-order DAG as Graphviz\n"
       "  --budget=N              enumeration budget (active sequences per\n"
       "                          level; default 1000000)\n"
+      "  --jobs=N                worker threads: enumeration expands each\n"
+      "                          level in parallel (identical DAG for any\n"
+      "                          N), batch compiles N functions at a time\n"
+      "                          (default 1)\n"
       "  --deadline-ms=N         wall-clock limit for optimization and\n"
       "                          enumeration (0 = unlimited)\n"
       "  --max-memory-mb=N       approximate memory budget for\n"
@@ -144,6 +151,12 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                      "--budget expects a positive integer, got '%s'\n", V6);
         return false;
       }
+    } else if (const char *VJ = Value("--jobs")) {
+      if (!parseUint(VJ, O.Jobs) || O.Jobs == 0) {
+        std::fprintf(stderr, "--jobs expects a positive integer, got '%s'\n",
+                     VJ);
+        return false;
+      }
     } else if (const char *VD = Value("--deadline-ms")) {
       if (!parseUint(VD, O.DeadlineMs)) {
         std::fprintf(
@@ -208,6 +221,7 @@ int enumerateFunction(const Options &O, Module &M) {
   PhaseManager PM;
   EnumeratorConfig Cfg;
   Cfg.MaxLevelSequences = O.Budget;
+  Cfg.Jobs = static_cast<unsigned>(O.Jobs);
   Cfg.DeadlineMs = O.DeadlineMs;
   Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
   Cfg.VerifyIr = O.VerifyIr;
@@ -287,10 +301,11 @@ int main(int Argc, char **Argv) {
                                                 : stopReasonName(S.Stop));
   };
   if (O.Opt == "batch") {
-    for (Function &F : M.Functions) {
-      CompileStats S = batchCompile(PM, F, GovPtr);
-      ReportStats(F, S);
-      fixEntryExit(F);
+    std::vector<CompileStats> Stats = batchCompileModule(
+        PM, M, static_cast<unsigned>(O.Jobs), GovPtr);
+    for (size_t I = 0; I != M.Functions.size(); ++I) {
+      ReportStats(M.Functions[I], Stats[I]);
+      fixEntryExit(M.Functions[I]);
     }
   } else if (O.Opt == "prob") {
     InteractionAnalysis IA;
@@ -307,6 +322,7 @@ int main(int Argc, char **Argv) {
       // Self-trained: enumerate this very module's functions first.
       EnumeratorConfig Cfg;
       Cfg.MaxLevelSequences = O.Budget;
+      Cfg.Jobs = static_cast<unsigned>(O.Jobs);
       Cfg.DeadlineMs = O.DeadlineMs;
       Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
       Cfg.VerifyIr = O.VerifyIr;
