@@ -1,0 +1,151 @@
+//===- bench_store.cpp - Artifact store hot paths ------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Microbenchmarks of the persistent artifact store: codec throughput for
+// a complete enumeration result, framing + disk round trips, and the
+// end-to-end cached-drive path. The interesting comparison is the last
+// one — loading a cached DAG must be orders of magnitude cheaper than
+// re-enumerating, or the cache is pointless.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/store/ByteIo.h"
+#include "src/store/Serialize.h"
+#include "src/store/StoreDriver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+using namespace pose;
+using namespace pose::bench;
+
+namespace {
+
+const char *SumSource =
+    "int f(int n){int s=0;int i=0;while(i<n){s=s+i;i=i+1;}return s;}";
+
+EnumerationResult enumerated(const Function &F) {
+  PhaseManager PM;
+  Enumerator E(PM, EnumeratorConfig{});
+  return E.enumerate(F);
+}
+
+Function compiledSum() {
+  CompileResult R = compileMC(SumSource);
+  Module &M = R.M;
+  return *M.functionFor(M.findGlobal("f"));
+}
+
+std::string scratchDir(const char *Name) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / Name).string();
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+void BM_EncodeResult(benchmark::State &State) {
+  Function F = compiledSum();
+  EnumerationResult R = enumerated(F);
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    ByteWriter W;
+    store::encodeResult(W, R);
+    Bytes = W.bytes().size();
+    benchmark::DoNotOptimize(W);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations() * Bytes));
+  State.counters["nodes"] = static_cast<double>(R.Nodes.size());
+}
+BENCHMARK(BM_EncodeResult);
+
+void BM_DecodeResult(benchmark::State &State) {
+  Function F = compiledSum();
+  EnumerationResult R = enumerated(F);
+  ByteWriter W;
+  store::encodeResult(W, R);
+  for (auto _ : State) {
+    ByteReader Reader(W.bytes());
+    EnumerationResult Out;
+    bool Ok = store::decodeResult(Reader, Out);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetBytesProcessed(
+      static_cast<int64_t>(State.iterations() * W.bytes().size()));
+}
+BENCHMARK(BM_DecodeResult);
+
+void BM_SaveAndLoadResult(benchmark::State &State) {
+  // Full framing + checksum + atomic write + read-back validation.
+  Function F = compiledSum();
+  EnumerationResult R = enumerated(F);
+  EnumeratorConfig Cfg;
+  HashTriple Root = canonicalize(F, false, Cfg.RemapRegisters).Hash;
+  uint64_t Fp = store::configFingerprint(Cfg);
+  store::ArtifactStore Store(scratchDir("pose-bench-store"));
+  std::string Error;
+  if (!Store.prepare(Error))
+    State.SkipWithError(Error.c_str());
+  for (auto _ : State) {
+    EnumerationResult Out;
+    if (!Store.saveResult(Root, Fp, R, Error))
+      State.SkipWithError(Error.c_str());
+    store::LoadStatus S = Store.loadResult(Root, Fp, Out, Error);
+    if (S != store::LoadStatus::Hit)
+      State.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_SaveAndLoadResult);
+
+void BM_DriveFreshVsCached(benchmark::State &State) {
+  // Arg 0: every drive re-enumerates (store cleared each iteration).
+  // Arg 1: the first drive populates, the rest hit the cache — the ratio
+  // of the two is the value of the store.
+  Function F = compiledSum();
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  bool Cached = State.range(0) != 0;
+  std::string Dir = scratchDir("pose-bench-drive");
+  for (auto _ : State) {
+    if (!Cached) {
+      State.PauseTiming();
+      std::filesystem::remove_all(Dir);
+      State.ResumeTiming();
+    }
+    store::DriveResult D = store::driveEnumeration(PM, Cfg, F, Dir, false);
+    if (!D.Ok)
+      State.SkipWithError(D.Error.c_str());
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_DriveFreshVsCached)->Arg(0)->Arg(1);
+
+void BM_EncodeCheckpoint(benchmark::State &State) {
+  // Checkpoints are written on the stop path, possibly under memory
+  // pressure; the encoder must not be the straw that breaks it.
+  Function F = compiledSum();
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Cfg.MaxMemoryBytes = 20'000;
+  Enumerator E(PM, Cfg);
+  EnumerationCheckpoint Cp;
+  (void)E.enumerate(F, &Cp);
+  if (!Cp.Valid)
+    State.SkipWithError("expected a checkpoint");
+  for (auto _ : State) {
+    ByteWriter W;
+    store::encodeCheckpoint(W, Cp);
+    benchmark::DoNotOptimize(W);
+  }
+}
+BENCHMARK(BM_EncodeCheckpoint);
+
+} // namespace
+
+BENCHMARK_MAIN();

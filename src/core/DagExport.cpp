@@ -35,7 +35,23 @@ std::string pose::dagToDot(const EnumerationResult &R,
     }
   }
 
-  std::string Out = "digraph " + Options.GraphName + " {\n";
+  // The graph name is caller-supplied (posec --enumerate=<name> passes the
+  // function name through). Always emit it as a quoted DOT ID with quote,
+  // backslash and newline escaped, so no name can break out of the ID and
+  // inject graph-level attributes or stray statements.
+  std::string Name;
+  for (char C : Options.GraphName) {
+    if (C == '"' || C == '\\')
+      Name += '\\';
+    if (C == '\n') {
+      Name += "\\n";
+      continue;
+    }
+    Name += C;
+  }
+  if (Name.empty())
+    Name = "phase_order_space";
+  std::string Out = "digraph \"" + Name + "\" {\n";
   Out += "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
   for (uint32_t Id : Rendered) {
     const DagNode &N = R.Nodes[Id];

@@ -20,28 +20,6 @@ using namespace pose;
 
 namespace {
 
-/// Frontier entry: a node discovered at the current level, waiting to be
-/// expanded, with enough state to (re)produce its function instance.
-struct FrontierEntry {
-  uint32_t Node;
-  /// Prefix-sharing mode: the instance itself.
-  Function Instance;
-  /// Naive mode: one active sequence reaching the node (replayed from the
-  /// root for every attempt).
-  std::vector<PhaseId> Path;
-  /// Compilation milestones of the instance (used for legality checks,
-  /// valid in both modes — naive mode leaves Instance empty).
-  PhaseState State;
-  /// Phases along incoming edges; known dormant without attempting (an
-  /// active phase is never successful twice consecutively).
-  uint16_t IncomingMask = 0;
-  /// First-discovery provenance, for independence-based prediction.
-  uint32_t Parent = UINT32_MAX;
-  PhaseId ViaPhase = PhaseId::BranchChaining;
-  /// Number of distinct active sequences reaching this node.
-  uint64_t Sequences = 1;
-};
-
 /// Approximate heap footprint of one function instance, for the memory
 /// accounting of the resource governor. Deterministic by construction
 /// (derived from instruction/slot counts, never from the allocator).
@@ -88,16 +66,32 @@ uint32_t longestPathLength(const EnumerationResult &R) {
 
 } // namespace
 
-EnumerationResult Enumerator::enumerate(const Function &Root) const {
+EnumerationResult
+Enumerator::enumerate(const Function &Root,
+                      EnumerationCheckpoint *Checkpoint) const {
   // Independence pruning predicts edges from edges committed earlier in
   // the *same* level, an intrinsically sequential dependence; everything
   // else parallelizes.
   if (Config.Jobs > 1 && !Config.UseIndependencePruning)
-    return enumerateParallel(Root);
-  return enumerateSequential(Root);
+    return runParallel(Root, nullptr, Checkpoint);
+  return runSequential(Root, nullptr, Checkpoint);
 }
 
-EnumerationResult Enumerator::enumerateSequential(const Function &Root) const {
+EnumerationResult
+Enumerator::resume(const Function &Root, EnumerationCheckpoint From,
+                   EnumerationCheckpoint *Checkpoint) const {
+  // An unfilled checkpoint resumes as a fresh run, so callers can use one
+  // code path whether or not a prior session left state behind.
+  if (!From.Valid)
+    return enumerate(Root, Checkpoint);
+  if (Config.Jobs > 1 && !Config.UseIndependencePruning)
+    return runParallel(Root, &From, Checkpoint);
+  return runSequential(Root, &From, Checkpoint);
+}
+
+EnumerationResult
+Enumerator::runSequential(const Function &Root, EnumerationCheckpoint *From,
+                          EnumerationCheckpoint *Out) const {
   EnumerationResult R;
   ResourceGovernor Gov;
   Gov.setDeadline(Config.DeadlineMs);
@@ -142,23 +136,65 @@ EnumerationResult Enumerator::enumerateSequential(const Function &Root) const {
     return {It->second, false};
   };
 
-  Function RootCopy = Root;
-  auto [RootId, RootNew] = Intern(RootCopy);
-  (void)RootNew;
-  R.Nodes[RootId].Level = 0;
-
   std::vector<FrontierEntry> Frontier;
   uint64_t FrontierBytes = 0;
-  {
-    FrontierEntry E;
-    E.Node = RootId;
-    E.Instance = RootCopy;
-    E.State = RootCopy.State;
-    FrontierBytes = entryFootprint(E);
-    Gov.charge(FrontierBytes);
-    Frontier.push_back(std::move(E));
-  }
-  {
+  uint32_t Level = 0;
+
+  // Captures the continuation for a transient stop: the pending frontier,
+  // the level counter, the guard's application numbering, and (paranoid
+  // mode) the canonical bytes. Call after Finish() so Partial carries the
+  // final stop reason and weights.
+  auto Capture = [&](std::vector<FrontierEntry> &&Pending,
+                     uint64_t PendingBytes) {
+    if (!Out)
+      return;
+    Out->Valid = true;
+    Out->Partial = R;
+    Out->Frontier = std::move(Pending);
+    Out->LevelCounter = Level;
+    for (int P = 0; P != NumPhases; ++P)
+      Out->AppCount[P] = Guard.applications(phaseByIndex(P));
+    Out->FrontierBytes = PendingBytes;
+    Out->Paranoid = Config.ParanoidCompare;
+    Out->NodeBytes = std::move(NodeBytes);
+  };
+
+  if (From) {
+    // Continue from the checkpoint barrier: the node hashes rebuild the
+    // instance table, the saved frontier becomes the working frontier,
+    // and the governor re-charges exactly what was accounted at capture.
+    R = std::move(From->Partial);
+    for (uint32_t I = 0; I != R.Nodes.size(); ++I)
+      Seen.emplace(R.Nodes[I].Hash, I);
+    if (Config.ParanoidCompare)
+      NodeBytes = std::move(From->NodeBytes);
+    Frontier = std::move(From->Frontier);
+    Level = From->LevelCounter;
+    FrontierBytes = From->FrontierBytes;
+    Gov.charge(R.ApproxMemoryBytes);
+    Guard.seedApplications(From->AppCount);
+    // A still-violated limit (e.g. resuming under the same memory budget)
+    // must stop here, exactly where the interrupted run stopped.
+    if (StopReason Why = Gov.check(); Why != StopReason::Complete) {
+      Finish(Why);
+      if (isResumableStop(Why))
+        Capture(std::move(Frontier), FrontierBytes);
+      return R;
+    }
+  } else {
+    Function RootCopy = Root;
+    auto [RootId, RootNew] = Intern(RootCopy);
+    (void)RootNew;
+    R.Nodes[RootId].Level = 0;
+    {
+      FrontierEntry E;
+      E.Node = RootId;
+      E.Instance = RootCopy;
+      E.State = RootCopy.State;
+      FrontierBytes = entryFootprint(E);
+      Gov.charge(FrontierBytes);
+      Frontier.push_back(std::move(E));
+    }
     LevelStat L0;
     L0.Level = 0;
     L0.NewNodes = 1;
@@ -166,7 +202,6 @@ EnumerationResult Enumerator::enumerateSequential(const Function &Root) const {
     R.Levels.push_back(L0);
   }
 
-  uint32_t Level = 0;
   while (!Frontier.empty()) {
     ++Level;
     LevelStat LS;
@@ -318,16 +353,17 @@ EnumerationResult Enumerator::enumerateSequential(const Function &Root) const {
     Gov.charge(NextBytes);
     FrontierBytes = NextBytes;
 
-    if (LS.ActiveSequences > Config.MaxLevelSequences) {
-      Finish(StopReason::LevelBudget);
-      return R;
-    }
-    if (R.Nodes.size() > Config.MaxTotalNodes) {
-      Finish(StopReason::NodeBudget);
-      return R;
-    }
-    if (StopReason Why = Gov.check(); Why != StopReason::Complete) {
+    StopReason Why = StopReason::Complete;
+    if (LS.ActiveSequences > Config.MaxLevelSequences)
+      Why = StopReason::LevelBudget;
+    else if (R.Nodes.size() > Config.MaxTotalNodes)
+      Why = StopReason::NodeBudget;
+    else
+      Why = Gov.check();
+    if (Why != StopReason::Complete) {
       Finish(Why);
+      if (isResumableStop(Why))
+        Capture(std::move(Next), NextBytes);
       return R;
     }
     Frontier = std::move(Next);
@@ -399,7 +435,9 @@ struct TaskResult {
 
 } // namespace
 
-EnumerationResult Enumerator::enumerateParallel(const Function &Root) const {
+EnumerationResult
+Enumerator::runParallel(const Function &Root, EnumerationCheckpoint *From,
+                        EnumerationCheckpoint *Out) const {
   EnumerationResult R;
   ResourceGovernor Gov;
   Gov.setDeadline(Config.DeadlineMs);
@@ -417,34 +455,77 @@ EnumerationResult Enumerator::enumerateParallel(const Function &Root) const {
     computeWeights(R);
   };
 
-  // Root interning, mirroring the sequential Intern() path.
-  Function RootCopy = Root;
-  {
-    CanonicalForm CF =
-        canonicalize(RootCopy, Config.ParanoidCompare, Config.RemapRegisters);
-    DagNode N;
-    N.Hash = CF.Hash;
-    N.CodeSize = CF.Hash.InstCount;
-    N.CfHash = controlFlowHash(RootCopy);
-    R.Nodes.push_back(N);
-    Gov.charge(sizeof(DagNode) + CF.Bytes.size());
-    Table.tryEmplace(CF.Hash, 0);
-    if (Config.ParanoidCompare)
-      NodeBytes.push_back(std::move(CF.Bytes));
-  }
+  // Per-phase application counts so far, in sequential numbering (the
+  // FaultPlan coordinate space). Persisted across levels.
+  uint64_t AppCount[NumPhases] = {};
+  const PhaseGuard::Options GuardOpts{Config.VerifyIr, Config.Faults};
 
   std::vector<FrontierEntry> Frontier;
   uint64_t FrontierBytes = 0;
-  {
-    FrontierEntry E;
-    E.Node = 0;
-    E.Instance = RootCopy;
-    E.State = RootCopy.State;
-    FrontierBytes = entryFootprint(E);
-    Gov.charge(FrontierBytes);
-    Frontier.push_back(std::move(E));
-  }
-  {
+  uint32_t Level = 0;
+
+  // Checkpoint capture, mirroring the sequential engine. \p Counts is the
+  // application numbering valid at the \p LevelCounter barrier (a
+  // discarded in-flight level must hand back the pre-level snapshot).
+  auto Capture = [&](std::vector<FrontierEntry> &&Pending,
+                     uint64_t PendingBytes, uint32_t LevelCounter,
+                     const uint64_t (&Counts)[NumPhases]) {
+    if (!Out)
+      return;
+    Out->Valid = true;
+    Out->Partial = R;
+    Out->Frontier = std::move(Pending);
+    Out->LevelCounter = LevelCounter;
+    for (int P = 0; P != NumPhases; ++P)
+      Out->AppCount[P] = Counts[P];
+    Out->FrontierBytes = PendingBytes;
+    Out->Paranoid = Config.ParanoidCompare;
+    Out->NodeBytes = std::move(NodeBytes);
+  };
+
+  if (From) {
+    R = std::move(From->Partial);
+    for (uint32_t I = 0; I != R.Nodes.size(); ++I)
+      Table.tryEmplace(R.Nodes[I].Hash, I);
+    if (Config.ParanoidCompare)
+      NodeBytes = std::move(From->NodeBytes);
+    Frontier = std::move(From->Frontier);
+    Level = From->LevelCounter;
+    FrontierBytes = From->FrontierBytes;
+    Gov.charge(R.ApproxMemoryBytes);
+    for (int P = 0; P != NumPhases; ++P)
+      AppCount[P] = From->AppCount[P];
+    if (StopReason Why = Gov.check(); Why != StopReason::Complete) {
+      Finish(Why);
+      if (isResumableStop(Why))
+        Capture(std::move(Frontier), FrontierBytes, Level, AppCount);
+      return R;
+    }
+  } else {
+    // Root interning, mirroring the sequential Intern() path.
+    Function RootCopy = Root;
+    {
+      CanonicalForm CF = canonicalize(RootCopy, Config.ParanoidCompare,
+                                      Config.RemapRegisters);
+      DagNode N;
+      N.Hash = CF.Hash;
+      N.CodeSize = CF.Hash.InstCount;
+      N.CfHash = controlFlowHash(RootCopy);
+      R.Nodes.push_back(N);
+      Gov.charge(sizeof(DagNode) + CF.Bytes.size());
+      Table.tryEmplace(CF.Hash, 0);
+      if (Config.ParanoidCompare)
+        NodeBytes.push_back(std::move(CF.Bytes));
+    }
+    {
+      FrontierEntry E;
+      E.Node = 0;
+      E.Instance = RootCopy;
+      E.State = RootCopy.State;
+      FrontierBytes = entryFootprint(E);
+      Gov.charge(FrontierBytes);
+      Frontier.push_back(std::move(E));
+    }
     LevelStat L0;
     L0.Level = 0;
     L0.NewNodes = 1;
@@ -452,18 +533,19 @@ EnumerationResult Enumerator::enumerateParallel(const Function &Root) const {
     R.Levels.push_back(L0);
   }
 
-  // Per-phase application counts so far, in sequential numbering (the
-  // FaultPlan coordinate space). Persisted across levels.
-  uint64_t AppCount[NumPhases] = {};
-  const PhaseGuard::Options GuardOpts{Config.VerifyIr, Config.Faults};
-
-  uint32_t Level = 0;
   while (!Frontier.empty()) {
     ++Level;
     LevelStat LS;
     LS.Level = Level;
 
     const size_t N = Frontier.size();
+
+    // Pre-level snapshot of the application numbering: a Deadline or
+    // Cancelled stop discards the in-flight level, and its checkpoint
+    // must restart the numbering from here.
+    uint64_t AppSnapshot[NumPhases];
+    for (int P = 0; P != NumPhases; ++P)
+      AppSnapshot[P] = AppCount[P];
 
     // Precompute the application number every would-be attempt gets in
     // sequential order: entry I attempts phase P iff P is legal for its
@@ -567,7 +649,10 @@ EnumerationResult Enumerator::enumerateParallel(const Function &Root) const {
       // the space up to the previous barrier, self-consistently. (The
       // sequential engine, polling only at barriers, would have finished
       // this level first — the documented Deadline/Cancelled deviation.)
+      // The checkpoint re-expands this level from the previous barrier.
       Finish(Why);
+      if (isResumableStop(Why))
+        Capture(std::move(Frontier), FrontierBytes, Level - 1, AppSnapshot);
       return R;
     }
 
@@ -666,16 +751,17 @@ EnumerationResult Enumerator::enumerateParallel(const Function &Root) const {
     Gov.charge(NextBytes);
     FrontierBytes = NextBytes;
 
-    if (LS.ActiveSequences > Config.MaxLevelSequences) {
-      Finish(StopReason::LevelBudget);
-      return R;
-    }
-    if (R.Nodes.size() > Config.MaxTotalNodes) {
-      Finish(StopReason::NodeBudget);
-      return R;
-    }
-    if (StopReason Why = Gov.check(); Why != StopReason::Complete) {
+    StopReason Why = StopReason::Complete;
+    if (LS.ActiveSequences > Config.MaxLevelSequences)
+      Why = StopReason::LevelBudget;
+    else if (R.Nodes.size() > Config.MaxTotalNodes)
+      Why = StopReason::NodeBudget;
+    else
+      Why = Gov.check();
+    if (Why != StopReason::Complete) {
       Finish(Why);
+      if (isResumableStop(Why))
+        Capture(std::move(Next), NextBytes, Level, AppCount);
       return R;
     }
     Frontier = std::move(Next);

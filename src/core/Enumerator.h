@@ -34,6 +34,7 @@
 #define POSE_CORE_ENUMERATOR_H
 
 #include "src/core/Canonical.h"
+#include "src/ir/Function.h"
 #include "src/opt/Phase.h"
 #include "src/opt/PhaseGuard.h"
 #include "src/support/StopToken.h"
@@ -43,7 +44,6 @@
 
 namespace pose {
 
-class Function;
 class PhaseManager;
 
 /// One outgoing edge of a DAG node: applying Phase to the node's instance
@@ -211,6 +211,68 @@ struct EnumerationResult {
   }
 };
 
+/// Frontier entry: a node discovered at the current BFS level, waiting to
+/// be expanded, with enough state to (re)produce its function instance.
+/// Exposed (rather than kept private to the engines) because the
+/// checkpoint/resume machinery must persist the committed frontier across
+/// process lifetimes (see EnumerationCheckpoint and src/store).
+struct FrontierEntry {
+  uint32_t Node = 0;
+  /// Prefix-sharing mode: the instance itself.
+  Function Instance;
+  /// Naive mode: one active sequence reaching the node (replayed from the
+  /// root for every attempt).
+  std::vector<PhaseId> Path;
+  /// Compilation milestones of the instance (used for legality checks,
+  /// valid in both modes — naive mode leaves Instance empty).
+  PhaseState State;
+  /// Phases along incoming edges; known dormant without attempting (an
+  /// active phase is never successful twice consecutively).
+  uint16_t IncomingMask = 0;
+  /// First-discovery provenance, for independence-based prediction.
+  uint32_t Parent = UINT32_MAX;
+  PhaseId ViaPhase = PhaseId::BranchChaining;
+  /// Number of distinct active sequences reaching this node.
+  uint64_t Sequences = 1;
+};
+
+/// A resumable continuation of an interrupted enumeration: everything the
+/// engines need to pick up at the last committed level barrier and produce
+/// a DAG byte-identical to an uninterrupted run. Checkpoints are taken
+/// only for *transient* stops (Deadline, MemoryBudget, Cancelled) — a
+/// budget stop (LevelBudget/NodeBudget) is a final verdict about the
+/// configured space and resuming past it would change its meaning.
+struct EnumerationCheckpoint {
+  /// True once an engine has filled the checkpoint in.
+  bool Valid = false;
+  /// The partial result as returned to the caller (stop reason set,
+  /// weights computed). Node hashes double as the instance table: resume
+  /// rebuilds the table from them.
+  EnumerationResult Partial;
+  /// The committed-but-unexpanded frontier at the stop barrier.
+  std::vector<FrontierEntry> Frontier;
+  /// Value of the engines' level counter at the barrier; the resumed loop
+  /// continues with LevelCounter + 1.
+  uint32_t LevelCounter = 0;
+  /// Per-phase application counts in sequential numbering (the FaultPlan
+  /// and diagnostic coordinate space).
+  uint64_t AppCount[NumPhases] = {};
+  /// Governor accounting of the saved frontier (already included in
+  /// Partial.ApproxMemoryBytes; split out so the resumed engine can
+  /// release it at its first barrier).
+  uint64_t FrontierBytes = 0;
+  /// ParanoidCompare: canonical bytes per node (indexed by node id), so
+  /// exact collision detection continues across the resume.
+  bool Paranoid = false;
+  std::vector<std::vector<uint8_t>> NodeBytes;
+};
+
+/// True for stop reasons that leave a resumable checkpoint behind.
+inline bool isResumableStop(StopReason R) {
+  return R == StopReason::Deadline || R == StopReason::MemoryBudget ||
+         R == StopReason::Cancelled;
+}
+
 /// Runs the exhaustive enumeration for single functions.
 class Enumerator {
 public:
@@ -222,11 +284,33 @@ public:
   /// Dispatches to the sequential or the parallel engine according to
   /// Config.Jobs; both produce identical results (differentially tested
   /// in tests/core/parallel_enumerator_test.cpp).
-  EnumerationResult enumerate(const Function &Root) const;
+  EnumerationResult enumerate(const Function &Root) const {
+    return enumerate(Root, nullptr);
+  }
+
+  /// Same, but when the run is stopped by a transient limit (Deadline,
+  /// MemoryBudget, Cancelled) and \p Checkpoint is non-null, the
+  /// continuation state is captured there (Checkpoint->Valid set). Other
+  /// stop reasons leave \p Checkpoint invalid.
+  EnumerationResult enumerate(const Function &Root,
+                              EnumerationCheckpoint *Checkpoint) const;
+
+  /// Continues an enumeration of \p Root from \p From (which must have
+  /// been produced by an enumerate()/resume() of the same root under the
+  /// same DAG-affecting configuration — the artifact store enforces this
+  /// with its cache key). The final result is byte-identical to an
+  /// uninterrupted run, for any mix of job counts across the sessions.
+  /// Stops again are captured in \p Checkpoint like enumerate().
+  EnumerationResult resume(const Function &Root, EnumerationCheckpoint From,
+                           EnumerationCheckpoint *Checkpoint = nullptr) const;
 
 private:
-  EnumerationResult enumerateSequential(const Function &Root) const;
-  EnumerationResult enumerateParallel(const Function &Root) const;
+  EnumerationResult runSequential(const Function &Root,
+                                  EnumerationCheckpoint *From,
+                                  EnumerationCheckpoint *Out) const;
+  EnumerationResult runParallel(const Function &Root,
+                                EnumerationCheckpoint *From,
+                                EnumerationCheckpoint *Out) const;
 
   const PhaseManager &PM;
   EnumeratorConfig Config;

@@ -166,7 +166,8 @@ bool InteractionAnalysis::deserialize(const std::string &Text) {
   {
     std::string L = NextLine();
     unsigned long long N = 0;
-    if (std::sscanf(L.c_str(), "functions %llu", &N) != 1)
+    char Extra;
+    if (std::sscanf(L.c_str(), "functions %llu %c", &N, &Extra) != 1)
       return false;
     Functions = static_cast<size_t>(N);
   }
@@ -191,15 +192,24 @@ bool InteractionAnalysis::deserialize(const std::string &Text) {
         return false;
       Q = End;
     }
-    return true;
+    while (*Q == ' ' || *Q == '\t')
+      ++Q;
+    return *Q == '\0'; // Extra values on a row are corruption, not slack.
   };
   auto ReadMatrix = [&](const char *Name,
                         double (&M)[NumPhases][NumPhases]) {
+    bool SeenRow[NumPhases] = {};
     for (int I = 0; I != NumPhases; ++I) {
       int Y = -1;
       double Row[NumPhases];
       if (!ReadRow(NextLine(), Name, Y, Row, NumPhases, true))
         return false;
+      // A repeated row index means another row is missing: with it, the
+      // matrix would deserialize "successfully" with a silently zeroed
+      // row, and the duplicate would overwrite the earlier value.
+      if (SeenRow[Y])
+        return false;
+      SeenRow[Y] = true;
       for (int X = 0; X != NumPhases; ++X)
         M[Y][X] = Row[X];
     }
@@ -209,14 +219,18 @@ bool InteractionAnalysis::deserialize(const std::string &Text) {
     int Dummy = 0;
     return ReadRow(NextLine(), Name, Dummy, V, NumPhases, false);
   };
-  return ReadMatrix("d2a", DormantToActive) &&
-         ReadMatrix("d2x", DormantToAny) &&
-         ReadMatrix("a2d", ActiveToDormant) &&
-         ReadMatrix("a2x", ActiveToAny) &&
-         ReadMatrix("ind", IndependentMass) &&
-         ReadMatrix("con", ConsecutiveMass) &&
-         ReadVector("root", RootActive) && ReadVector("benm", BenefitMass) &&
-         ReadVector("benw", BenefitWeight);
+  if (!(ReadMatrix("d2a", DormantToActive) &&
+        ReadMatrix("d2x", DormantToAny) &&
+        ReadMatrix("a2d", ActiveToDormant) &&
+        ReadMatrix("a2x", ActiveToAny) &&
+        ReadMatrix("ind", IndependentMass) &&
+        ReadMatrix("con", ConsecutiveMass) &&
+        ReadVector("root", RootActive) && ReadVector("benm", BenefitMass) &&
+        ReadVector("benw", BenefitWeight)))
+    return false;
+  // The format has a fixed line count; anything after the last vector
+  // (even a stray blank line) is trailing garbage.
+  return *P == '\0';
 }
 
 std::string InteractionAnalysis::renderTable(TableKind Kind) const {
@@ -236,11 +250,14 @@ std::string InteractionAnalysis::renderTable(TableKind Kind) const {
       switch (Kind) {
       case TableKind::Enabling:
         V = enabling(phaseByIndex(Y), phaseByIndex(X));
-        Blank = V < 0.005; // Paper: "blank cells indicate < 0.005".
+        // Blank means "never observed" (X never ran while Y was dormant),
+        // not "observed with probability < 0.005" — that renders 0.00.
+        // Conflating the two hid real but rare enabling relations.
+        Blank = DormantToAny[Y][X] == 0.0;
         break;
       case TableKind::Disabling:
         V = disabling(phaseByIndex(Y), phaseByIndex(X));
-        Blank = V < 0.005;
+        Blank = ActiveToAny[Y][X] == 0.0;
         break;
       case TableKind::Independence:
         V = independence(phaseByIndex(Y), phaseByIndex(X));

@@ -139,6 +139,19 @@ public:
   /// Call after constructing a function by hand (e.g. in tests).
   void recomputeCounters();
 
+  /// Returns one past the highest block label ever allocated.
+  int32_t labelLimit() const { return NextLabel; }
+
+  /// Restores both allocation counters exactly. Deserialized instances
+  /// (checkpoint resume) must hand out the same fresh registers and
+  /// labels the original would have; recomputeCounters() only guarantees
+  /// "past every number still used", which is weaker when an allocated
+  /// number was later optimized away.
+  void setAllocationCounters(RegNum PseudoLimit, int32_t LabelLimit) {
+    NextPseudo = PseudoLimit;
+    NextLabel = LabelLimit;
+  }
+
 private:
   RegNum NextPseudo = FirstPseudoReg;
   int32_t NextLabel = 0;

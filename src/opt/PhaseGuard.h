@@ -126,6 +126,16 @@ public:
     return Counts[static_cast<int>(P)].load(std::memory_order_relaxed);
   }
 
+  /// Seeds the per-phase application counters so the next attempt() of a
+  /// phase P numbers as Counts[P] + 1. Checkpoint resume uses this to
+  /// keep FaultPlan coordinates and diagnostic application numbers
+  /// continuous across process lifetimes. Not synchronized — seed before
+  /// sharing the guard.
+  void seedApplications(const uint64_t (&Seed)[NumPhases]) {
+    for (int I = 0; I != NumPhases; ++I)
+      Counts[I].store(Seed[I], std::memory_order_relaxed);
+  }
+
   const std::vector<PhaseDiagnostic> &diagnostics() const { return Diags; }
   std::vector<PhaseDiagnostic> takeDiagnostics() {
     std::lock_guard<std::mutex> Lock(DiagsMutex);

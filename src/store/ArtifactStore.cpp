@@ -1,0 +1,255 @@
+//===- ArtifactStore.cpp - Persistent enumeration artifact store ----------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/store/ArtifactStore.h"
+
+#include "src/store/ByteIo.h"
+#include "src/store/Serialize.h"
+#include "src/support/Crc32.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace pose {
+namespace store {
+
+namespace {
+
+// File frame: magic, format version, kind, root triple, config
+// fingerprint, payload length, payload CRC-32, payload bytes.
+constexpr char kMagic[8] = {'P', 'O', 'S', 'E', 'A', 'R', 'T', '\n'};
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 12 + 8 + 8 + 4;
+
+uint64_t mix(uint64_t H, uint64_t V) {
+  H ^= V;
+  H *= 0x100000001B3ull; // FNV-1a prime, widened.
+  return H;
+}
+
+const char *kindSuffix(ArtifactKind K) {
+  return K == ArtifactKind::Result ? "result" : "checkpoint";
+}
+
+} // namespace
+
+uint64_t configFingerprint(const EnumeratorConfig &Config) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  H = mix(H, Config.MaxLevelSequences);
+  H = mix(H, Config.MaxTotalNodes);
+  H = mix(H, Config.ParanoidCompare);
+  H = mix(H, Config.NaiveReapply);
+  H = mix(H, Config.RemapRegisters);
+  H = mix(H, Config.UseIndependencePruning);
+  for (int X = 0; X != NumPhases; ++X)
+    for (int Y = 0; Y != NumPhases; ++Y)
+      H = mix(H, Config.TrainedIndependence[X][Y]);
+  H = mix(H, Config.VerifyIr);
+  // Injected faults prune edges, so they shape the DAG like any other
+  // config switch; an empty plan fingerprints like no plan.
+  if (Config.Faults)
+    for (const FaultPlan::Fault &F : Config.Faults->Faults) {
+      H = mix(H, static_cast<uint64_t>(F.Phase));
+      H = mix(H, F.Application);
+    }
+  return H;
+}
+
+ArtifactStore::ArtifactStore(std::string Directory)
+    : Dir(std::move(Directory)) {}
+
+bool ArtifactStore::prepare(std::string &Error) const {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    Error = "cannot create store directory '" + Dir + "': " + EC.message();
+    return false;
+  }
+  return true;
+}
+
+std::string ArtifactStore::pathFor(const HashTriple &Root,
+                                   ArtifactKind Kind) const {
+  char Name[64];
+  std::snprintf(Name, sizeof(Name), "%08x-%08x-%08x.%s.pose", Root.InstCount,
+                Root.ByteSum, Root.Crc, kindSuffix(Kind));
+  return (fs::path(Dir) / Name).string();
+}
+
+bool ArtifactStore::writeArtifact(const HashTriple &Root, ArtifactKind Kind,
+                                  uint64_t Fingerprint,
+                                  const std::vector<uint8_t> &Payload,
+                                  std::string &Error) const {
+  ByteWriter W;
+  for (char C : kMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(kFormatVersion);
+  W.u32(static_cast<uint32_t>(Kind));
+  W.u32(Root.InstCount);
+  W.u32(Root.ByteSum);
+  W.u32(Root.Crc);
+  W.u64(Fingerprint);
+  W.u64(Payload.size());
+  W.u32(crc32(Payload));
+
+  const std::string Path = pathFor(Root, Kind);
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Error = "cannot open '" + Tmp + "' for writing";
+      return false;
+    }
+    Out.write(reinterpret_cast<const char *>(W.bytes().data()),
+              static_cast<std::streamsize>(W.bytes().size()));
+    Out.write(reinterpret_cast<const char *>(Payload.data()),
+              static_cast<std::streamsize>(Payload.size()));
+    Out.flush();
+    if (!Out) {
+      Error = "write to '" + Tmp + "' failed";
+      return false;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    Error = "cannot rename '" + Tmp + "' to '" + Path + "': " + EC.message();
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
+LoadStatus ArtifactStore::readArtifact(const HashTriple &Root,
+                                       ArtifactKind Kind, uint64_t Fingerprint,
+                                       std::vector<uint8_t> &Payload,
+                                       std::string &Error) const {
+  const std::string Path = pathFor(Root, Kind);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return LoadStatus::Miss;
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  if (!In.good() && !In.eof()) {
+    Error = "cannot read '" + Path + "'";
+    return LoadStatus::Rejected;
+  }
+  if (Bytes.size() < kHeaderSize) {
+    Error = "'" + Path + "' is truncated (no complete header)";
+    return LoadStatus::Rejected;
+  }
+
+  ByteReader R(Bytes);
+  for (char C : kMagic)
+    if (R.u8() != static_cast<uint8_t>(C)) {
+      Error = "'" + Path + "' is not a POSE artifact (bad magic)";
+      return LoadStatus::Rejected;
+    }
+  uint32_t Version = R.u32();
+  if (Version != kFormatVersion) {
+    Error = "'" + Path + "' has format version " + std::to_string(Version) +
+            ", this build reads version " + std::to_string(kFormatVersion);
+    return LoadStatus::Rejected;
+  }
+  if (R.u32() != static_cast<uint32_t>(Kind)) {
+    Error = "'" + Path + "' holds a different artifact kind";
+    return LoadStatus::Rejected;
+  }
+  HashTriple Stored;
+  Stored.InstCount = R.u32();
+  Stored.ByteSum = R.u32();
+  Stored.Crc = R.u32();
+  if (Stored != Root) {
+    Error = "'" + Path + "' is keyed to a different root function";
+    return LoadStatus::Rejected;
+  }
+  uint64_t StoredFp = R.u64();
+  if (StoredFp != Fingerprint) {
+    Error = "'" + Path +
+            "' was produced under a different enumerator configuration";
+    return LoadStatus::Rejected;
+  }
+  uint64_t PayloadSize = R.u64();
+  uint32_t PayloadCrc = R.u32();
+  if (PayloadSize != Bytes.size() - kHeaderSize) {
+    Error = "'" + Path + "' payload length mismatch (file damaged)";
+    return LoadStatus::Rejected;
+  }
+  Payload.assign(Bytes.begin() + kHeaderSize, Bytes.end());
+  if (crc32(Payload) != PayloadCrc) {
+    Error = "'" + Path + "' payload checksum mismatch (file damaged)";
+    return LoadStatus::Rejected;
+  }
+  return LoadStatus::Hit;
+}
+
+bool ArtifactStore::saveResult(const HashTriple &Root, uint64_t Fingerprint,
+                               const EnumerationResult &Res,
+                               std::string &Error) const {
+  ByteWriter W;
+  encodeResult(W, Res);
+  if (!writeArtifact(Root, ArtifactKind::Result, Fingerprint, W.bytes(),
+                     Error))
+    return false;
+  removeCheckpoint(Root);
+  return true;
+}
+
+bool ArtifactStore::saveCheckpoint(const HashTriple &Root,
+                                   uint64_t Fingerprint,
+                                   const EnumerationCheckpoint &C,
+                                   std::string &Error) const {
+  ByteWriter W;
+  encodeCheckpoint(W, C);
+  return writeArtifact(Root, ArtifactKind::Checkpoint, Fingerprint, W.bytes(),
+                       Error);
+}
+
+LoadStatus ArtifactStore::loadResult(const HashTriple &Root,
+                                     uint64_t Fingerprint,
+                                     EnumerationResult &Res,
+                                     std::string &Error) const {
+  std::vector<uint8_t> Payload;
+  LoadStatus S =
+      readArtifact(Root, ArtifactKind::Result, Fingerprint, Payload, Error);
+  if (S != LoadStatus::Hit)
+    return S;
+  ByteReader R(Payload);
+  if (!decodeResult(R, Res) || !R.atEnd()) {
+    Error = "'" + pathFor(Root, ArtifactKind::Result) +
+            "' payload does not decode (file damaged)";
+    return LoadStatus::Rejected;
+  }
+  return LoadStatus::Hit;
+}
+
+LoadStatus ArtifactStore::loadCheckpoint(const HashTriple &Root,
+                                         uint64_t Fingerprint,
+                                         EnumerationCheckpoint &C,
+                                         std::string &Error) const {
+  std::vector<uint8_t> Payload;
+  LoadStatus S = readArtifact(Root, ArtifactKind::Checkpoint, Fingerprint,
+                              Payload, Error);
+  if (S != LoadStatus::Hit)
+    return S;
+  ByteReader R(Payload);
+  if (!decodeCheckpoint(R, C) || !R.atEnd() || !C.Valid) {
+    Error = "'" + pathFor(Root, ArtifactKind::Checkpoint) +
+            "' payload does not decode (file damaged)";
+    return LoadStatus::Rejected;
+  }
+  return LoadStatus::Hit;
+}
+
+void ArtifactStore::removeCheckpoint(const HashTriple &Root) const {
+  std::error_code EC;
+  fs::remove(pathFor(Root, ArtifactKind::Checkpoint), EC);
+}
+
+} // namespace store
+} // namespace pose

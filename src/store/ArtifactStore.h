@@ -1,0 +1,118 @@
+//===- ArtifactStore.h - Persistent enumeration artifact store -*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directory of versioned, checksummed enumeration artifacts: completed
+/// DAGs (\ref ArtifactKind::Result) and resumable checkpoints of
+/// interrupted runs (\ref ArtifactKind::Checkpoint). Exhaustive
+/// enumerations are expensive — hours for the larger functions of the
+/// paper's benchmarks — while the analyses that consume them (interaction
+/// mining, the probabilistic compiler, DOT export) are cheap; the store
+/// decouples the two, and lets a run killed by a deadline or memory
+/// budget continue in a later process with a byte-identical final DAG.
+///
+/// Every artifact is keyed by the canonical hash triple of the
+/// *unoptimized* function plus a fingerprint of the DAG-affecting
+/// configuration, and framed with a magic string, a format version, and a
+/// CRC-32 of the payload. A lookup that finds a file with the wrong
+/// version, key, fingerprint, or checksum reports exactly what mismatched
+/// (\ref LoadStatus::Rejected) — a stale or corrupt artifact is never
+/// silently reused. Writes go through a temporary file and an atomic
+/// rename, so a crash mid-write leaves either the old artifact or none.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_STORE_ARTIFACTSTORE_H
+#define POSE_STORE_ARTIFACTSTORE_H
+
+#include "src/core/Enumerator.h"
+
+#include <string>
+#include <vector>
+
+namespace pose {
+namespace store {
+
+/// Bumped whenever the serialized encoding (Serialize.cpp) or the frame
+/// layout changes; artifacts written by any other version are rejected.
+constexpr uint32_t kFormatVersion = 1;
+
+/// What an artifact file contains.
+enum class ArtifactKind : uint32_t {
+  Result = 1,     ///< A finished EnumerationResult (any stop reason).
+  Checkpoint = 2, ///< A resumable EnumerationCheckpoint.
+};
+
+/// Fingerprint of the EnumeratorConfig fields that determine the DAG:
+/// budgets, pruning switches, the trained independence matrix, verifier
+/// and fault-injection settings. Execution-only knobs (Jobs, DeadlineMs,
+/// MaxMemoryBytes, the stop token) are excluded on purpose — a DAG
+/// enumerated with four workers under a deadline is the same DAG, and a
+/// resumed run may legitimately use different resources than the run that
+/// wrote the checkpoint.
+uint64_t configFingerprint(const EnumeratorConfig &Config);
+
+/// Outcome of a store lookup.
+enum class LoadStatus {
+  Hit,      ///< Artifact found, validated, and decoded.
+  Miss,     ///< No artifact for this key (not an error).
+  Rejected, ///< An artifact exists but failed validation; see the error
+            ///< string. It must be regenerated, never used.
+};
+
+/// The store: a flat directory, one file per (root, kind) key.
+class ArtifactStore {
+public:
+  explicit ArtifactStore(std::string Directory);
+
+  /// Creates the store directory if needed. Returns false (with \p Error
+  /// set) when it cannot be created.
+  bool prepare(std::string &Error) const;
+
+  const std::string &directory() const { return Dir; }
+
+  /// Path of the artifact file for \p Root and \p Kind.
+  std::string pathFor(const HashTriple &Root, ArtifactKind Kind) const;
+
+  /// Persists \p Res for \p Root. Returns false with \p Error set on I/O
+  /// failure. A finished result supersedes any checkpoint for the same
+  /// key, which is removed.
+  bool saveResult(const HashTriple &Root, uint64_t Fingerprint,
+                  const EnumerationResult &Res, std::string &Error) const;
+
+  /// Persists \p C for \p Root (C.Valid must be true).
+  bool saveCheckpoint(const HashTriple &Root, uint64_t Fingerprint,
+                      const EnumerationCheckpoint &C,
+                      std::string &Error) const;
+
+  /// Looks up a finished result for (\p Root, \p Fingerprint).
+  LoadStatus loadResult(const HashTriple &Root, uint64_t Fingerprint,
+                        EnumerationResult &Res, std::string &Error) const;
+
+  /// Looks up a resumable checkpoint for (\p Root, \p Fingerprint).
+  LoadStatus loadCheckpoint(const HashTriple &Root, uint64_t Fingerprint,
+                            EnumerationCheckpoint &C,
+                            std::string &Error) const;
+
+  /// Removes the checkpoint for \p Root, if any (used after the resumed
+  /// run finishes).
+  void removeCheckpoint(const HashTriple &Root) const;
+
+private:
+  bool writeArtifact(const HashTriple &Root, ArtifactKind Kind,
+                     uint64_t Fingerprint, const std::vector<uint8_t> &Payload,
+                     std::string &Error) const;
+  LoadStatus readArtifact(const HashTriple &Root, ArtifactKind Kind,
+                          uint64_t Fingerprint, std::vector<uint8_t> &Payload,
+                          std::string &Error) const;
+
+  std::string Dir;
+};
+
+} // namespace store
+} // namespace pose
+
+#endif // POSE_STORE_ARTIFACTSTORE_H

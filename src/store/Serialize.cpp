@@ -1,0 +1,405 @@
+//===- Serialize.cpp - Binary codecs for enumeration artifacts ------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/store/Serialize.h"
+
+namespace pose {
+namespace store {
+
+namespace {
+
+// --- strict scalar helpers -------------------------------------------------
+
+bool decodeBool(ByteReader &R, bool &V) {
+  uint8_t B = R.u8();
+  if (B > 1) {
+    R.fail();
+    return false;
+  }
+  V = B != 0;
+  return R.ok();
+}
+
+bool decodeCount(ByteReader &R, size_t &N) {
+  uint64_t V = R.u64();
+  // A count can never exceed the bytes remaining (every element encodes to
+  // at least one byte), so reject it before any allocation.
+  if (!R.ok() || V > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  N = static_cast<size_t>(V);
+  return true;
+}
+
+bool decodePhase(ByteReader &R, PhaseId &P) {
+  uint8_t V = R.u8();
+  if (V >= NumPhases) {
+    R.fail();
+    return false;
+  }
+  P = static_cast<PhaseId>(V);
+  return R.ok();
+}
+
+// --- IR --------------------------------------------------------------------
+
+void encodeOperand(ByteWriter &W, const Operand &O) {
+  W.u8(static_cast<uint8_t>(O.Kind));
+  W.i32(O.Value);
+}
+
+bool decodeOperand(ByteReader &R, Operand &O) {
+  uint8_t K = R.u8();
+  if (K > static_cast<uint8_t>(OperandKind::Label)) {
+    R.fail();
+    return false;
+  }
+  O.Kind = static_cast<OperandKind>(K);
+  O.Value = R.i32();
+  return R.ok();
+}
+
+void encodeRtl(ByteWriter &W, const Rtl &I) {
+  W.u8(static_cast<uint8_t>(I.Opcode));
+  W.u8(static_cast<uint8_t>(I.CC));
+  encodeOperand(W, I.Dst);
+  for (const Operand &S : I.Src)
+    encodeOperand(W, S);
+  W.u64(I.Args.size());
+  for (const Operand &A : I.Args)
+    encodeOperand(W, A);
+}
+
+bool decodeRtl(ByteReader &R, Rtl &I) {
+  uint8_t OpV = R.u8();
+  uint8_t CCV = R.u8();
+  if (OpV > static_cast<uint8_t>(Op::Epilogue) ||
+      CCV > static_cast<uint8_t>(Cond::UGe)) {
+    R.fail();
+    return false;
+  }
+  I.Opcode = static_cast<Op>(OpV);
+  I.CC = static_cast<Cond>(CCV);
+  if (!decodeOperand(R, I.Dst))
+    return false;
+  for (Operand &S : I.Src)
+    if (!decodeOperand(R, S))
+      return false;
+  size_t N;
+  if (!decodeCount(R, N))
+    return false;
+  I.Args.resize(N);
+  for (Operand &A : I.Args)
+    if (!decodeOperand(R, A))
+      return false;
+  return R.ok();
+}
+
+void encodePhaseState(ByteWriter &W, const PhaseState &S) {
+  W.u8(S.encode());
+}
+
+bool decodePhaseState(ByteReader &R, PhaseState &S) {
+  uint8_t B = R.u8();
+  if (B > 3) {
+    R.fail();
+    return false;
+  }
+  S.RegsAssigned = (B & 1) != 0;
+  S.RegAllocDone = (B & 2) != 0;
+  return R.ok();
+}
+
+// --- enumeration types -----------------------------------------------------
+
+void encodeHash(ByteWriter &W, const HashTriple &H) {
+  W.u32(H.InstCount);
+  W.u32(H.ByteSum);
+  W.u32(H.Crc);
+}
+
+bool decodeHash(ByteReader &R, HashTriple &H) {
+  H.InstCount = R.u32();
+  H.ByteSum = R.u32();
+  H.Crc = R.u32();
+  return R.ok();
+}
+
+void encodeNode(ByteWriter &W, const DagNode &N) {
+  encodeHash(W, N.Hash);
+  W.u32(N.Level);
+  W.u32(N.CodeSize);
+  W.u64(N.CfHash);
+  W.u16(N.ActiveMask);
+  W.u16(N.DormantMask);
+  W.u16(N.AttemptedMask);
+  W.u64(N.Edges.size());
+  for (const DagEdge &E : N.Edges) {
+    W.u8(static_cast<uint8_t>(E.Phase));
+    W.u32(E.To);
+  }
+  W.u64(N.Weight);
+}
+
+bool decodeNode(ByteReader &R, DagNode &N) {
+  if (!decodeHash(R, N.Hash))
+    return false;
+  N.Level = R.u32();
+  N.CodeSize = R.u32();
+  N.CfHash = R.u64();
+  N.ActiveMask = R.u16();
+  N.DormantMask = R.u16();
+  N.AttemptedMask = R.u16();
+  size_t NE;
+  if (!decodeCount(R, NE))
+    return false;
+  N.Edges.resize(NE);
+  for (DagEdge &E : N.Edges) {
+    if (!decodePhase(R, E.Phase))
+      return false;
+    E.To = R.u32();
+  }
+  N.Weight = R.u64();
+  return R.ok();
+}
+
+void encodeDiagnostic(ByteWriter &W, const PhaseDiagnostic &D) {
+  W.u8(static_cast<uint8_t>(D.Phase));
+  W.str(D.Func);
+  W.str(D.Message);
+  W.u64(D.Application);
+  W.u8(D.Injected);
+}
+
+bool decodeDiagnostic(ByteReader &R, PhaseDiagnostic &D) {
+  if (!decodePhase(R, D.Phase))
+    return false;
+  D.Func = R.str();
+  D.Message = R.str();
+  D.Application = R.u64();
+  return decodeBool(R, D.Injected);
+}
+
+void encodeFrontierEntry(ByteWriter &W, const FrontierEntry &E) {
+  W.u32(E.Node);
+  encodeFunction(W, E.Instance);
+  W.u64(E.Path.size());
+  for (PhaseId P : E.Path)
+    W.u8(static_cast<uint8_t>(P));
+  encodePhaseState(W, E.State);
+  W.u16(E.IncomingMask);
+  W.u32(E.Parent);
+  W.u8(static_cast<uint8_t>(E.ViaPhase));
+  W.u64(E.Sequences);
+}
+
+bool decodeFrontierEntry(ByteReader &R, FrontierEntry &E) {
+  E.Node = R.u32();
+  if (!decodeFunction(R, E.Instance))
+    return false;
+  size_t NP;
+  if (!decodeCount(R, NP))
+    return false;
+  E.Path.resize(NP);
+  for (PhaseId &P : E.Path)
+    if (!decodePhase(R, P))
+      return false;
+  if (!decodePhaseState(R, E.State))
+    return false;
+  E.IncomingMask = R.u16();
+  E.Parent = R.u32();
+  if (!decodePhase(R, E.ViaPhase))
+    return false;
+  E.Sequences = R.u64();
+  return R.ok();
+}
+
+} // namespace
+
+// --- public codecs ---------------------------------------------------------
+
+void encodeFunction(ByteWriter &W, const Function &F) {
+  W.str(F.Name);
+  W.i32(F.NumParams);
+  W.u8(F.ReturnsValue);
+  W.u64(F.Slots.size());
+  for (const StackSlot &S : F.Slots) {
+    W.str(S.Name);
+    W.i32(S.SizeWords);
+    W.u8(S.IsArray);
+    W.u8(S.IsParam);
+  }
+  W.u64(F.Blocks.size());
+  for (const BasicBlock &B : F.Blocks) {
+    W.i32(B.Label);
+    W.u64(B.Insts.size());
+    for (const Rtl &I : B.Insts)
+      encodeRtl(W, I);
+  }
+  encodePhaseState(W, F.State);
+  W.u32(F.pseudoLimit());
+  W.i32(F.labelLimit());
+}
+
+bool decodeFunction(ByteReader &R, Function &F) {
+  F = Function();
+  F.Name = R.str();
+  F.NumParams = R.i32();
+  if (!decodeBool(R, F.ReturnsValue))
+    return false;
+  size_t NSlots;
+  if (!decodeCount(R, NSlots))
+    return false;
+  F.Slots.resize(NSlots);
+  for (StackSlot &S : F.Slots) {
+    S.Name = R.str();
+    S.SizeWords = R.i32();
+    if (!decodeBool(R, S.IsArray) || !decodeBool(R, S.IsParam))
+      return false;
+  }
+  size_t NBlocks;
+  if (!decodeCount(R, NBlocks))
+    return false;
+  F.Blocks.resize(NBlocks);
+  for (BasicBlock &B : F.Blocks) {
+    B.Label = R.i32();
+    size_t NInsts;
+    if (!decodeCount(R, NInsts))
+      return false;
+    B.Insts.resize(NInsts);
+    for (Rtl &I : B.Insts)
+      if (!decodeRtl(R, I))
+        return false;
+  }
+  if (!decodePhaseState(R, F.State))
+    return false;
+  RegNum PseudoLimit = R.u32();
+  int32_t LabelLimit = R.i32();
+  if (!R.ok())
+    return false;
+  F.setAllocationCounters(PseudoLimit, LabelLimit);
+  return true;
+}
+
+void encodeResult(ByteWriter &W, const EnumerationResult &Res) {
+  W.u64(Res.Nodes.size());
+  for (const DagNode &N : Res.Nodes)
+    encodeNode(W, N);
+  W.u8(static_cast<uint8_t>(Res.Stop));
+  W.u8(Res.Cyclic);
+  W.u64(Res.AttemptedPhases);
+  W.u64(Res.PhaseApplications);
+  W.u32(Res.MaxActiveLength);
+  W.u64(Res.Levels.size());
+  for (const LevelStat &L : Res.Levels) {
+    W.u32(L.Level);
+    W.u64(L.NewNodes);
+    W.u64(L.ActiveSequences);
+    W.u64(L.Attempted);
+    W.u64(L.Active);
+  }
+  W.u64(Res.HashCollisions);
+  W.u64(Res.PredictedEdges);
+  W.u64(Res.Diagnostics.size());
+  for (const PhaseDiagnostic &D : Res.Diagnostics)
+    encodeDiagnostic(W, D);
+  W.u64(Res.ApproxMemoryBytes);
+}
+
+bool decodeResult(ByteReader &R, EnumerationResult &Res) {
+  Res = EnumerationResult();
+  size_t NNodes;
+  if (!decodeCount(R, NNodes))
+    return false;
+  Res.Nodes.resize(NNodes);
+  for (DagNode &N : Res.Nodes)
+    if (!decodeNode(R, N))
+      return false;
+  uint8_t StopV = R.u8();
+  if (StopV > static_cast<uint8_t>(StopReason::InternalError)) {
+    R.fail();
+    return false;
+  }
+  Res.Stop = static_cast<StopReason>(StopV);
+  if (!decodeBool(R, Res.Cyclic))
+    return false;
+  Res.AttemptedPhases = R.u64();
+  Res.PhaseApplications = R.u64();
+  Res.MaxActiveLength = R.u32();
+  size_t NLevels;
+  if (!decodeCount(R, NLevels))
+    return false;
+  Res.Levels.resize(NLevels);
+  for (LevelStat &L : Res.Levels) {
+    L.Level = R.u32();
+    L.NewNodes = R.u64();
+    L.ActiveSequences = R.u64();
+    L.Attempted = R.u64();
+    L.Active = R.u64();
+  }
+  Res.HashCollisions = R.u64();
+  Res.PredictedEdges = R.u64();
+  size_t NDiags;
+  if (!decodeCount(R, NDiags))
+    return false;
+  Res.Diagnostics.resize(NDiags);
+  for (PhaseDiagnostic &D : Res.Diagnostics)
+    if (!decodeDiagnostic(R, D))
+      return false;
+  Res.ApproxMemoryBytes = R.u64();
+  return R.ok();
+}
+
+void encodeCheckpoint(ByteWriter &W, const EnumerationCheckpoint &C) {
+  W.u8(C.Valid);
+  encodeResult(W, C.Partial);
+  W.u64(C.Frontier.size());
+  for (const FrontierEntry &E : C.Frontier)
+    encodeFrontierEntry(W, E);
+  W.u32(C.LevelCounter);
+  for (uint64_t Count : C.AppCount)
+    W.u64(Count);
+  W.u64(C.FrontierBytes);
+  W.u8(C.Paranoid);
+  W.u64(C.NodeBytes.size());
+  for (const std::vector<uint8_t> &B : C.NodeBytes)
+    W.blob(B);
+}
+
+bool decodeCheckpoint(ByteReader &R, EnumerationCheckpoint &C) {
+  C = EnumerationCheckpoint();
+  if (!decodeBool(R, C.Valid))
+    return false;
+  if (!decodeResult(R, C.Partial))
+    return false;
+  size_t NFrontier;
+  if (!decodeCount(R, NFrontier))
+    return false;
+  C.Frontier.resize(NFrontier);
+  for (FrontierEntry &E : C.Frontier)
+    if (!decodeFrontierEntry(R, E))
+      return false;
+  C.LevelCounter = R.u32();
+  for (uint64_t &Count : C.AppCount)
+    Count = R.u64();
+  C.FrontierBytes = R.u64();
+  if (!decodeBool(R, C.Paranoid))
+    return false;
+  size_t NBytes;
+  if (!decodeCount(R, NBytes))
+    return false;
+  C.NodeBytes.resize(NBytes);
+  for (std::vector<uint8_t> &B : C.NodeBytes) {
+    B = R.blob();
+    if (!R.ok())
+      return false;
+  }
+  return R.ok();
+}
+
+} // namespace store
+} // namespace pose

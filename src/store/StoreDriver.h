@@ -1,0 +1,67 @@
+//===- StoreDriver.h - Store-backed enumeration driver ---------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one entry point tools use to enumerate *through* the artifact
+/// store: look up a cached DAG, otherwise resume from a checkpoint when
+/// one exists (and resuming was requested), otherwise enumerate from
+/// scratch — and persist whatever the run produced, a finished result or
+/// a fresh checkpoint for the next attempt. Downstream consumers
+/// (interaction mining, the probabilistic compiler, DOT export) call this
+/// instead of Enumerator::enumerate and become restartable for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_STORE_STOREDRIVER_H
+#define POSE_STORE_STOREDRIVER_H
+
+#include "src/store/ArtifactStore.h"
+
+#include <string>
+
+namespace pose {
+
+class PhaseManager;
+
+namespace store {
+
+/// How DriveResult.Result was obtained.
+enum class DriveSource {
+  Cached,   ///< Loaded from a stored result; no enumeration ran.
+  Resumed,  ///< Continued from a stored checkpoint.
+  Fresh,    ///< Enumerated from scratch.
+};
+
+/// Outcome of one store-backed enumeration.
+struct DriveResult {
+  bool Ok = false;          ///< False only on store I/O failure.
+  std::string Error;        ///< Set when !Ok.
+  EnumerationResult Result; ///< The (possibly partial) DAG.
+  DriveSource Source = DriveSource::Fresh;
+  /// The cache key used (canonical triple of the unoptimized function).
+  HashTriple Root;
+  /// True when the run stopped on a transient limit and its checkpoint
+  /// was written to the store; rerunning with Resume continues it.
+  bool CheckpointSaved = false;
+  /// Validation diagnostics for artifacts that were found but rejected
+  /// (stale version, wrong fingerprint, corruption). The run proceeds
+  /// without them; these are surfaced so the rejection is never silent.
+  std::vector<std::string> RejectionNotes;
+};
+
+/// Enumerates \p Root through the store at \p StoreDir. When \p Resume is
+/// false, an existing checkpoint is ignored (but a finished cached result
+/// is still used — results are total, checkpoints are a continuation
+/// contract the caller must opt into).
+DriveResult driveEnumeration(const PhaseManager &PM,
+                             const EnumeratorConfig &Config,
+                             const Function &Root, const std::string &StoreDir,
+                             bool Resume);
+
+} // namespace store
+} // namespace pose
+
+#endif // POSE_STORE_STOREDRIVER_H

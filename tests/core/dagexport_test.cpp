@@ -74,4 +74,34 @@ TEST(DagExport, EmptyResult) {
   EXPECT_NE(Dot.find("digraph"), std::string::npos);
 }
 
+TEST(DagExport, GraphNameIsQuotedAndEscaped) {
+  // The graph name comes from user input (the function name on the posec
+  // command line); hostile names must stay inside the quoted DOT ID.
+  EnumerationResult R;
+  DagExportOptions Opts;
+  Opts.GraphName = "a\"; x [y=z]; digraph \\";
+  std::string Dot = dagToDot(R, Opts);
+  EXPECT_EQ(Dot.rfind("digraph \"a\\\"; x [y=z]; digraph \\\\\" {", 0), 0u);
+
+  Opts.GraphName = "line1\nline2";
+  Dot = dagToDot(R, Opts);
+  EXPECT_EQ(Dot.rfind("digraph \"line1\\nline2\" {", 0), 0u);
+  EXPECT_EQ(Dot.find("line1\nline2"), std::string::npos);
+
+  // Names that are plain identifiers still render (quoted) unchanged.
+  Opts.GraphName = "squares";
+  Dot = dagToDot(R, Opts);
+  EXPECT_EQ(Dot.rfind("digraph \"squares\" {", 0), 0u);
+}
+
+TEST(DagExport, EmptyGraphNameFallsBackToDefault) {
+  // DOT requires an ID after "digraph"; an empty quoted ID is rejected by
+  // some tools, so an empty name falls back to the default.
+  EnumerationResult R;
+  DagExportOptions Opts;
+  Opts.GraphName = "";
+  std::string Dot = dagToDot(R, Opts);
+  EXPECT_EQ(Dot.rfind("digraph \"phase_order_space\" {", 0), 0u);
+}
+
 } // namespace

@@ -167,6 +167,70 @@ TEST(Interaction, RenderTables) {
   EXPECT_FALSE(Ind.empty());
 }
 
+/// Returns the 6-wide cell of \p Table at matrix position (Y, X), with
+/// padding stripped — "" for a blank cell. \p StCol skips the Enabling
+/// table's extra start-probability column.
+std::string cell(const std::string &Table, PhaseId Y, PhaseId X,
+                 bool StCol) {
+  std::vector<std::string> Lines;
+  for (size_t Pos = 0; Pos < Table.size();) {
+    size_t Eol = Table.find('\n', Pos);
+    Lines.push_back(Table.substr(Pos, Eol - Pos));
+    Pos = Eol + 1;
+  }
+  const std::string &Row = Lines.at(1 + static_cast<size_t>(Y));
+  size_t Col = 5 + (StCol ? 6 : 0) + static_cast<size_t>(X) * 6;
+  std::string Cell = Row.substr(Col, 6);
+  size_t Begin = Cell.find_first_not_of(' ');
+  return Begin == std::string::npos ? "" : Cell.substr(Begin);
+}
+
+TEST(Interaction, TableGoldenCells) {
+  // The fixed Figure 7 DAG renders to known cells. Beyond pinning the
+  // format, this locks in the blanking rule: a cell is blank only when
+  // the (Y, X) pair was never observed, while an observed-but-zero
+  // probability renders as 0.00 — conflating them (the old < 0.005 rule)
+  // hid real but rare interactions.
+  EnumerationResult R = figure7();
+  InteractionAnalysis IA;
+  IA.addFunction(R);
+
+  std::string En = IA.renderTable(InteractionAnalysis::TableKind::Enabling);
+  std::string Header = "Phase    St";
+  for (int X = 0; X != NumPhases; ++X)
+    Header += std::string(5, ' ') + phaseCode(phaseByIndex(X));
+  EXPECT_EQ(En.substr(0, En.find('\n')), Header);
+
+  EXPECT_EQ(cell(En, A, B, true), "1.00"); // b enables a on a-b-a.
+  EXPECT_EQ(cell(En, D, C, true), "0.25"); // c enables d on b-c-d.
+  // a ran while b was dormant (NAB->NABA) and did not enable it:
+  // observed, zero, so 0.00 — NOT blank.
+  EXPECT_EQ(cell(En, B, A, true), "0.00");
+  // a never runs while a is dormant: unobserved, blank.
+  EXPECT_EQ(cell(En, A, A, true), "");
+  // Instruction selection never runs in the figure: its column is blank.
+  EXPECT_EQ(cell(En, A, PhaseId::InstructionSelection, true), "");
+  // The St column holds the root-active probabilities.
+  std::string RowA = En.substr(En.find('\n') + 1);
+  RowA = RowA.substr(0, RowA.find('\n'));
+  EXPECT_EQ(RowA.substr(5, 6), "  1.00"); // a active at the root.
+
+  std::string Dis =
+      IA.renderTable(InteractionAnalysis::TableKind::Disabling);
+  EXPECT_EQ(cell(Dis, A, B, false), "1.00"); // b always disables a.
+  EXPECT_EQ(cell(Dis, B, C, false), "0.33"); // c disables b 1/3 of mass.
+  // a ran while c was active (root a-edge) and left it active: 0.00.
+  EXPECT_EQ(cell(Dis, C, A, false), "0.00");
+  EXPECT_EQ(cell(Dis, A, A, false), "");
+
+  std::string Ind =
+      IA.renderTable(InteractionAnalysis::TableKind::Independence);
+  // a/c are fully independent: probability 1.0 > 0.995 renders blank
+  // (the paper's convention); b/c met and always conflicted: 0.00.
+  EXPECT_EQ(cell(Ind, A, C, false), "");
+  EXPECT_EQ(cell(Ind, B, C, false), "0.00");
+}
+
 TEST(Interaction, RealEnumerationHasSaneProbabilities) {
   Module M = compileOrDie(
       "int f(int n){int s=0;int i=0;while(i<n){s=s+i;i=i+1;}return s;}");

@@ -68,6 +68,62 @@ TEST(ModelIo, RejectsMalformedInput) {
   EXPECT_FALSE(IA.deserialize(Text.substr(0, Text.size() / 2)));
 }
 
+TEST(ModelIo, RejectsDuplicateRowIndex) {
+  // A repeated row index means one row was silently zeroed and another
+  // written twice; the loader must treat that as corruption, not data.
+  std::string Text = trainedModel().serialize();
+  size_t Row3 = Text.find("\nd2a 3 ");
+  ASSERT_NE(Row3, std::string::npos);
+  std::string Dup = Text;
+  Dup[Row3 + 5] = '2'; // Now two "d2a 2" rows and no "d2a 3".
+  InteractionAnalysis IA;
+  EXPECT_FALSE(IA.deserialize(Dup));
+}
+
+TEST(ModelIo, RejectsTrailingGarbage) {
+  std::string Text = trainedModel().serialize();
+  InteractionAnalysis IA;
+  ASSERT_TRUE(IA.deserialize(Text));
+  EXPECT_FALSE(IA.deserialize(Text + "junk\n"));
+  EXPECT_FALSE(IA.deserialize(Text + "0x1p-2\n"));
+  // Extra values on a data row are garbage too.
+  size_t Row = Text.find("\nind ");
+  ASSERT_NE(Row, std::string::npos);
+  size_t Eol = Text.find('\n', Row + 1);
+  ASSERT_NE(Eol, std::string::npos);
+  std::string Extra = Text;
+  Extra.insert(Eol, " 0x1p-2");
+  EXPECT_FALSE(IA.deserialize(Extra));
+}
+
+TEST(ModelIo, SingleByteCorruptionAlwaysRejected) {
+  // Flip every byte to an alphabetic non-hex character: whatever field it
+  // lands in (header keyword, row name, index digit, value, separator)
+  // the strict parser must refuse the model rather than half-load it.
+  std::string Text = trainedModel().serialize();
+  InteractionAnalysis IA;
+  for (size_t I = 0; I != Text.size(); ++I) {
+    if (Text[I] == 'Z')
+      continue;
+    std::string Mutated = Text;
+    Mutated[I] = 'Z';
+    EXPECT_FALSE(IA.deserialize(Mutated)) << "byte offset " << I;
+  }
+}
+
+TEST(ModelIo, TruncationAtEveryLineRejected) {
+  // Byte-level prefixes ending mid-number can accidentally parse as a
+  // shorter valid number, but a model cut at any line boundary is always
+  // missing rows or sections and must be refused.
+  std::string Text = trainedModel().serialize();
+  InteractionAnalysis IA;
+  for (size_t Eol = Text.find('\n'); Eol + 1 < Text.size();
+       Eol = Text.find('\n', Eol + 1)) {
+    EXPECT_FALSE(IA.deserialize(Text.substr(0, Eol + 1)))
+        << "truncated after byte " << Eol;
+  }
+}
+
 TEST(ModelIo, LoadedModelDrivesTheCompiler) {
   InteractionAnalysis IA = trainedModel();
   InteractionAnalysis Loaded;

@@ -21,6 +21,12 @@
 //                                         back and prune on failure
 //   posec prog.mc --inject-fault=c:3      fail the 3rd application of c
 //                                         (tests the rollback path)
+//   posec prog.mc --store=DIR             cache enumerated DAGs (and
+//                                         checkpoints of interrupted runs)
+//   posec prog.mc --resume --store=DIR    continue from a checkpoint
+//   posec prog.mc --analyze-store --store=DIR
+//                                         print interaction tables from
+//                                         the cached DAGs of prog.mc
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +39,7 @@
 #include "src/opt/PhaseGuard.h"
 #include "src/opt/PhaseManager.h"
 #include "src/sim/Interpreter.h"
+#include "src/store/StoreDriver.h"
 #include "src/support/StopToken.h"
 
 #include <cstdio>
@@ -59,9 +66,12 @@ struct Options {
   FaultPlan Faults;          // --inject-fault=SPEC.
   std::string ModelPath;     // --model=FILE: load a trained model.
   std::string SaveModelPath; // --save-model=FILE: save after training.
+  std::string StorePath;     // --store=DIR: artifact store directory.
   bool Run = false;
   bool EmitRtl = false;
   bool VerifyIr = false;
+  bool Resume = false;       // --resume: continue from a stored checkpoint.
+  bool AnalyzeStore = false; // --analyze-store: report on cached DAGs.
 };
 
 void usage() {
@@ -92,6 +102,17 @@ void usage() {
       "  --model=FILE            load a trained interaction model for\n"
       "                          --opt=prob instead of self-training\n"
       "  --save-model=FILE       save the trained model after --opt=prob\n"
+      "  --store=DIR             persistent artifact store: finished DAGs\n"
+      "                          are cached and reused; runs stopped by a\n"
+      "                          deadline/memory budget/cancellation leave\n"
+      "                          a resumable checkpoint\n"
+      "  --resume                with --store: continue an interrupted\n"
+      "                          enumeration from its checkpoint (the\n"
+      "                          final DAG is identical to an\n"
+      "                          uninterrupted run)\n"
+      "  --analyze-store         with --store: print per-function cache\n"
+      "                          status and the interaction tables mined\n"
+      "                          from the cached complete DAGs\n"
       "  --list-phases           print the 15 phases and exit\n");
 }
 
@@ -183,6 +204,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.ModelPath = V7;
     else if (const char *V8 = Value("--save-model"))
       O.SaveModelPath = V8;
+    else if (const char *V9 = Value("--store")) {
+      if (!*V9) {
+        std::fprintf(stderr, "--store expects a directory path\n");
+        return false;
+      }
+      O.StorePath = V9;
+    } else if (A == "--resume")
+      O.Resume = true;
+    else if (A == "--analyze-store")
+      O.AnalyzeStore = true;
     else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", A.c_str());
       return false;
@@ -192,6 +223,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       std::fprintf(stderr, "multiple input files\n");
       return false;
     }
+  }
+  if ((O.Resume || O.AnalyzeStore) && O.StorePath.empty()) {
+    std::fprintf(stderr, "%s requires --store=DIR\n",
+                 O.Resume ? "--resume" : "--analyze-store");
+    return false;
   }
   return !O.InputPath.empty();
 }
@@ -209,6 +245,55 @@ void reportDiagnostics(const EnumerationResult &R) {
                  D.Injected ? " [injected]" : "");
 }
 
+/// Enumeration knobs shared by --enumerate/--dot, --opt=prob training and
+/// --analyze-store (the store fingerprint is computed from this, so all
+/// store-facing paths must build it identically).
+EnumeratorConfig makeEnumConfig(const Options &O) {
+  EnumeratorConfig Cfg;
+  Cfg.MaxLevelSequences = O.Budget;
+  Cfg.Jobs = static_cast<unsigned>(O.Jobs);
+  Cfg.DeadlineMs = O.DeadlineMs;
+  Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
+  Cfg.VerifyIr = O.VerifyIr;
+  if (!O.Faults.empty())
+    Cfg.Faults = &O.Faults;
+  return Cfg;
+}
+
+/// Enumerates \p F directly, or through the artifact store when --store
+/// was given. \p Failed is set (and the partial result returned) only on
+/// a store I/O error.
+EnumerationResult runEnumeration(const Options &O, const PhaseManager &PM,
+                                 const EnumeratorConfig &Cfg,
+                                 const Function &F, bool &Failed) {
+  if (O.StorePath.empty()) {
+    Enumerator E(PM, Cfg);
+    return E.enumerate(F);
+  }
+  store::DriveResult D =
+      store::driveEnumeration(PM, Cfg, F, O.StorePath, O.Resume);
+  for (const std::string &Note : D.RejectionNotes)
+    std::fprintf(stderr, "warning: %s: rejected stored artifact: %s\n",
+                 F.Name.c_str(), Note.c_str());
+  if (!D.Ok) {
+    std::fprintf(stderr, "error: %s: %s\n", F.Name.c_str(), D.Error.c_str());
+    Failed = true;
+    return std::move(D.Result);
+  }
+  if (D.Source == store::DriveSource::Cached)
+    std::fprintf(stderr, "%s: reusing cached DAG from %s\n", F.Name.c_str(),
+                 O.StorePath.c_str());
+  else if (D.Source == store::DriveSource::Resumed)
+    std::fprintf(stderr, "%s: resumed from checkpoint in %s\n",
+                 F.Name.c_str(), O.StorePath.c_str());
+  if (D.CheckpointSaved)
+    std::fprintf(stderr,
+                 "%s: stopped (%s); checkpoint saved, rerun with --resume "
+                 "to continue\n",
+                 F.Name.c_str(), stopReasonName(D.Result.Stop));
+  return std::move(D.Result);
+}
+
 int enumerateFunction(const Options &O, Module &M) {
   const std::string &Name =
       O.EnumerateFunc.empty() ? O.DotFunc : O.EnumerateFunc;
@@ -219,16 +304,11 @@ int enumerateFunction(const Options &O, Module &M) {
     return 1;
   }
   PhaseManager PM;
-  EnumeratorConfig Cfg;
-  Cfg.MaxLevelSequences = O.Budget;
-  Cfg.Jobs = static_cast<unsigned>(O.Jobs);
-  Cfg.DeadlineMs = O.DeadlineMs;
-  Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
-  Cfg.VerifyIr = O.VerifyIr;
-  if (!O.Faults.empty())
-    Cfg.Faults = &O.Faults;
-  Enumerator E(PM, Cfg);
-  EnumerationResult R = E.enumerate(*F);
+  EnumeratorConfig Cfg = makeEnumConfig(O);
+  bool Failed = false;
+  EnumerationResult R = runEnumeration(O, PM, Cfg, *F, Failed);
+  if (Failed)
+    return 1;
   reportDiagnostics(R);
 
   if (!O.DotFunc.empty()) {
@@ -257,6 +337,57 @@ int enumerateFunction(const Options &O, Module &M) {
   return 0;
 }
 
+/// --analyze-store: report what the store holds for this module's
+/// functions and mine the interaction tables from the complete cached
+/// DAGs, without running any enumeration.
+int analyzeStore(const Options &O, Module &M) {
+  store::ArtifactStore Store(O.StorePath);
+  EnumeratorConfig Cfg = makeEnumConfig(O);
+  const uint64_t Fp = store::configFingerprint(Cfg);
+  InteractionAnalysis IA;
+  size_t Used = 0;
+  for (Function &F : M.Functions) {
+    HashTriple Root = canonicalize(F, false, Cfg.RemapRegisters).Hash;
+    EnumerationResult R;
+    std::string Error;
+    store::LoadStatus S = Store.loadResult(Root, Fp, R, Error);
+    if (S == store::LoadStatus::Miss) {
+      std::printf("%-20s not cached\n", F.Name.c_str());
+      continue;
+    }
+    if (S == store::LoadStatus::Rejected) {
+      std::printf("%-20s rejected: %s\n", F.Name.c_str(), Error.c_str());
+      continue;
+    }
+    std::printf("%-20s cached: %llu instances (%s)\n", F.Name.c_str(),
+                static_cast<unsigned long long>(R.Nodes.size()),
+                R.complete() ? "complete"
+                             : stopReasonName(R.Stop));
+    if (R.complete()) {
+      IA.addFunction(R);
+      ++Used;
+    }
+  }
+  if (Used == 0) {
+    std::printf("no complete cached DAGs to analyze; enumerate with "
+                "--store=%s first\n",
+                O.StorePath.c_str());
+    return 1;
+  }
+  std::printf("\ninteraction tables from %llu cached function(s)\n",
+              static_cast<unsigned long long>(Used));
+  std::printf("\nEnabling interactions:\n%s",
+              IA.renderTable(InteractionAnalysis::TableKind::Enabling)
+                  .c_str());
+  std::printf("\nDisabling interactions:\n%s",
+              IA.renderTable(InteractionAnalysis::TableKind::Disabling)
+                  .c_str());
+  std::printf("\nPhase independence:\n%s",
+              IA.renderTable(InteractionAnalysis::TableKind::Independence)
+                  .c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -280,6 +411,8 @@ int main(int Argc, char **Argv) {
   }
   Module &M = CR.M;
 
+  if (O.AnalyzeStore)
+    return analyzeStore(O, M);
   if (!O.EnumerateFunc.empty() || !O.DotFunc.empty())
     return enumerateFunction(O, M);
 
@@ -319,16 +452,15 @@ int main(int Argc, char **Argv) {
         return 1;
       }
     } else {
-      // Self-trained: enumerate this very module's functions first.
-      EnumeratorConfig Cfg;
-      Cfg.MaxLevelSequences = O.Budget;
-      Cfg.Jobs = static_cast<unsigned>(O.Jobs);
-      Cfg.DeadlineMs = O.DeadlineMs;
-      Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
-      Cfg.VerifyIr = O.VerifyIr;
-      Enumerator E(PM, Cfg);
+      // Self-trained: enumerate this very module's functions first
+      // (through the artifact store when --store was given, so repeated
+      // prob compilations reuse the expensive DAGs).
+      EnumeratorConfig Cfg = makeEnumConfig(O);
       for (Function &F : M.Functions) {
-        EnumerationResult R = E.enumerate(F);
+        bool Failed = false;
+        EnumerationResult R = runEnumeration(O, PM, Cfg, F, Failed);
+        if (Failed)
+          return 1;
         reportDiagnostics(R);
         if (R.complete())
           IA.addFunction(R);
