@@ -1,0 +1,74 @@
+//===- ExitCodes.h - Documented posec process exit codes -------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process exit-code contract of `posec --worker` and
+/// `posec --supervise`. A worker's exit status is the supervisor's only
+/// in-band channel besides the stdout result frame, so every code below
+/// has exactly one meaning and scripts (CI, the supervisor itself) may
+/// match on them. Legacy invocations (plain --enumerate and friends) keep
+/// their historical 0/1/2 behavior — a deadline-stopped run that saved a
+/// checkpoint still exits 0 there, because existing callers treat that as
+/// success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_DRIVE_EXITCODES_H
+#define POSE_DRIVE_EXITCODES_H
+
+#include "src/support/StopToken.h"
+
+namespace pose {
+namespace drive {
+
+/// Exit codes of posec in --worker and --supervise modes.
+enum ExitCode : int {
+  Ok = 0,              ///< Finished; the result is usable (possibly a
+                       ///< budget-limited but final DAG).
+  Error = 1,           ///< Internal or I/O error (store failure, bad input
+                       ///< file, InternalError stop).
+  Usage = 2,           ///< Bad command line; nothing ran.
+  VerifyFailure = 3,   ///< Enumeration finished but a phase broke the IR;
+                       ///< the surviving space is sound, not exhaustive.
+  Deadline = 4,        ///< Stopped by the wall-clock deadline; a
+                       ///< checkpoint was saved (resume to continue).
+  MemoryBudget = 5,    ///< Stopped by the memory budget; checkpoint saved.
+  Cancelled = 6,       ///< Stopped by cooperative cancellation;
+                       ///< checkpoint saved.
+  WorkerCrash = 7,     ///< Supervisor only: a job exhausted its retries
+                       ///< crashing and was quarantined/degraded.
+  QuarantinedSkip = 8, ///< Supervisor only: at least one job was skipped
+                       ///< because of a persisted quarantine record.
+};
+
+/// Maps an enumeration stop reason to the worker's exit code. Budget
+/// stops (level/node) are final, fingerprinted results and map to Ok.
+inline int exitCodeForStop(StopReason R) {
+  switch (R) {
+  case StopReason::Complete:
+  case StopReason::LevelBudget:
+  case StopReason::NodeBudget:
+    return Ok;
+  case StopReason::VerifierFailure:
+    return VerifyFailure;
+  case StopReason::Deadline:
+    return Deadline;
+  case StopReason::MemoryBudget:
+    return MemoryBudget;
+  case StopReason::Cancelled:
+    return Cancelled;
+  case StopReason::InternalError:
+    return Error;
+  case StopReason::WorkerCrash:
+    return WorkerCrash;
+  }
+  return Error;
+}
+
+} // namespace drive
+} // namespace pose
+
+#endif // POSE_DRIVE_EXITCODES_H

@@ -1,0 +1,463 @@
+//===- Supervisor.cpp - Supervised out-of-process enumeration -------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/drive/Supervisor.h"
+
+#include "src/core/Canonical.h"
+#include "src/core/Compilers.h"
+#include "src/core/Enumerator.h"
+#include "src/drive/ExitCodes.h"
+#include "src/ir/Function.h"
+#include "src/opt/PhaseGuard.h"
+#include "src/store/ArtifactStore.h"
+#include "src/support/Subprocess.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace pose {
+namespace drive {
+
+namespace {
+
+std::string u64Str(uint64_t V) { return std::to_string(V); }
+
+/// Tracks the whole-sweep wall-clock budget.
+class SweepClock {
+public:
+  explicit SweepClock(uint64_t DeadlineMs)
+      : Start(std::chrono::steady_clock::now()), DeadlineMs(DeadlineMs) {}
+
+  bool hasDeadline() const { return DeadlineMs != 0; }
+
+  uint64_t remainingMs() const {
+    if (!hasDeadline())
+      return 0;
+    const uint64_t Spent = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    return Spent >= DeadlineMs ? 0 : DeadlineMs - Spent;
+  }
+
+  bool exhausted() const { return hasDeadline() && remainingMs() == 0; }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+  uint64_t DeadlineMs;
+};
+
+/// The config both sides key the store with; must mirror posec's
+/// makeEnumConfig for the flags the supervisor forwards.
+EnumeratorConfig keyingConfig(const SupervisorOptions &O) {
+  EnumeratorConfig Cfg;
+  Cfg.MaxLevelSequences = O.Budget;
+  Cfg.Jobs = static_cast<unsigned>(O.Jobs);
+  Cfg.MaxMemoryBytes = O.MaxMemoryMb * 1024 * 1024;
+  Cfg.VerifyIr = O.VerifyIr;
+  if (O.Faults && !O.Faults->empty())
+    Cfg.Faults = O.Faults;
+  return Cfg;
+}
+
+std::vector<std::string> workerArgv(const SupervisorOptions &O,
+                                    const std::string &Func,
+                                    unsigned Attempt) {
+  std::vector<std::string> Argv = {
+      O.PosecPath,
+      O.InputPath,
+      "--worker",
+      "--enumerate=" + Func,
+      "--store=" + O.StoreDir,
+      "--resume",
+      "--budget=" + u64Str(O.Budget),
+      "--jobs=" + u64Str(O.Jobs),
+      "--attempt=" + u64Str(Attempt),
+  };
+  if (O.MaxMemoryMb != 0)
+    Argv.push_back("--max-memory-mb=" + u64Str(O.MaxMemoryMb));
+  if (O.VerifyIr)
+    Argv.push_back("--verify-ir");
+  if (!O.FaultSpec.empty() && (O.FaultFunc.empty() || O.FaultFunc == Func)) {
+    Argv.push_back("--inject-fault=" + O.FaultSpec);
+    if (O.FaultAttempts != 0)
+      Argv.push_back("--fault-attempts=" + u64Str(O.FaultAttempts));
+  }
+  return Argv;
+}
+
+/// What one worker spawn taught us.
+enum class AttemptClass {
+  Done,      ///< Valid frame, final result in the store.
+  Transient, ///< Resumable stop with a saved checkpoint; retry resumes.
+  Crash,     ///< Crash-class failure (signal, timeout, protocol, exit).
+  Spawn,     ///< fork/exec failed; the job cannot run at all.
+};
+
+struct AttemptOutcome {
+  AttemptClass Class = AttemptClass::Crash;
+  WorkerFrame Frame;         ///< Valid for Done/Transient.
+  store::QuarantineRecord Q; ///< Valid for Crash (Attempts set later).
+  std::string Note;          ///< Spawn error / crash description.
+};
+
+AttemptOutcome classifyAttempt(const SubprocessResult &R,
+                               uint64_t TimeoutMs) {
+  AttemptOutcome A;
+  switch (R.Kind) {
+  case ExitKind::SpawnFailed:
+    A.Class = AttemptClass::Spawn;
+    A.Note = R.Error;
+    return A;
+  case ExitKind::TimedOut:
+    A.Class = AttemptClass::Crash;
+    A.Q.Failure = store::WorkerFailure::Timeout;
+    A.Q.Signal = R.Signal;
+    A.Q.Message =
+        "worker exceeded the " + u64Str(TimeoutMs) + "ms kill timer";
+    A.Note = A.Q.Message;
+    return A;
+  case ExitKind::Signalled:
+    A.Class = AttemptClass::Crash;
+    A.Q.Failure = store::WorkerFailure::Signal;
+    A.Q.Signal = R.Signal;
+    A.Q.Message = "worker died: signal " + std::to_string(R.Signal);
+    A.Note = A.Q.Message;
+    return A;
+  case ExitKind::Exited:
+    break;
+  }
+
+  WorkerFrame Frame;
+  const bool HasFrame = parseWorkerFrame(R.Stdout, Frame);
+  if (R.ExitCode == ExitCode::Ok || R.ExitCode == ExitCode::VerifyFailure) {
+    if (!HasFrame) {
+      A.Class = AttemptClass::Crash;
+      A.Q.Failure = store::WorkerFailure::Protocol;
+      A.Q.ExitCode = R.ExitCode;
+      A.Q.Message = "worker exited " + std::to_string(R.ExitCode) +
+                    " without a valid result frame";
+      A.Note = A.Q.Message;
+      return A;
+    }
+    A.Class = AttemptClass::Done;
+    A.Frame = Frame;
+    return A;
+  }
+  if ((R.ExitCode == ExitCode::Deadline ||
+       R.ExitCode == ExitCode::MemoryBudget ||
+       R.ExitCode == ExitCode::Cancelled) &&
+      HasFrame && Frame.CheckpointSaved) {
+    A.Class = AttemptClass::Transient;
+    A.Frame = Frame;
+    A.Note = std::string("worker stopped: ") + stopReasonName(Frame.Stop) +
+             " (checkpoint saved)";
+    return A;
+  }
+  A.Class = AttemptClass::Crash;
+  A.Q.Failure = store::WorkerFailure::BadExit;
+  A.Q.ExitCode = R.ExitCode;
+  A.Q.Message = "worker exited " + std::to_string(R.ExitCode);
+  A.Note = A.Q.Message;
+  return A;
+}
+
+/// Fills the degradation part of \p J after retries are exhausted: the
+/// newest checkpoint when one survived, else an in-process fixed-order
+/// batch compilation. Never persists anything as a Result — a degraded
+/// DAG must not poison the cache.
+void degradeJob(JobOutcome &J, const PhaseManager &PM, const Function &F,
+                const store::ArtifactStore &Store, const HashTriple &Root,
+                uint64_t Fp, StopReason Stop) {
+  J.Status = JobStatus::Degraded;
+  J.Stop = Stop;
+  EnumerationCheckpoint C;
+  std::string Err;
+  if (Store.loadCheckpoint(Root, Fp, C, Err) == store::LoadStatus::Hit) {
+    J.Nodes = C.Partial.Nodes.size();
+    J.Detail += "; partial DAG from checkpoint (" + u64Str(J.Nodes) +
+                " nodes)";
+    return;
+  }
+  Function Copy = F;
+  CompileStats S = batchCompile(PM, Copy);
+  J.Nodes = 0;
+  J.Detail += "; batch-compile fallback (" + u64Str(S.Attempted) +
+              " attempted, " + u64Str(S.Active) + " active: " +
+              (S.ActiveSequence.empty() ? "-" : S.ActiveSequence) + ")";
+}
+
+} // namespace
+
+const char *jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::Cached:
+    return "cached";
+  case JobStatus::Degraded:
+    return "degraded";
+  case JobStatus::Quarantined:
+    return "quarantined";
+  case JobStatus::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+std::string renderWorkerFrame(const WorkerFrame &F) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "POSEWRK1 stop=%s nodes=%llu attempted=%llu checkpoint=%d",
+                stopReasonName(F.Stop),
+                static_cast<unsigned long long>(F.Nodes),
+                static_cast<unsigned long long>(F.Attempted),
+                F.CheckpointSaved ? 1 : 0);
+  return Buf;
+}
+
+namespace {
+
+/// Consumes the literal \p Lit at \p Pos, advancing it. False on mismatch.
+bool eat(const std::string &S, size_t &Pos, const char *Lit) {
+  const size_t N = std::strlen(Lit);
+  if (S.compare(Pos, N, Lit) != 0)
+    return false;
+  Pos += N;
+  return true;
+}
+
+/// Consumes a decimal number at \p Pos (at least one digit).
+bool eatUint(const std::string &S, size_t &Pos, uint64_t &Out) {
+  const size_t Begin = Pos;
+  uint64_t V = 0;
+  while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
+    const uint64_t Digit = static_cast<uint64_t>(S[Pos] - '0');
+    if (V > (UINT64_MAX - Digit) / 10)
+      return false;
+    V = V * 10 + Digit;
+    ++Pos;
+  }
+  if (Pos == Begin)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseFrameLine(const std::string &L, WorkerFrame &Out) {
+  size_t Pos = 0;
+  if (!eat(L, Pos, "POSEWRK1 stop="))
+    return false;
+  const size_t NameEnd = L.find(' ', Pos);
+  if (NameEnd == std::string::npos)
+    return false;
+  const std::string Name = L.substr(Pos, NameEnd - Pos);
+  bool Known = false;
+  WorkerFrame F;
+  for (uint8_t V = 0; V <= static_cast<uint8_t>(StopReason::WorkerCrash);
+       ++V) {
+    const StopReason R = static_cast<StopReason>(V);
+    if (Name == stopReasonName(R)) {
+      F.Stop = R;
+      Known = true;
+      break;
+    }
+  }
+  if (!Known)
+    return false;
+  Pos = NameEnd;
+  uint64_t Checkpoint = 0;
+  if (!eat(L, Pos, " nodes=") || !eatUint(L, Pos, F.Nodes) ||
+      !eat(L, Pos, " attempted=") || !eatUint(L, Pos, F.Attempted) ||
+      !eat(L, Pos, " checkpoint=") || !eatUint(L, Pos, Checkpoint) ||
+      Pos != L.size() || Checkpoint > 1)
+    return false;
+  F.CheckpointSaved = Checkpoint != 0;
+  Out = F;
+  return true;
+}
+
+} // namespace
+
+bool parseWorkerFrame(const std::string &Output, WorkerFrame &Out) {
+  size_t Pos = 0;
+  while (Pos < Output.size()) {
+    size_t End = Output.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Output.size();
+    const std::string Line = Output.substr(Pos, End - Pos);
+    if (parseFrameLine(Line, Out))
+      return true;
+    Pos = End + 1;
+  }
+  return false;
+}
+
+int SweepReport::exitCode() const {
+  bool AnyFailed = false, AnySkipped = false;
+  int DegradedCode = 0;
+  for (const JobOutcome &J : Jobs) {
+    if (J.Status == JobStatus::Failed)
+      AnyFailed = true;
+    else if (J.Status == JobStatus::Quarantined)
+      AnySkipped = true;
+    else if (J.Status == JobStatus::Degraded) {
+      // A crash-degraded job outranks budget-degraded ones.
+      const int C = exitCodeForStop(J.Stop);
+      if (DegradedCode == 0 || C == ExitCode::WorkerCrash)
+        DegradedCode = C;
+    }
+  }
+  if (!Error.empty() || AnyFailed)
+    return ExitCode::Error;
+  if (DegradedCode != 0)
+    return DegradedCode;
+  if (AnySkipped)
+    return ExitCode::QuarantinedSkip;
+  return ExitCode::Ok;
+}
+
+SweepReport superviseModule(const PhaseManager &PM, const Module &M,
+                            const SupervisorOptions &Opts) {
+  SweepReport Report;
+  const EnumeratorConfig KeyCfg = keyingConfig(Opts);
+  const uint64_t Fp = store::configFingerprint(KeyCfg);
+  store::ArtifactStore Store(Opts.StoreDir);
+  store::ArtifactStore QStore(
+      Opts.QuarantineDir.empty() ? Opts.StoreDir : Opts.QuarantineDir);
+  if (!Store.prepare(Report.Error) || !QStore.prepare(Report.Error))
+    return Report;
+  SweepClock Clock(Opts.SweepDeadlineMs);
+
+  for (const Function &F : M.Functions) {
+    JobOutcome J;
+    J.Func = F.Name;
+    const HashTriple Root =
+        canonicalize(F, false, KeyCfg.RemapRegisters).Hash;
+
+    // 1. A persisted quarantine record means skip-with-diagnostic: the
+    //    retry ladder was already burned on this job in an earlier sweep.
+    {
+      store::QuarantineRecord Q;
+      std::string Err;
+      const store::LoadStatus S = QStore.loadQuarantine(Root, Fp, Q, Err);
+      if (S == store::LoadStatus::Hit) {
+        J.Status = JobStatus::Quarantined;
+        J.Stop = StopReason::WorkerCrash;
+        J.Detail = "skipped: quarantined after " +
+                   std::to_string(Q.Attempts) + " attempt(s) [" +
+                   store::workerFailureName(Q.Failure) + "]: " + Q.Message +
+                   "; remove '" +
+                   QStore.pathFor(Root, store::ArtifactKind::Quarantine) +
+                   "' to retry";
+        Report.Jobs.push_back(std::move(J));
+        continue;
+      }
+      if (S == store::LoadStatus::Rejected)
+        J.Detail = "(rejected quarantine record: " + Err + ") ";
+    }
+
+    // 2. A finished cached result needs no worker at all.
+    {
+      EnumerationResult Res;
+      std::string Err;
+      const store::LoadStatus S = Store.loadResult(Root, Fp, Res, Err);
+      if (S == store::LoadStatus::Hit) {
+        J.Status = JobStatus::Cached;
+        J.Stop = Res.Stop;
+        J.Nodes = Res.Nodes.size();
+        J.Detail += std::string("reusing cached DAG (") +
+                    stopReasonName(Res.Stop) + ")";
+        Report.Jobs.push_back(std::move(J));
+        continue;
+      }
+      if (S == store::LoadStatus::Rejected)
+        J.Detail += "(rejected stored result: " + Err + ") ";
+    }
+
+    // 3. The attempt ladder: spawn, classify, back off, retry; after the
+    //    budget, quarantine (crash classes) and degrade.
+    unsigned Attempt = 0;
+    AttemptOutcome Last;
+    bool SweepOutOfTime = false;
+    for (;;) {
+      if (Clock.exhausted()) {
+        SweepOutOfTime = true;
+        break;
+      }
+      ++Attempt;
+      SubprocessSpec Spec;
+      Spec.Argv = workerArgv(Opts, F.Name, Attempt);
+      Spec.TimeoutMs = Opts.WorkerTimeoutMs;
+      if (Clock.hasDeadline() &&
+          (Spec.TimeoutMs == 0 || Spec.TimeoutMs > Clock.remainingMs()))
+        Spec.TimeoutMs = Clock.remainingMs();
+      Spec.MemoryLimitBytes = Opts.WorkerRlimitMb * 1024 * 1024;
+      Last = classifyAttempt(runSubprocess(Spec), Spec.TimeoutMs);
+
+      if (Last.Class == AttemptClass::Done) {
+        J.Status = JobStatus::Ok;
+        J.Stop = Last.Frame.Stop;
+        J.Nodes = Last.Frame.Nodes;
+        J.Attempts = Attempt;
+        J.Detail += std::string(stopReasonName(Last.Frame.Stop)) + ", " +
+                    u64Str(Last.Frame.Nodes) + " nodes, " +
+                    std::to_string(Attempt) + " attempt(s)";
+        // The worker's saveResult cleared the StoreDir quarantine record;
+        // a separate quarantine store must be cleared here.
+        QStore.removeQuarantine(Root);
+        break;
+      }
+      if (Last.Class == AttemptClass::Spawn) {
+        J.Status = JobStatus::Failed;
+        J.Attempts = Attempt;
+        J.Detail += "cannot spawn worker: " + Last.Note;
+        break;
+      }
+
+      uint64_t DelayMs = 0;
+      if (Opts.Retry.nextDelayMs(Attempt, Root.Crc, Clock.hasDeadline(),
+                                 Clock.remainingMs(), DelayMs)) {
+        if (DelayMs != 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+        continue;
+      }
+
+      // Retries exhausted.
+      J.Attempts = Attempt;
+      if (Last.Class == AttemptClass::Crash) {
+        Last.Q.Attempts = Attempt;
+        std::string QErr;
+        if (QStore.saveQuarantine(Root, Fp, Last.Q, QErr)) {
+          J.NewlyQuarantined = true;
+          J.Detail += Last.Note + " after " + std::to_string(Attempt) +
+                      " attempt(s); quarantined";
+        } else {
+          J.Detail += Last.Note + " after " + std::to_string(Attempt) +
+                      " attempt(s); quarantine write failed: " + QErr;
+        }
+        degradeJob(J, PM, F, Store, Root, Fp, StopReason::WorkerCrash);
+      } else {
+        J.Detail += Last.Note + "; retries exhausted after " +
+                    std::to_string(Attempt) + " attempt(s)";
+        degradeJob(J, PM, F, Store, Root, Fp, Last.Frame.Stop);
+      }
+      break;
+    }
+    if (SweepOutOfTime) {
+      J.Attempts = Attempt;
+      J.Detail += "sweep deadline exhausted before the job could run";
+      degradeJob(J, PM, F, Store, Root, Fp, StopReason::Deadline);
+    }
+    Report.Jobs.push_back(std::move(J));
+  }
+  return Report;
+}
+
+} // namespace drive
+} // namespace pose

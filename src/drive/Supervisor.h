@@ -1,0 +1,155 @@
+//===- Supervisor.h - Supervised out-of-process enumeration ----*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervised sweep: a module's per-function enumeration jobs, each
+/// run in a sandboxed `posec --worker` child process (see
+/// src/support/Subprocess.h), so that a worker that SIGSEGVs, gets OOM
+/// killed, or hangs costs one classified job failure instead of the whole
+/// sweep. The supervisor owns:
+///
+///  - a \ref RetryPolicy: bounded retries with exponential backoff and
+///    deterministic jitter, refused when the sweep's wall-clock budget
+///    could not absorb the delay;
+///  - a persisted quarantine list (\ref store::QuarantineRecord in the
+///    ArtifactStore): a job that exhausts its retries crashing is
+///    recorded, and later sweeps skip it with a diagnostic instead of
+///    burning the retry ladder again;
+///  - graceful degradation: an exhausted job falls back to the newest
+///    checkpoint artifact when one exists (a partial DAG marked
+///    \ref StopReason::WorkerCrash), else to an in-process fixed-order
+///    batch compilation — the job is reported Degraded and the sweep
+///    carries on.
+///
+/// Workers communicate results over two in-band channels: the documented
+/// exit code (src/drive/ExitCodes.h) and a one-line stdout frame
+/// (\ref WorkerFrame). Everything else — checkpoints, results, quarantine
+/// records — flows through the artifact store, which both sides key
+/// identically (crash-class injected faults are execution-only and
+/// excluded from the config fingerprint, so a fault-injected worker
+/// shares artifacts with a clean one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_DRIVE_SUPERVISOR_H
+#define POSE_DRIVE_SUPERVISOR_H
+
+#include "src/support/RetryPolicy.h"
+#include "src/support/StopToken.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+class Module;
+class PhaseManager;
+struct FaultPlan;
+
+namespace drive {
+
+/// The one-line result frame a worker prints to stdout:
+///   POSEWRK1 stop=<name> nodes=<N> attempted=<N> checkpoint=<0|1>
+/// The frame exists because the exit code alone cannot carry the node
+/// count, and because an exit status of 0 from a child that never reached
+/// the enumerator (e.g. a misloaded shared library exiting cleanly) must
+/// be distinguishable from success — a missing or malformed frame is a
+/// protocol failure, classified like a crash.
+struct WorkerFrame {
+  StopReason Stop = StopReason::Complete;
+  uint64_t Nodes = 0;
+  uint64_t Attempted = 0;
+  bool CheckpointSaved = false;
+};
+
+/// Renders \p F as the one-line frame (no trailing newline).
+std::string renderWorkerFrame(const WorkerFrame &F);
+
+/// Scans \p Output (a worker's captured stdout) for a frame line and
+/// strictly parses it. Returns false when no line parses.
+bool parseWorkerFrame(const std::string &Output, WorkerFrame &Out);
+
+/// Everything a supervised sweep needs. The enumeration knobs mirror the
+/// posec flags they are forwarded as; the supervisor derives the store
+/// fingerprint from them exactly as the worker will, so both sides agree
+/// on artifact keys.
+struct SupervisorOptions {
+  std::string PosecPath; ///< Worker executable (this very binary).
+  std::string InputPath; ///< The .mc source file workers recompile.
+  std::string StoreDir;  ///< Artifact store; required.
+  /// Store directory for quarantine records; empty = StoreDir.
+  std::string QuarantineDir;
+
+  // Enumeration knobs forwarded to workers (fingerprint-relevant ones
+  // must match tools/posec.cpp makeEnumConfig).
+  uint64_t Budget = 1'000'000; ///< --budget (level-sequence cap).
+  uint64_t Jobs = 1;           ///< --jobs inside each worker.
+  uint64_t MaxMemoryMb = 0;    ///< --max-memory-mb per worker (0 = off).
+  bool VerifyIr = false;       ///< --verify-ir.
+
+  // Fault injection (tests, CI). The parsed plan must be all crash-class;
+  // the spec text is forwarded verbatim to the targeted worker.
+  const FaultPlan *Faults = nullptr;
+  std::string FaultSpec;     ///< --inject-fault text for workers.
+  std::string FaultFunc;     ///< Only this function's worker gets the
+                             ///< fault flags; empty = all workers.
+  uint64_t FaultAttempts = 0; ///< --fault-attempts forwarded (0 = omit).
+
+  // Supervision policy.
+  uint64_t WorkerTimeoutMs = 60'000; ///< Wall-clock kill timer per spawn.
+  uint64_t WorkerRlimitMb = 0;       ///< RLIMIT_AS cap per worker (0 = off).
+  uint64_t SweepDeadlineMs = 0;      ///< Whole-sweep budget (0 = none).
+  RetryPolicy Retry;                 ///< Backoff schedule between attempts.
+};
+
+/// How one job ended.
+enum class JobStatus : uint8_t {
+  Ok,          ///< A worker finished; the result is in the store.
+  Cached,      ///< The store already held a finished result; no spawn.
+  Degraded,    ///< Retries exhausted; partial/fallback result only.
+  Quarantined, ///< Skipped: a persisted quarantine record names this job.
+  Failed,      ///< Could not even run (spawn failure, store I/O error).
+};
+
+/// Short lower-case name ("ok", "cached", "degraded", ...).
+const char *jobStatusName(JobStatus S);
+
+/// Outcome of one per-function job.
+struct JobOutcome {
+  std::string Func;
+  JobStatus Status = JobStatus::Failed;
+  unsigned Attempts = 0; ///< Worker spawns consumed (0 for Cached/skip).
+  /// Stop reason of the best available result: the worker's on success,
+  /// WorkerCrash for a crash-degraded job, the transient reason for a
+  /// budget-degraded one.
+  StopReason Stop = StopReason::InternalError;
+  uint64_t Nodes = 0; ///< DAG nodes in the best available result.
+  bool NewlyQuarantined = false; ///< This sweep wrote the record.
+  std::string Detail; ///< Human-readable diagnostic for the report.
+};
+
+/// The whole sweep.
+struct SweepReport {
+  std::vector<JobOutcome> Jobs;
+  std::string Error; ///< Sweep-level failure (store unusable, ...).
+
+  /// Process exit code for the sweep, most severe condition wins:
+  /// Error/Failed (1), then a degraded job's own code (WorkerCrash = 7,
+  /// or the transient reason's code), then QuarantinedSkip (8), else 0.
+  int exitCode() const;
+};
+
+/// Runs one supervised sweep over every function of \p M, sequentially.
+/// \p PM is used for store keying and the batch-compile fallback only;
+/// all enumeration happens in child processes.
+SweepReport superviseModule(const PhaseManager &PM, const Module &M,
+                            const SupervisorOptions &Opts);
+
+} // namespace drive
+} // namespace pose
+
+#endif // POSE_DRIVE_SUPERVISOR_H

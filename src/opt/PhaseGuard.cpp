@@ -10,7 +10,23 @@
 #include "src/ir/Verify.h"
 #include "src/opt/PhaseManager.h"
 
+#include <csignal>
+
 using namespace pose;
+
+const char *pose::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Verifier:
+    return "verifier";
+  case FaultKind::Segv:
+    return "segv";
+  case FaultKind::Kill:
+    return "kill";
+  case FaultKind::Hang:
+    return "hang";
+  }
+  return "?";
+}
 
 bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
   FaultPlan Plan;
@@ -20,7 +36,7 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
     if (End == std::string::npos)
       End = Spec.size();
     const std::string Item = Spec.substr(Pos, End - Pos);
-    // "<letter>:<nth>", nth a positive decimal number.
+    // "<letter>:<nth>[:<kind>]", nth a positive decimal number.
     if (Item.size() < 3 || Item[1] != ':')
       return false;
     int Index = -1;
@@ -29,15 +45,32 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
         Index = I;
     if (Index < 0)
       return false;
+    size_t NthEnd = Item.find(':', 2);
+    if (NthEnd == std::string::npos)
+      NthEnd = Item.size();
+    if (NthEnd == 2)
+      return false;
     uint64_t Nth = 0;
-    for (size_t I = 2; I != Item.size(); ++I) {
+    for (size_t I = 2; I != NthEnd; ++I) {
       if (Item[I] < '0' || Item[I] > '9')
         return false;
       Nth = Nth * 10 + static_cast<uint64_t>(Item[I] - '0');
     }
     if (Nth == 0)
       return false;
-    Plan.add(phaseByIndex(Index), Nth);
+    FaultKind Kind = FaultKind::Verifier;
+    if (NthEnd != Item.size()) {
+      const std::string Name = Item.substr(NthEnd + 1);
+      if (Name == "segv")
+        Kind = FaultKind::Segv;
+      else if (Name == "kill")
+        Kind = FaultKind::Kill;
+      else if (Name == "hang")
+        Kind = FaultKind::Hang;
+      else
+        return false;
+    }
+    Plan.add(phaseByIndex(Index), Nth, Kind);
     Pos = End + 1;
   }
   if (Plan.empty())
@@ -45,6 +78,21 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
   Out = std::move(Plan);
   return true;
 }
+
+namespace {
+/// Executes a crash-class fault. Never returns normally: the process dies
+/// by the named signal, or spins until the supervisor's kill timer fires.
+/// The busy loop touches a volatile so the optimizer cannot elide it.
+[[noreturn]] void executeCrashFault(FaultKind K) {
+  if (K == FaultKind::Segv)
+    (void)raise(SIGSEGV);
+  else if (K == FaultKind::Kill)
+    (void)raise(SIGKILL);
+  volatile uint64_t Spin = 0;
+  for (;;)
+    Spin = Spin + 1;
+}
+} // namespace
 
 PhaseGuard::Outcome PhaseGuard::attempt(PhaseId P, Function &F) {
   const uint64_t Nth =
@@ -56,6 +104,13 @@ PhaseGuard::Outcome PhaseGuard::attemptNth(PhaseId P, Function &F,
                                            uint64_t Nth) {
   if (!guarding())
     return PM.attempt(P, F) ? Outcome::Active : Outcome::Dormant;
+
+  // Crash-class faults fire before the snapshot: they model the phase
+  // taking the whole process down, not a recoverable in-process failure.
+  if (Opts.Faults)
+    if (const FaultPlan::Fault *Crash = Opts.Faults->match(P, Nth))
+      if (Crash->Kind != FaultKind::Verifier)
+        executeCrashFault(Crash->Kind);
 
   Function Snapshot = F;
   const bool Active = PM.attempt(P, F);

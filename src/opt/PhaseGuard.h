@@ -48,28 +48,71 @@ struct PhaseDiagnostic {
   bool Injected = false; ///< True when produced by a FaultPlan.
 };
 
+/// What an injected fault does when it fires. Verifier faults stay in
+/// process (roll back, record a diagnostic, prune the edge); the crash
+/// classes take the process down the way a genuinely broken phase would,
+/// so the out-of-process supervisor's kill/retry/quarantine paths are
+/// testable deterministically. Crash faults are only honored by
+/// `posec --worker` / `--supervise` (a crash in an unsupervised process
+/// loses the run, which is the very thing being tested).
+enum class FaultKind : uint8_t {
+  Verifier = 0, ///< Simulated verifier failure; rolled back in process.
+  Segv,         ///< raise(SIGSEGV): die like a wild pointer would.
+  Kill,         ///< raise(SIGKILL): die with no chance to clean up.
+  Hang,         ///< Spin forever: trip the supervisor's kill timer.
+};
+
+/// Short lower-case name ("verifier", "segv", "kill", "hang").
+const char *faultKindName(FaultKind K);
+
 /// Deterministic fault injection: fail the Nth application of phase P.
 /// Counts are per phase and 1-based, matching PhaseGuard::applications().
 struct FaultPlan {
   struct Fault {
     PhaseId Phase = PhaseId::BranchChaining;
     uint64_t Application = 0;
+    FaultKind Kind = FaultKind::Verifier;
   };
   std::vector<Fault> Faults;
 
-  void add(PhaseId P, uint64_t Nth) { Faults.push_back({P, Nth}); }
+  void add(PhaseId P, uint64_t Nth, FaultKind K = FaultKind::Verifier) {
+    Faults.push_back({P, Nth, K});
+  }
   bool empty() const { return Faults.empty(); }
-  bool shouldFail(PhaseId P, uint64_t Nth) const {
+  /// The fault scheduled for the Nth application of \p P, or nullptr.
+  const Fault *match(PhaseId P, uint64_t Nth) const {
     for (const Fault &F : Faults)
       if (F.Phase == P && F.Application == Nth)
+        return &F;
+    return nullptr;
+  }
+  bool shouldFail(PhaseId P, uint64_t Nth) const {
+    const Fault *F = match(P, Nth);
+    return F && F->Kind == FaultKind::Verifier;
+  }
+  /// True when any fault is a crash class (Segv/Kill/Hang).
+  bool hasCrashFault() const {
+    for (const Fault &F : Faults)
+      if (F.Kind != FaultKind::Verifier)
         return true;
     return false;
   }
+  /// True when every fault is a crash class (required by the worker's
+  /// attempt-gated injection, which drops the whole plan after the
+  /// configured number of faulty attempts).
+  bool allCrashFaults() const {
+    for (const Fault &F : Faults)
+      if (F.Kind == FaultKind::Verifier)
+        return false;
+    return !Faults.empty();
+  }
 
-  /// Parses a comma-separated "<letter>:<nth>" spec, e.g. "c:3" or
-  /// "c:3,s:1" (the posec --inject-fault format). Returns false on an
-  /// unknown phase letter, a missing/zero/non-numeric count, or any
-  /// other malformed input; \p Out is unchanged on failure.
+  /// Parses a comma-separated "<letter>:<nth>[:<kind>]" spec, e.g. "c:3",
+  /// "c:3,s:1", or "s:2:segv" (the posec --inject-fault format); kind is
+  /// one of segv/kill/hang and defaults to a verifier fault. Returns
+  /// false on an unknown phase letter, a missing/zero/non-numeric count,
+  /// an unknown kind, or any other malformed input; \p Out is unchanged
+  /// on failure.
   static bool parse(const std::string &Spec, FaultPlan &Out);
 };
 

@@ -33,7 +33,15 @@ uint64_t mix(uint64_t H, uint64_t V) {
 }
 
 const char *kindSuffix(ArtifactKind K) {
-  return K == ArtifactKind::Result ? "result" : "checkpoint";
+  switch (K) {
+  case ArtifactKind::Result:
+    return "result";
+  case ArtifactKind::Checkpoint:
+    return "checkpoint";
+  case ArtifactKind::Quarantine:
+    return "quarantine";
+  }
+  return "?";
 }
 
 } // namespace
@@ -50,10 +58,15 @@ uint64_t configFingerprint(const EnumeratorConfig &Config) {
     for (int Y = 0; Y != NumPhases; ++Y)
       H = mix(H, Config.TrainedIndependence[X][Y]);
   H = mix(H, Config.VerifyIr);
-  // Injected faults prune edges, so they shape the DAG like any other
-  // config switch; an empty plan fingerprints like no plan.
+  // Injected verifier faults prune edges, so they shape the DAG like any
+  // other config switch; an empty plan fingerprints like no plan. Crash-
+  // class faults kill the process instead of shaping the DAG — they are
+  // execution-only and excluded, so a crash-injected worker reads and
+  // writes the same artifacts as a clean run of the same job.
   if (Config.Faults)
     for (const FaultPlan::Fault &F : Config.Faults->Faults) {
+      if (F.Kind != FaultKind::Verifier)
+        continue;
       H = mix(H, static_cast<uint64_t>(F.Phase));
       H = mix(H, F.Application);
     }
@@ -197,6 +210,7 @@ bool ArtifactStore::saveResult(const HashTriple &Root, uint64_t Fingerprint,
                      Error))
     return false;
   removeCheckpoint(Root);
+  removeQuarantine(Root);
   return true;
 }
 
@@ -249,6 +263,39 @@ LoadStatus ArtifactStore::loadCheckpoint(const HashTriple &Root,
 void ArtifactStore::removeCheckpoint(const HashTriple &Root) const {
   std::error_code EC;
   fs::remove(pathFor(Root, ArtifactKind::Checkpoint), EC);
+}
+
+bool ArtifactStore::saveQuarantine(const HashTriple &Root,
+                                   uint64_t Fingerprint,
+                                   const QuarantineRecord &Q,
+                                   std::string &Error) const {
+  ByteWriter W;
+  encodeQuarantine(W, Q);
+  return writeArtifact(Root, ArtifactKind::Quarantine, Fingerprint, W.bytes(),
+                       Error);
+}
+
+LoadStatus ArtifactStore::loadQuarantine(const HashTriple &Root,
+                                         uint64_t Fingerprint,
+                                         QuarantineRecord &Q,
+                                         std::string &Error) const {
+  std::vector<uint8_t> Payload;
+  LoadStatus S = readArtifact(Root, ArtifactKind::Quarantine, Fingerprint,
+                              Payload, Error);
+  if (S != LoadStatus::Hit)
+    return S;
+  ByteReader R(Payload);
+  if (!decodeQuarantine(R, Q) || !R.atEnd()) {
+    Error = "'" + pathFor(Root, ArtifactKind::Quarantine) +
+            "' payload does not decode (file damaged)";
+    return LoadStatus::Rejected;
+  }
+  return LoadStatus::Hit;
+}
+
+void ArtifactStore::removeQuarantine(const HashTriple &Root) const {
+  std::error_code EC;
+  fs::remove(pathFor(Root, ArtifactKind::Quarantine), EC);
 }
 
 } // namespace store

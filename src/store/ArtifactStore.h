@@ -6,8 +6,10 @@
 ///
 /// \file
 /// A directory of versioned, checksummed enumeration artifacts: completed
-/// DAGs (\ref ArtifactKind::Result) and resumable checkpoints of
-/// interrupted runs (\ref ArtifactKind::Checkpoint). Exhaustive
+/// DAGs (\ref ArtifactKind::Result), resumable checkpoints of interrupted
+/// runs (\ref ArtifactKind::Checkpoint), and quarantine records of jobs
+/// whose out-of-process workers kept crashing
+/// (\ref ArtifactKind::Quarantine). Exhaustive
 /// enumerations are expensive — hours for the larger functions of the
 /// paper's benchmarks — while the analyses that consume them (interaction
 /// mining, the probabilistic compiler, DOT export) are cheap; the store
@@ -29,6 +31,7 @@
 #define POSE_STORE_ARTIFACTSTORE_H
 
 #include "src/core/Enumerator.h"
+#include "src/store/Quarantine.h"
 
 #include <string>
 #include <vector>
@@ -38,12 +41,15 @@ namespace store {
 
 /// Bumped whenever the serialized encoding (Serialize.cpp) or the frame
 /// layout changes; artifacts written by any other version are rejected.
-constexpr uint32_t kFormatVersion = 1;
+/// Version 2: StopReason gained WorkerCrash (wider encoded range) and the
+/// store gained quarantine records.
+constexpr uint32_t kFormatVersion = 2;
 
 /// What an artifact file contains.
 enum class ArtifactKind : uint32_t {
   Result = 1,     ///< A finished EnumerationResult (any stop reason).
   Checkpoint = 2, ///< A resumable EnumerationCheckpoint.
+  Quarantine = 3, ///< A QuarantineRecord for a crashing worker job.
 };
 
 /// Fingerprint of the EnumeratorConfig fields that determine the DAG:
@@ -52,7 +58,10 @@ enum class ArtifactKind : uint32_t {
 /// MaxMemoryBytes, the stop token) are excluded on purpose — a DAG
 /// enumerated with four workers under a deadline is the same DAG, and a
 /// resumed run may legitimately use different resources than the run that
-/// wrote the checkpoint.
+/// wrote the checkpoint. Crash-class injected faults (FaultKind::Segv and
+/// friends) are execution-only too: they kill the process instead of
+/// shaping the DAG, so a run with crash injection shares artifacts —
+/// checkpoints, results, quarantine records — with a clean run.
 uint64_t configFingerprint(const EnumeratorConfig &Config);
 
 /// Outcome of a store lookup.
@@ -78,8 +87,8 @@ public:
   std::string pathFor(const HashTriple &Root, ArtifactKind Kind) const;
 
   /// Persists \p Res for \p Root. Returns false with \p Error set on I/O
-  /// failure. A finished result supersedes any checkpoint for the same
-  /// key, which is removed.
+  /// failure. A finished result supersedes any checkpoint or quarantine
+  /// record for the same key, which are removed.
   bool saveResult(const HashTriple &Root, uint64_t Fingerprint,
                   const EnumerationResult &Res, std::string &Error) const;
 
@@ -100,6 +109,19 @@ public:
   /// Removes the checkpoint for \p Root, if any (used after the resumed
   /// run finishes).
   void removeCheckpoint(const HashTriple &Root) const;
+
+  /// Persists a quarantine record: this (root, fingerprint) job's worker
+  /// keeps dying and must be skipped until something changes.
+  bool saveQuarantine(const HashTriple &Root, uint64_t Fingerprint,
+                      const QuarantineRecord &Q, std::string &Error) const;
+
+  /// Looks up a quarantine record for (\p Root, \p Fingerprint).
+  LoadStatus loadQuarantine(const HashTriple &Root, uint64_t Fingerprint,
+                            QuarantineRecord &Q, std::string &Error) const;
+
+  /// Removes the quarantine record for \p Root, if any (the job finished
+  /// after all, or the operator cleared it).
+  void removeQuarantine(const HashTriple &Root) const;
 
 private:
   bool writeArtifact(const HashTriple &Root, ArtifactKind Kind,

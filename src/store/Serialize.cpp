@@ -320,7 +320,7 @@ bool decodeResult(ByteReader &R, EnumerationResult &Res) {
     if (!decodeNode(R, N))
       return false;
   uint8_t StopV = R.u8();
-  if (StopV > static_cast<uint8_t>(StopReason::InternalError)) {
+  if (StopV > static_cast<uint8_t>(StopReason::WorkerCrash)) {
     R.fail();
     return false;
   }
@@ -398,6 +398,43 @@ bool decodeCheckpoint(ByteReader &R, EnumerationCheckpoint &C) {
     if (!R.ok())
       return false;
   }
+  return R.ok();
+}
+
+const char *workerFailureName(WorkerFailure F) {
+  switch (F) {
+  case WorkerFailure::Signal:
+    return "signal";
+  case WorkerFailure::Timeout:
+    return "timeout";
+  case WorkerFailure::BadExit:
+    return "bad-exit";
+  case WorkerFailure::Protocol:
+    return "protocol";
+  }
+  return "?";
+}
+
+void encodeQuarantine(ByteWriter &W, const QuarantineRecord &Q) {
+  W.u8(static_cast<uint8_t>(Q.Failure));
+  W.i32(Q.Signal);
+  W.i32(Q.ExitCode);
+  W.u32(Q.Attempts);
+  W.str(Q.Message);
+}
+
+bool decodeQuarantine(ByteReader &R, QuarantineRecord &Q) {
+  Q = QuarantineRecord();
+  uint8_t F = R.u8();
+  if (F > static_cast<uint8_t>(WorkerFailure::Protocol)) {
+    R.fail();
+    return false;
+  }
+  Q.Failure = static_cast<WorkerFailure>(F);
+  Q.Signal = R.i32();
+  Q.ExitCode = R.i32();
+  Q.Attempts = R.u32();
+  Q.Message = R.str();
   return R.ok();
 }
 

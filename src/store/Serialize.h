@@ -27,6 +27,7 @@
 
 #include "src/core/Enumerator.h"
 #include "src/store/ByteIo.h"
+#include "src/store/Quarantine.h"
 
 namespace pose {
 namespace store {
@@ -44,6 +45,10 @@ bool decodeResult(ByteReader &R, EnumerationResult &Res);
 /// counters + paranoid byte cache).
 void encodeCheckpoint(ByteWriter &W, const EnumerationCheckpoint &C);
 bool decodeCheckpoint(ByteReader &R, EnumerationCheckpoint &C);
+
+/// Quarantine records (worker failure class + signal/exit metadata).
+void encodeQuarantine(ByteWriter &W, const QuarantineRecord &Q);
+bool decodeQuarantine(ByteReader &R, QuarantineRecord &Q);
 
 } // namespace store
 } // namespace pose

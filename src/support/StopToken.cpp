@@ -26,6 +26,8 @@ const char *pose::stopReasonName(StopReason R) {
     return "verifier-failure";
   case StopReason::InternalError:
     return "internal-error";
+  case StopReason::WorkerCrash:
+    return "worker-crash";
   }
   return "?";
 }

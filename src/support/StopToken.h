@@ -37,6 +37,9 @@ enum class StopReason : uint8_t {
   VerifierFailure, ///< A phase broke the IR; its edge was pruned, so the
                    ///< surviving space is sound but not exhaustive.
   InternalError,   ///< An internal invariant failed; partial result only.
+  WorkerCrash,     ///< An out-of-process enumeration worker died (signal,
+                   ///< OOM kill, or hang timeout); the result is whatever
+                   ///< checkpoint survived (see src/drive/Supervisor.h).
 };
 
 /// Short lower-case name for messages and CLI output ("deadline", ...).

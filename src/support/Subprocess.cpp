@@ -1,0 +1,236 @@
+//===- Subprocess.cpp - Sandboxed child process execution ---------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace pose;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+/// Reaps \p Pid, retrying across EINTR.
+int awaitChild(pid_t Pid) {
+  int Status = 0;
+  while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+  return Status;
+}
+
+} // namespace
+
+const char *pose::exitKindName(ExitKind K) {
+  switch (K) {
+  case ExitKind::Exited:
+    return "exited";
+  case ExitKind::Signalled:
+    return "signalled";
+  case ExitKind::TimedOut:
+    return "timed-out";
+  case ExitKind::SpawnFailed:
+    return "spawn-failed";
+  }
+  return "?";
+}
+
+SubprocessResult pose::runSubprocess(const SubprocessSpec &Spec) {
+  SubprocessResult R;
+  if (Spec.Argv.empty()) {
+    R.Error = "empty argv";
+    return R;
+  }
+
+  // Three pipes: child stdout, child stderr, and a CLOEXEC status pipe
+  // that distinguishes "exec failed" from "child ran and exited" — a
+  // successful exec closes the write end, a failed one writes errno.
+  int OutPipe[2] = {-1, -1}, ErrPipe[2] = {-1, -1}, ExecPipe[2] = {-1, -1};
+  if (::pipe(OutPipe) != 0 || ::pipe(ErrPipe) != 0 || ::pipe(ExecPipe) != 0) {
+    R.Error = std::string("pipe: ") + std::strerror(errno);
+    closeFd(OutPipe[0]);
+    closeFd(OutPipe[1]);
+    closeFd(ErrPipe[0]);
+    closeFd(ErrPipe[1]);
+    closeFd(ExecPipe[0]);
+    closeFd(ExecPipe[1]);
+    return R;
+  }
+  ::fcntl(ExecPipe[1], F_SETFD, FD_CLOEXEC);
+
+  const pid_t Pid = ::fork();
+  if (Pid < 0) {
+    R.Error = std::string("fork: ") + std::strerror(errno);
+    closeFd(OutPipe[0]);
+    closeFd(OutPipe[1]);
+    closeFd(ErrPipe[0]);
+    closeFd(ErrPipe[1]);
+    closeFd(ExecPipe[0]);
+    closeFd(ExecPipe[1]);
+    return R;
+  }
+
+  if (Pid == 0) {
+    // Child: lead a fresh process group (so the kill timer can SIGKILL
+    // the whole tree, not just the immediate child), wire the pipes,
+    // apply the address-space cap, exec. Only async-signal-safe calls
+    // from here on.
+    ::setpgid(0, 0);
+    ::dup2(OutPipe[1], STDOUT_FILENO);
+    ::dup2(ErrPipe[1], STDERR_FILENO);
+    ::close(OutPipe[0]);
+    ::close(OutPipe[1]);
+    ::close(ErrPipe[0]);
+    ::close(ErrPipe[1]);
+    ::close(ExecPipe[0]);
+    if (Spec.MemoryLimitBytes != 0) {
+      struct rlimit RL;
+      RL.rlim_cur = Spec.MemoryLimitBytes;
+      RL.rlim_max = Spec.MemoryLimitBytes;
+      ::setrlimit(RLIMIT_AS, &RL);
+    }
+    std::vector<char *> Argv;
+    Argv.reserve(Spec.Argv.size() + 1);
+    for (const std::string &A : Spec.Argv)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execv(Argv[0], Argv.data());
+    const int ExecErrno = errno;
+    ssize_t Ignored = ::write(ExecPipe[1], &ExecErrno, sizeof(ExecErrno));
+    (void)Ignored;
+    ::_exit(127);
+  }
+
+  // Parent. Mirror the child's setpgid — whichever side runs first wins,
+  // both agree on the group id.
+  ::setpgid(Pid, Pid);
+  closeFd(OutPipe[1]);
+  closeFd(ErrPipe[1]);
+  closeFd(ExecPipe[1]);
+
+  // The status pipe resolves quickly either way: EOF on successful exec
+  // (CLOEXEC), an errno value on failure.
+  int ExecErrno = 0;
+  ssize_t N;
+  while ((N = ::read(ExecPipe[0], &ExecErrno, sizeof(ExecErrno))) < 0 &&
+         errno == EINTR) {
+  }
+  closeFd(ExecPipe[0]);
+  if (N == static_cast<ssize_t>(sizeof(ExecErrno))) {
+    awaitChild(Pid);
+    closeFd(OutPipe[0]);
+    closeFd(ErrPipe[0]);
+    R.Kind = ExitKind::SpawnFailed;
+    R.Error = "cannot exec '" + Spec.Argv[0] +
+              "': " + std::strerror(ExecErrno);
+    return R;
+  }
+
+  // Drain stdout/stderr under the kill timer. A hung child produces no
+  // EOF, so the poll timeout is what fires the timer.
+  const bool HasDeadline = Spec.TimeoutMs != 0;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Spec.TimeoutMs);
+  bool Killed = false;
+  struct Stream {
+    int Fd;
+    std::string *Buf;
+  } Streams[2] = {{OutPipe[0], &R.Stdout}, {ErrPipe[0], &R.Stderr}};
+
+  int OpenStreams = 2;
+  char Chunk[4096];
+  while (OpenStreams > 0) {
+    int PollMs = -1;
+    if (HasDeadline && !Killed) {
+      const auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Deadline - Clock::now());
+      if (Left.count() <= 0) {
+        // Nuke the whole process group: a worker's own children must not
+        // survive it (they would hold the pipe write ends open).
+        ::kill(-Pid, SIGKILL);
+        ::kill(Pid, SIGKILL);
+        Killed = true;
+      } else {
+        PollMs = static_cast<int>(
+            std::min<int64_t>(Left.count(), 1000 * 60 * 60));
+      }
+    }
+    // After the kill, whatever the dead tree left buffered arrives
+    // immediately; an orphan that escaped the group (changed its own
+    // pgid) must not stall the caller waiting for EOF, so the drain
+    // switches to a short grace poll and stops on the first idle one.
+    if (Killed)
+      PollMs = 50;
+    struct pollfd Fds[2];
+    int NFds = 0;
+    for (const Stream &S : Streams)
+      if (S.Fd >= 0) {
+        Fds[NFds].fd = S.Fd;
+        Fds[NFds].events = POLLIN;
+        Fds[NFds].revents = 0;
+        ++NFds;
+      }
+    const int Ready = ::poll(Fds, static_cast<nfds_t>(NFds), PollMs);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Unexpected; fall through to reap with what we have.
+    }
+    if (Ready == 0) {
+      if (Killed)
+        break; // Grace poll came up empty; stop waiting for EOF.
+      continue; // Timer expiry is handled at the top of the loop.
+    }
+    for (int I = 0; I != NFds; ++I) {
+      if (Fds[I].revents == 0)
+        continue;
+      for (Stream &S : Streams) {
+        if (S.Fd != Fds[I].fd)
+          continue;
+        const ssize_t Got = ::read(S.Fd, Chunk, sizeof(Chunk));
+        if (Got > 0) {
+          S.Buf->append(Chunk, static_cast<size_t>(Got));
+        } else if (Got == 0 || (Got < 0 && errno != EINTR)) {
+          closeFd(S.Fd);
+          --OpenStreams;
+        }
+      }
+    }
+  }
+  closeFd(OutPipe[0]);
+  closeFd(ErrPipe[0]);
+
+  const int Status = awaitChild(Pid);
+  if (Killed) {
+    R.Kind = ExitKind::TimedOut;
+    R.Signal = SIGKILL;
+    return R;
+  }
+  if (WIFSIGNALED(Status)) {
+    R.Kind = ExitKind::Signalled;
+    R.Signal = WTERMSIG(Status);
+    return R;
+  }
+  R.Kind = ExitKind::Exited;
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}

@@ -1,0 +1,77 @@
+//===- Subprocess.h - Sandboxed child process execution --------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one child process under a blast shield: stdout and stderr are
+/// captured through pipes, an optional RLIMIT_AS cap bounds the child's
+/// address space from inside the child (an allocator runaway dies there,
+/// not here), and an optional wall-clock kill timer SIGKILLs a child that
+/// hangs. The exit status is classified — normal exit, death by signal,
+/// killed by the timer, or spawn failure — so a supervisor can decide
+/// between retrying, quarantining, and giving up without parsing shell
+/// conventions like "exit code 128+N".
+///
+/// This is the process-level analogue of PhaseGuard: where the guard
+/// turns a miscompiling phase into one pruned edge, the subprocess layer
+/// turns a SIGSEGV, OOM, or infinite loop inside an enumeration worker
+/// into one classified job failure instead of the death of the whole
+/// sweep (see src/drive/Supervisor.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SUPPORT_SUBPROCESS_H
+#define POSE_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+/// What to run and under which limits.
+struct SubprocessSpec {
+  /// Program path and arguments; Argv[0] is the executable (no PATH
+  /// search, no shell interpretation).
+  std::vector<std::string> Argv;
+  /// Wall-clock kill timer in milliseconds; 0 = no timer. A child still
+  /// running when the timer fires is SIGKILLed and reported as TimedOut.
+  uint64_t TimeoutMs = 0;
+  /// RLIMIT_AS cap in bytes applied inside the child before exec; 0 = no
+  /// cap. An exceeded cap typically surfaces as death by SIGABRT (failed
+  /// allocation) and is classified as Signalled.
+  uint64_t MemoryLimitBytes = 0;
+};
+
+/// How the child ended.
+enum class ExitKind : uint8_t {
+  Exited,      ///< Normal exit; ExitCode is valid.
+  Signalled,   ///< Killed by a signal (its own crash); Signal is valid.
+  TimedOut,    ///< Killed by our wall-clock timer (SIGKILL).
+  SpawnFailed, ///< fork/exec never produced a running child; see Error.
+};
+
+/// Short lower-case name for messages ("exited", "signalled", ...).
+const char *exitKindName(ExitKind K);
+
+/// Everything the parent learns about one child run.
+struct SubprocessResult {
+  ExitKind Kind = ExitKind::SpawnFailed;
+  int ExitCode = -1;  ///< Valid when Kind == Exited.
+  int Signal = 0;     ///< Valid when Kind == Signalled (or TimedOut: SIGKILL).
+  std::string Stdout; ///< Everything the child wrote to fd 1.
+  std::string Stderr; ///< Everything the child wrote to fd 2.
+  std::string Error;  ///< Valid when Kind == SpawnFailed.
+
+  bool ok() const { return Kind == ExitKind::Exited && ExitCode == 0; }
+};
+
+/// Runs \p Spec to completion (or to its kill timer) and returns the
+/// classified outcome. Blocking; the caller owns scheduling and retries.
+SubprocessResult runSubprocess(const SubprocessSpec &Spec);
+
+} // namespace pose
+
+#endif // POSE_SUPPORT_SUBPROCESS_H

@@ -24,11 +24,27 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
+void ThreadPool::runIndex(const std::function<void(size_t)> &Body, size_t I) {
+  try {
+    Body(I);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+}
+
 void ThreadPool::parallelFor(size_t N,
                              const std::function<void(size_t)> &Body) {
   if (Workers.empty() || N <= 1) {
+    // Same contract as the pooled path: every index is attempted, the
+    // first exception is rethrown afterwards.
     for (size_t I = 0; I != N; ++I)
-      Body(I);
+      runIndex(Body, I);
+    std::exception_ptr E = std::move(FirstError);
+    FirstError = nullptr;
+    if (E)
+      std::rethrow_exception(E);
     return;
   }
   std::unique_lock<std::mutex> Lock(M);
@@ -42,12 +58,17 @@ void ThreadPool::parallelFor(size_t N,
   while (Next < Count) {
     const size_t I = Next++;
     Lock.unlock();
-    Body(I);
+    runIndex(Body, I);
     Lock.lock();
     --Pending;
   }
   JobDone.wait(Lock, [this] { return Pending == 0; });
   Job = nullptr;
+  std::exception_ptr E = std::move(FirstError);
+  FirstError = nullptr;
+  Lock.unlock();
+  if (E)
+    std::rethrow_exception(E);
 }
 
 void ThreadPool::workerLoop() {
@@ -64,7 +85,7 @@ void ThreadPool::workerLoop() {
     while (Next < Count) {
       const size_t I = Next++;
       Lock.unlock();
-      (*Body)(I);
+      runIndex(*Body, I);
       Lock.lock();
       if (--Pending == 0)
         JobDone.notify_all();

@@ -27,6 +27,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,11 +54,17 @@ public:
 
   /// Runs Body(I) for every I in [0, Count), distributing indices across
   /// the workers and the calling thread; returns after all have finished.
-  /// Exceptions must not escape Body.
+  /// An exception thrown by Body is captured (every index is still
+  /// attempted), and the first one is rethrown here on the submitting
+  /// thread once the job has drained — never std::terminate on a worker.
+  /// The pool stays usable after a throwing job.
   void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
 
 private:
   void workerLoop();
+  /// Runs Body(I), capturing an escaping exception into FirstError (the
+  /// first one wins). Called without M held.
+  void runIndex(const std::function<void(size_t)> &Body, size_t I);
 
   std::vector<std::thread> Workers;
   std::mutex M;
@@ -74,6 +81,9 @@ private:
   size_t Pending = 0; ///< Claimed-or-unclaimed indices not yet finished.
   uint64_t Generation = 0; ///< Bumped per job so workers notice new work.
   bool ShuttingDown = false;
+  /// First exception thrown by any Body this job (guarded by M); moved
+  /// out and rethrown by parallelFor after the job drains.
+  std::exception_ptr FirstError;
 };
 
 } // namespace pose

@@ -1,0 +1,407 @@
+//===- supervisor_test.cpp - Supervised sweep tests ----------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The supervisor's contract: a worker that crashes, hangs, or babbles
+// costs one classified job (retried, then quarantined and degraded) and
+// never the sweep; a worker that recovers within its retry budget leaves
+// a result byte-identical to an uninterrupted run. The integration tests
+// spawn the real posec binary (POSE_POSEC_PATH, injected by CMake) with
+// crash-class fault injection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/drive/Supervisor.h"
+
+#include "src/core/Canonical.h"
+#include "src/core/Enumerator.h"
+#include "src/drive/ExitCodes.h"
+#include "src/frontend/Compile.h"
+#include "src/opt/PhaseGuard.h"
+#include "src/opt/PhaseManager.h"
+#include "src/store/ArtifactStore.h"
+#include "src/store/StoreDriver.h"
+#include "tests/common/Helpers.h"
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::drive;
+using namespace pose::testhelpers;
+
+namespace {
+
+// Two functions: "f" (the fault target in the crash tests) and a clean
+// bystander "g" that must keep enumerating no matter what happens to f.
+const char *SweepSource =
+    "int f(int n){int s=0;int i=0;while(i<n){s=s+i;i=i+1;}return s;}"
+    "int g(int a,int b){return a+b+7;}";
+
+std::string freshDir(const char *Name) {
+  std::string Dir = ::testing::TempDir() + "pose-drive-" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Writes the sweep source to a throwaway .mc file and returns its path.
+std::string sourceFile(const char *Name) {
+  std::string Path = ::testing::TempDir() + "pose-drive-" + Name + ".mc";
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << SweepSource;
+  return Path;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(In)),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Baseline options: real posec, fast retries, a store under \p Dir.
+SupervisorOptions baseOptions(const std::string &Input,
+                              const std::string &StoreDir) {
+  SupervisorOptions O;
+  O.PosecPath = POSE_POSEC_PATH;
+  O.InputPath = Input;
+  O.StoreDir = StoreDir;
+  O.Budget = 50'000;
+  O.Retry.BaseDelayMs = 1;
+  O.Retry.MaxDelayMs = 2;
+  return O;
+}
+
+const JobOutcome *jobNamed(const SweepReport &R, const std::string &Func) {
+  for (const JobOutcome &J : R.Jobs)
+    if (J.Func == Func)
+      return &J;
+  return nullptr;
+}
+
+TEST(WorkerFrame, RoundTripsEveryStopReason) {
+  for (uint8_t V = 0; V <= static_cast<uint8_t>(StopReason::WorkerCrash);
+       ++V) {
+    WorkerFrame F;
+    F.Stop = static_cast<StopReason>(V);
+    F.Nodes = 122;
+    F.Attempted = 1480;
+    F.CheckpointSaved = (V % 2) != 0;
+    WorkerFrame Out;
+    ASSERT_TRUE(parseWorkerFrame(renderWorkerFrame(F), Out))
+        << renderWorkerFrame(F);
+    EXPECT_EQ(Out.Stop, F.Stop);
+    EXPECT_EQ(Out.Nodes, F.Nodes);
+    EXPECT_EQ(Out.Attempted, F.Attempted);
+    EXPECT_EQ(Out.CheckpointSaved, F.CheckpointSaved);
+  }
+}
+
+TEST(WorkerFrame, FoundAmongOtherOutputLines) {
+  WorkerFrame Out;
+  EXPECT_TRUE(parseWorkerFrame(
+      "note: resuming from checkpoint\n"
+      "POSEWRK1 stop=complete nodes=7 attempted=9 checkpoint=0\n"
+      "trailing chatter\n",
+      Out));
+  EXPECT_EQ(Out.Stop, StopReason::Complete);
+  EXPECT_EQ(Out.Nodes, 7u);
+}
+
+TEST(WorkerFrame, MalformedLinesAreRejected) {
+  WorkerFrame Out;
+  // A clean exit with no valid frame must read as a protocol failure.
+  EXPECT_FALSE(parseWorkerFrame("", Out));
+  EXPECT_FALSE(parseWorkerFrame("all good, trust me\n", Out));
+  EXPECT_FALSE(parseWorkerFrame("POSEWRK1 stop=complete\n", Out));
+  EXPECT_FALSE(parseWorkerFrame(
+      "POSEWRK1 stop=sideways nodes=1 attempted=1 checkpoint=0\n", Out));
+  EXPECT_FALSE(parseWorkerFrame(
+      "POSEWRK1 stop=complete nodes=x attempted=1 checkpoint=0\n", Out));
+  EXPECT_FALSE(parseWorkerFrame(
+      "POSEWRK1 stop=complete nodes=1 attempted=1 checkpoint=2\n", Out));
+  EXPECT_FALSE(parseWorkerFrame(
+      "POSEWRK1 stop=complete nodes=1 attempted=1 checkpoint=0 extra\n",
+      Out));
+}
+
+TEST(ExitCodes, StopReasonMapIsStable) {
+  // Budget stops are final fingerprinted results: success.
+  EXPECT_EQ(exitCodeForStop(StopReason::Complete), ExitCode::Ok);
+  EXPECT_EQ(exitCodeForStop(StopReason::LevelBudget), ExitCode::Ok);
+  EXPECT_EQ(exitCodeForStop(StopReason::NodeBudget), ExitCode::Ok);
+  EXPECT_EQ(exitCodeForStop(StopReason::VerifierFailure),
+            ExitCode::VerifyFailure);
+  EXPECT_EQ(exitCodeForStop(StopReason::Deadline), ExitCode::Deadline);
+  EXPECT_EQ(exitCodeForStop(StopReason::MemoryBudget),
+            ExitCode::MemoryBudget);
+  EXPECT_EQ(exitCodeForStop(StopReason::Cancelled), ExitCode::Cancelled);
+  EXPECT_EQ(exitCodeForStop(StopReason::InternalError), ExitCode::Error);
+  EXPECT_EQ(exitCodeForStop(StopReason::WorkerCrash),
+            ExitCode::WorkerCrash);
+}
+
+TEST(ExitCodes, SweepSeverityPrecedence) {
+  SweepReport R;
+  EXPECT_EQ(R.exitCode(), ExitCode::Ok);
+  JobOutcome Ok;
+  Ok.Status = JobStatus::Ok;
+  R.Jobs.push_back(Ok);
+  EXPECT_EQ(R.exitCode(), ExitCode::Ok);
+
+  JobOutcome Skipped;
+  Skipped.Status = JobStatus::Quarantined;
+  R.Jobs.push_back(Skipped);
+  EXPECT_EQ(R.exitCode(), ExitCode::QuarantinedSkip);
+
+  JobOutcome Budget;
+  Budget.Status = JobStatus::Degraded;
+  Budget.Stop = StopReason::Deadline;
+  R.Jobs.push_back(Budget);
+  EXPECT_EQ(R.exitCode(), ExitCode::Deadline);
+
+  JobOutcome Crashed;
+  Crashed.Status = JobStatus::Degraded;
+  Crashed.Stop = StopReason::WorkerCrash;
+  R.Jobs.push_back(Crashed);
+  EXPECT_EQ(R.exitCode(), ExitCode::WorkerCrash);
+
+  JobOutcome Failed;
+  Failed.Status = JobStatus::Failed;
+  R.Jobs.push_back(Failed);
+  EXPECT_EQ(R.exitCode(), ExitCode::Error);
+
+  R.Jobs.clear();
+  R.Error = "store unusable";
+  EXPECT_EQ(R.exitCode(), ExitCode::Error);
+}
+
+TEST(Supervisor, CleanSweepThenFullyCached) {
+  const std::string Input = sourceFile("clean");
+  Module M = compileOrDie(SweepSource);
+  PhaseManager PM;
+  SupervisorOptions O = baseOptions(Input, freshDir("clean"));
+
+  SweepReport First = superviseModule(PM, M, O);
+  ASSERT_EQ(First.Error, "");
+  ASSERT_EQ(First.Jobs.size(), 2u);
+  for (const JobOutcome &J : First.Jobs) {
+    EXPECT_EQ(J.Status, JobStatus::Ok) << J.Func << ": " << J.Detail;
+    EXPECT_EQ(J.Stop, StopReason::Complete) << J.Func;
+    EXPECT_EQ(J.Attempts, 1u) << J.Func;
+    EXPECT_GT(J.Nodes, 0u) << J.Func;
+  }
+  EXPECT_EQ(First.exitCode(), ExitCode::Ok);
+
+  // Second sweep: everything served from the store, no workers spawned.
+  SweepReport Second = superviseModule(PM, M, O);
+  ASSERT_EQ(Second.Jobs.size(), 2u);
+  for (const JobOutcome &J : Second.Jobs) {
+    EXPECT_EQ(J.Status, JobStatus::Cached) << J.Func << ": " << J.Detail;
+    EXPECT_EQ(J.Attempts, 0u) << J.Func;
+  }
+  EXPECT_EQ(Second.exitCode(), ExitCode::Ok);
+}
+
+TEST(Supervisor, AlwaysCrashingJobIsQuarantinedOthersUnaffected) {
+  const std::string Input = sourceFile("crash");
+  Module M = compileOrDie(SweepSource);
+  PhaseManager PM;
+  SupervisorOptions O = baseOptions(Input, freshDir("crash"));
+  FaultPlan Plan;
+  ASSERT_TRUE(FaultPlan::parse("s:1:segv", Plan));
+  O.Faults = &Plan;
+  O.FaultSpec = "s:1:segv";
+  O.FaultFunc = "f";
+  O.Retry.MaxRetries = 1;
+
+  SweepReport R = superviseModule(PM, M, O);
+  ASSERT_EQ(R.Error, "");
+  const JobOutcome *F = jobNamed(R, "f");
+  const JobOutcome *G = jobNamed(R, "g");
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(G, nullptr);
+
+  // f burned the whole ladder crashing: MaxRetries + 1 spawns, then the
+  // quarantine record and a degraded fallback result.
+  EXPECT_EQ(F->Status, JobStatus::Degraded) << F->Detail;
+  EXPECT_EQ(F->Attempts, 2u);
+  EXPECT_EQ(F->Stop, StopReason::WorkerCrash);
+  EXPECT_TRUE(F->NewlyQuarantined);
+  EXPECT_NE(F->Detail.find("signal"), std::string::npos) << F->Detail;
+
+  // The bystander is untouched.
+  EXPECT_EQ(G->Status, JobStatus::Ok) << G->Detail;
+  EXPECT_EQ(G->Stop, StopReason::Complete);
+  EXPECT_EQ(R.exitCode(), ExitCode::WorkerCrash);
+
+  // The persisted record carries the crash metadata.
+  store::ArtifactStore Store(O.StoreDir);
+  const HashTriple Root =
+      canonicalize(functionNamed(M, "f"), false, true).Hash;
+  store::QuarantineRecord Q;
+  std::string Err;
+  EnumeratorConfig KeyCfg;
+  KeyCfg.MaxLevelSequences = O.Budget;
+  ASSERT_EQ(Store.loadQuarantine(Root, store::configFingerprint(KeyCfg), Q,
+                                 Err),
+            store::LoadStatus::Hit)
+      << Err;
+  EXPECT_EQ(Q.Failure, store::WorkerFailure::Signal);
+  EXPECT_EQ(Q.Signal, SIGSEGV);
+  EXPECT_EQ(Q.Attempts, 2u);
+
+  // A later sweep skips the quarantined job with a diagnostic instead of
+  // burning the retry ladder again; the clean job is served cached.
+  SweepReport Again = superviseModule(PM, M, O);
+  const JobOutcome *F2 = jobNamed(Again, "f");
+  const JobOutcome *G2 = jobNamed(Again, "g");
+  ASSERT_NE(F2, nullptr);
+  ASSERT_NE(G2, nullptr);
+  EXPECT_EQ(F2->Status, JobStatus::Quarantined) << F2->Detail;
+  EXPECT_EQ(F2->Attempts, 0u);
+  EXPECT_NE(F2->Detail.find("quarantined"), std::string::npos);
+  EXPECT_EQ(G2->Status, JobStatus::Cached) << G2->Detail;
+  EXPECT_EQ(Again.exitCode(), ExitCode::QuarantinedSkip);
+}
+
+TEST(Supervisor, HangingWorkerIsKilledAndClassifiedAsTimeout) {
+  const std::string Input = sourceFile("hang");
+  Module M = compileOrDie(SweepSource);
+  PhaseManager PM;
+  SupervisorOptions O = baseOptions(Input, freshDir("hang"));
+  FaultPlan Plan;
+  ASSERT_TRUE(FaultPlan::parse("s:1:hang", Plan));
+  O.Faults = &Plan;
+  O.FaultSpec = "s:1:hang";
+  O.FaultFunc = "f";
+  O.Retry.MaxRetries = 0;
+  O.WorkerTimeoutMs = 500;
+
+  SweepReport R = superviseModule(PM, M, O);
+  const JobOutcome *F = jobNamed(R, "f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Status, JobStatus::Degraded) << F->Detail;
+  EXPECT_EQ(F->Attempts, 1u);
+  EXPECT_TRUE(F->NewlyQuarantined);
+
+  store::ArtifactStore Store(O.StoreDir);
+  const HashTriple Root =
+      canonicalize(functionNamed(M, "f"), false, true).Hash;
+  EnumeratorConfig KeyCfg;
+  KeyCfg.MaxLevelSequences = O.Budget;
+  store::QuarantineRecord Q;
+  std::string Err;
+  ASSERT_EQ(Store.loadQuarantine(Root, store::configFingerprint(KeyCfg), Q,
+                                 Err),
+            store::LoadStatus::Hit)
+      << Err;
+  EXPECT_EQ(Q.Failure, store::WorkerFailure::Timeout);
+}
+
+TEST(Supervisor, CrashTwiceThenSucceedMatchesUninterruptedRun) {
+  // The retry ladder's headline guarantee: a worker that SIGSEGVs on its
+  // first two attempts and completes on the third leaves the exact bytes
+  // an uninterrupted run leaves (crash faults are execution-only and
+  // excluded from the store fingerprint).
+  const std::string Input = sourceFile("retry");
+  Module M = compileOrDie(SweepSource);
+  PhaseManager PM;
+
+  SupervisorOptions Clean = baseOptions(Input, freshDir("retry-clean"));
+  SweepReport CleanRun = superviseModule(PM, M, Clean);
+  ASSERT_EQ(CleanRun.exitCode(), ExitCode::Ok);
+
+  SupervisorOptions O = baseOptions(Input, freshDir("retry-faulted"));
+  FaultPlan Plan;
+  ASSERT_TRUE(FaultPlan::parse("s:1:segv", Plan));
+  O.Faults = &Plan;
+  O.FaultSpec = "s:1:segv";
+  O.FaultFunc = "f";
+  O.FaultAttempts = 2; // Attempts 1 and 2 crash; attempt 3 is clean.
+  O.Retry.MaxRetries = 2;
+
+  SweepReport R = superviseModule(PM, M, O);
+  const JobOutcome *F = jobNamed(R, "f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Status, JobStatus::Ok) << F->Detail;
+  EXPECT_EQ(F->Attempts, 3u);
+  EXPECT_EQ(F->Stop, StopReason::Complete);
+  EXPECT_FALSE(F->NewlyQuarantined);
+  EXPECT_EQ(R.exitCode(), ExitCode::Ok);
+
+  // Byte-identical stored artifact, and no lingering quarantine record.
+  const HashTriple Root =
+      canonicalize(functionNamed(M, "f"), false, true).Hash;
+  store::ArtifactStore CleanStore(Clean.StoreDir);
+  store::ArtifactStore FaultStore(O.StoreDir);
+  const std::vector<uint8_t> A =
+      readFile(CleanStore.pathFor(Root, store::ArtifactKind::Result));
+  const std::vector<uint8_t> B =
+      readFile(FaultStore.pathFor(Root, store::ArtifactKind::Result));
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+  EnumeratorConfig KeyCfg;
+  KeyCfg.MaxLevelSequences = O.Budget;
+  store::QuarantineRecord Q;
+  std::string Err;
+  EXPECT_EQ(FaultStore.loadQuarantine(Root, store::configFingerprint(KeyCfg),
+                                      Q, Err),
+            store::LoadStatus::Miss);
+}
+
+TEST(Supervisor, DegradedJobFallsBackToNewestCheckpoint) {
+  // Stage a checkpoint the way a budget-stopped run would, then make
+  // every supervised attempt crash *after* the checkpoint's progress
+  // point: degradation must surface the checkpoint's partial DAG, not
+  // the batch-compile fallback.
+  const std::string Input = sourceFile("ckpt");
+  Module M = compileOrDie(SweepSource);
+  PhaseManager PM;
+  SupervisorOptions O = baseOptions(Input, freshDir("ckpt"));
+  O.Retry.MaxRetries = 0;
+
+  EnumeratorConfig StageCfg;
+  StageCfg.MaxLevelSequences = O.Budget;
+  StageCfg.MaxMemoryBytes = 20'000; // Execution-only: same fingerprint.
+  store::DriveResult Staged = store::driveEnumeration(
+      PM, StageCfg, functionNamed(M, "f"), O.StoreDir, /*Resume=*/false);
+  ASSERT_TRUE(Staged.Ok) << Staged.Error;
+  ASSERT_EQ(Staged.Result.Stop, StopReason::MemoryBudget);
+  ASSERT_TRUE(Staged.CheckpointSaved);
+
+  // Pick a coordinate past the checkpoint: application counters persist
+  // across resume, so the (N+1)-th CSE application happens post-resume.
+  const HashTriple Root =
+      canonicalize(functionNamed(M, "f"), false, true).Hash;
+  EnumeratorConfig KeyCfg;
+  KeyCfg.MaxLevelSequences = O.Budget;
+  store::ArtifactStore Store(O.StoreDir);
+  EnumerationCheckpoint C;
+  std::string Err;
+  ASSERT_EQ(Store.loadCheckpoint(Root, store::configFingerprint(KeyCfg), C,
+                                 Err),
+            store::LoadStatus::Hit)
+      << Err;
+  const uint64_t Nth =
+      C.AppCount[static_cast<size_t>(PhaseId::Cse)] + 1;
+  const std::string Spec = "c:" + std::to_string(Nth) + ":segv";
+  FaultPlan Plan;
+  ASSERT_TRUE(FaultPlan::parse(Spec, Plan));
+  O.Faults = &Plan;
+  O.FaultSpec = Spec;
+  O.FaultFunc = "f";
+
+  SweepReport R = superviseModule(PM, M, O);
+  const JobOutcome *F = jobNamed(R, "f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Status, JobStatus::Degraded) << F->Detail;
+  EXPECT_EQ(F->Stop, StopReason::WorkerCrash);
+  EXPECT_EQ(F->Nodes, C.Partial.Nodes.size());
+  EXPECT_NE(F->Detail.find("checkpoint"), std::string::npos) << F->Detail;
+}
+
+} // namespace

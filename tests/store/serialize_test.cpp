@@ -199,6 +199,53 @@ TEST(Serialize, OutOfRangeEnumsRejected) {
   EXPECT_FALSE(store::decodeResult(R, Out));
 }
 
+TEST(Serialize, QuarantineRoundTripIsExact) {
+  store::QuarantineRecord Q;
+  Q.Failure = store::WorkerFailure::Timeout;
+  Q.Signal = 9;
+  Q.ExitCode = 0;
+  Q.Attempts = 3;
+  Q.Message = "worker timed out after 200 ms";
+  ByteWriter W;
+  store::encodeQuarantine(W, Q);
+  ByteReader R(W.bytes());
+  store::QuarantineRecord Out;
+  ASSERT_TRUE(store::decodeQuarantine(R, Out));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(Out.Failure, Q.Failure);
+  EXPECT_EQ(Out.Signal, Q.Signal);
+  EXPECT_EQ(Out.ExitCode, Q.ExitCode);
+  EXPECT_EQ(Out.Attempts, Q.Attempts);
+  EXPECT_EQ(Out.Message, Q.Message);
+  // Canonical encoding: re-encoding the decoded value is byte-identical.
+  ByteWriter W2;
+  store::encodeQuarantine(W2, Out);
+  EXPECT_EQ(W.bytes(), W2.bytes());
+}
+
+TEST(Serialize, QuarantineStrictness) {
+  store::QuarantineRecord Q;
+  Q.Failure = store::WorkerFailure::Signal;
+  Q.Signal = 11;
+  Q.Attempts = 2;
+  Q.Message = "segfault";
+  ByteWriter W;
+  store::encodeQuarantine(W, Q);
+  const std::vector<uint8_t> &Bytes = W.bytes();
+  // Every truncated prefix is rejected.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    ByteReader R(Bytes.data(), Len);
+    store::QuarantineRecord Out;
+    EXPECT_FALSE(store::decodeQuarantine(R, Out)) << "prefix length " << Len;
+  }
+  // An out-of-range failure kind (first byte) is rejected.
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[0] = 0xFF;
+  ByteReader R(Bad);
+  store::QuarantineRecord Out;
+  EXPECT_FALSE(store::decodeQuarantine(R, Out));
+}
+
 TEST(ByteIo, ReaderIsBoundedAndLatching) {
   ByteWriter W;
   W.u32(7);

@@ -137,6 +137,85 @@ TEST(ArtifactStore, ExecutionOnlyKnobsShareAFingerprint) {
   EXPECT_NE(configFingerprint(A), configFingerprint(E));
 }
 
+TEST(ArtifactStore, CrashClassFaultsShareAFingerprint) {
+  // Crash faults kill the worker process; they never shape a persisted
+  // DAG. Results, checkpoints and quarantine records must be shared
+  // between a faulty worker and a clean retry — that is what lets a
+  // supervised retry resume the crashed worker's checkpoint, and a clean
+  // sweep reuse a previously-faulted function's result.
+  EnumeratorConfig A;
+  EnumeratorConfig B;
+  FaultPlan Crash;
+  ASSERT_TRUE(FaultPlan::parse("c:3:segv", Crash));
+  B.Faults = &Crash;
+  EXPECT_EQ(configFingerprint(A), configFingerprint(B));
+
+  // Verifier faults DO shape the DAG (rejected instances) and stay in
+  // the fingerprint; a mixed plan is therefore still distinguishing.
+  EnumeratorConfig C;
+  FaultPlan Mixed;
+  ASSERT_TRUE(FaultPlan::parse("c:3,d:1:kill", Mixed));
+  C.Faults = &Mixed;
+  EXPECT_NE(configFingerprint(A), configFingerprint(C));
+}
+
+TEST(ArtifactStore, QuarantineLifecycle) {
+  Fixture FX;
+  ArtifactStore Store(freshDir("quarantine"));
+  std::string Error;
+  ASSERT_TRUE(Store.prepare(Error)) << Error;
+
+  QuarantineRecord Q;
+  Q.Failure = WorkerFailure::Signal;
+  Q.Signal = 11;
+  Q.Attempts = 3;
+  Q.Message = "worker died with signal 11";
+  ASSERT_TRUE(Store.saveQuarantine(FX.Root, FX.Fp, Q, Error)) << Error;
+
+  QuarantineRecord Out;
+  EXPECT_EQ(Store.loadQuarantine(FX.Root, FX.Fp, Out, Error),
+            LoadStatus::Hit)
+      << Error;
+  EXPECT_EQ(Out.Failure, WorkerFailure::Signal);
+  EXPECT_EQ(Out.Signal, 11);
+  EXPECT_EQ(Out.Attempts, 3u);
+  EXPECT_EQ(Out.Message, Q.Message);
+
+  // A different configuration is a different job: its quarantine state
+  // is independent, and a stale record is rejected, never reused.
+  EXPECT_EQ(Store.loadQuarantine(FX.Root, FX.Fp + 1, Out, Error),
+            LoadStatus::Rejected);
+
+  Store.removeQuarantine(FX.Root);
+  EXPECT_EQ(Store.loadQuarantine(FX.Root, FX.Fp, Out, Error),
+            LoadStatus::Miss);
+  // Removing an absent record is a no-op, not an error.
+  Store.removeQuarantine(FX.Root);
+}
+
+TEST(ArtifactStore, SavingAResultClearsTheQuarantine) {
+  // A completed result proves the job is healthy; a lingering quarantine
+  // record would wrongly make later sweeps skip a function whose answer
+  // is sitting right next to it.
+  Fixture FX;
+  ArtifactStore Store(freshDir("quarantine-clear"));
+  std::string Error;
+  ASSERT_TRUE(Store.prepare(Error)) << Error;
+
+  QuarantineRecord Q;
+  Q.Failure = WorkerFailure::Timeout;
+  Q.Attempts = 2;
+  ASSERT_TRUE(Store.saveQuarantine(FX.Root, FX.Fp, Q, Error)) << Error;
+  ASSERT_TRUE(Store.saveResult(FX.Root, FX.Fp, FX.Res, Error)) << Error;
+
+  QuarantineRecord Out;
+  EXPECT_EQ(Store.loadQuarantine(FX.Root, FX.Fp, Out, Error),
+            LoadStatus::Miss);
+  EnumerationResult Res;
+  EXPECT_EQ(Store.loadResult(FX.Root, FX.Fp, Res, Error), LoadStatus::Hit)
+      << Error;
+}
+
 TEST(ArtifactStore, EveryCorruptedByteRejected) {
   Fixture FX;
   ArtifactStore Store(freshDir("corrupt"));

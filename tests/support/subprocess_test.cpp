@@ -1,0 +1,104 @@
+//===- subprocess_test.cpp - Sandboxed child process tests ----------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+
+using namespace pose;
+
+namespace {
+
+SubprocessResult runSh(const std::string &Script, uint64_t TimeoutMs = 0) {
+  SubprocessSpec Spec;
+  Spec.Argv = {"/bin/sh", "-c", Script};
+  Spec.TimeoutMs = TimeoutMs;
+  return runSubprocess(Spec);
+}
+
+TEST(Subprocess, CapturesStdoutAndExitCode) {
+  SubprocessResult R = runSh("echo out; echo err 1>&2; exit 0");
+  EXPECT_EQ(R.Kind, ExitKind::Exited);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.Stdout, "out\n");
+  EXPECT_EQ(R.Stderr, "err\n");
+}
+
+TEST(Subprocess, NonzeroExitIsExitedNotError) {
+  SubprocessResult R = runSh("exit 42");
+  EXPECT_EQ(R.Kind, ExitKind::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Subprocess, DeathBySignalIsClassified) {
+  SubprocessResult R = runSh("kill -SEGV $$");
+  EXPECT_EQ(R.Kind, ExitKind::Signalled);
+  EXPECT_EQ(R.Signal, SIGSEGV);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Subprocess, HangIsKilledByTheTimer) {
+  const auto Start = std::chrono::steady_clock::now();
+  SubprocessResult R = runSh("sleep 30", /*TimeoutMs=*/200);
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_EQ(R.Kind, ExitKind::TimedOut);
+  EXPECT_EQ(R.Signal, SIGKILL);
+  EXPECT_FALSE(R.ok());
+  // The call returns promptly after the kill; it must not sit out the
+  // child's full sleep waiting for a pipe EOF.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            10);
+}
+
+TEST(Subprocess, KilledWorkersChildrenDoNotStallTheDrain) {
+  // The child forks its own children, all inheriting the pipe write
+  // ends. The kill timer must take down the whole process group — an
+  // orphan holding the pipes open would otherwise stall the caller for
+  // the orphan's full lifetime.
+  const auto Start = std::chrono::steady_clock::now();
+  SubprocessResult R = runSh("sleep 30 & sleep 30", /*TimeoutMs=*/200);
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_EQ(R.Kind, ExitKind::TimedOut);
+  EXPECT_EQ(R.Signal, SIGKILL);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            10);
+}
+
+TEST(Subprocess, SpawnFailureIsReportedNotConfusedWithExit) {
+  SubprocessSpec Spec;
+  Spec.Argv = {"/nonexistent/definitely-not-a-program"};
+  SubprocessResult R = runSubprocess(Spec);
+  EXPECT_EQ(R.Kind, ExitKind::SpawnFailed);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Subprocess, LargeOutputDoesNotDeadlock) {
+  // More than a pipe buffer on both streams: the poll()-driven drain must
+  // keep both flowing.
+  SubprocessResult R = runSh("i=0; while [ $i -lt 3000 ]; do "
+                             "echo 0123456789012345678901234567890123456789; "
+                             "echo e0123456789012345678901234567890123456789 "
+                             "1>&2; i=$((i+1)); done");
+  EXPECT_EQ(R.Kind, ExitKind::Exited);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stdout.size(), 3000u * 41u);
+  EXPECT_EQ(R.Stderr.size(), 3000u * 42u);
+}
+
+TEST(Subprocess, ExitKindNamesAreStable) {
+  EXPECT_STREQ(exitKindName(ExitKind::Exited), "exited");
+  EXPECT_STREQ(exitKindName(ExitKind::Signalled), "signalled");
+  EXPECT_STREQ(exitKindName(ExitKind::TimedOut), "timed-out");
+  EXPECT_STREQ(exitKindName(ExitKind::SpawnFailed), "spawn-failed");
+}
+
+} // namespace

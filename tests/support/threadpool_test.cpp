@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 using namespace pose;
@@ -58,6 +59,53 @@ TEST(ThreadPool, EmptyAndSingleCountsAreInline) {
     Calls.fetch_add(1);
   });
   EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, BodyExceptionRethrownOnSubmittingThread) {
+  // A throwing body must not terminate a worker thread (std::terminate);
+  // the first exception is captured and rethrown from parallelFor after
+  // every index was attempted.
+  ThreadPool Pool(3);
+  constexpr size_t N = 500;
+  std::vector<std::atomic<int>> Hits(N);
+  EXPECT_THROW(Pool.parallelFor(N,
+                                [&](size_t I) {
+                                  Hits[I].fetch_add(
+                                      1, std::memory_order_relaxed);
+                                  if (I == 123)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(
+      Pool.parallelFor(10, [](size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  // The error state must not leak into the next job.
+  std::atomic<uint64_t> Sum{0};
+  Pool.parallelFor(100, [&](size_t I) {
+    Sum.fetch_add(I + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), 5050u);
+}
+
+TEST(ThreadPool, InlinePathPropagatesException) {
+  // Jobs == 1 / N <= 1 run inline; the contract is the same there.
+  ThreadPool Pool(0);
+  int Ran = 0;
+  EXPECT_THROW(Pool.parallelFor(3,
+                                [&](size_t) {
+                                  ++Ran;
+                                  throw std::logic_error("inline");
+                                }),
+               std::logic_error);
+  EXPECT_EQ(Ran, 3); // Every index is still attempted.
+  Pool.parallelFor(2, [&](size_t) { ++Ran; });
+  EXPECT_EQ(Ran, 5);
 }
 
 TEST(ThreadPool, ConcurrentAccumulationStress) {

@@ -27,12 +27,21 @@
 //   posec prog.mc --analyze-store --store=DIR
 //                                         print interaction tables from
 //                                         the cached DAGs of prog.mc
+//   posec prog.mc --supervise --store=DIR enumerate every function in
+//                                         sandboxed worker processes with
+//                                         retry/quarantine/degradation
+//   posec prog.mc --worker --enumerate=F --store=DIR
+//                                         supervised child mode: one job,
+//                                         result frame on stdout,
+//                                         documented exit code
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/core/Compilers.h"
 #include "src/core/DagExport.h"
 #include "src/core/SpaceStats.h"
+#include "src/drive/ExitCodes.h"
+#include "src/drive/Supervisor.h"
 #include "src/frontend/Compile.h"
 #include "src/ir/Printer.h"
 #include "src/machine/EntryExit.h"
@@ -47,6 +56,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 using namespace pose;
 
@@ -72,6 +83,19 @@ struct Options {
   bool VerifyIr = false;
   bool Resume = false;       // --resume: continue from a stored checkpoint.
   bool AnalyzeStore = false; // --analyze-store: report on cached DAGs.
+
+  // Supervised out-of-process enumeration (src/drive/Supervisor.h).
+  bool Supervise = false;     // --supervise: sweep in worker processes.
+  bool Worker = false;        // --worker: supervised child mode.
+  uint64_t WorkerTimeoutMs = 60'000; // --worker-timeout-ms=N kill timer.
+  uint64_t MaxRetries = 2;    // --max-retries=N per job.
+  uint64_t WorkerRlimitMb = 0; // --worker-rlimit-mb=N RLIMIT_AS cap.
+  std::string QuarantinePath; // --quarantine=DIR (default: the store).
+  std::string FaultFunc;      // --fault-func=NAME: restrict fault flags.
+  uint64_t FaultAttempts = 0; // --fault-attempts=N: faults active while
+                              // the attempt number is <= N.
+  uint64_t Attempt = 1;       // --attempt=K: this worker's attempt number.
+  std::string FaultSpecText;  // Raw --inject-fault text (forwarding).
 };
 
 void usage() {
@@ -113,7 +137,34 @@ void usage() {
       "  --analyze-store         with --store: print per-function cache\n"
       "                          status and the interaction tables mined\n"
       "                          from the cached complete DAGs\n"
-      "  --list-phases           print the 15 phases and exit\n");
+      "  --supervise             with --store: enumerate every function in\n"
+      "                          a sandboxed worker process, with bounded\n"
+      "                          retries, persistent quarantine of\n"
+      "                          crashing jobs, and graceful degradation\n"
+      "  --worker                supervised child mode (with --enumerate\n"
+      "                          and --store): prints a result frame on\n"
+      "                          stdout and uses the exit codes below\n"
+      "  --worker-timeout-ms=N   with --supervise: SIGKILL a worker still\n"
+      "                          running after N ms (default 60000)\n"
+      "  --worker-rlimit-mb=N    with --supervise: RLIMIT_AS cap per\n"
+      "                          worker process (0 = none)\n"
+      "  --max-retries=N         with --supervise: retries per job after\n"
+      "                          the first attempt (default 2)\n"
+      "  --quarantine=DIR        with --supervise: directory for\n"
+      "                          quarantine records (default: the store)\n"
+      "  --fault-func=NAME       with --supervise: forward --inject-fault\n"
+      "                          only to NAME's worker\n"
+      "  --fault-attempts=N      crash faults fire only while the attempt\n"
+      "                          number is <= N (deterministic\n"
+      "                          crash-then-recover testing)\n"
+      "  --attempt=K             with --worker: this attempt's 1-based\n"
+      "                          number (set by the supervisor)\n"
+      "  --list-phases           print the 15 phases and exit\n"
+      "\n"
+      "exit codes (--worker / --supervise):\n"
+      "  0 ok   1 error   2 usage   3 verifier failure   4 deadline\n"
+      "  5 memory budget   6 cancelled   7 worker crashed (quarantined)\n"
+      "  8 quarantined job(s) skipped\n");
 }
 
 /// Strict decimal parser for flag values: rejects empty strings, signs,
@@ -136,6 +187,9 @@ bool parseUint(const char *S, uint64_t &Out) {
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
+  // Flags that are only meaningful in one mode; tracked so a stray use is
+  // rejected instead of silently ignored.
+  bool SawSupervisorFlag = false, SawAttempt = false;
   for (int I = 1; I < Argc; ++I) {
     const std::string A = Argv[I];
     auto Value = [&A](const char *Flag) -> const char * {
@@ -195,11 +249,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (const char *VF = Value("--inject-fault")) {
       if (!FaultPlan::parse(VF, O.Faults)) {
         std::fprintf(stderr,
-                     "--inject-fault expects <phase>:<nth>[,...] with a "
-                     "known phase letter and a positive count, got '%s'\n",
+                     "--inject-fault expects <phase>:<nth>[:<segv|kill|"
+                     "hang>][,...] with a known phase letter and a "
+                     "positive count, got '%s'\n",
                      VF);
         return false;
       }
+      O.FaultSpecText = VF;
     } else if (const char *V7 = Value("--model"))
       O.ModelPath = V7;
     else if (const char *V8 = Value("--save-model"))
@@ -214,7 +270,68 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Resume = true;
     else if (A == "--analyze-store")
       O.AnalyzeStore = true;
-    else if (A.rfind("--", 0) == 0) {
+    else if (A == "--supervise")
+      O.Supervise = true;
+    else if (A == "--worker")
+      O.Worker = true;
+    else if (const char *VWT = Value("--worker-timeout-ms")) {
+      if (!parseUint(VWT, O.WorkerTimeoutMs)) {
+        std::fprintf(
+            stderr,
+            "--worker-timeout-ms expects a non-negative integer, got '%s'\n",
+            VWT);
+        return false;
+      }
+      SawSupervisorFlag = true;
+    } else if (const char *VWR = Value("--worker-rlimit-mb")) {
+      if (!parseUint(VWR, O.WorkerRlimitMb)) {
+        std::fprintf(
+            stderr,
+            "--worker-rlimit-mb expects a non-negative integer, got '%s'\n",
+            VWR);
+        return false;
+      }
+      SawSupervisorFlag = true;
+    } else if (const char *VR = Value("--max-retries")) {
+      if (!parseUint(VR, O.MaxRetries)) {
+        std::fprintf(stderr,
+                     "--max-retries expects a non-negative integer, got "
+                     "'%s'\n",
+                     VR);
+        return false;
+      }
+      SawSupervisorFlag = true;
+    } else if (const char *VQ = Value("--quarantine")) {
+      if (!*VQ) {
+        std::fprintf(stderr, "--quarantine expects a directory path\n");
+        return false;
+      }
+      O.QuarantinePath = VQ;
+      SawSupervisorFlag = true;
+    } else if (const char *VFF = Value("--fault-func")) {
+      if (!*VFF) {
+        std::fprintf(stderr, "--fault-func expects a function name\n");
+        return false;
+      }
+      O.FaultFunc = VFF;
+      SawSupervisorFlag = true;
+    } else if (const char *VFA = Value("--fault-attempts")) {
+      if (!parseUint(VFA, O.FaultAttempts) || O.FaultAttempts == 0) {
+        std::fprintf(stderr,
+                     "--fault-attempts expects a positive integer, got "
+                     "'%s'\n",
+                     VFA);
+        return false;
+      }
+    } else if (const char *VA = Value("--attempt")) {
+      if (!parseUint(VA, O.Attempt) || O.Attempt == 0) {
+        std::fprintf(stderr, "--attempt expects a positive integer, got "
+                             "'%s'\n",
+                     VA);
+        return false;
+      }
+      SawAttempt = true;
+    } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", A.c_str());
       return false;
     } else if (O.InputPath.empty())
@@ -227,6 +344,50 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   if ((O.Resume || O.AnalyzeStore) && O.StorePath.empty()) {
     std::fprintf(stderr, "%s requires --store=DIR\n",
                  O.Resume ? "--resume" : "--analyze-store");
+    return false;
+  }
+  if (O.Worker && O.Supervise) {
+    std::fprintf(stderr, "--worker and --supervise are exclusive\n");
+    return false;
+  }
+  if (O.Worker && (O.EnumerateFunc.empty() || O.StorePath.empty())) {
+    std::fprintf(stderr,
+                 "--worker requires --enumerate=FUNC and --store=DIR\n");
+    return false;
+  }
+  if (O.Supervise && O.StorePath.empty()) {
+    std::fprintf(stderr, "--supervise requires --store=DIR\n");
+    return false;
+  }
+  if (SawSupervisorFlag && !O.Supervise) {
+    std::fprintf(stderr,
+                 "--worker-timeout-ms/--worker-rlimit-mb/--max-retries/"
+                 "--quarantine/--fault-func require --supervise\n");
+    return false;
+  }
+  if (SawAttempt && !O.Worker) {
+    std::fprintf(stderr, "--attempt requires --worker\n");
+    return false;
+  }
+  // Crash-class faults take the process down; an unsupervised process
+  // would just lose the run, which is the very failure mode the
+  // supervisor exists to absorb.
+  if (O.Faults.hasCrashFault() && !O.Worker && !O.Supervise) {
+    std::fprintf(stderr, "crash-class faults (segv/kill/hang) require "
+                         "--worker or --supervise\n");
+    return false;
+  }
+  // Verifier faults shape the DAG and are part of the store fingerprint;
+  // the supervisor only knows how to forward execution-only crash plans.
+  if (O.Supervise && !O.Faults.empty() && !O.Faults.allCrashFaults()) {
+    std::fprintf(stderr, "--supervise only supports all-crash-class "
+                         "--inject-fault plans (segv/kill/hang)\n");
+    return false;
+  }
+  if (O.FaultAttempts != 0 &&
+      (O.Faults.empty() || !O.Faults.allCrashFaults())) {
+    std::fprintf(stderr, "--fault-attempts requires an all-crash-class "
+                         "--inject-fault plan\n");
     return false;
   }
   return !O.InputPath.empty();
@@ -337,6 +498,94 @@ int enumerateFunction(const Options &O, Module &M) {
   return 0;
 }
 
+/// --worker: one supervised enumeration job. Always drives through the
+/// store (the supervisor reads results and checkpoints from there), ends
+/// with a one-line result frame on stdout, and exits with the documented
+/// code for the stop reason — the two in-band channels the supervisor
+/// classifies (src/drive/Supervisor.h).
+int runWorker(const Options &O, Module &M) {
+  int Id = M.findGlobal(O.EnumerateFunc);
+  Function *F = Id >= 0 ? M.functionFor(Id) : nullptr;
+  if (!F) {
+    std::fprintf(stderr, "no function named '%s'\n",
+                 O.EnumerateFunc.c_str());
+    return drive::ExitCode::Error;
+  }
+  PhaseManager PM;
+  EnumeratorConfig Cfg = makeEnumConfig(O);
+  // Attempt-gated fault injection: with --fault-attempts=N the plan is
+  // active only while this attempt's number is <= N, so a retry ladder
+  // deterministically crashes N times and then succeeds. Dropping the
+  // plan cannot change the store fingerprint because gated plans are
+  // all crash-class, which the fingerprint excludes.
+  if (Cfg.Faults && O.FaultAttempts != 0 && O.Attempt > O.FaultAttempts)
+    Cfg.Faults = nullptr;
+  store::DriveResult D =
+      store::driveEnumeration(PM, Cfg, *F, O.StorePath, O.Resume);
+  for (const std::string &Note : D.RejectionNotes)
+    std::fprintf(stderr, "warning: %s: rejected stored artifact: %s\n",
+                 F->Name.c_str(), Note.c_str());
+  if (!D.Ok) {
+    std::fprintf(stderr, "error: %s: %s\n", F->Name.c_str(),
+                 D.Error.c_str());
+    return drive::ExitCode::Error;
+  }
+  reportDiagnostics(D.Result);
+  drive::WorkerFrame Frame;
+  Frame.Stop = D.Result.Stop;
+  Frame.Nodes = D.Result.Nodes.size();
+  Frame.Attempted = D.Result.AttemptedPhases;
+  Frame.CheckpointSaved = D.CheckpointSaved;
+  std::printf("%s\n", drive::renderWorkerFrame(Frame).c_str());
+  return drive::exitCodeForStop(D.Result.Stop);
+}
+
+/// Path of this very executable (the supervisor re-invokes itself as the
+/// worker); falls back to argv[0] when /proc is unavailable.
+std::string selfExePath(const char *Argv0) {
+  char Buf[4096];
+  const ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return Buf;
+  }
+  return Argv0;
+}
+
+/// --supervise: sweep every function of the module through sandboxed
+/// worker processes and print one report line per job.
+int runSupervise(const Options &O, const Module &M, const char *Argv0) {
+  PhaseManager PM;
+  drive::SupervisorOptions SO;
+  SO.PosecPath = selfExePath(Argv0);
+  SO.InputPath = O.InputPath;
+  SO.StoreDir = O.StorePath;
+  SO.QuarantineDir = O.QuarantinePath;
+  SO.Budget = O.Budget;
+  SO.Jobs = O.Jobs;
+  SO.MaxMemoryMb = O.MaxMemoryMb;
+  SO.VerifyIr = O.VerifyIr;
+  if (!O.Faults.empty()) {
+    SO.Faults = &O.Faults;
+    SO.FaultSpec = O.FaultSpecText;
+  }
+  SO.FaultFunc = O.FaultFunc;
+  SO.FaultAttempts = O.FaultAttempts;
+  SO.WorkerTimeoutMs = O.WorkerTimeoutMs;
+  SO.WorkerRlimitMb = O.WorkerRlimitMb;
+  SO.SweepDeadlineMs = O.DeadlineMs;
+  SO.Retry.MaxRetries = static_cast<unsigned>(O.MaxRetries);
+  drive::SweepReport R = drive::superviseModule(PM, M, SO);
+  if (!R.Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return drive::ExitCode::Error;
+  }
+  for (const drive::JobOutcome &J : R.Jobs)
+    std::printf("%-20s %s: %s\n", J.Func.c_str(),
+                drive::jobStatusName(J.Status), J.Detail.c_str());
+  return R.exitCode();
+}
+
 /// --analyze-store: report what the store holds for this module's
 /// functions and mine the interaction tables from the complete cached
 /// DAGs, without running any enumeration.
@@ -411,6 +660,10 @@ int main(int Argc, char **Argv) {
   }
   Module &M = CR.M;
 
+  if (O.Worker)
+    return runWorker(O, M);
+  if (O.Supervise)
+    return runSupervise(O, M, Argv[0]);
   if (O.AnalyzeStore)
     return analyzeStore(O, M);
   if (!O.EnumerateFunc.empty() || !O.DotFunc.empty())
