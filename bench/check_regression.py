@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare benchmark results against the committed baseline ratios.
+
+Usage:
+    check_regression.py --baseline bench/baseline_ratios.json \
+        BENCH_canonical.json BENCH_parallel.json
+
+Each benchmark JSON is google-benchmark ``--benchmark_format=json``
+output. The baseline file defines speedup ratios (numerator benchmark
+time / denominator benchmark time) and the value each ratio had when it
+was committed. Absolute times vary with the host, so only ratios are
+checked: a run fails when a measured ratio falls more than ``tolerance``
+below its committed baseline. Ratios marked ``min_cores`` are skipped on
+hosts too small to express the speedup at all.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_times(paths):
+    """Maps benchmark name -> real_time (ns) across all result files."""
+    times = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            times[b["name"]] = float(b["real_time"])
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="baseline ratios JSON (bench/baseline_ratios.json)")
+    ap.add_argument("results", nargs="+",
+                    help="google-benchmark JSON result files")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    tolerance = float(baseline.get("tolerance", 0.25))
+    times = load_times(args.results)
+    cores = os.cpu_count() or 1
+
+    failed = []
+    for r in baseline["ratios"]:
+        name = r["name"]
+        if cores < int(r.get("min_cores", 1)):
+            print(f"SKIP {name}: needs >= {r['min_cores']} cores, "
+                  f"host has {cores}")
+            continue
+        num = times.get(r["numerator"])
+        den = times.get(r["denominator"])
+        if num is None or den is None:
+            missing = r["numerator"] if num is None else r["denominator"]
+            print(f"FAIL {name}: benchmark '{missing}' not found in results")
+            failed.append(name)
+            continue
+        measured = num / den
+        floor = float(r["baseline"]) * (1.0 - tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(f"{'FAIL' if measured < floor else 'PASS'} {name}: "
+              f"measured {measured:.2f}x, baseline {r['baseline']:.2f}x, "
+              f"floor {floor:.2f}x ({verdict})")
+        if measured < floor:
+            failed.append(name)
+
+    if failed:
+        print(f"\n{len(failed)} ratio(s) regressed by more than "
+              f"{tolerance:.0%}: {', '.join(failed)}")
+        return 1
+    print("\nall ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

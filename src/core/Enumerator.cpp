@@ -35,6 +35,36 @@ uint64_t entryFootprint(const FrontierEntry &E) {
          E.Path.size() * sizeof(PhaseId);
 }
 
+/// Exact instance equality, allocation counters included. The working-copy
+/// reuse below depends on it: an attempt that reports dormant can still
+/// have mutated the copy (PhaseManager::attempt performs the implicit
+/// register assignment before phases that require it, and a phase may
+/// allocate a pseudo or label it never uses), and a reused copy that
+/// silently diverged from its parent would corrupt every later attempt on
+/// the same frontier entry.
+bool identicalInstance(const Function &A, const Function &B) {
+  if (A.pseudoLimit() != B.pseudoLimit() ||
+      A.labelLimit() != B.labelLimit() || !(A.State == B.State) ||
+      A.NumParams != B.NumParams || A.ReturnsValue != B.ReturnsValue ||
+      A.Blocks.size() != B.Blocks.size() || A.Slots.size() != B.Slots.size())
+    return false;
+  for (size_t I = 0; I != A.Slots.size(); ++I) {
+    const StackSlot &SA = A.Slots[I], &SB = B.Slots[I];
+    if (SA.SizeWords != SB.SizeWords || SA.IsArray != SB.IsArray ||
+        SA.IsParam != SB.IsParam || SA.Name != SB.Name)
+      return false;
+  }
+  for (size_t I = 0; I != A.Blocks.size(); ++I) {
+    const BasicBlock &BA = A.Blocks[I], &BB = B.Blocks[I];
+    if (BA.Label != BB.Label || BA.Insts.size() != BB.Insts.size())
+      return false;
+    for (size_t J = 0; J != BA.Insts.size(); ++J)
+      if (BA.Insts[J] != BB.Insts[J])
+        return false;
+  }
+  return true;
+}
+
 /// "Len": the largest active sequence length is the longest path in the
 /// DAG (cross edges can make it exceed the BFS depth). Valid only when
 /// the space is acyclic.
@@ -115,9 +145,10 @@ Enumerator::runSequential(const Function &Root, EnumerationCheckpoint *From,
     computeWeights(R);
   };
 
+  CanonicalScratch Scratch;
   auto Intern = [&](const Function &F) -> std::pair<uint32_t, bool> {
-    CanonicalForm CF =
-        canonicalize(F, Config.ParanoidCompare, Config.RemapRegisters);
+    CanonicalForm CF = canonicalize(F, Scratch, Config.ParanoidCompare,
+                                    Config.RemapRegisters);
     auto [It, Inserted] =
         Seen.emplace(CF.Hash, static_cast<uint32_t>(R.Nodes.size()));
     if (Inserted) {
@@ -213,6 +244,12 @@ Enumerator::runSequential(const Function &Root, EnumerationCheckpoint *From,
     std::vector<FrontierEntry> Next;
 
     for (FrontierEntry &E : Frontier) {
+      // One working copy serves every attempted phase of this entry; it is
+      // rebuilt from the parent instance only after a phase consumed it
+      // (active) or mutated it while reporting dormant — so the per-attempt
+      // deep copy of the old code materializes only when a phase fired.
+      Function Work;
+      bool WorkValid = false;
       for (int PI = 0; PI != NumPhases; ++PI) {
         PhaseId P = phaseByIndex(PI);
         const uint16_t Bit = static_cast<uint16_t>(1u << PI);
@@ -261,17 +298,19 @@ Enumerator::runSequential(const Function &Root, EnumerationCheckpoint *From,
           }
         }
 
-        // Produce the working copy: prefix sharing keeps the instance in
-        // memory; naive mode replays the whole prefix from the root.
-        Function Work;
+        // Produce the working copy: prefix sharing reuses the copy left by
+        // the previous (dormant) attempt; naive mode replays the whole
+        // prefix from the root.
         if (Config.NaiveReapply) {
           Work = Root;
+          WorkValid = false;
           for (PhaseId Prev : E.Path) {
             PM.attempt(Prev, Work);
             ++R.PhaseApplications;
           }
-        } else {
+        } else if (!WorkValid) {
           Work = E.Instance;
+          WorkValid = true;
         }
 
         ++R.AttemptedPhases;
@@ -284,9 +323,14 @@ Enumerator::runSequential(const Function &Root, EnumerationCheckpoint *From,
           // prunes the edge and ends this branch of the space the same
           // way (the diagnostic is already recorded in the guard).
           R.Nodes[E.Node].DormantMask |= Bit;
+          if (WorkValid && !identicalInstance(Work, E.Instance))
+            WorkValid = false;
           continue;
         }
         ++LS.Active;
+        // The phase consumed the working copy either way; the next attempt
+        // on this entry starts from a fresh copy of the parent.
+        WorkValid = false;
         auto [Child, IsNew] = Intern(Work);
         R.Nodes[E.Node].ActiveMask |= Bit;
         R.Nodes[E.Node].Edges.push_back({P, Child});
@@ -295,13 +339,13 @@ Enumerator::runSequential(const Function &Root, EnumerationCheckpoint *From,
           R.Nodes[Child].Level = Level;
           FrontierEntry NE;
           NE.Node = Child;
+          NE.State = Work.State;
           if (Config.NaiveReapply) {
             NE.Path = E.Path;
             NE.Path.push_back(P);
           } else {
-            NE.Instance = Work;
+            NE.Instance = std::move(Work);
           }
-          NE.State = Work.State;
           NE.IncomingMask = Bit;
           NE.Parent = E.Node;
           NE.ViaPhase = P;
@@ -585,6 +629,13 @@ Enumerator::runParallel(const Function &Root, EnumerationCheckpoint *From,
       const FrontierEntry &E = Frontier[I];
       TaskResult &T = Results[I];
       PhaseGuard Guard(PM, GuardOpts);
+      // Per-worker-thread scratch: canonicalization of every attempt this
+      // thread ever runs reuses the same remap arrays and byte buffer.
+      static thread_local CanonicalScratch Scratch;
+      // Same working-copy reuse as the sequential engine: one copy per
+      // entry, rebuilt only after an active (or mutating-dormant) attempt.
+      Function Work;
+      bool WorkValid = false;
       for (int PI = 0; PI != NumPhases; ++PI) {
         PhaseId P = phaseByIndex(PI);
         const uint16_t Bit = static_cast<uint16_t>(1u << PI);
@@ -600,15 +651,16 @@ Enumerator::runParallel(const Function &Root, EnumerationCheckpoint *From,
         // each node enters the frontier exactly once, and this worker is
         // its only expander.
 
-        Function Work;
         if (Config.NaiveReapply) {
           Work = Root;
+          WorkValid = false;
           for (PhaseId Prev : E.Path) {
             PM.attempt(Prev, Work);
             ++T.PhaseApplications;
           }
-        } else {
+        } else if (!WorkValid) {
           Work = E.Instance;
+          WorkValid = true;
         }
 
         ++T.Attempted;
@@ -618,11 +670,14 @@ Enumerator::runParallel(const Function &Root, EnumerationCheckpoint *From,
             Guard.attemptNth(P, Work, Base[I * NumPhases + PI] + 1);
         if (Out != PhaseGuard::Outcome::Active) {
           T.DormantBits |= Bit;
+          if (WorkValid && !identicalInstance(Work, E.Instance))
+            WorkValid = false;
           continue;
         }
+        WorkValid = false;
         ActiveResult A;
         A.P = P;
-        A.CF = canonicalize(Work, Config.ParanoidCompare,
+        A.CF = canonicalize(Work, Scratch, Config.ParanoidCompare,
                             Config.RemapRegisters);
         if (std::optional<uint32_t> Hit = Table.lookup(A.CF.Hash)) {
           // An earlier-level (or root) node: ids already published. Nodes

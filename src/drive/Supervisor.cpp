@@ -15,10 +15,12 @@
 #include "src/store/ArtifactStore.h"
 #include "src/support/Subprocess.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 namespace pose {
 namespace drive {
@@ -333,32 +335,70 @@ SweepReport superviseModule(const PhaseManager &PM, const Module &M,
   if (!Store.prepare(Report.Error) || !QStore.prepare(Report.Error))
     return Report;
   SweepClock Clock(Opts.SweepDeadlineMs);
+  const size_t NumJobs = M.Functions.size();
+  const uint64_t SweepJobs = std::max<uint64_t>(1, Opts.SweepJobs);
 
-  for (const Function &F : M.Functions) {
+  // One state machine per function. A job moves Pending -> Running (a
+  // worker is in flight) -> back to Pending/Waiting (retry, possibly
+  // after a backoff delay) -> Done; the pool multiplexes every Running
+  // job's child. The JobOutcome is accumulated in place and committed to
+  // the report in function order at the end, so the report is identical
+  // regardless of which workers finish first.
+  enum class JobPhase : uint8_t { Pending, Waiting, Running, Done };
+  struct JobState {
+    JobPhase Phase = JobPhase::Pending;
+    HashTriple Root;
+    /// Index of the previous job with the same root, or SIZE_MAX. Jobs
+    /// sharing a root share store keys; running them in function order
+    /// (each waits for its predecessor) keeps the sequential semantics —
+    /// the second occurrence reuses the first one's result as Cached —
+    /// and prevents two workers racing on one artifact file.
+    size_t PrevSameRoot = SIZE_MAX;
+    unsigned Attempt = 0;
+    uint64_t SpawnTimeoutMs = 0; ///< Kill timer of the in-flight attempt.
+    std::chrono::steady_clock::time_point ReadyAt{}; ///< Valid: Waiting.
     JobOutcome J;
-    J.Func = F.Name;
-    const HashTriple Root =
-        canonicalize(F, false, KeyCfg.RemapRegisters).Hash;
+  };
+  std::vector<JobState> Jobs(NumJobs);
+  for (size_t I = 0; I != NumJobs; ++I) {
+    JobState &S = Jobs[I];
+    S.J.Func = M.Functions[I].Name;
+    S.Root = canonicalize(M.Functions[I], false, KeyCfg.RemapRegisters).Hash;
+    for (size_t P = I; P-- > 0;)
+      if (Jobs[P].Root == S.Root) {
+        S.PrevSameRoot = P;
+        break;
+      }
+  }
+
+  SubprocessPool Pool;
+  std::unordered_map<SubprocessPool::JobId, size_t> InFlight;
+
+  // The skip checks the sequential supervisor ran before its attempt
+  // ladder, executed when the job first becomes startable (after its
+  // root-group predecessor is done, so a predecessor's fresh result is
+  // visible as Cached). True when the job completed without a worker.
+  auto checkSkips = [&](JobState &S) -> bool {
+    JobOutcome &J = S.J;
 
     // 1. A persisted quarantine record means skip-with-diagnostic: the
     //    retry ladder was already burned on this job in an earlier sweep.
     {
       store::QuarantineRecord Q;
       std::string Err;
-      const store::LoadStatus S = QStore.loadQuarantine(Root, Fp, Q, Err);
-      if (S == store::LoadStatus::Hit) {
+      const store::LoadStatus St = QStore.loadQuarantine(S.Root, Fp, Q, Err);
+      if (St == store::LoadStatus::Hit) {
         J.Status = JobStatus::Quarantined;
         J.Stop = StopReason::WorkerCrash;
         J.Detail = "skipped: quarantined after " +
                    std::to_string(Q.Attempts) + " attempt(s) [" +
                    store::workerFailureName(Q.Failure) + "]: " + Q.Message +
                    "; remove '" +
-                   QStore.pathFor(Root, store::ArtifactKind::Quarantine) +
+                   QStore.pathFor(S.Root, store::ArtifactKind::Quarantine) +
                    "' to retry";
-        Report.Jobs.push_back(std::move(J));
-        continue;
+        return true;
       }
-      if (S == store::LoadStatus::Rejected)
+      if (St == store::LoadStatus::Rejected)
         J.Detail = "(rejected quarantine record: " + Err + ") ";
     }
 
@@ -366,96 +406,173 @@ SweepReport superviseModule(const PhaseManager &PM, const Module &M,
     {
       EnumerationResult Res;
       std::string Err;
-      const store::LoadStatus S = Store.loadResult(Root, Fp, Res, Err);
-      if (S == store::LoadStatus::Hit) {
+      const store::LoadStatus St = Store.loadResult(S.Root, Fp, Res, Err);
+      if (St == store::LoadStatus::Hit) {
         J.Status = JobStatus::Cached;
         J.Stop = Res.Stop;
         J.Nodes = Res.Nodes.size();
         J.Detail += std::string("reusing cached DAG (") +
                     stopReasonName(Res.Stop) + ")";
-        Report.Jobs.push_back(std::move(J));
-        continue;
+        return true;
       }
-      if (S == store::LoadStatus::Rejected)
+      if (St == store::LoadStatus::Rejected)
         J.Detail += "(rejected stored result: " + Err + ") ";
     }
+    return false;
+  };
 
-    // 3. The attempt ladder: spawn, classify, back off, retry; after the
-    //    budget, quarantine (crash classes) and degrade.
-    unsigned Attempt = 0;
-    AttemptOutcome Last;
-    bool SweepOutOfTime = false;
-    for (;;) {
-      if (Clock.exhausted()) {
-        SweepOutOfTime = true;
-        break;
+  // One rung of the attempt ladder: classify the finished worker and
+  // either finalize the job or schedule the retry.
+  auto onResult = [&](size_t Idx, const SubprocessResult &R) {
+    JobState &S = Jobs[Idx];
+    JobOutcome &J = S.J;
+    AttemptOutcome Last = classifyAttempt(R, S.SpawnTimeoutMs);
+
+    if (Last.Class == AttemptClass::Done) {
+      J.Status = JobStatus::Ok;
+      J.Stop = Last.Frame.Stop;
+      J.Nodes = Last.Frame.Nodes;
+      J.Attempts = S.Attempt;
+      J.Detail += std::string(stopReasonName(Last.Frame.Stop)) + ", " +
+                  u64Str(Last.Frame.Nodes) + " nodes, " +
+                  std::to_string(S.Attempt) + " attempt(s)";
+      // The worker's saveResult cleared the StoreDir quarantine record;
+      // a separate quarantine store must be cleared here.
+      QStore.removeQuarantine(S.Root);
+      S.Phase = JobPhase::Done;
+      return;
+    }
+    if (Last.Class == AttemptClass::Spawn) {
+      J.Status = JobStatus::Failed;
+      J.Attempts = S.Attempt;
+      J.Detail += "cannot spawn worker: " + Last.Note;
+      S.Phase = JobPhase::Done;
+      return;
+    }
+
+    uint64_t DelayMs = 0;
+    if (Opts.Retry.nextDelayMs(S.Attempt, S.Root.Crc, Clock.hasDeadline(),
+                               Clock.remainingMs(), DelayMs)) {
+      // Backoff is a non-blocking timestamp: other jobs keep their
+      // workers running while this one waits out its delay.
+      if (DelayMs == 0) {
+        S.Phase = JobPhase::Pending;
+      } else {
+        S.Phase = JobPhase::Waiting;
+        S.ReadyAt = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(DelayMs);
       }
-      ++Attempt;
+      return;
+    }
+
+    // Retries exhausted.
+    J.Attempts = S.Attempt;
+    if (Last.Class == AttemptClass::Crash) {
+      Last.Q.Attempts = S.Attempt;
+      std::string QErr;
+      if (QStore.saveQuarantine(S.Root, Fp, Last.Q, QErr)) {
+        J.NewlyQuarantined = true;
+        J.Detail += Last.Note + " after " + std::to_string(S.Attempt) +
+                    " attempt(s); quarantined";
+      } else {
+        J.Detail += Last.Note + " after " + std::to_string(S.Attempt) +
+                    " attempt(s); quarantine write failed: " + QErr;
+      }
+      degradeJob(J, PM, M.Functions[Idx], Store, S.Root, Fp,
+                 StopReason::WorkerCrash);
+    } else {
+      J.Detail += Last.Note + "; retries exhausted after " +
+                  std::to_string(S.Attempt) + " attempt(s)";
+      degradeJob(J, PM, M.Functions[Idx], Store, S.Root, Fp,
+                 Last.Frame.Stop);
+    }
+    S.Phase = JobPhase::Done;
+  };
+
+  for (;;) {
+    const auto Now = std::chrono::steady_clock::now();
+
+    // Promote jobs whose backoff delay has elapsed.
+    for (JobState &S : Jobs)
+      if (S.Phase == JobPhase::Waiting && Now >= S.ReadyAt)
+        S.Phase = JobPhase::Pending;
+
+    // Fill free worker slots in function order. A job held back by its
+    // root-group predecessor becomes startable in the same pass the
+    // predecessor completes (the predecessor has the smaller index).
+    for (size_t I = 0; I != NumJobs && Pool.live() < SweepJobs; ++I) {
+      JobState &S = Jobs[I];
+      if (S.Phase != JobPhase::Pending)
+        continue;
+      if (S.PrevSameRoot != SIZE_MAX &&
+          Jobs[S.PrevSameRoot].Phase != JobPhase::Done)
+        continue;
+      if (S.Attempt == 0 && checkSkips(S)) {
+        S.Phase = JobPhase::Done;
+        continue;
+      }
+      if (Clock.exhausted()) {
+        S.J.Attempts = S.Attempt;
+        S.J.Detail += "sweep deadline exhausted before the job could run";
+        degradeJob(S.J, PM, M.Functions[I], Store, S.Root, Fp,
+                   StopReason::Deadline);
+        S.Phase = JobPhase::Done;
+        continue;
+      }
+      ++S.Attempt;
       SubprocessSpec Spec;
-      Spec.Argv = workerArgv(Opts, F.Name, Attempt);
+      Spec.Argv = workerArgv(Opts, S.J.Func, S.Attempt);
       Spec.TimeoutMs = Opts.WorkerTimeoutMs;
       if (Clock.hasDeadline() &&
           (Spec.TimeoutMs == 0 || Spec.TimeoutMs > Clock.remainingMs()))
         Spec.TimeoutMs = Clock.remainingMs();
       Spec.MemoryLimitBytes = Opts.WorkerRlimitMb * 1024 * 1024;
-      Last = classifyAttempt(runSubprocess(Spec), Spec.TimeoutMs);
+      S.SpawnTimeoutMs = Spec.TimeoutMs;
+      InFlight[Pool.spawn(Spec)] = I;
+      S.Phase = JobPhase::Running;
+    }
 
-      if (Last.Class == AttemptClass::Done) {
-        J.Status = JobStatus::Ok;
-        J.Stop = Last.Frame.Stop;
-        J.Nodes = Last.Frame.Nodes;
-        J.Attempts = Attempt;
-        J.Detail += std::string(stopReasonName(Last.Frame.Stop)) + ", " +
-                    u64Str(Last.Frame.Nodes) + " nodes, " +
-                    std::to_string(Attempt) + " attempt(s)";
-        // The worker's saveResult cleared the StoreDir quarantine record;
-        // a separate quarantine store must be cleared here.
-        QStore.removeQuarantine(Root);
+    bool AllDone = true;
+    for (const JobState &S : Jobs)
+      if (S.Phase != JobPhase::Done) {
+        AllDone = false;
         break;
       }
-      if (Last.Class == AttemptClass::Spawn) {
-        J.Status = JobStatus::Failed;
-        J.Attempts = Attempt;
-        J.Detail += "cannot spawn worker: " + Last.Note;
-        break;
-      }
-
-      uint64_t DelayMs = 0;
-      if (Opts.Retry.nextDelayMs(Attempt, Root.Crc, Clock.hasDeadline(),
-                                 Clock.remainingMs(), DelayMs)) {
-        if (DelayMs != 0)
-          std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
-        continue;
-      }
-
-      // Retries exhausted.
-      J.Attempts = Attempt;
-      if (Last.Class == AttemptClass::Crash) {
-        Last.Q.Attempts = Attempt;
-        std::string QErr;
-        if (QStore.saveQuarantine(Root, Fp, Last.Q, QErr)) {
-          J.NewlyQuarantined = true;
-          J.Detail += Last.Note + " after " + std::to_string(Attempt) +
-                      " attempt(s); quarantined";
-        } else {
-          J.Detail += Last.Note + " after " + std::to_string(Attempt) +
-                      " attempt(s); quarantine write failed: " + QErr;
-        }
-        degradeJob(J, PM, F, Store, Root, Fp, StopReason::WorkerCrash);
-      } else {
-        J.Detail += Last.Note + "; retries exhausted after " +
-                    std::to_string(Attempt) + " attempt(s)";
-        degradeJob(J, PM, F, Store, Root, Fp, Last.Frame.Stop);
-      }
+    if (AllDone)
       break;
+
+    // Wait for a completion, bounded by the nearest backoff expiry so a
+    // freed retry gets its slot promptly.
+    uint64_t WaitMs = 1000 * 60 * 60;
+    for (const JobState &S : Jobs)
+      if (S.Phase == JobPhase::Waiting) {
+        const int64_t Left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(S.ReadyAt -
+                                                                  Now)
+                .count();
+        WaitMs = std::min<uint64_t>(
+            WaitMs, static_cast<uint64_t>(Left < 1 ? 1 : Left));
+      }
+    if (Pool.idle()) {
+      // Nothing in flight — every unfinished job is waiting out a
+      // backoff. Sleep until the nearest expiry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          WaitMs == 1000 * 60 * 60 ? 1 : WaitMs));
+      continue;
     }
-    if (SweepOutOfTime) {
-      J.Attempts = Attempt;
-      J.Detail += "sweep deadline exhausted before the job could run";
-      degradeJob(J, PM, F, Store, Root, Fp, StopReason::Deadline);
+    for (auto &Done : Pool.wait(WaitMs)) {
+      const auto It = InFlight.find(Done.first);
+      if (It == InFlight.end())
+        continue;
+      const size_t Idx = It->second;
+      InFlight.erase(It);
+      onResult(Idx, Done.second);
     }
-    Report.Jobs.push_back(std::move(J));
   }
+
+  Report.Jobs.reserve(NumJobs);
+  for (JobState &S : Jobs)
+    Report.Jobs.push_back(std::move(S.J));
   return Report;
 }
 

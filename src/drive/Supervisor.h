@@ -9,7 +9,10 @@
 /// run in a sandboxed `posec --worker` child process (see
 /// src/support/Subprocess.h), so that a worker that SIGSEGVs, gets OOM
 /// killed, or hangs costs one classified job failure instead of the whole
-/// sweep. The supervisor owns:
+/// sweep. Up to \ref SupervisorOptions::SweepJobs workers run
+/// concurrently through a bounded SubprocessPool; scheduling never
+/// changes observable output (see the SweepJobs field). The supervisor
+/// owns:
 ///
 ///  - a \ref RetryPolicy: bounded retries with exponential backoff and
 ///    deterministic jitter, refused when the sweep's wall-clock budget
@@ -104,6 +107,13 @@ struct SupervisorOptions {
   uint64_t WorkerRlimitMb = 0;       ///< RLIMIT_AS cap per worker (0 = off).
   uint64_t SweepDeadlineMs = 0;      ///< Whole-sweep budget (0 = none).
   RetryPolicy Retry;                 ///< Backoff schedule between attempts.
+  /// Maximum worker processes in flight at once (--sweep-jobs); clamped
+  /// to at least 1. Execution-only: the report, stored artifacts, and
+  /// quarantine records are byte-identical for any value — jobs whose
+  /// functions canonicalize to the same root (and therefore share store
+  /// keys) are serialized in function order, every other job is
+  /// independent, and the report always commits in function order.
+  uint64_t SweepJobs = 1;
 };
 
 /// How one job ended.
@@ -143,9 +153,11 @@ struct SweepReport {
   int exitCode() const;
 };
 
-/// Runs one supervised sweep over every function of \p M, sequentially.
+/// Runs one supervised sweep over every function of \p M, keeping up to
+/// SweepJobs worker processes in flight through a SubprocessPool.
 /// \p PM is used for store keying and the batch-compile fallback only;
-/// all enumeration happens in child processes.
+/// all enumeration happens in child processes. The report is committed
+/// in function order regardless of completion order.
 SweepReport superviseModule(const PhaseManager &PM, const Module &M,
                             const SupervisorOptions &Opts);
 

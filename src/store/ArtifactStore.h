@@ -43,7 +43,10 @@ namespace store {
 /// layout changes; artifacts written by any other version are rejected.
 /// Version 2: StopReason gained WorkerCrash (wider encoded range) and the
 /// store gained quarantine records.
-constexpr uint32_t kFormatVersion = 2;
+/// Version 3: canonical serialization widened the per-instruction arg
+/// count from uint8_t to uint32_t, changing every hash triple (and with
+/// it the artifact keys stored artifacts were computed under).
+constexpr uint32_t kFormatVersion = 3;
 
 /// What an artifact file contains.
 enum class ArtifactKind : uint32_t {

@@ -33,7 +33,11 @@ public:
   /// Folds \p Byte into the running checksum.
   void update(uint8_t Byte);
 
-  /// Folds \p Size bytes at \p Data into the running checksum.
+  /// Folds \p Size bytes at \p Data into the running checksum. Uses the
+  /// slicing-by-8 table walk (eight table lookups per eight input bytes
+  /// instead of eight dependent per-byte steps), so bulk updates over a
+  /// whole serialized buffer run several times faster than streaming the
+  /// same bytes one at a time.
   void update(const uint8_t *Data, size_t Size);
 
   /// Returns the finalized checksum for the bytes seen so far.

@@ -6,6 +6,7 @@
 
 #include "src/support/Subprocess.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -30,13 +31,27 @@ void closeFd(int &Fd) {
   }
 }
 
-/// Reaps \p Pid, retrying across EINTR.
+/// Reaps \p Pid, blocking, retrying across EINTR.
 int awaitChild(pid_t Pid) {
   int Status = 0;
   while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
   }
   return Status;
 }
+
+/// Non-blocking reap attempt; returns waitpid's pid-or-zero, EINTR-safe.
+pid_t tryReap(pid_t Pid, int &Status) {
+  pid_t Got;
+  while ((Got = ::waitpid(Pid, &Status, WNOHANG)) < 0 && errno == EINTR) {
+  }
+  return Got;
+}
+
+/// After a kill, how long an idle pipe is granted before we stop waiting
+/// for EOF: the dead tree's buffered output arrives immediately, and an
+/// orphan that escaped the process group (changed its own pgid) must not
+/// stall the pool. Each successful read restarts the window.
+constexpr uint64_t kGraceIdleMs = 50;
 
 } // namespace
 
@@ -54,46 +69,90 @@ const char *pose::exitKindName(ExitKind K) {
   return "?";
 }
 
-SubprocessResult pose::runSubprocess(const SubprocessSpec &Spec) {
+/// One live child: its pipes, its kill timer, and the result being
+/// accumulated. The pool owns the pid until the child is reaped.
+struct SubprocessPool::Child {
+  JobId Id = 0;
+  pid_t Pid = -1;
+  int OutFd = -1;
+  int ErrFd = -1;
   SubprocessResult R;
-  if (Spec.Argv.empty()) {
-    R.Error = "empty argv";
-    return R;
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+  bool Killed = false;
+  Clock::time_point GraceDeadline{};
+};
+
+// Out-of-line where Child is complete: the header's vector<Child> member
+// only works with an incomplete Child if nothing touching the vector is
+// inline.
+SubprocessPool::SubprocessPool() = default;
+
+size_t SubprocessPool::live() const { return Children.size(); }
+
+bool SubprocessPool::idle() const {
+  return Children.empty() && Ready.empty();
+}
+
+SubprocessPool::~SubprocessPool() {
+  for (Child &C : Children) {
+    ::kill(-C.Pid, SIGKILL);
+    ::kill(C.Pid, SIGKILL);
+    closeFd(C.OutFd);
+    closeFd(C.ErrFd);
+    awaitChild(C.Pid);
   }
+}
+
+SubprocessPool::JobId SubprocessPool::spawn(const SubprocessSpec &Spec) {
+  const JobId Id = NextId++;
+  SubprocessResult R;
+
+  auto Fail = [&](std::string Error) {
+    R.Kind = ExitKind::SpawnFailed;
+    R.Error = std::move(Error);
+    Ready.emplace_back(Id, std::move(R));
+    return Id;
+  };
+
+  if (Spec.Argv.empty())
+    return Fail("empty argv");
 
   // Three pipes: child stdout, child stderr, and a CLOEXEC status pipe
   // that distinguishes "exec failed" from "child ran and exited" — a
   // successful exec closes the write end, a failed one writes errno.
   int OutPipe[2] = {-1, -1}, ErrPipe[2] = {-1, -1}, ExecPipe[2] = {-1, -1};
   if (::pipe(OutPipe) != 0 || ::pipe(ErrPipe) != 0 || ::pipe(ExecPipe) != 0) {
-    R.Error = std::string("pipe: ") + std::strerror(errno);
+    const int E = errno;
     closeFd(OutPipe[0]);
     closeFd(OutPipe[1]);
     closeFd(ErrPipe[0]);
     closeFd(ErrPipe[1]);
     closeFd(ExecPipe[0]);
     closeFd(ExecPipe[1]);
-    return R;
+    return Fail(std::string("pipe: ") + std::strerror(E));
   }
   ::fcntl(ExecPipe[1], F_SETFD, FD_CLOEXEC);
 
   const pid_t Pid = ::fork();
   if (Pid < 0) {
-    R.Error = std::string("fork: ") + std::strerror(errno);
+    const int E = errno;
     closeFd(OutPipe[0]);
     closeFd(OutPipe[1]);
     closeFd(ErrPipe[0]);
     closeFd(ErrPipe[1]);
     closeFd(ExecPipe[0]);
     closeFd(ExecPipe[1]);
-    return R;
+    return Fail(std::string("fork: ") + std::strerror(E));
   }
 
   if (Pid == 0) {
     // Child: lead a fresh process group (so the kill timer can SIGKILL
     // the whole tree, not just the immediate child), wire the pipes,
     // apply the address-space cap, exec. Only async-signal-safe calls
-    // from here on.
+    // from here on. Inherited read ends of sibling children's pipes are
+    // harmless: they are read ends, so they cannot hold a sibling's EOF
+    // hostage.
     ::setpgid(0, 0);
     ::dup2(OutPipe[1], STDOUT_FILENO);
     ::dup2(ErrPipe[1], STDERR_FILENO);
@@ -128,7 +187,8 @@ SubprocessResult pose::runSubprocess(const SubprocessSpec &Spec) {
   closeFd(ExecPipe[1]);
 
   // The status pipe resolves quickly either way: EOF on successful exec
-  // (CLOEXEC), an errno value on failure.
+  // (CLOEXEC), an errno value on failure. This is the only blocking read
+  // in spawn(), and it is bounded by the exec itself.
   int ExecErrno = 0;
   ssize_t N;
   while ((N = ::read(ExecPipe[0], &ExecErrno, sizeof(ExecErrno))) < 0 &&
@@ -139,98 +199,160 @@ SubprocessResult pose::runSubprocess(const SubprocessSpec &Spec) {
     awaitChild(Pid);
     closeFd(OutPipe[0]);
     closeFd(ErrPipe[0]);
-    R.Kind = ExitKind::SpawnFailed;
-    R.Error = "cannot exec '" + Spec.Argv[0] +
-              "': " + std::strerror(ExecErrno);
-    return R;
+    return Fail("cannot exec '" + Spec.Argv[0] +
+                "': " + std::strerror(ExecErrno));
   }
 
-  // Drain stdout/stderr under the kill timer. A hung child produces no
-  // EOF, so the poll timeout is what fires the timer.
-  const bool HasDeadline = Spec.TimeoutMs != 0;
-  const Clock::time_point Deadline =
-      Clock::now() + std::chrono::milliseconds(Spec.TimeoutMs);
-  bool Killed = false;
-  struct Stream {
-    int Fd;
-    std::string *Buf;
-  } Streams[2] = {{OutPipe[0], &R.Stdout}, {ErrPipe[0], &R.Stderr}};
+  Child C;
+  C.Id = Id;
+  C.Pid = Pid;
+  C.OutFd = OutPipe[0];
+  C.ErrFd = ErrPipe[0];
+  C.HasDeadline = Spec.TimeoutMs != 0;
+  if (C.HasDeadline)
+    C.Deadline = Clock::now() + std::chrono::milliseconds(Spec.TimeoutMs);
+  Children.push_back(std::move(C));
+  return Id;
+}
 
-  int OpenStreams = 2;
+std::vector<std::pair<SubprocessPool::JobId, SubprocessResult>>
+SubprocessPool::wait(uint64_t MaxWaitMs) {
+  std::vector<std::pair<JobId, SubprocessResult>> Out;
+  std::swap(Out, Ready);
+
+  const Clock::time_point WaitDeadline =
+      Clock::now() + std::chrono::milliseconds(MaxWaitMs);
+  bool Expired = false;
   char Chunk[4096];
-  while (OpenStreams > 0) {
-    int PollMs = -1;
-    if (HasDeadline && !Killed) {
-      const auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          Deadline - Clock::now());
-      if (Left.count() <= 0) {
+
+  for (;;) {
+    const Clock::time_point Now = Clock::now();
+
+    // Fire kill timers, and force-close the pipes of killed children
+    // whose grace window ran out without producing data.
+    for (Child &C : Children) {
+      if (!C.Killed && C.HasDeadline && Now >= C.Deadline) {
         // Nuke the whole process group: a worker's own children must not
         // survive it (they would hold the pipe write ends open).
-        ::kill(-Pid, SIGKILL);
-        ::kill(Pid, SIGKILL);
-        Killed = true;
-      } else {
-        PollMs = static_cast<int>(
-            std::min<int64_t>(Left.count(), 1000 * 60 * 60));
+        ::kill(-C.Pid, SIGKILL);
+        ::kill(C.Pid, SIGKILL);
+        C.Killed = true;
+        C.GraceDeadline = Now + std::chrono::milliseconds(kGraceIdleMs);
+      }
+      if (C.Killed && Now >= C.GraceDeadline) {
+        closeFd(C.OutFd);
+        closeFd(C.ErrFd);
       }
     }
-    // After the kill, whatever the dead tree left buffered arrives
-    // immediately; an orphan that escaped the group (changed its own
-    // pgid) must not stall the caller waiting for EOF, so the drain
-    // switches to a short grace poll and stops on the first idle one.
-    if (Killed)
-      PollMs = 50;
-    struct pollfd Fds[2];
-    int NFds = 0;
-    for (const Stream &S : Streams)
-      if (S.Fd >= 0) {
-        Fds[NFds].fd = S.Fd;
-        Fds[NFds].events = POLLIN;
-        Fds[NFds].revents = 0;
-        ++NFds;
-      }
-    const int Ready = ::poll(Fds, static_cast<nfds_t>(NFds), PollMs);
-    if (Ready < 0) {
-      if (errno == EINTR)
+
+    // Reap children whose pipes are fully closed. WNOHANG can come up
+    // empty for an instant after a SIGKILL; such a child stays and the
+    // short reap tick below retries.
+    for (size_t I = 0; I != Children.size();) {
+      Child &C = Children[I];
+      if (C.OutFd >= 0 || C.ErrFd >= 0) {
+        ++I;
         continue;
-      break; // Unexpected; fall through to reap with what we have.
+      }
+      int Status = 0;
+      const pid_t Got = tryReap(C.Pid, Status);
+      if (Got == 0) {
+        ++I;
+        continue;
+      }
+      if (C.Killed) {
+        C.R.Kind = ExitKind::TimedOut;
+        C.R.Signal = SIGKILL;
+      } else if (Got > 0 && WIFSIGNALED(Status)) {
+        C.R.Kind = ExitKind::Signalled;
+        C.R.Signal = WTERMSIG(Status);
+      } else {
+        C.R.Kind = ExitKind::Exited;
+        C.R.ExitCode =
+            (Got > 0 && WIFEXITED(Status)) ? WEXITSTATUS(Status) : -1;
+      }
+      Out.emplace_back(C.Id, std::move(C.R));
+      Children.erase(Children.begin() + I);
     }
-    if (Ready == 0) {
-      if (Killed)
-        break; // Grace poll came up empty; stop waiting for EOF.
-      continue; // Timer expiry is handled at the top of the loop.
+
+    if (!Out.empty() || Children.empty() || Expired)
+      return Out;
+
+    // Sleep until the nearest of: the caller's wait deadline, a kill
+    // timer, a grace window, or a short retry tick for an unreapable
+    // just-killed child.
+    Clock::time_point Next = WaitDeadline;
+    bool ReapPending = false;
+    for (const Child &C : Children) {
+      if (!C.Killed && C.HasDeadline && C.Deadline < Next)
+        Next = C.Deadline;
+      if (C.Killed && C.GraceDeadline < Next)
+        Next = C.GraceDeadline;
+      if (C.OutFd < 0 && C.ErrFd < 0)
+        ReapPending = true;
     }
-    for (int I = 0; I != NFds; ++I) {
+    int64_t PollMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Next - Clock::now())
+                         .count();
+    PollMs = std::max<int64_t>(PollMs, 0);
+    if (ReapPending)
+      PollMs = std::min<int64_t>(PollMs, 10);
+    PollMs = std::min<int64_t>(PollMs, 1000 * 60 * 60);
+
+    // One poll across every live pipe of every child.
+    struct Slot {
+      size_t ChildIdx;
+      bool IsErr;
+    };
+    std::vector<struct pollfd> Fds;
+    std::vector<Slot> Slots;
+    Fds.reserve(Children.size() * 2);
+    Slots.reserve(Children.size() * 2);
+    for (size_t I = 0; I != Children.size(); ++I) {
+      const Child &C = Children[I];
+      if (C.OutFd >= 0) {
+        Fds.push_back({C.OutFd, POLLIN, 0});
+        Slots.push_back({I, false});
+      }
+      if (C.ErrFd >= 0) {
+        Fds.push_back({C.ErrFd, POLLIN, 0});
+        Slots.push_back({I, true});
+      }
+    }
+    const int NReady = ::poll(Fds.empty() ? nullptr : Fds.data(),
+                              static_cast<nfds_t>(Fds.size()),
+                              static_cast<int>(PollMs));
+    if (NReady < 0 && errno != EINTR)
+      Expired = true; // Unexpected; deliver what we have after one reap pass.
+
+    for (size_t I = 0; NReady > 0 && I != Fds.size(); ++I) {
       if (Fds[I].revents == 0)
         continue;
-      for (Stream &S : Streams) {
-        if (S.Fd != Fds[I].fd)
-          continue;
-        const ssize_t Got = ::read(S.Fd, Chunk, sizeof(Chunk));
-        if (Got > 0) {
-          S.Buf->append(Chunk, static_cast<size_t>(Got));
-        } else if (Got == 0 || (Got < 0 && errno != EINTR)) {
-          closeFd(S.Fd);
-          --OpenStreams;
-        }
+      Child &C = Children[Slots[I].ChildIdx];
+      int &Fd = Slots[I].IsErr ? C.ErrFd : C.OutFd;
+      std::string &Buf = Slots[I].IsErr ? C.R.Stderr : C.R.Stdout;
+      const ssize_t Got = ::read(Fd, Chunk, sizeof(Chunk));
+      if (Got > 0) {
+        Buf.append(Chunk, static_cast<size_t>(Got));
+        if (C.Killed) // Data restarts the post-kill idle window.
+          C.GraceDeadline =
+              Clock::now() + std::chrono::milliseconds(kGraceIdleMs);
+      } else if (Got == 0 || (Got < 0 && errno != EINTR)) {
+        closeFd(Fd);
       }
     }
-  }
-  closeFd(OutPipe[0]);
-  closeFd(ErrPipe[0]);
 
-  const int Status = awaitChild(Pid);
-  if (Killed) {
-    R.Kind = ExitKind::TimedOut;
-    R.Signal = SIGKILL;
-    return R;
+    if (Clock::now() >= WaitDeadline)
+      Expired = true; // Loop once more: fire timers, reap, then return.
   }
-  if (WIFSIGNALED(Status)) {
-    R.Kind = ExitKind::Signalled;
-    R.Signal = WTERMSIG(Status);
-    return R;
+}
+
+SubprocessResult pose::runSubprocess(const SubprocessSpec &Spec) {
+  SubprocessPool Pool;
+  Pool.spawn(Spec);
+  for (;;) {
+    auto Done = Pool.wait(1000 * 60 * 60);
+    if (!Done.empty())
+      return std::move(Done.front().second);
   }
-  R.Kind = ExitKind::Exited;
-  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
-  return R;
 }

@@ -70,7 +70,58 @@ struct SubprocessResult {
 
 /// Runs \p Spec to completion (or to its kill timer) and returns the
 /// classified outcome. Blocking; the caller owns scheduling and retries.
+/// Implemented as a one-child SubprocessPool, so the blocking and pooled
+/// paths share every line of the sandbox machinery.
 SubprocessResult runSubprocess(const SubprocessSpec &Spec);
+
+/// A bounded spawn pool: several sandboxed children run concurrently, and
+/// one poll() loop multiplexes their stdout/stderr drains, per-child kill
+/// timers, and reaping. The concurrent supervisor drives its worker
+/// processes through this — spawn up to N jobs, then wait() for whichever
+/// finishes first — while runSubprocess() above is the same machinery
+/// with exactly one child.
+///
+/// Each child gets the full blast shield of runSubprocess: its own
+/// process group (the kill timer SIGKILLs the whole tree), an optional
+/// RLIMIT_AS cap applied inside the child, a CLOEXEC exec-status pipe
+/// distinguishing spawn failure from a running child, and a bounded grace
+/// drain after a kill so an escaped orphan holding the pipe open cannot
+/// stall the pool. Not thread-safe; one owner drives spawn()/wait().
+class SubprocessPool {
+public:
+  /// Identifies one spawned child across spawn()/wait().
+  using JobId = uint64_t;
+
+  SubprocessPool();
+  SubprocessPool(const SubprocessPool &) = delete;
+  SubprocessPool &operator=(const SubprocessPool &) = delete;
+  /// SIGKILLs and reaps any children still live.
+  ~SubprocessPool();
+
+  /// Starts \p Spec. Never blocks on the child's lifetime (only on the
+  /// immediate fork/exec handshake). A spawn failure is reported as a
+  /// completed SpawnFailed result from the next wait(), under the
+  /// returned id, so callers handle it through one code path.
+  JobId spawn(const SubprocessSpec &Spec);
+
+  /// Number of children currently running (spawn-failed jobs excluded).
+  size_t live() const;
+
+  /// True when no child is live and no completed result is undelivered.
+  bool idle() const;
+
+  /// Waits up to \p MaxWaitMs for completions and returns every result
+  /// available by then (empty on timeout). Returns as soon as at least
+  /// one child completes; kill timers of the remaining children keep
+  /// being serviced while waiting.
+  std::vector<std::pair<JobId, SubprocessResult>> wait(uint64_t MaxWaitMs);
+
+private:
+  struct Child;
+  std::vector<Child> Children;
+  std::vector<std::pair<JobId, SubprocessResult>> Ready;
+  JobId NextId = 1;
+};
 
 } // namespace pose
 

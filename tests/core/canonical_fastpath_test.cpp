@@ -1,0 +1,336 @@
+//===- canonical_fastpath_test.cpp - Fast-path differential tests --------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The canonicalization fast path (CanonicalScratch: dense remap arrays,
+// one whole-buffer CRC) must be byte-for-byte indistinguishable from the
+// reference implementation (std::map remapping, per-byte CRC) on every
+// input either can see: real compiled workloads, register/label
+// permutations of them, and seeded random functions covering every
+// operand kind, empty blocks, and both register classes. One scratch is
+// reused across every comparison, so any state leaking between calls
+// shows up as a divergence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Canonical.h"
+
+#include "src/frontend/Compile.h"
+#include "src/ir/Function.h"
+#include "src/support/Rng.h"
+#include "src/workloads/Workloads.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+/// Every function of every workload, once.
+std::vector<Function> sampleFunctions() {
+  std::vector<Function> Out;
+  for (const Workload &W : allWorkloads()) {
+    Module M = compileOrDie(W.Source);
+    for (Function &F : M.Functions)
+      Out.push_back(std::move(F));
+  }
+  return Out;
+}
+
+/// Asserts the fast path (through \p Scratch) and the scratch-free
+/// wrapper both reproduce the reference implementation exactly, with and
+/// without register remapping.
+void expectFastMatchesReference(const Function &F, CanonicalScratch &Scratch,
+                                const char *What) {
+  for (const bool Remap : {true, false}) {
+    const CanonicalForm Ref =
+        canonicalizeReference(F, /*KeepBytes=*/true, Remap);
+    const CanonicalForm Fast =
+        canonicalize(F, Scratch, /*KeepBytes=*/true, Remap);
+    EXPECT_EQ(Ref.Hash, Fast.Hash) << What << " remap=" << Remap;
+    EXPECT_EQ(Ref.Bytes, Fast.Bytes) << What << " remap=" << Remap;
+    const CanonicalForm Wrapper = canonicalize(F, /*KeepBytes=*/true, Remap);
+    EXPECT_EQ(Ref.Hash, Wrapper.Hash) << What << " remap=" << Remap;
+    EXPECT_EQ(Ref.Bytes, Wrapper.Bytes) << What << " remap=" << Remap;
+  }
+}
+
+/// Class-preserving random register permutation (hardware and pseudo
+/// permute within their own classes, as remapping expects).
+Function permuteRegisters(const Function &F, Rng &R) {
+  std::set<RegNum> Hardware, Pseudo;
+  auto Note = [&](RegNum Reg) {
+    (isHardwareReg(Reg) ? Hardware : Pseudo).insert(Reg);
+  };
+  for (const BasicBlock &B : F.Blocks)
+    for (const Rtl &I : B.Insts) {
+      if (I.Dst.isReg())
+        Note(I.Dst.getReg());
+      I.forEachUsedReg(Note);
+    }
+  auto Permute = [&R](const std::set<RegNum> &Used) {
+    std::vector<RegNum> From(Used.begin(), Used.end());
+    std::vector<RegNum> To = From;
+    for (size_t I = To.size(); I > 1; --I)
+      std::swap(To[I - 1], To[R.below(I)]);
+    std::map<RegNum, RegNum> Map;
+    for (size_t I = 0; I != From.size(); ++I)
+      Map[From[I]] = To[I];
+    return Map;
+  };
+  std::map<RegNum, RegNum> Map = Permute(Hardware);
+  std::map<RegNum, RegNum> PseudoMap = Permute(Pseudo);
+  Map.insert(PseudoMap.begin(), PseudoMap.end());
+  Function G = F;
+  for (BasicBlock &B : G.Blocks)
+    for (Rtl &I : B.Insts) {
+      if (I.Dst.isReg())
+        I.Dst = Operand::reg(Map.at(I.Dst.getReg()));
+      I.forEachUseOperand(
+          [&](Operand &O) { O = Operand::reg(Map.at(O.getReg())); });
+    }
+  return G;
+}
+
+/// Renames every block label to a scrambled number far outside the dense
+/// range (the fast path must fall back to its sorted-pairs label table
+/// and still match the reference byte for byte).
+Function relabelBlocksHuge(const Function &F, Rng &R) {
+  Function G = F;
+  std::vector<int32_t> Old;
+  for (const BasicBlock &B : G.Blocks)
+    Old.push_back(B.Label);
+  std::vector<int32_t> Scrambled = Old;
+  for (size_t I = Scrambled.size(); I > 1; --I)
+    std::swap(Scrambled[I - 1], Scrambled[R.below(I)]);
+  const int32_t Base = 50'000'000 + static_cast<int32_t>(R.below(1'000));
+  std::map<int32_t, int32_t> Map;
+  for (size_t I = 0; I != Old.size(); ++I)
+    Map[Scrambled[I]] = Base + static_cast<int32_t>(I) * 977;
+  for (BasicBlock &B : G.Blocks) {
+    B.Label = Map.at(B.Label);
+    for (Rtl &I : B.Insts)
+      for (Operand &S : I.Src)
+        if (S.isLabel())
+          S = Operand::label(Map.at(S.Value));
+  }
+  G.recomputeCounters();
+  return G;
+}
+
+/// A seeded random function exercising everything the serializers handle:
+/// every operand kind, hardware and pseudo registers (including sparse
+/// pseudo numbers), conditional branches and jumps whose labels resolve
+/// through empty blocks, calls with argument lists, and empty blocks
+/// themselves.
+Function randomFunction(Rng &R) {
+  Function F;
+  F.Name = "rand";
+  F.ReturnsValue = R.below(2) == 0;
+  const size_t NumSlots = 1 + R.below(3);
+  for (size_t I = 0; I != NumSlots; ++I) {
+    StackSlot S;
+    S.Name = "s" + std::to_string(I);
+    S.SizeWords = 1 + static_cast<int32_t>(R.below(4));
+    S.IsArray = R.below(3) == 0;
+    S.IsParam = I == 0;
+    F.addSlot(S);
+  }
+  F.NumParams = 1;
+  const size_t NumBlocks = 1 + R.below(6);
+  for (size_t I = 0; I != NumBlocks; ++I)
+    F.addBlock();
+
+  auto RandReg = [&]() -> RegNum {
+    if (R.below(2) == 0)
+      return static_cast<RegNum>(R.below(FirstPseudoReg));
+    // Sparse pseudo numbers stress the fast path's grow-on-demand map.
+    return FirstPseudoReg + static_cast<RegNum>(R.below(4000));
+  };
+  auto RegOrImm = [&]() {
+    return R.below(2) == 0
+               ? Operand::reg(RandReg())
+               : Operand::imm(static_cast<int32_t>(R.below(1000)) - 500);
+  };
+  auto RandLabel = [&]() {
+    return Operand::label(F.Blocks[R.below(NumBlocks)].Label);
+  };
+
+  for (size_t BI = 0; BI != NumBlocks; ++BI) {
+    BasicBlock &B = F.Blocks[BI];
+    // A quarter of the blocks stay empty: labels pointing at them must
+    // resolve through to the next emitted instruction.
+    const size_t NumInsts = R.below(4) == 0 ? 0 : 1 + R.below(5);
+    for (size_t II = 0; II != NumInsts; ++II) {
+      Rtl I;
+      switch (R.below(8)) {
+      case 0:
+        I.Opcode = Op::Mov;
+        I.Dst = Operand::reg(RandReg());
+        I.Src[0] = RegOrImm();
+        break;
+      case 1:
+        I.Opcode = R.below(2) == 0 ? Op::Add : Op::Xor;
+        I.Dst = Operand::reg(RandReg());
+        I.Src[0] = Operand::reg(RandReg());
+        I.Src[1] = RegOrImm();
+        break;
+      case 2:
+        I.Opcode = Op::Lea;
+        I.Dst = Operand::reg(RandReg());
+        I.Src[0] = R.below(2) == 0
+                       ? Operand::slot(static_cast<int32_t>(
+                             R.below(NumSlots)))
+                       : Operand::global(static_cast<int32_t>(R.below(4)));
+        break;
+      case 3:
+        I.Opcode = Op::Load;
+        I.Dst = Operand::reg(RandReg());
+        I.Src[0] = Operand::reg(RandReg());
+        I.Src[1] = Operand::imm(static_cast<int32_t>(R.below(16)));
+        break;
+      case 4:
+        I.Opcode = Op::Store;
+        I.Src[0] = Operand::reg(RandReg());
+        I.Src[1] = Operand::imm(static_cast<int32_t>(R.below(16)));
+        I.Src[2] = RegOrImm();
+        break;
+      case 5:
+        I.Opcode = Op::Cmp;
+        I.Src[0] = Operand::reg(RandReg());
+        I.Src[1] = RegOrImm();
+        break;
+      case 6:
+        I.Opcode = Op::Call;
+        if (R.below(2) == 0)
+          I.Dst = Operand::reg(RandReg());
+        I.Src[0] = Operand::global(static_cast<int32_t>(R.below(4)));
+        for (size_t A = R.below(5); A != 0; --A)
+          I.Args.push_back(RegOrImm());
+        break;
+      default:
+        I.Opcode = Op::Neg;
+        I.Dst = Operand::reg(RandReg());
+        I.Src[0] = Operand::reg(RandReg());
+        break;
+      }
+      B.Insts.push_back(std::move(I));
+    }
+    // Terminators: branches and jumps whose labels point anywhere in the
+    // function (including backwards and at empty blocks).
+    const size_t T = R.below(4);
+    if (T == 0) {
+      Rtl J(Op::Jump);
+      J.Src[0] = RandLabel();
+      B.Insts.push_back(std::move(J));
+    } else if (T == 1) {
+      Rtl Br(Op::Branch);
+      Br.CC = static_cast<Cond>(1 + R.below(10));
+      Br.Src[0] = RandLabel();
+      B.Insts.push_back(std::move(Br));
+    } // else fall through.
+  }
+  Rtl Ret(Op::Ret);
+  if (F.ReturnsValue)
+    Ret.Src[0] = RegOrImm();
+  F.Blocks.back().Insts.push_back(std::move(Ret));
+  if (R.below(2) == 0)
+    F.State.RegsAssigned = true;
+  if (R.below(2) == 0)
+    F.State.RegAllocDone = true;
+  return F;
+}
+
+TEST(CanonicalFastPath, MatchesReferenceOnAllWorkloadFunctions) {
+  CanonicalScratch Scratch;
+  for (const Function &F : sampleFunctions())
+    expectFastMatchesReference(F, Scratch, F.Name.c_str());
+}
+
+TEST(CanonicalFastPath, MatchesReferenceOnPermutedAndRelabeledFunctions) {
+  CanonicalScratch Scratch;
+  std::vector<Function> Fns = sampleFunctions();
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    Rng R(Seed);
+    for (const Function &F : Fns) {
+      const Function P = relabelBlocksHuge(permuteRegisters(F, R), R);
+      expectFastMatchesReference(P, Scratch, F.Name.c_str());
+      // The permutation must also still vanish under remapping on the
+      // fast path, exactly as it does on the reference path.
+      EXPECT_EQ(canonicalize(F, Scratch).Hash,
+                canonicalize(P, Scratch).Hash)
+          << "seed " << Seed << " fn " << F.Name;
+    }
+  }
+}
+
+TEST(CanonicalFastPath, MatchesReferenceOnSeededRandomFunctions) {
+  CanonicalScratch Scratch;
+  for (uint64_t Seed = 1; Seed <= 64; ++Seed) {
+    Rng R(Seed);
+    const Function F = randomFunction(R);
+    expectFastMatchesReference(F, Scratch,
+                               ("seed " + std::to_string(Seed)).c_str());
+  }
+}
+
+TEST(CanonicalFastPath, ScratchReuseIsStateless) {
+  // The same function canonicalized through a heavily reused scratch must
+  // equal a fresh-scratch canonicalization: epochs fully isolate calls.
+  std::vector<Function> Fns = sampleFunctions();
+  ASSERT_FALSE(Fns.empty());
+  CanonicalScratch Used;
+  Rng R(11);
+  for (int I = 0; I != 50; ++I)
+    (void)canonicalize(randomFunction(R), Used, /*KeepBytes=*/false);
+  for (const Function &F : Fns) {
+    CanonicalScratch Fresh;
+    const CanonicalForm A = canonicalize(F, Used, /*KeepBytes=*/true);
+    const CanonicalForm B = canonicalize(F, Fresh, /*KeepBytes=*/true);
+    EXPECT_EQ(A.Hash, B.Hash) << F.Name;
+    EXPECT_EQ(A.Bytes, B.Bytes) << F.Name;
+  }
+}
+
+TEST(CanonicalFastPath, WideCallArgCountIsNotTruncated) {
+  // Regression for the serialized arg count: it was a uint8_t, so a call
+  // with more than 255 arguments aliased one with (N mod 256). The count
+  // is now a u32; the byte stream must grow by exactly one arg's encoding
+  // per argument, with no discontinuity at 256.
+  auto CallWith = [](size_t NumArgs) {
+    Function F;
+    F.Name = "caller";
+    F.addBlock();
+    Rtl C(Op::Call);
+    C.Src[0] = Operand::global(0);
+    for (size_t I = 0; I != NumArgs; ++I)
+      C.Args.push_back(Operand::imm(7));
+    F.Blocks[0].Insts.push_back(std::move(C));
+    Rtl Ret(Op::Ret);
+    F.Blocks[0].Insts.push_back(std::move(Ret));
+    return F;
+  };
+  CanonicalScratch Scratch;
+  const size_t L0 = canonicalize(CallWith(0), Scratch, true).Bytes.size();
+  const size_t L1 = canonicalize(CallWith(1), Scratch, true).Bytes.size();
+  const size_t PerArg = L1 - L0;
+  ASSERT_GT(PerArg, 0u);
+  const size_t L300 =
+      canonicalize(CallWith(300), Scratch, true).Bytes.size();
+  EXPECT_EQ(L300, L0 + 300 * PerArg);
+  // 300 and 44 alias under a truncated 8-bit count; they must differ.
+  EXPECT_NE(canonicalize(CallWith(300), Scratch).Hash,
+            canonicalize(CallWith(44), Scratch).Hash);
+  // And the fast path agrees with the reference on the wide form.
+  expectFastMatchesReference(CallWith(300), Scratch, "call300");
+}
+
+} // namespace

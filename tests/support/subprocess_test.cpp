@@ -94,6 +94,123 @@ TEST(Subprocess, LargeOutputDoesNotDeadlock) {
   EXPECT_EQ(R.Stderr.size(), 3000u * 42u);
 }
 
+SubprocessSpec shSpec(const std::string &Script, uint64_t TimeoutMs = 0) {
+  SubprocessSpec Spec;
+  Spec.Argv = {"/bin/sh", "-c", Script};
+  Spec.TimeoutMs = TimeoutMs;
+  return Spec;
+}
+
+/// Drains \p Pool until \p Count results arrived (failing the test on a
+/// stuck pool rather than hanging it).
+std::vector<std::pair<SubprocessPool::JobId, SubprocessResult>>
+drainPool(SubprocessPool &Pool, size_t Count) {
+  std::vector<std::pair<SubprocessPool::JobId, SubprocessResult>> All;
+  while (All.size() < Count) {
+    auto Done = Pool.wait(10'000);
+    if (Done.empty()) {
+      ADD_FAILURE() << "pool wait timed out with " << All.size() << "/"
+                    << Count << " results";
+      break;
+    }
+    for (auto &P : Done)
+      All.push_back(std::move(P));
+  }
+  return All;
+}
+
+TEST(SubprocessPool, RunsChildrenConcurrently) {
+  SubprocessPool Pool;
+  const auto Start = std::chrono::steady_clock::now();
+  Pool.spawn(shSpec("sleep 0.4; echo done"));
+  Pool.spawn(shSpec("sleep 0.4; echo done"));
+  EXPECT_EQ(Pool.live(), 2u);
+  auto All = drainPool(Pool, 2);
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  ASSERT_EQ(All.size(), 2u);
+  for (auto &P : All) {
+    EXPECT_TRUE(P.second.ok()) << P.second.Error;
+    EXPECT_EQ(P.second.Stdout, "done\n");
+  }
+  EXPECT_EQ(Pool.live(), 0u);
+  EXPECT_TRUE(Pool.idle());
+  // Two sequential 0.4s sleeps would need at least 0.8s; concurrent ones
+  // fit comfortably under that.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                .count(),
+            700);
+}
+
+TEST(SubprocessPool, FastChildIsDeliveredBeforeSlowSibling) {
+  SubprocessPool Pool;
+  Pool.spawn(shSpec("sleep 0.6"));
+  const SubprocessPool::JobId Fast = Pool.spawn(shSpec("echo hi"));
+  auto First = Pool.wait(10'000);
+  ASSERT_FALSE(First.empty());
+  bool SawFast = false;
+  for (auto &P : First)
+    SawFast |= P.first == Fast;
+  EXPECT_TRUE(SawFast) << "fast child not in the first completion batch";
+  drainPool(Pool, 2 - First.size());
+}
+
+TEST(SubprocessPool, MixedOutcomesAreClassifiedIndependently) {
+  SubprocessPool Pool;
+  const SubprocessPool::JobId Ok = Pool.spawn(shSpec("echo fine"));
+  const SubprocessPool::JobId Sig = Pool.spawn(shSpec("kill -SEGV $$"));
+  const SubprocessPool::JobId Hung =
+      Pool.spawn(shSpec("sleep 30", /*TimeoutMs=*/300));
+  SubprocessSpec Bad;
+  Bad.Argv = {"/nonexistent/definitely-not-a-program"};
+  const SubprocessPool::JobId Spawn = Pool.spawn(Bad);
+  EXPECT_EQ(Pool.live(), 3u); // The failed spawn never became a child.
+
+  auto All = drainPool(Pool, 4);
+  ASSERT_EQ(All.size(), 4u);
+  for (auto &P : All) {
+    const SubprocessResult &R = P.second;
+    if (P.first == Ok) {
+      EXPECT_EQ(R.Kind, ExitKind::Exited);
+      EXPECT_EQ(R.Stdout, "fine\n");
+    } else if (P.first == Sig) {
+      EXPECT_EQ(R.Kind, ExitKind::Signalled);
+      EXPECT_EQ(R.Signal, SIGSEGV);
+    } else if (P.first == Hung) {
+      EXPECT_EQ(R.Kind, ExitKind::TimedOut);
+      EXPECT_EQ(R.Signal, SIGKILL);
+    } else if (P.first == Spawn) {
+      EXPECT_EQ(R.Kind, ExitKind::SpawnFailed);
+      EXPECT_FALSE(R.Error.empty());
+    } else {
+      ADD_FAILURE() << "unknown job id";
+    }
+  }
+}
+
+TEST(SubprocessPool, WaitTimesOutEmptyWithoutDroppingChildren) {
+  SubprocessPool Pool;
+  Pool.spawn(shSpec("sleep 0.4; echo late"));
+  auto Early = Pool.wait(30);
+  EXPECT_TRUE(Early.empty());
+  EXPECT_EQ(Pool.live(), 1u);
+  auto All = drainPool(Pool, 1);
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0].second.Stdout, "late\n");
+}
+
+TEST(SubprocessPool, DestructorKillsLiveChildren) {
+  const auto Start = std::chrono::steady_clock::now();
+  {
+    SubprocessPool Pool;
+    Pool.spawn(shSpec("sleep 30"));
+    Pool.spawn(shSpec("sleep 30"));
+  }
+  // The destructor SIGKILLs and reaps; it must not sit out the sleeps.
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            10);
+}
+
 TEST(Subprocess, ExitKindNamesAreStable) {
   EXPECT_STREQ(exitKindName(ExitKind::Exited), "exited");
   EXPECT_STREQ(exitKindName(ExitKind::Signalled), "signalled");

@@ -30,6 +30,14 @@
 //   posec prog.mc --supervise --store=DIR enumerate every function in
 //                                         sandboxed worker processes with
 //                                         retry/quarantine/degradation
+//   posec prog.mc --supervise --sweep-jobs=N
+//                                         run up to N workers concurrently
+//                                         (identical output for any N)
+//   posec prog.mc --list-quarantine --store=DIR
+//                                         list quarantined jobs
+//   posec prog.mc --clear-quarantine --store=DIR
+//                                         clear quarantine records so the
+//                                         next sweep retries those jobs
 //   posec prog.mc --worker --enumerate=F --store=DIR
 //                                         supervised child mode: one job,
 //                                         result frame on stdout,
@@ -83,11 +91,14 @@ struct Options {
   bool VerifyIr = false;
   bool Resume = false;       // --resume: continue from a stored checkpoint.
   bool AnalyzeStore = false; // --analyze-store: report on cached DAGs.
+  bool ListQuarantine = false;  // --list-quarantine: print records, exit.
+  bool ClearQuarantine = false; // --clear-quarantine: remove records, exit.
 
   // Supervised out-of-process enumeration (src/drive/Supervisor.h).
   bool Supervise = false;     // --supervise: sweep in worker processes.
   bool Worker = false;        // --worker: supervised child mode.
   uint64_t WorkerTimeoutMs = 60'000; // --worker-timeout-ms=N kill timer.
+  uint64_t SweepJobs = 1;     // --sweep-jobs=N concurrent workers.
   uint64_t MaxRetries = 2;    // --max-retries=N per job.
   uint64_t WorkerRlimitMb = 0; // --worker-rlimit-mb=N RLIMIT_AS cap.
   std::string QuarantinePath; // --quarantine=DIR (default: the store).
@@ -144,13 +155,23 @@ void usage() {
       "  --worker                supervised child mode (with --enumerate\n"
       "                          and --store): prints a result frame on\n"
       "                          stdout and uses the exit codes below\n"
+      "  --sweep-jobs=N          with --supervise: keep up to N worker\n"
+      "                          processes in flight (default 1; report,\n"
+      "                          artifacts, and quarantine records are\n"
+      "                          identical for any N)\n"
+      "  --list-quarantine       with --store: list this module's\n"
+      "                          quarantined jobs and exit\n"
+      "  --clear-quarantine      with --store: remove this module's\n"
+      "                          quarantine records so the next sweep\n"
+      "                          retries those jobs\n"
       "  --worker-timeout-ms=N   with --supervise: SIGKILL a worker still\n"
       "                          running after N ms (default 60000)\n"
       "  --worker-rlimit-mb=N    with --supervise: RLIMIT_AS cap per\n"
       "                          worker process (0 = none)\n"
       "  --max-retries=N         with --supervise: retries per job after\n"
       "                          the first attempt (default 2)\n"
-      "  --quarantine=DIR        with --supervise: directory for\n"
+      "  --quarantine=DIR        with --supervise/--list-quarantine/\n"
+      "                          --clear-quarantine: directory for\n"
       "                          quarantine records (default: the store)\n"
       "  --fault-func=NAME       with --supervise: forward --inject-fault\n"
       "                          only to NAME's worker\n"
@@ -189,7 +210,8 @@ bool parseUint(const char *S, uint64_t &Out) {
 bool parseArgs(int Argc, char **Argv, Options &O) {
   // Flags that are only meaningful in one mode; tracked so a stray use is
   // rejected instead of silently ignored.
-  bool SawSupervisorFlag = false, SawAttempt = false;
+  bool SawSupervisorFlag = false, SawAttempt = false,
+       SawQuarantineDir = false;
   for (int I = 1; I < Argc; ++I) {
     const std::string A = Argv[I];
     auto Value = [&A](const char *Flag) -> const char * {
@@ -270,6 +292,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Resume = true;
     else if (A == "--analyze-store")
       O.AnalyzeStore = true;
+    else if (A == "--list-quarantine")
+      O.ListQuarantine = true;
+    else if (A == "--clear-quarantine")
+      O.ClearQuarantine = true;
     else if (A == "--supervise")
       O.Supervise = true;
     else if (A == "--worker")
@@ -292,6 +318,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       SawSupervisorFlag = true;
+    } else if (const char *VSJ = Value("--sweep-jobs")) {
+      if (!parseUint(VSJ, O.SweepJobs) || O.SweepJobs == 0) {
+        std::fprintf(stderr,
+                     "--sweep-jobs expects a positive integer, got '%s'\n",
+                     VSJ);
+        return false;
+      }
+      SawSupervisorFlag = true;
     } else if (const char *VR = Value("--max-retries")) {
       if (!parseUint(VR, O.MaxRetries)) {
         std::fprintf(stderr,
@@ -307,7 +341,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       O.QuarantinePath = VQ;
-      SawSupervisorFlag = true;
+      SawQuarantineDir = true;
     } else if (const char *VFF = Value("--fault-func")) {
       if (!*VFF) {
         std::fprintf(stderr, "--fault-func expects a function name\n");
@@ -346,6 +380,17 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                  O.Resume ? "--resume" : "--analyze-store");
     return false;
   }
+  if ((O.ListQuarantine || O.ClearQuarantine) && O.StorePath.empty()) {
+    std::fprintf(stderr, "%s requires --store=DIR\n",
+                 O.ListQuarantine ? "--list-quarantine"
+                                  : "--clear-quarantine");
+    return false;
+  }
+  if ((O.ListQuarantine || O.ClearQuarantine) && (O.Supervise || O.Worker)) {
+    std::fprintf(stderr, "--list-quarantine/--clear-quarantine are "
+                         "standalone modes\n");
+    return false;
+  }
   if (O.Worker && O.Supervise) {
     std::fprintf(stderr, "--worker and --supervise are exclusive\n");
     return false;
@@ -361,8 +406,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   }
   if (SawSupervisorFlag && !O.Supervise) {
     std::fprintf(stderr,
-                 "--worker-timeout-ms/--worker-rlimit-mb/--max-retries/"
-                 "--quarantine/--fault-func require --supervise\n");
+                 "--worker-timeout-ms/--worker-rlimit-mb/--sweep-jobs/"
+                 "--max-retries/--fault-func require --supervise\n");
+    return false;
+  }
+  if (SawQuarantineDir && !O.Supervise && !O.ListQuarantine &&
+      !O.ClearQuarantine) {
+    std::fprintf(stderr, "--quarantine requires --supervise, "
+                         "--list-quarantine, or --clear-quarantine\n");
     return false;
   }
   if (SawAttempt && !O.Worker) {
@@ -574,6 +625,7 @@ int runSupervise(const Options &O, const Module &M, const char *Argv0) {
   SO.WorkerTimeoutMs = O.WorkerTimeoutMs;
   SO.WorkerRlimitMb = O.WorkerRlimitMb;
   SO.SweepDeadlineMs = O.DeadlineMs;
+  SO.SweepJobs = O.SweepJobs;
   SO.Retry.MaxRetries = static_cast<unsigned>(O.MaxRetries);
   drive::SweepReport R = drive::superviseModule(PM, M, SO);
   if (!R.Error.empty()) {
@@ -584,6 +636,42 @@ int runSupervise(const Options &O, const Module &M, const char *Argv0) {
     std::printf("%-20s %s: %s\n", J.Func.c_str(),
                 drive::jobStatusName(J.Status), J.Detail.c_str());
   return R.exitCode();
+}
+
+/// --list-quarantine / --clear-quarantine: the operator surface over
+/// persisted quarantine records. Lists (and with --clear-quarantine
+/// removes) the records of this module's functions under the current
+/// configuration fingerprint, so a fixed job can be retried without
+/// hand-deleting store files.
+int quarantineOps(const Options &O, Module &M) {
+  store::ArtifactStore Store(
+      O.QuarantinePath.empty() ? O.StorePath : O.QuarantinePath);
+  EnumeratorConfig Cfg = makeEnumConfig(O);
+  const uint64_t Fp = store::configFingerprint(Cfg);
+  size_t Found = 0;
+  for (Function &F : M.Functions) {
+    const HashTriple Root = canonicalize(F, false, Cfg.RemapRegisters).Hash;
+    store::QuarantineRecord Q;
+    std::string Error;
+    const store::LoadStatus S = Store.loadQuarantine(Root, Fp, Q, Error);
+    if (S == store::LoadStatus::Miss)
+      continue;
+    ++Found;
+    if (S == store::LoadStatus::Rejected)
+      std::printf("%-20s rejected quarantine record: %s\n", F.Name.c_str(),
+                  Error.c_str());
+    else
+      std::printf("%-20s quarantined after %u attempt(s) [%s]: %s\n",
+                  F.Name.c_str(), Q.Attempts,
+                  store::workerFailureName(Q.Failure), Q.Message.c_str());
+    if (O.ClearQuarantine) {
+      Store.removeQuarantine(Root);
+      std::printf("%-20s cleared\n", F.Name.c_str());
+    }
+  }
+  if (Found == 0)
+    std::printf("no quarantined jobs\n");
+  return 0;
 }
 
 /// --analyze-store: report what the store holds for this module's
@@ -664,6 +752,8 @@ int main(int Argc, char **Argv) {
     return runWorker(O, M);
   if (O.Supervise)
     return runSupervise(O, M, Argv[0]);
+  if (O.ListQuarantine || O.ClearQuarantine)
+    return quarantineOps(O, M);
   if (O.AnalyzeStore)
     return analyzeStore(O, M);
   if (!O.EnumerateFunc.empty() || !O.DotFunc.empty())
