@@ -42,6 +42,12 @@ enum ExitCode : int {
                        ///< crashing and was quarantined/degraded.
   QuarantinedSkip = 8, ///< Supervisor only: at least one job was skipped
                        ///< because of a persisted quarantine record.
+  StoreCorrupt = 9,    ///< --fsck found (or --merge-store hit) corrupt,
+                       ///< truncated, or orphaned store files that were
+                       ///< not repaired away.
+  MergeConflict = 10,  ///< --merge-store only: two stores hold
+                       ///< byte-different artifacts for the same key;
+                       ///< nothing was merged past the conflict.
 };
 
 /// Maps an enumeration stop reason to the worker's exit code. Budget

@@ -85,9 +85,14 @@ std::vector<std::string> workerArgv(const SupervisorOptions &O,
     Argv.push_back("--max-memory-mb=" + u64Str(O.MaxMemoryMb));
   if (O.VerifyIr)
     Argv.push_back("--verify-ir");
-  if (!O.FaultSpec.empty() && (O.FaultFunc.empty() || O.FaultFunc == Func)) {
-    Argv.push_back("--inject-fault=" + O.FaultSpec);
-    if (O.FaultAttempts != 0)
+  const bool Faulted = O.FaultFunc.empty() || O.FaultFunc == Func;
+  if (Faulted) {
+    if (!O.FaultSpec.empty())
+      Argv.push_back("--inject-fault=" + O.FaultSpec);
+    if (!O.FaultIoSpec.empty())
+      Argv.push_back("--fault-io=" + O.FaultIoSpec);
+    if ((!O.FaultSpec.empty() || !O.FaultIoSpec.empty()) &&
+        O.FaultAttempts != 0)
       Argv.push_back("--fault-attempts=" + u64Str(O.FaultAttempts));
   }
   return Argv;
@@ -208,8 +213,25 @@ const char *jobStatusName(JobStatus S) {
     return "quarantined";
   case JobStatus::Failed:
     return "failed";
+  case JobStatus::OtherShard:
+    return "other-shard";
   }
   return "?";
+}
+
+uint64_t shardOfRoot(const HashTriple &Root, uint64_t ShardCount) {
+  // FNV-1a over the triple's canonical little-endian bytes. Pure
+  // arithmetic, identical on every host — std::hash or byte-order
+  // dependent folding would silently assign roots to different shards on
+  // different machines, breaking the disjoint-cover guarantee.
+  uint64_t H = 0xCBF29CE484222325ull;
+  const uint32_t Words[3] = {Root.InstCount, Root.ByteSum, Root.Crc};
+  for (uint32_t W : Words)
+    for (int I = 0; I != 4; ++I) {
+      H ^= (W >> (8 * I)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  return H % ShardCount;
 }
 
 std::string renderWorkerFrame(const WorkerFrame &F) {
@@ -334,6 +356,14 @@ SweepReport superviseModule(const PhaseManager &PM, const Module &M,
       Opts.QuarantineDir.empty() ? Opts.StoreDir : Opts.QuarantineDir);
   if (!Store.prepare(Report.Error) || !QStore.prepare(Report.Error))
     return Report;
+  // Before the first spawn is the one moment no writer can be mid-write:
+  // any *.pose.tmp here is an orphan of a crashed earlier run, and left
+  // in place it would sit in the store forever (renames go to final
+  // names, never reclaiming temps).
+  Report.ReclaimedTmp = Store.reclaimTmp();
+  if (QStore.directory() != Store.directory())
+    for (std::string &P : QStore.reclaimTmp())
+      Report.ReclaimedTmp.push_back(std::move(P));
   SweepClock Clock(Opts.SweepDeadlineMs);
   const size_t NumJobs = M.Functions.size();
   const uint64_t SweepJobs = std::max<uint64_t>(1, Opts.SweepJobs);
@@ -359,6 +389,7 @@ SweepReport superviseModule(const PhaseManager &PM, const Module &M,
     std::chrono::steady_clock::time_point ReadyAt{}; ///< Valid: Waiting.
     JobOutcome J;
   };
+  const bool Sharded = Opts.ShardCount > 1;
   std::vector<JobState> Jobs(NumJobs);
   for (size_t I = 0; I != NumJobs; ++I) {
     JobState &S = Jobs[I];
@@ -369,6 +400,19 @@ SweepReport superviseModule(const PhaseManager &PM, const Module &M,
         S.PrevSameRoot = P;
         break;
       }
+    if (Sharded) {
+      // Jobs sharing a root share a shard (the assignment is a function
+      // of the root alone), so a root group is always wholly ours or
+      // wholly another supervisor's — PrevSameRoot chains stay intact.
+      const uint64_t Owner = shardOfRoot(S.Root, Opts.ShardCount);
+      if (Owner != Opts.ShardIndex - 1) {
+        S.J.Status = JobStatus::OtherShard;
+        S.J.Stop = StopReason::Complete;
+        S.J.Detail = "assigned to shard " + u64Str(Owner + 1) + "/" +
+                     u64Str(Opts.ShardCount);
+        S.Phase = JobPhase::Done;
+      }
+    }
   }
 
   SubprocessPool Pool;

@@ -52,6 +52,7 @@ namespace pose {
 class Module;
 class PhaseManager;
 struct FaultPlan;
+struct HashTriple;
 
 namespace drive {
 
@@ -98,9 +99,23 @@ struct SupervisorOptions {
   // the spec text is forwarded verbatim to the targeted worker.
   const FaultPlan *Faults = nullptr;
   std::string FaultSpec;     ///< --inject-fault text for workers.
+  std::string FaultIoSpec;   ///< --fault-io text for workers (injected
+                             ///< store I/O failures; execution-only, so
+                             ///< keys are unaffected).
   std::string FaultFunc;     ///< Only this function's worker gets the
                              ///< fault flags; empty = all workers.
   uint64_t FaultAttempts = 0; ///< --fault-attempts forwarded (0 = omit).
+
+  // Sharding (--shard=K/N). ShardCount 0 or 1 = unsharded: every job is
+  // this supervisor's. Otherwise only jobs whose canonical root hashes to
+  // shard ShardIndex (1-based) run here; the rest are reported
+  // JobStatus::OtherShard and skipped. The assignment is a pure function
+  // of the root triple (see shardOfRoot), so N supervisors with disjoint
+  // shard indices cover every job exactly once — and a later
+  // `posec --merge-store` union of their stores is byte-identical to one
+  // unsharded sweep's store.
+  uint64_t ShardIndex = 0; ///< 1-based shard of this supervisor.
+  uint64_t ShardCount = 0; ///< Total shards (0 = unsharded).
 
   // Supervision policy.
   uint64_t WorkerTimeoutMs = 60'000; ///< Wall-clock kill timer per spawn.
@@ -123,7 +138,16 @@ enum class JobStatus : uint8_t {
   Degraded,    ///< Retries exhausted; partial/fallback result only.
   Quarantined, ///< Skipped: a persisted quarantine record names this job.
   Failed,      ///< Could not even run (spawn failure, store I/O error).
+  OtherShard,  ///< Sharded sweep: the job belongs to a different shard
+               ///< index and was not run here. Neutral for the exit code.
 };
+
+/// Deterministic shard assignment of a root triple: a value in
+/// [0, ShardCount) that depends only on the triple's 12 canonical bytes
+/// (FNV-1a, little-endian), never on host, locale, or standard-library
+/// hashing — so every supervisor, on any machine, agrees which shard owns
+/// which root. \p ShardCount must be nonzero.
+uint64_t shardOfRoot(const HashTriple &Root, uint64_t ShardCount);
 
 /// Short lower-case name ("ok", "cached", "degraded", ...).
 const char *jobStatusName(JobStatus S);
@@ -146,6 +170,10 @@ struct JobOutcome {
 struct SweepReport {
   std::vector<JobOutcome> Jobs;
   std::string Error; ///< Sweep-level failure (store unusable, ...).
+  /// `*.pose.tmp` leftovers of crashed writers, reclaimed from the store
+  /// directories before any worker was spawned (the only moment the
+  /// supervisor knows no writer can be mid-write).
+  std::vector<std::string> ReclaimedTmp;
 
   /// Process exit code for the sweep, most severe condition wins:
   /// Error/Failed (1), then a degraded job's own code (WorkerCrash = 7,

@@ -10,7 +10,10 @@
 #include "src/store/Serialize.h"
 #include "src/support/Crc32.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -22,9 +25,20 @@ namespace store {
 namespace {
 
 // File frame: magic, format version, kind, root triple, config
-// fingerprint, payload length, payload CRC-32, payload bytes.
+// fingerprint, payload length, payload CRC-32, header CRC-32 (over
+// everything before it), payload bytes.
 constexpr char kMagic[8] = {'P', 'O', 'S', 'E', 'A', 'R', 'T', '\n'};
-constexpr size_t kHeaderSize = 8 + 4 + 4 + 12 + 8 + 8 + 4;
+// Byte offsets of the header fields, quoted in diagnostics so a corrupt
+// file names where it diverged.
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffKind = 12;
+constexpr size_t kOffRoot = 16;
+constexpr size_t kOffFingerprint = 28;
+constexpr size_t kOffPayloadSize = 36;
+constexpr size_t kOffPayloadCrc = 44;
+constexpr size_t kOffHeaderCrc = 48;
+static_assert(kFrameHeaderSize == kOffHeaderCrc + 4,
+              "frame layout and offsets out of sync");
 
 uint64_t mix(uint64_t H, uint64_t V) {
   H ^= V;
@@ -32,7 +46,36 @@ uint64_t mix(uint64_t H, uint64_t V) {
   return H;
 }
 
-const char *kindSuffix(ArtifactKind K) {
+std::string hex32(uint32_t V) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", V);
+  return Buf;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string tripleText(const HashTriple &T) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%08x-%08x-%08x", T.InstCount, T.ByteSum,
+                T.Crc);
+  return Buf;
+}
+
+std::string errnoText(int Err) {
+  if (Err == 0)
+    return "unknown I/O error";
+  return std::string(std::strerror(Err)) + " (errno " +
+         std::to_string(Err) + ")";
+}
+
+} // namespace
+
+const char *artifactKindName(ArtifactKind K) {
   switch (K) {
   case ArtifactKind::Result:
     return "result";
@@ -43,8 +86,6 @@ const char *kindSuffix(ArtifactKind K) {
   }
   return "?";
 }
-
-} // namespace
 
 uint64_t configFingerprint(const EnumeratorConfig &Config) {
   uint64_t H = 0xCBF29CE484222325ull;
@@ -73,8 +114,8 @@ uint64_t configFingerprint(const EnumeratorConfig &Config) {
   return H;
 }
 
-ArtifactStore::ArtifactStore(std::string Directory)
-    : Dir(std::move(Directory)) {}
+ArtifactStore::ArtifactStore(std::string Directory, StoreIo *Io)
+    : Dir(std::move(Directory)), Io(Io ? Io : &processStoreIo()) {}
 
 bool ArtifactStore::prepare(std::string &Error) const {
   std::error_code EC;
@@ -90,8 +131,28 @@ std::string ArtifactStore::pathFor(const HashTriple &Root,
                                    ArtifactKind Kind) const {
   char Name[64];
   std::snprintf(Name, sizeof(Name), "%08x-%08x-%08x.%s.pose", Root.InstCount,
-                Root.ByteSum, Root.Crc, kindSuffix(Kind));
+                Root.ByteSum, Root.Crc, artifactKindName(Kind));
   return (fs::path(Dir) / Name).string();
+}
+
+std::vector<std::string> ArtifactStore::reclaimTmp() const {
+  std::vector<std::string> Removed;
+  std::error_code EC;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    const std::string Name = It->path().filename().string();
+    constexpr const char *Suffix = ".pose.tmp";
+    const size_t SufLen = std::strlen(Suffix);
+    if (Name.size() <= SufLen ||
+        Name.compare(Name.size() - SufLen, SufLen, Suffix) != 0)
+      continue;
+    if (Io->remove(It->path().string()))
+      Removed.push_back(It->path().string());
+  }
+  std::sort(Removed.begin(), Removed.end());
+  return Removed;
 }
 
 bool ArtifactStore::writeArtifact(const HashTriple &Root, ArtifactKind Kind,
@@ -109,33 +170,99 @@ bool ArtifactStore::writeArtifact(const HashTriple &Root, ArtifactKind Kind,
   W.u64(Fingerprint);
   W.u64(Payload.size());
   W.u32(crc32(Payload));
+  W.u32(crc32(W.bytes())); // Header CRC over everything above.
+  std::vector<uint8_t> File = W.take();
+  File.insert(File.end(), Payload.begin(), Payload.end());
 
   const std::string Path = pathFor(Root, Kind);
   const std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out) {
-      Error = "cannot open '" + Tmp + "' for writing";
-      return false;
-    }
-    Out.write(reinterpret_cast<const char *>(W.bytes().data()),
-              static_cast<std::streamsize>(W.bytes().size()));
-    Out.write(reinterpret_cast<const char *>(Payload.data()),
-              static_cast<std::streamsize>(Payload.size()));
-    Out.flush();
-    if (!Out) {
-      Error = "write to '" + Tmp + "' failed";
-      return false;
-    }
+  int Err = 0;
+  size_t Written = 0;
+  if (!Io->writeFile(Tmp, File.data(), File.size(), Err, Written)) {
+    Error = "cannot write '" + Tmp + "': " + errnoText(Err) + " after " +
+            std::to_string(Written) + " of " + std::to_string(File.size()) +
+            " bytes";
+    // A failed write must not leave its torn temp file behind for the
+    // next reader to trip over; after a genuine crash nothing runs here
+    // and --fsck / the supervisor's startup sweep reclaim the orphan.
+    Io->remove(Tmp);
+    return false;
   }
-  std::error_code EC;
-  fs::rename(Tmp, Path, EC);
-  if (EC) {
-    Error = "cannot rename '" + Tmp + "' to '" + Path + "': " + EC.message();
-    fs::remove(Tmp, EC);
+  if (!Io->rename(Tmp, Path, Err)) {
+    Error = "cannot rename '" + Tmp + "' to '" + Path +
+            "': " + errnoText(Err);
+    Io->remove(Tmp);
     return false;
   }
   return true;
+}
+
+FrameVerdict inspectFrame(const std::vector<uint8_t> &Bytes,
+                          ArtifactFrame &Out, std::string &Error) {
+  if (Bytes.size() < kFrameHeaderSize) {
+    Error = "is truncated: " + std::to_string(Bytes.size()) +
+            " bytes, a frame header is " +
+            std::to_string(kFrameHeaderSize);
+    return FrameVerdict::Truncated;
+  }
+  ByteReader R(Bytes);
+  for (size_t I = 0; I != sizeof(kMagic); ++I) {
+    const uint8_t Got = R.u8();
+    const uint8_t Want = static_cast<uint8_t>(kMagic[I]);
+    if (Got != Want) {
+      Error = "is not a POSE artifact (bad magic at offset " +
+              std::to_string(I) + ": byte " + hex32(Got) + ", expected " +
+              hex32(Want) + ")";
+      return FrameVerdict::Corrupt;
+    }
+  }
+  Out.Version = R.u32();
+  if (Out.Version != kFormatVersion) {
+    Error = "has format version " + std::to_string(Out.Version) +
+            " (at offset " + std::to_string(kOffVersion) +
+            "), this build reads version " + std::to_string(kFormatVersion);
+    return FrameVerdict::Corrupt;
+  }
+  Out.RawKind = R.u32();
+  Out.Root.InstCount = R.u32();
+  Out.Root.ByteSum = R.u32();
+  Out.Root.Crc = R.u32();
+  Out.Fingerprint = R.u64();
+  Out.PayloadSize = R.u64();
+  Out.PayloadCrc = R.u32();
+  const uint32_t HeaderCrc = R.u32();
+  const uint32_t ComputedHeaderCrc = crc32(Bytes.data(), kOffHeaderCrc);
+  if (HeaderCrc != ComputedHeaderCrc) {
+    Error = "header checksum mismatch at offset " +
+            std::to_string(kOffHeaderCrc) + ": stored " + hex32(HeaderCrc) +
+            ", computed " + hex32(ComputedHeaderCrc);
+    return FrameVerdict::Corrupt;
+  }
+  if (Out.RawKind < static_cast<uint32_t>(ArtifactKind::Result) ||
+      Out.RawKind > static_cast<uint32_t>(ArtifactKind::Quarantine)) {
+    Error = "has unknown artifact kind " + std::to_string(Out.RawKind) +
+            " at offset " + std::to_string(kOffKind);
+    return FrameVerdict::Corrupt;
+  }
+  const uint64_t Held = Bytes.size() - kFrameHeaderSize;
+  if (Out.PayloadSize != Held) {
+    Error = "payload length mismatch at offset " +
+            std::to_string(kOffPayloadSize) + ": header promises " +
+            std::to_string(Out.PayloadSize) + " payload bytes, file holds " +
+            std::to_string(Held);
+    return Held < Out.PayloadSize ? FrameVerdict::Truncated
+                                  : FrameVerdict::Corrupt;
+  }
+  const uint32_t ComputedPayloadCrc = crc32(
+      Bytes.data() + kFrameHeaderSize, Bytes.size() - kFrameHeaderSize);
+  if (Out.PayloadCrc != ComputedPayloadCrc) {
+    Error = "payload checksum mismatch at offset " +
+            std::to_string(kOffPayloadCrc) + ": stored " +
+            hex32(Out.PayloadCrc) + ", computed " +
+            hex32(ComputedPayloadCrc);
+    return FrameVerdict::Corrupt;
+  }
+  return FrameVerdict::Ok;
 }
 
 LoadStatus ArtifactStore::readArtifact(const HashTriple &Root,
@@ -152,52 +279,35 @@ LoadStatus ArtifactStore::readArtifact(const HashTriple &Root,
     Error = "cannot read '" + Path + "'";
     return LoadStatus::Rejected;
   }
-  if (Bytes.size() < kHeaderSize) {
-    Error = "'" + Path + "' is truncated (no complete header)";
+  ArtifactFrame F;
+  std::string Why;
+  if (inspectFrame(Bytes, F, Why) != FrameVerdict::Ok) {
+    Error = "'" + Path + "' " + Why;
     return LoadStatus::Rejected;
   }
-
-  ByteReader R(Bytes);
-  for (char C : kMagic)
-    if (R.u8() != static_cast<uint8_t>(C)) {
-      Error = "'" + Path + "' is not a POSE artifact (bad magic)";
-      return LoadStatus::Rejected;
-    }
-  uint32_t Version = R.u32();
-  if (Version != kFormatVersion) {
-    Error = "'" + Path + "' has format version " + std::to_string(Version) +
-            ", this build reads version " + std::to_string(kFormatVersion);
+  if (F.RawKind != static_cast<uint32_t>(Kind)) {
+    Error = "'" + Path + "' holds a different artifact kind at offset " +
+            std::to_string(kOffKind) + ": stored " +
+            artifactKindName(static_cast<ArtifactKind>(F.RawKind)) +
+            ", expected " + artifactKindName(Kind);
     return LoadStatus::Rejected;
   }
-  if (R.u32() != static_cast<uint32_t>(Kind)) {
-    Error = "'" + Path + "' holds a different artifact kind";
-    return LoadStatus::Rejected;
-  }
-  HashTriple Stored;
-  Stored.InstCount = R.u32();
-  Stored.ByteSum = R.u32();
-  Stored.Crc = R.u32();
-  if (Stored != Root) {
-    Error = "'" + Path + "' is keyed to a different root function";
-    return LoadStatus::Rejected;
-  }
-  uint64_t StoredFp = R.u64();
-  if (StoredFp != Fingerprint) {
+  if (F.Root != Root) {
     Error = "'" + Path +
-            "' was produced under a different enumerator configuration";
+            "' is keyed to a different root function at offset " +
+            std::to_string(kOffRoot) + ": stored " + tripleText(F.Root) +
+            ", expected " + tripleText(Root);
     return LoadStatus::Rejected;
   }
-  uint64_t PayloadSize = R.u64();
-  uint32_t PayloadCrc = R.u32();
-  if (PayloadSize != Bytes.size() - kHeaderSize) {
-    Error = "'" + Path + "' payload length mismatch (file damaged)";
+  if (F.Fingerprint != Fingerprint) {
+    Error = "'" + Path +
+            "' was produced under a different enumerator configuration "
+            "(fingerprint at offset " +
+            std::to_string(kOffFingerprint) + ": stored " +
+            hex64(F.Fingerprint) + ", expected " + hex64(Fingerprint) + ")";
     return LoadStatus::Rejected;
   }
-  Payload.assign(Bytes.begin() + kHeaderSize, Bytes.end());
-  if (crc32(Payload) != PayloadCrc) {
-    Error = "'" + Path + "' payload checksum mismatch (file damaged)";
-    return LoadStatus::Rejected;
-  }
+  Payload.assign(Bytes.begin() + kFrameHeaderSize, Bytes.end());
   return LoadStatus::Hit;
 }
 
@@ -261,8 +371,7 @@ LoadStatus ArtifactStore::loadCheckpoint(const HashTriple &Root,
 }
 
 void ArtifactStore::removeCheckpoint(const HashTriple &Root) const {
-  std::error_code EC;
-  fs::remove(pathFor(Root, ArtifactKind::Checkpoint), EC);
+  Io->remove(pathFor(Root, ArtifactKind::Checkpoint));
 }
 
 bool ArtifactStore::saveQuarantine(const HashTriple &Root,
@@ -294,8 +403,7 @@ LoadStatus ArtifactStore::loadQuarantine(const HashTriple &Root,
 }
 
 void ArtifactStore::removeQuarantine(const HashTriple &Root) const {
-  std::error_code EC;
-  fs::remove(pathFor(Root, ArtifactKind::Quarantine), EC);
+  Io->remove(pathFor(Root, ArtifactKind::Quarantine));
 }
 
 } // namespace store

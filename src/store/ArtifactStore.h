@@ -18,12 +18,18 @@
 ///
 /// Every artifact is keyed by the canonical hash triple of the
 /// *unoptimized* function plus a fingerprint of the DAG-affecting
-/// configuration, and framed with a magic string, a format version, and a
-/// CRC-32 of the payload. A lookup that finds a file with the wrong
-/// version, key, fingerprint, or checksum reports exactly what mismatched
-/// (\ref LoadStatus::Rejected) — a stale or corrupt artifact is never
-/// silently reused. Writes go through a temporary file and an atomic
-/// rename, so a crash mid-write leaves either the old artifact or none.
+/// configuration, and framed with a magic string, a format version, a
+/// CRC-32 of the payload, and a CRC-32 of the header itself (so a flipped
+/// bit anywhere in the file — header fields included — is detectable
+/// without knowing what the field should say, which is what lets
+/// `posec --fsck` re-verify a store offline). A lookup that finds a file
+/// with the wrong version, key, fingerprint, or checksum reports exactly
+/// what mismatched, with the byte offset and the expected-vs-actual
+/// values (\ref LoadStatus::Rejected) — a stale or corrupt artifact is
+/// never silently reused. Writes go through a temporary file and an
+/// atomic rename via the injectable \ref StoreIo layer, so a crash
+/// mid-write leaves either the old artifact or none; write failures
+/// carry errno context and unlink their temp file.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +38,7 @@
 
 #include "src/core/Enumerator.h"
 #include "src/store/Quarantine.h"
+#include "src/support/FaultFs.h"
 
 #include <string>
 #include <vector>
@@ -46,7 +53,10 @@ namespace store {
 /// Version 3: canonical serialization widened the per-instruction arg
 /// count from uint8_t to uint32_t, changing every hash triple (and with
 /// it the artifact keys stored artifacts were computed under).
-constexpr uint32_t kFormatVersion = 3;
+/// Version 4: the frame gained a trailing header CRC-32, making every
+/// header field (including the config fingerprint, which no cross-check
+/// covers) verifiable by --fsck without an expected value to compare to.
+constexpr uint32_t kFormatVersion = 4;
 
 /// What an artifact file contains.
 enum class ArtifactKind : uint32_t {
@@ -54,6 +64,43 @@ enum class ArtifactKind : uint32_t {
   Checkpoint = 2, ///< A resumable EnumerationCheckpoint.
   Quarantine = 3, ///< A QuarantineRecord for a crashing worker job.
 };
+
+/// File-name suffix and report name of \p K ("result", "checkpoint",
+/// "quarantine").
+const char *artifactKindName(ArtifactKind K);
+
+/// Size of the fixed frame header: magic, version, kind, root triple,
+/// fingerprint, payload size, payload CRC, header CRC.
+constexpr size_t kFrameHeaderSize = 8 + 4 + 4 + 12 + 8 + 8 + 4 + 4;
+
+/// The decoded frame header of an artifact file.
+struct ArtifactFrame {
+  uint32_t Version = 0;
+  uint32_t RawKind = 0; ///< Validated to name an ArtifactKind.
+  HashTriple Root;
+  uint64_t Fingerprint = 0;
+  uint64_t PayloadSize = 0;
+  uint32_t PayloadCrc = 0;
+};
+
+/// Outcome of a structural frame check.
+enum class FrameVerdict {
+  Ok,        ///< Frame and payload verified; \ref ArtifactFrame valid.
+  Truncated, ///< Shorter than a header, or than the payload it promises
+             ///< (a torn write).
+  Corrupt,   ///< Structurally damaged: bad magic, version, header CRC,
+             ///< unknown kind, trailing bytes, or payload CRC mismatch.
+};
+
+/// Structurally validates \p Bytes as one artifact file: magic, format
+/// version, header CRC, known kind, payload length against the file
+/// size, payload CRC. The key and fingerprint are decoded into \p Out
+/// but not judged — callers with expectations (readArtifact) compare
+/// them, callers without (fsck, merge) trust the header CRC. On failure
+/// \p Error holds a diagnostic naming the byte offset and the
+/// expected-vs-actual values.
+FrameVerdict inspectFrame(const std::vector<uint8_t> &Bytes,
+                          ArtifactFrame &Out, std::string &Error);
 
 /// Fingerprint of the EnumeratorConfig fields that determine the DAG:
 /// budgets, pruning switches, the trained independence matrix, verifier
@@ -78,7 +125,10 @@ enum class LoadStatus {
 /// The store: a flat directory, one file per (root, kind) key.
 class ArtifactStore {
 public:
-  explicit ArtifactStore(std::string Directory);
+  /// \p Io routes every mutating filesystem operation; null uses
+  /// \ref processStoreIo() (the real filesystem unless posec installed a
+  /// --fault-io injector).
+  explicit ArtifactStore(std::string Directory, StoreIo *Io = nullptr);
 
   /// Creates the store directory if needed. Returns false (with \p Error
   /// set) when it cannot be created.
@@ -88,6 +138,14 @@ public:
 
   /// Path of the artifact file for \p Root and \p Kind.
   std::string pathFor(const HashTriple &Root, ArtifactKind Kind) const;
+
+  /// Removes `*.pose.tmp` leftovers of writers that died between the
+  /// temp write and the committing rename, returning the paths removed.
+  /// Only safe when no writer can be mid-write in this store: the
+  /// supervisor calls it before spawning any worker, fsck --repair on an
+  /// offline store. Never called from workers — a sibling's in-flight
+  /// temp file must not be reclaimed under it.
+  std::vector<std::string> reclaimTmp() const;
 
   /// Persists \p Res for \p Root. Returns false with \p Error set on I/O
   /// failure. A finished result supersedes any checkpoint or quarantine
@@ -135,6 +193,7 @@ private:
                           std::string &Error) const;
 
   std::string Dir;
+  StoreIo *Io;
 };
 
 } // namespace store

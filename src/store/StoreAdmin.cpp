@@ -1,0 +1,366 @@
+//===- StoreAdmin.cpp - Offline store integrity and merging ---------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/store/StoreAdmin.h"
+
+#include "src/store/ByteIo.h"
+#include "src/store/Serialize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace pose {
+namespace store {
+
+namespace {
+
+/// Strict lower-case hex: exactly eight digits of [0-9a-f].
+bool parseHex32(const std::string &Text, size_t Pos, uint32_t &Out) {
+  uint32_t V = 0;
+  for (size_t I = 0; I != 8; ++I) {
+    const char C = Text[Pos + I];
+    uint32_t Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<uint32_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<uint32_t>(C - 'a') + 10;
+    else
+      return false;
+    V = (V << 4) | Digit;
+  }
+  Out = V;
+  return true;
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Bytes.assign((std::istreambuf_iterator<char>(In)),
+               std::istreambuf_iterator<char>());
+  return In.good() || In.eof();
+}
+
+bool endsWith(const std::string &Name, const char *Suffix) {
+  const size_t Len = std::char_traits<char>::length(Suffix);
+  return Name.size() >= Len &&
+         Name.compare(Name.size() - Len, Len, Suffix) == 0;
+}
+
+/// Full verification of one artifact file's bytes against its file name:
+/// frame structure (inspectFrame), then the name/header cross-checks
+/// readArtifact would apply, then a strict payload decode. Returns
+/// FsckState::Ok / Truncated / Corrupt with \p Detail set on failure.
+FsckState verifyArtifactBytes(const std::vector<uint8_t> &Bytes,
+                              const HashTriple &NameRoot,
+                              ArtifactKind NameKind, std::string &Detail) {
+  ArtifactFrame F;
+  const FrameVerdict V = inspectFrame(Bytes, F, Detail);
+  if (V == FrameVerdict::Truncated)
+    return FsckState::Truncated;
+  if (V == FrameVerdict::Corrupt)
+    return FsckState::Corrupt;
+  // The kind and key live in the file name too; a mismatch means the file
+  // was renamed or copied over another key's path, and a lookup for the
+  // named key would decode the wrong artifact.
+  if (F.RawKind != static_cast<uint32_t>(NameKind)) {
+    Detail = std::string("holds a different artifact kind than its file "
+                         "name says: header ") +
+             artifactKindName(static_cast<ArtifactKind>(F.RawKind)) +
+             ", name " + artifactKindName(NameKind);
+    return FsckState::Corrupt;
+  }
+  if (F.Root != NameRoot) {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%08x-%08x-%08x", F.Root.InstCount,
+                  F.Root.ByteSum, F.Root.Crc);
+    Detail = std::string("is keyed to a different root function than its "
+                         "file name says: header ") +
+             Buf;
+    return FsckState::Corrupt;
+  }
+  ByteReader R(Bytes.data() + kFrameHeaderSize,
+               Bytes.size() - kFrameHeaderSize);
+  bool Decodes = false;
+  switch (NameKind) {
+  case ArtifactKind::Result: {
+    EnumerationResult Res;
+    Decodes = decodeResult(R, Res) && R.atEnd();
+    break;
+  }
+  case ArtifactKind::Checkpoint: {
+    EnumerationCheckpoint C;
+    Decodes = decodeCheckpoint(R, C) && R.atEnd() && C.Valid;
+    break;
+  }
+  case ArtifactKind::Quarantine: {
+    QuarantineRecord Q;
+    Decodes = decodeQuarantine(R, Q) && R.atEnd();
+    break;
+  }
+  }
+  if (!Decodes) {
+    // The payload CRC already matched, so the bytes are what the writer
+    // wrote — which means the writer and this reader disagree about the
+    // encoding itself.
+    Detail = "payload passes its checksum but does not decode";
+    return FsckState::Corrupt;
+  }
+  Detail.clear();
+  return FsckState::Ok;
+}
+
+/// Sorted regular-file names directly inside \p Dir (subdirectories such
+/// as lost+found are skipped). False with \p Error on iteration failure.
+bool listStoreFiles(const std::string &Dir, std::vector<std::string> &Names,
+                    std::string &Error) {
+  std::error_code EC;
+  fs::directory_iterator It(Dir, EC), End;
+  if (EC) {
+    Error = "cannot read store directory '" + Dir + "': " + EC.message();
+    return false;
+  }
+  for (; !EC && It != End; It.increment(EC))
+    if (It->is_regular_file(EC))
+      Names.push_back(It->path().filename().string());
+  if (EC) {
+    Error = "cannot read store directory '" + Dir + "': " + EC.message();
+    return false;
+  }
+  std::sort(Names.begin(), Names.end());
+  return true;
+}
+
+} // namespace
+
+bool parseArtifactName(const std::string &Name, HashTriple &Root,
+                       ArtifactKind &Kind) {
+  // %08x-%08x-%08x.<kind>.pose — shortest kind is "result".
+  if (Name.size() < 8 + 1 + 8 + 1 + 8 + 1 + 6 + 5)
+    return false;
+  if (Name[8] != '-' || Name[17] != '-')
+    return false;
+  HashTriple T;
+  if (!parseHex32(Name, 0, T.InstCount) || !parseHex32(Name, 9, T.ByteSum) ||
+      !parseHex32(Name, 18, T.Crc))
+    return false;
+  const std::string Rest = Name.substr(26);
+  for (uint32_t K = static_cast<uint32_t>(ArtifactKind::Result);
+       K <= static_cast<uint32_t>(ArtifactKind::Quarantine); ++K) {
+    const std::string Want = std::string(".") +
+                             artifactKindName(static_cast<ArtifactKind>(K)) +
+                             ".pose";
+    if (Rest == Want) {
+      Root = T;
+      Kind = static_cast<ArtifactKind>(K);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char *fsckStateName(FsckState S) {
+  switch (S) {
+  case FsckState::Ok:
+    return "ok";
+  case FsckState::Truncated:
+    return "truncated";
+  case FsckState::Corrupt:
+    return "corrupt";
+  case FsckState::OrphanTmp:
+    return "orphan-tmp";
+  case FsckState::Foreign:
+    return "foreign";
+  }
+  return "?";
+}
+
+FsckReport fsckStore(const std::string &Dir, bool Repair, StoreIo *Io) {
+  StoreIo &Fs = Io ? *Io : processStoreIo();
+  FsckReport Rep;
+  std::vector<std::string> Names;
+  if (!listStoreFiles(Dir, Names, Rep.Error))
+    return Rep;
+
+  std::error_code EC;
+  bool LostDirReady = false;
+  const fs::path LostDir = fs::path(Dir) / kLostAndFoundDir;
+
+  for (const std::string &Name : Names) {
+    ++Rep.Scanned;
+    FsckEntry E;
+    E.Name = Name;
+    const std::string Path = (fs::path(Dir) / Name).string();
+
+    HashTriple Root;
+    ArtifactKind Kind;
+    if (endsWith(Name, ".pose.tmp")) {
+      E.State = FsckState::OrphanTmp;
+      E.Detail = "temporary file left by a writer that died before its "
+                 "rename committed";
+      ++Rep.Orphans;
+      if (Repair && Fs.remove(Path)) {
+        E.RepairedTo = "(removed)";
+        ++Rep.Repaired;
+      }
+      Rep.Entries.push_back(std::move(E));
+      continue;
+    }
+    if (!parseArtifactName(Name, Root, Kind)) {
+      E.State = FsckState::Foreign;
+      E.Detail = "not a store artifact name; left untouched";
+      ++Rep.Foreign;
+      Rep.Entries.push_back(std::move(E));
+      continue;
+    }
+
+    std::vector<uint8_t> Bytes;
+    if (!readFileBytes(Path, Bytes)) {
+      E.State = FsckState::Corrupt;
+      E.Detail = "cannot be read";
+      ++Rep.Corrupt;
+    } else {
+      E.State = verifyArtifactBytes(Bytes, Root, Kind, E.Detail);
+      switch (E.State) {
+      case FsckState::Ok:
+        ++Rep.Intact;
+        continue; // Intact artifacts are counted, not listed.
+      case FsckState::Truncated:
+        ++Rep.Truncated;
+        break;
+      case FsckState::Corrupt:
+        ++Rep.Corrupt;
+        break;
+      case FsckState::OrphanTmp:
+      case FsckState::Foreign:
+        break; // Unreachable from verifyArtifactBytes.
+      }
+    }
+
+    if (Repair) {
+      if (!LostDirReady) {
+        fs::create_directories(LostDir, EC);
+        LostDirReady = !EC;
+      }
+      if (LostDirReady) {
+        // Move aside, never delete: the damaged bytes may matter for a
+        // post-mortem, and out of the store they can no longer be read
+        // by a sweep. Suffix on collision so repeated repairs keep every
+        // generation.
+        fs::path Dest = LostDir / Name;
+        for (unsigned N = 1; fs::exists(Dest, EC); ++N)
+          Dest = LostDir / (Name + "." + std::to_string(N));
+        int Err = 0;
+        if (Fs.rename(Path, Dest.string(), Err)) {
+          E.RepairedTo = Dest.string();
+          ++Rep.Repaired;
+        }
+      }
+    }
+    Rep.Entries.push_back(std::move(E));
+  }
+  return Rep;
+}
+
+MergeReport mergeStores(const std::string &Dst,
+                        const std::vector<std::string> &Srcs, StoreIo *Io) {
+  StoreIo &Fs = Io ? *Io : processStoreIo();
+  MergeReport Rep;
+
+  std::error_code EC;
+  fs::create_directories(Dst, EC);
+  if (EC) {
+    Rep.Status = MergeStatus::IoError;
+    Rep.Error =
+        "cannot create destination store '" + Dst + "': " + EC.message();
+    return Rep;
+  }
+
+  for (const std::string &Src : Srcs) {
+    std::vector<std::string> Names;
+    if (!listStoreFiles(Src, Names, Rep.Error)) {
+      Rep.Status = MergeStatus::IoError;
+      return Rep;
+    }
+    for (const std::string &Name : Names) {
+      const std::string SrcPath = (fs::path(Src) / Name).string();
+      if (endsWith(Name, ".pose.tmp")) {
+        // A crash leftover in a shard store; the shard's own artifacts
+        // are complete without it (old-or-none), so it carries nothing
+        // worth merging.
+        ++Rep.SkippedTmp;
+        continue;
+      }
+      HashTriple Root;
+      ArtifactKind Kind;
+      if (!parseArtifactName(Name, Root, Kind))
+        continue; // Foreign file; not part of the store's contents.
+
+      std::vector<uint8_t> Bytes;
+      std::string Why;
+      ArtifactFrame F;
+      if (!readFileBytes(SrcPath, Bytes)) {
+        Rep.Status = MergeStatus::IoError;
+        Rep.Error = "cannot read '" + SrcPath + "'";
+        return Rep;
+      }
+      if (inspectFrame(Bytes, F, Why) != FrameVerdict::Ok) {
+        Rep.Status = MergeStatus::CorruptSource;
+        Rep.Error = "source artifact '" + SrcPath + "' " + Why +
+                    "; run --fsck on '" + Src + "' first";
+        return Rep;
+      }
+
+      const std::string DstPath = (fs::path(Dst) / Name).string();
+      std::vector<uint8_t> Existing;
+      if (readFileBytes(DstPath, Existing)) {
+        if (Existing == Bytes) {
+          ++Rep.Deduped;
+          continue;
+        }
+        // Same key, different bytes: the stores disagree about this
+        // artifact. The usual cause is shards swept under different
+        // configurations (the fingerprint at offset 28 differs); never
+        // pick a side silently.
+        Rep.Status = MergeStatus::Conflict;
+        Rep.ConflictKey = Name;
+        Rep.Error = "merge conflict on '" + Name + "': '" + SrcPath +
+                    "' and '" + DstPath +
+                    "' hold byte-different artifacts for the same key; "
+                    "check the stores' enumerator configurations "
+                    "(fingerprints) and re-sweep the divergent shard";
+        return Rep;
+      }
+
+      // Atomic copy through the destination's own temp/rename protocol,
+      // so a merge interrupted mid-copy leaves no torn destination file.
+      const std::string Tmp = DstPath + ".tmp";
+      int Err = 0;
+      size_t Written = 0;
+      if (!Fs.writeFile(Tmp, Bytes.data(), Bytes.size(), Err, Written)) {
+        Fs.remove(Tmp);
+        Rep.Status = MergeStatus::IoError;
+        Rep.Error = "cannot write '" + Tmp + "'";
+        return Rep;
+      }
+      if (!Fs.rename(Tmp, DstPath, Err)) {
+        Fs.remove(Tmp);
+        Rep.Status = MergeStatus::IoError;
+        Rep.Error = "cannot rename '" + Tmp + "' to '" + DstPath + "'";
+        return Rep;
+      }
+      ++Rep.Copied;
+    }
+  }
+  return Rep;
+}
+
+} // namespace store
+} // namespace pose

@@ -1,0 +1,232 @@
+//===- FaultFs.cpp - Fault-injecting store I/O layer ----------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/FaultFs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace pose {
+
+namespace {
+
+/// Real POSIX I/O. Unbuffered on purpose: the fault layer must know
+/// exactly how many bytes reached the kernel, and an ofstream would hide
+/// partial progress behind its own buffer.
+class SystemIo : public StoreIo {};
+
+SystemIo SystemInstance;
+StoreIo *ProcessIo = &SystemInstance;
+
+} // namespace
+
+bool StoreIo::writeFile(const std::string &Path, const uint8_t *Data,
+                        size_t Size, int &Err, size_t &Written) {
+  Err = 0;
+  Written = 0;
+  const int Fd =
+      ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    Err = errno;
+    return false;
+  }
+  while (Written < Size) {
+    const ssize_t N = ::write(Fd, Data + Written, Size - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errno;
+      ::close(Fd);
+      return false;
+    }
+    Written += static_cast<size_t>(N);
+  }
+  if (::close(Fd) != 0) {
+    Err = errno;
+    return false;
+  }
+  return true;
+}
+
+bool StoreIo::rename(const std::string &From, const std::string &To,
+                     int &Err) {
+  Err = 0;
+  if (::rename(From.c_str(), To.c_str()) != 0) {
+    Err = errno;
+    return false;
+  }
+  return true;
+}
+
+bool StoreIo::remove(const std::string &Path) {
+  return ::unlink(Path.c_str()) == 0;
+}
+
+StoreIo &StoreIo::system() { return SystemInstance; }
+
+StoreIo &processStoreIo() { return *ProcessIo; }
+
+void setProcessStoreIo(StoreIo *Io) {
+  ProcessIo = Io ? Io : &SystemInstance;
+}
+
+const char *ioFaultKindName(IoFaultKind K) {
+  switch (K) {
+  case IoFaultKind::ShortWrite:
+    return "shortwrite";
+  case IoFaultKind::Enospc:
+    return "enospc";
+  case IoFaultKind::Eio:
+    return "eio";
+  case IoFaultKind::CrashBeforeRename:
+    return "crash-before-rename";
+  case IoFaultKind::CrashAfterRename:
+    return "crash-after-rename";
+  }
+  return "?";
+}
+
+bool IoFaultSpec::parse(const std::string &Text,
+                        std::vector<IoFaultSpec> &Out) {
+  if (Text.empty())
+    return false;
+  std::vector<IoFaultSpec> Parsed;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find(',', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    const std::string Item = Text.substr(Pos, End - Pos);
+    const size_t Colon = Item.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 == Item.size())
+      return false;
+    const std::string Name = Item.substr(0, Colon);
+    IoFaultSpec S;
+    bool Known = false;
+    for (uint8_t K = 0;
+         K <= static_cast<uint8_t>(IoFaultKind::CrashAfterRename); ++K)
+      if (Name == ioFaultKindName(static_cast<IoFaultKind>(K))) {
+        S.Kind = static_cast<IoFaultKind>(K);
+        Known = true;
+        break;
+      }
+    if (!Known)
+      return false;
+    uint64_t N = 0;
+    for (size_t I = Colon + 1; I != Item.size(); ++I) {
+      const char C = Item[I];
+      if (C < '0' || C > '9')
+        return false;
+      const uint64_t Digit = static_cast<uint64_t>(C - '0');
+      if (N > (UINT64_MAX - Digit) / 10)
+        return false;
+      N = N * 10 + Digit;
+    }
+    if (N == 0)
+      return false;
+    S.Nth = N;
+    Parsed.push_back(S);
+    if (End == Text.size())
+      break;
+    Pos = End + 1;
+  }
+  if (Parsed.empty())
+    return false;
+  Out = std::move(Parsed);
+  return true;
+}
+
+FaultFs::FaultFs(std::vector<IoFaultSpec> Faults, CrashMode Mode,
+                 StoreIo *Base)
+    : Faults(std::move(Faults)), Mode(Mode),
+      Base(Base ? Base : &StoreIo::system()) {}
+
+const IoFaultSpec *FaultFs::findWriteFault(uint64_t Nth) const {
+  for (const IoFaultSpec &S : Faults)
+    if (S.Nth == Nth && (S.Kind == IoFaultKind::ShortWrite ||
+                         S.Kind == IoFaultKind::Enospc ||
+                         S.Kind == IoFaultKind::Eio))
+      return &S;
+  return nullptr;
+}
+
+const IoFaultSpec *FaultFs::findRenameFault(uint64_t Nth) const {
+  for (const IoFaultSpec &S : Faults)
+    if (S.Nth == Nth && (S.Kind == IoFaultKind::CrashBeforeRename ||
+                         S.Kind == IoFaultKind::CrashAfterRename))
+      return &S;
+  return nullptr;
+}
+
+void FaultFs::crash() {
+  if (Mode == CrashMode::Exit)
+    ::_exit(kIoCrashExit);
+  Crashed = true;
+}
+
+bool FaultFs::writeFile(const std::string &Path, const uint8_t *Data,
+                        size_t Size, int &Err, size_t &Written) {
+  Err = 0;
+  Written = 0;
+  if (Crashed)
+    return false;
+  const IoFaultSpec *F = findWriteFault(++Writes);
+  if (!F)
+    return Base->writeFile(Path, Data, Size, Err, Written);
+  switch (F->Kind) {
+  case IoFaultKind::ShortWrite: {
+    // Persist half the bytes for real — the torn temp file the store's
+    // failure path (and fsck) must cope with — then fail like a full
+    // disk.
+    int HalfErr = 0;
+    size_t HalfWritten = 0;
+    Base->writeFile(Path, Data, Size / 2, HalfErr, HalfWritten);
+    Err = ENOSPC;
+    Written = HalfWritten;
+    return false;
+  }
+  case IoFaultKind::Enospc:
+    Err = ENOSPC;
+    return false;
+  case IoFaultKind::Eio:
+    Err = EIO;
+    return false;
+  case IoFaultKind::CrashBeforeRename:
+  case IoFaultKind::CrashAfterRename:
+    break; // Rename-class; never matched here.
+  }
+  return false;
+}
+
+bool FaultFs::rename(const std::string &From, const std::string &To,
+                     int &Err) {
+  Err = 0;
+  if (Crashed)
+    return false;
+  const IoFaultSpec *F = findRenameFault(++Renames);
+  if (!F)
+    return Base->rename(From, To, Err);
+  if (F->Kind == IoFaultKind::CrashBeforeRename) {
+    crash();
+    return false; // Simulate mode: the rename never happened.
+  }
+  const bool Ok = Base->rename(From, To, Err);
+  crash();
+  return Ok; // Simulate mode: committed, but nothing after this runs.
+}
+
+bool FaultFs::remove(const std::string &Path) {
+  if (Crashed)
+    return false;
+  return Base->remove(Path);
+}
+
+} // namespace pose

@@ -383,7 +383,8 @@ TEST(StoreDriver, StaleArtifactIsRejectedAndRegenerated) {
   ASSERT_TRUE(D2.Ok) << D2.Error;
   EXPECT_EQ(D2.Source, store::DriveSource::Fresh);
   ASSERT_FALSE(D2.RejectionNotes.empty());
-  EXPECT_NE(D2.RejectionNotes[0].find("damaged"), std::string::npos);
+  EXPECT_NE(D2.RejectionNotes[0].find("payload checksum mismatch"),
+            std::string::npos);
 
   store::DriveResult D3 = store::driveEnumeration(PM, Cfg, F, Dir, false);
   ASSERT_TRUE(D3.Ok) << D3.Error;

@@ -42,6 +42,19 @@
 //                                         supervised child mode: one job,
 //                                         result frame on stdout,
 //                                         documented exit code
+//   posec prog.mc --supervise --shard=K/N --store=DIR
+//                                         run only shard K of N: jobs are
+//                                         assigned by root-triple hash, so
+//                                         N disjoint supervisors cover the
+//                                         module exactly once
+//   posec --merge-store DST SRC...        union shard stores into DST with
+//                                         byte-level conflict detection
+//   posec --fsck --store=DIR [--repair]   re-verify every artifact frame;
+//                                         --repair moves damage aside and
+//                                         deletes orphaned temp files
+//   posec prog.mc --fault-io=SPEC ...     inject store I/O faults (short
+//                                         write, ENOSPC, EIO, crash around
+//                                         the committing rename)
 //
 //===----------------------------------------------------------------------===//
 
@@ -56,7 +69,9 @@
 #include "src/opt/PhaseGuard.h"
 #include "src/opt/PhaseManager.h"
 #include "src/sim/Interpreter.h"
+#include "src/store/StoreAdmin.h"
 #include "src/store/StoreDriver.h"
+#include "src/support/FaultFs.h"
 #include "src/support/StopToken.h"
 
 #include <cstdio>
@@ -64,6 +79,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -107,6 +123,18 @@ struct Options {
                               // the attempt number is <= N.
   uint64_t Attempt = 1;       // --attempt=K: this worker's attempt number.
   std::string FaultSpecText;  // Raw --inject-fault text (forwarding).
+
+  // Sharded sweeps and store administration.
+  uint64_t ShardIndex = 0;    // --shard=K/N: this supervisor's shard (1-based).
+  uint64_t ShardCount = 0;    // --shard=K/N: total shards (0 = unsharded).
+  std::string MergeDst;       // --merge-store=DST destination directory.
+  std::vector<std::string> MergeSrcs; // positional source stores.
+  bool Fsck = false;          // --fsck: offline store verification.
+  bool Repair = false;        // --repair: with --fsck, quarantine damage.
+
+  // Injected store I/O faults (execution-only; never fingerprinted).
+  std::string FaultIoSpecText;           // Raw --fault-io text (forwarding).
+  std::vector<IoFaultSpec> FaultIo;      // Parsed --fault-io plan.
 };
 
 void usage() {
@@ -180,12 +208,37 @@ void usage() {
       "                          crash-then-recover testing)\n"
       "  --attempt=K             with --worker: this attempt's 1-based\n"
       "                          number (set by the supervisor)\n"
+      "  --shard=K/N             with --supervise: run only the jobs whose\n"
+      "                          canonical root hashes to shard K of N\n"
+      "                          (1-based); N supervisors with disjoint K\n"
+      "                          cover the module exactly once, and their\n"
+      "                          merged stores are byte-identical to one\n"
+      "                          unsharded sweep\n"
+      "  --merge-store=DST SRC...\n"
+      "                          union the SRC stores into DST; identical\n"
+      "                          artifacts dedupe, byte-different ones for\n"
+      "                          the same key are a conflict (exit 10)\n"
+      "  --fsck                  with --store: re-verify every artifact\n"
+      "                          frame (magic, version, checksums, key,\n"
+      "                          payload decode); exit 9 when damage or\n"
+      "                          orphaned temp files were found\n"
+      "  --repair                with --fsck: move damaged artifacts to\n"
+      "                          <store>/lost+found/ and delete orphaned\n"
+      "                          temp files, so the next sweep recomputes\n"
+      "                          exactly what was lost\n"
+      "  --fault-io=SPEC         inject store I/O faults, e.g. enospc:2 or\n"
+      "                          crash-before-rename:1 (kinds: shortwrite,\n"
+      "                          enospc, eio, crash-before-rename,\n"
+      "                          crash-after-rename; Nth op of the class).\n"
+      "                          Execution-only: never part of the store\n"
+      "                          fingerprint. Crash kinds _exit(86)\n"
       "  --list-phases           print the 15 phases and exit\n"
       "\n"
-      "exit codes (--worker / --supervise):\n"
+      "exit codes (--worker / --supervise / store admin):\n"
       "  0 ok   1 error   2 usage   3 verifier failure   4 deadline\n"
       "  5 memory budget   6 cancelled   7 worker crashed (quarantined)\n"
-      "  8 quarantined job(s) skipped\n");
+      "  8 quarantined job(s) skipped   9 corrupt store (--fsck/--merge)\n"
+      "  10 merge conflict   86 injected I/O crash (--fault-io)\n");
 }
 
 /// Strict decimal parser for flag values: rejects empty strings, signs,
@@ -365,15 +418,107 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       SawAttempt = true;
+    } else if (const char *VS = Value("--shard")) {
+      const std::string Spec = VS;
+      const size_t Slash = Spec.find('/');
+      if (Slash == std::string::npos ||
+          !parseUint(Spec.substr(0, Slash).c_str(), O.ShardIndex) ||
+          !parseUint(Spec.substr(Slash + 1).c_str(), O.ShardCount) ||
+          O.ShardIndex == 0 || O.ShardCount == 0 ||
+          O.ShardIndex > O.ShardCount) {
+        std::fprintf(stderr,
+                     "--shard expects K/N with 1 <= K <= N, got '%s'\n", VS);
+        return false;
+      }
+      SawSupervisorFlag = true;
+    } else if (const char *VMS = Value("--merge-store")) {
+      if (!*VMS) {
+        std::fprintf(stderr,
+                     "--merge-store expects a destination directory\n");
+        return false;
+      }
+      O.MergeDst = VMS;
+    } else if (A == "--fsck")
+      O.Fsck = true;
+    else if (A == "--repair")
+      O.Repair = true;
+    else if (const char *VIO = Value("--fault-io")) {
+      if (!IoFaultSpec::parse(VIO, O.FaultIo)) {
+        std::fprintf(stderr,
+                     "--fault-io expects <kind>:<nth>[,...] with kind one "
+                     "of shortwrite/enospc/eio/crash-before-rename/"
+                     "crash-after-rename and a positive index, got '%s'\n",
+                     VIO);
+        return false;
+      }
+      O.FaultIoSpecText = VIO;
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", A.c_str());
       return false;
-    } else if (O.InputPath.empty())
+    } else if (!O.MergeDst.empty())
+      // Positional arguments of a merge are the source stores.
+      O.MergeSrcs.push_back(A);
+    else if (O.InputPath.empty())
       O.InputPath = A;
     else {
       std::fprintf(stderr, "multiple input files\n");
       return false;
     }
+  }
+  if (!O.MergeDst.empty() && !O.InputPath.empty()) {
+    // Flag order must not matter: a source listed before --merge-store
+    // was provisionally taken as the input file.
+    O.MergeSrcs.insert(O.MergeSrcs.begin(), O.InputPath);
+    O.InputPath.clear();
+  }
+  if (!O.MergeDst.empty()) {
+    if (O.MergeSrcs.empty()) {
+      std::fprintf(stderr,
+                   "--merge-store needs at least one source store\n");
+      return false;
+    }
+    if (!O.StorePath.empty()) {
+      std::fprintf(stderr, "--merge-store takes its destination from the "
+                           "flag value and its sources as positional "
+                           "arguments; --store is not used\n");
+      return false;
+    }
+    if (O.Fsck || O.Supervise || O.Worker || O.AnalyzeStore ||
+        O.ListQuarantine || O.ClearQuarantine) {
+      std::fprintf(stderr, "--merge-store is a standalone mode\n");
+      return false;
+    }
+    return true;
+  }
+  if (O.Fsck) {
+    if (O.StorePath.empty()) {
+      std::fprintf(stderr, "--fsck requires --store=DIR\n");
+      return false;
+    }
+    if (O.Supervise || O.Worker || O.AnalyzeStore || O.ListQuarantine ||
+        O.ClearQuarantine) {
+      std::fprintf(stderr, "--fsck is a standalone mode\n");
+      return false;
+    }
+    if (!O.InputPath.empty()) {
+      std::fprintf(stderr, "--fsck verifies the store itself and takes no "
+                           "input file\n");
+      return false;
+    }
+    return true;
+  }
+  if (O.Repair) {
+    std::fprintf(stderr, "--repair requires --fsck\n");
+    return false;
+  }
+  if (O.ShardCount != 0 && !O.Supervise) {
+    std::fprintf(stderr, "--shard requires --supervise\n");
+    return false;
+  }
+  if (!O.FaultIo.empty() && O.StorePath.empty() && !O.Supervise) {
+    std::fprintf(stderr, "--fault-io injects store I/O faults and "
+                         "requires --store=DIR (or --supervise)\n");
+    return false;
   }
   if ((O.Resume || O.AnalyzeStore) && O.StorePath.empty()) {
     std::fprintf(stderr, "%s requires --store=DIR\n",
@@ -435,10 +580,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                          "--inject-fault plans (segv/kill/hang)\n");
     return false;
   }
-  if (O.FaultAttempts != 0 &&
+  if (O.FaultAttempts != 0 && O.FaultIo.empty() &&
       (O.Faults.empty() || !O.Faults.allCrashFaults())) {
     std::fprintf(stderr, "--fault-attempts requires an all-crash-class "
-                         "--inject-fault plan\n");
+                         "--inject-fault plan or a --fault-io plan\n");
     return false;
   }
   return !O.InputPath.empty();
@@ -620,8 +765,11 @@ int runSupervise(const Options &O, const Module &M, const char *Argv0) {
     SO.Faults = &O.Faults;
     SO.FaultSpec = O.FaultSpecText;
   }
+  SO.FaultIoSpec = O.FaultIoSpecText;
   SO.FaultFunc = O.FaultFunc;
   SO.FaultAttempts = O.FaultAttempts;
+  SO.ShardIndex = O.ShardIndex;
+  SO.ShardCount = O.ShardCount;
   SO.WorkerTimeoutMs = O.WorkerTimeoutMs;
   SO.WorkerRlimitMb = O.WorkerRlimitMb;
   SO.SweepDeadlineMs = O.DeadlineMs;
@@ -632,10 +780,74 @@ int runSupervise(const Options &O, const Module &M, const char *Argv0) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return drive::ExitCode::Error;
   }
+  for (const std::string &P : R.ReclaimedTmp)
+    std::fprintf(stderr,
+                 "note: reclaimed stale temp file %s (left by a crashed "
+                 "writer)\n",
+                 P.c_str());
   for (const drive::JobOutcome &J : R.Jobs)
     std::printf("%-20s %s: %s\n", J.Func.c_str(),
                 drive::jobStatusName(J.Status), J.Detail.c_str());
   return R.exitCode();
+}
+
+/// --fsck [--repair]: offline verification of a store directory. Prints
+/// one line per problem (and per foreign file), a summary, and exits 0
+/// for a clean (or cleanly repaired) store, 9 otherwise.
+int runFsck(const Options &O) {
+  const store::FsckReport R = store::fsckStore(O.StorePath, O.Repair);
+  if (!R.Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return drive::ExitCode::Error;
+  }
+  for (const store::FsckEntry &E : R.Entries) {
+    std::printf("%-10s %s: %s\n", store::fsckStateName(E.State),
+                E.Name.c_str(), E.Detail.c_str());
+    if (!E.RepairedTo.empty()) {
+      const std::string What = E.RepairedTo == "(removed)"
+                                   ? std::string("removed")
+                                   : "moved to " + E.RepairedTo;
+      std::printf("           %s\n", What.c_str());
+    }
+  }
+  std::printf("scanned %zu: %zu intact, %zu corrupt, %zu truncated, "
+              "%zu orphaned tmp, %zu foreign\n",
+              R.Scanned, R.Intact, R.Corrupt, R.Truncated, R.Orphans,
+              R.Foreign);
+  if (R.clean())
+    return drive::ExitCode::Ok;
+  if (O.Repair && R.repairedClean()) {
+    std::printf("store repaired: %zu problem(s) moved aside or removed; "
+                "re-sweep to regenerate the lost artifacts\n",
+                R.Repaired);
+    return drive::ExitCode::Ok;
+  }
+  return drive::ExitCode::StoreCorrupt;
+}
+
+/// --merge-store DST SRC...: union shard stores into one. Exit 0 on
+/// success, 10 on a same-key byte-difference (naming the key), 9 on a
+/// corrupt source artifact.
+int runMerge(const Options &O) {
+  const store::MergeReport R = store::mergeStores(O.MergeDst, O.MergeSrcs);
+  switch (R.Status) {
+  case store::MergeStatus::Ok:
+    std::printf("merged %zu store(s) into %s: %zu copied, %zu identical "
+                "(deduped), %zu stale tmp skipped\n",
+                O.MergeSrcs.size(), O.MergeDst.c_str(), R.Copied, R.Deduped,
+                R.SkippedTmp);
+    return drive::ExitCode::Ok;
+  case store::MergeStatus::Conflict:
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return drive::ExitCode::MergeConflict;
+  case store::MergeStatus::CorruptSource:
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return drive::ExitCode::StoreCorrupt;
+  case store::MergeStatus::IoError:
+    break;
+  }
+  std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+  return drive::ExitCode::Error;
 }
 
 /// --list-quarantine / --clear-quarantine: the operator surface over
@@ -733,6 +945,23 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
+
+  // Install the store I/O fault injector before any store is touched.
+  // The supervisor process itself never injects — it forwards the spec
+  // to its workers (the processes whose writes the faults target). The
+  // attempt gate mirrors --inject-fault: with --fault-attempts=N a
+  // retried worker runs clean once its attempt number exceeds N.
+  if (!O.FaultIo.empty() && !O.Supervise &&
+      (O.FaultAttempts == 0 || O.Attempt <= O.FaultAttempts)) {
+    static FaultFs Injector(O.FaultIo, FaultFs::CrashMode::Exit);
+    setProcessStoreIo(&Injector);
+  }
+
+  // Store administration modes run without an input file.
+  if (!O.MergeDst.empty())
+    return runMerge(O);
+  if (O.Fsck)
+    return runFsck(O);
 
   std::ifstream In(O.InputPath);
   if (!In) {
