@@ -7,11 +7,24 @@
 #include "src/core/DagPaths.h"
 
 #include "src/ir/Function.h"
+#include "src/opt/PhaseGuard.h"
 #include "src/opt/PhaseManager.h"
 
 #include <deque>
 
 using namespace pose;
+
+namespace {
+/// One replayed phase application: PM.attempt plus the wrong-code
+/// mutation the PhaseGuard would have injected during enumeration.
+bool replayPhase(const PhaseManager &PM, const FaultPlan *Faults, PhaseId P,
+                 Function &F) {
+  const bool Active = PM.attempt(P, F);
+  if (Active && Faults && Faults->wrongCode(P))
+    (void)applyWrongCodeFault(F);
+  return Active;
+}
+} // namespace
 
 DagPaths::DagPaths(const EnumerationResult &R)
     : From(R.Nodes.size(), -1),
@@ -51,11 +64,50 @@ std::string DagPaths::sequenceTo(uint32_t Node) const {
 }
 
 Function DagPaths::materialize(const Function &Root, const PhaseManager &PM,
-                               uint32_t Node) const {
+                               uint32_t Node,
+                               const FaultPlan *Faults) const {
   Function F = Root;
   for (PhaseId P : pathTo(Node)) {
-    [[maybe_unused]] bool Active = PM.attempt(P, F);
+    [[maybe_unused]] bool Active = replayPhase(PM, Faults, P, F);
     assert(Active && "enumerated path must replay actively");
   }
   return F;
+}
+
+void DagPaths::forEachInstance(
+    const Function &Root, const PhaseManager &PM, const FaultPlan *Faults,
+    const std::function<void(uint32_t, const Function &)> &Fn) const {
+  // Children adjacency of the BFS spanning tree. Pushing ids in ascending
+  // order makes each child list ascending, so the DFS below is fully
+  // deterministic.
+  std::vector<std::vector<uint32_t>> Children(From.size());
+  for (size_t Id = 1; Id != From.size(); ++Id)
+    if (From[Id] >= 0)
+      Children[static_cast<size_t>(From[Id])].push_back(
+          static_cast<uint32_t>(Id));
+
+  // Explicit-stack DFS carrying the materialized instance down the tree:
+  // one phase application (plus one function copy) per edge. Recursion
+  // would also copy once per edge but can overflow the stack on deep
+  // chains; DAG depths reach the hundreds for the larger workloads.
+  struct Frame {
+    uint32_t Id;
+    Function Inst;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({0, Root});
+  while (!Stack.empty()) {
+    Frame Cur = std::move(Stack.back());
+    Stack.pop_back();
+    Fn(Cur.Id, Cur.Inst);
+    // Reverse order so the smallest-id child is visited first.
+    const std::vector<uint32_t> &Kids = Children[Cur.Id];
+    for (size_t I = Kids.size(); I-- != 0;) {
+      Frame Next{Kids[I], Cur.Inst};
+      [[maybe_unused]] bool Active =
+          replayPhase(PM, Faults, Via[Kids[I]], Next.Inst);
+      assert(Active && "enumerated edge must replay actively");
+      Stack.push_back(std::move(Next));
+    }
+  }
 }

@@ -21,6 +21,7 @@
 
 #include "src/core/Enumerator.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@ namespace pose {
 
 class Function;
 class PhaseManager;
+struct FaultPlan;
 
 /// BFS spanning tree over an enumerated DAG.
 class DagPaths {
@@ -43,9 +45,25 @@ public:
 
   /// Replays pathTo(Node) on a copy of \p Root. Asserts every phase on
   /// the path is active (it was during enumeration; phases are
-  /// deterministic).
+  /// deterministic). When \p Faults carries wrong-code faults, the same
+  /// mutation the PhaseGuard performed during enumeration is replayed
+  /// after each active application of a faulted phase, so materialized
+  /// instances match the enumerated (and canonicalized) ones exactly.
   Function materialize(const Function &Root, const PhaseManager &PM,
-                       uint32_t Node) const;
+                       uint32_t Node,
+                       const FaultPlan *Faults = nullptr) const;
+
+  /// Visits every node of the DAG exactly once, depth-first over the BFS
+  /// spanning tree, calling \p Fn(node id, instance) with the node's
+  /// materialized function. One phase application per spanning-tree edge
+  /// instead of one full path replay per node — for a DAG of N nodes with
+  /// average depth D this is O(N) applications, not O(N*D). Visit order
+  /// is deterministic (children in ascending node id), but NOT ascending
+  /// id order; callers index per-node state by id. The instance reference
+  /// is only valid during the callback.
+  void forEachInstance(
+      const Function &Root, const PhaseManager &PM, const FaultPlan *Faults,
+      const std::function<void(uint32_t, const Function &)> &Fn) const;
 
 private:
   std::vector<int> From;

@@ -48,6 +48,10 @@ enum ExitCode : int {
   MergeConflict = 10,  ///< --merge-store only: two stores hold
                        ///< byte-different artifacts for the same key;
                        ///< nothing was merged past the conflict.
+  EquivDivergence = 11, ///< --equiv-check only: two instances of the same
+                        ///< canonical function diverged in observable
+                        ///< behavior on a test vector — a phase produced
+                        ///< wrong code somewhere on the path between them.
 };
 
 /// Maps an enumeration stop reason to the worker's exit code. Budget

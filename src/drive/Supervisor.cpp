@@ -12,6 +12,7 @@
 #include "src/drive/ExitCodes.h"
 #include "src/ir/Function.h"
 #include "src/opt/PhaseGuard.h"
+#include "src/sem/Equivalence.h"
 #include "src/store/ArtifactStore.h"
 #include "src/support/Subprocess.h"
 
@@ -72,7 +73,7 @@ std::vector<std::string> workerArgv(const SupervisorOptions &O,
                                     unsigned Attempt) {
   std::vector<std::string> Argv = {
       O.PosecPath,
-      O.InputPath,
+      O.InputPath.empty() ? "--workload=" + O.Workload : O.InputPath,
       "--worker",
       "--enumerate=" + Func,
       "--store=" + O.StoreDir,
@@ -85,6 +86,11 @@ std::vector<std::string> workerArgv(const SupervisorOptions &O,
     Argv.push_back("--max-memory-mb=" + u64Str(O.MaxMemoryMb));
   if (O.VerifyIr)
     Argv.push_back("--verify-ir");
+  if (O.Equiv) {
+    Argv.push_back("--equiv");
+    Argv.push_back("--vector-seed=" + u64Str(O.VectorSeed));
+    Argv.push_back("--vectors=" + u64Str(O.Vectors));
+  }
   const bool Faulted = O.FaultFunc.empty() || O.FaultFunc == Func;
   if (Faulted) {
     if (!O.FaultSpec.empty())
@@ -446,18 +452,32 @@ SweepReport superviseModule(const PhaseManager &PM, const Module &M,
         J.Detail = "(rejected quarantine record: " + Err + ") ";
     }
 
-    // 2. A finished cached result needs no worker at all.
+    // 2. A finished cached result needs no worker at all — unless the
+    //    sweep also wants equivalence records and this root's is missing
+    //    (or was computed under different vectors), in which case a
+    //    worker must still run to compute it.
     {
       EnumerationResult Res;
       std::string Err;
       const store::LoadStatus St = Store.loadResult(S.Root, Fp, Res, Err);
       if (St == store::LoadStatus::Hit) {
-        J.Status = JobStatus::Cached;
-        J.Stop = Res.Stop;
-        J.Nodes = Res.Nodes.size();
-        J.Detail += std::string("reusing cached DAG (") +
-                    stopReasonName(Res.Stop) + ")";
-        return true;
+        bool EquivReady = true;
+        if (Opts.Equiv) {
+          sem::EquivRecord E;
+          std::string EqErr;
+          const uint64_t EqFp =
+              store::equivFingerprint(Fp, Opts.VectorSeed, Opts.Vectors);
+          EquivReady = Store.loadEquivalence(S.Root, EqFp, E, EqErr) ==
+                       store::LoadStatus::Hit;
+        }
+        if (EquivReady) {
+          J.Status = JobStatus::Cached;
+          J.Stop = Res.Stop;
+          J.Nodes = Res.Nodes.size();
+          J.Detail += std::string("reusing cached DAG (") +
+                      stopReasonName(Res.Stop) + ")";
+          return true;
+        }
       }
       if (St == store::LoadStatus::Rejected)
         J.Detail += "(rejected stored result: " + Err + ") ";

@@ -84,6 +84,10 @@ bool parseWorkerFrame(const std::string &Output, WorkerFrame &Out);
 struct SupervisorOptions {
   std::string PosecPath; ///< Worker executable (this very binary).
   std::string InputPath; ///< The .mc source file workers recompile.
+  /// Embedded workload name (--workload=NAME); workers get this flag
+  /// instead of an input path when set. Exactly one of InputPath/Workload
+  /// is nonempty.
+  std::string Workload;
   std::string StoreDir;  ///< Artifact store; required.
   /// Store directory for quarantine records; empty = StoreDir.
   std::string QuarantineDir;
@@ -94,6 +98,14 @@ struct SupervisorOptions {
   uint64_t Jobs = 1;           ///< --jobs inside each worker.
   uint64_t MaxMemoryMb = 0;    ///< --max-memory-mb per worker (0 = off).
   bool VerifyIr = false;       ///< --verify-ir.
+
+  // Semantic equivalence (src/sem). With Equiv set, workers also compute
+  // and persist the equivalence record of every finished DAG, and a job
+  // only counts as Cached when both its result AND its equivalence record
+  // (under VectorSeed/Vectors) are already stored.
+  bool Equiv = false;      ///< --equiv forwarded to workers.
+  uint64_t VectorSeed = 0; ///< --vector-seed forwarded when Equiv.
+  uint64_t Vectors = 0;    ///< --vectors forwarded when Equiv.
 
   // Fault injection (tests, CI). The parsed plan must be all crash-class;
   // the spec text is forwarded verbatim to the targeted worker.

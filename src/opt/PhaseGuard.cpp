@@ -24,8 +24,21 @@ const char *pose::faultKindName(FaultKind K) {
     return "kill";
   case FaultKind::Hang:
     return "hang";
+  case FaultKind::WrongCode:
+    return "wrongcode";
   }
   return "?";
+}
+
+bool pose::applyWrongCodeFault(Function &F) {
+  for (BasicBlock &B : F.Blocks)
+    for (Rtl &I : B.Insts)
+      for (Operand &S : I.Src)
+        if (S.Kind == OperandKind::Imm) {
+          S.Value += 1;
+          return true;
+        }
+  return false;
 }
 
 bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
@@ -67,6 +80,8 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out) {
         Kind = FaultKind::Kill;
       else if (Name == "hang")
         Kind = FaultKind::Hang;
+      else if (Name == "wrongcode")
+        Kind = FaultKind::WrongCode;
       else
         return false;
     }
@@ -109,11 +124,19 @@ PhaseGuard::Outcome PhaseGuard::attemptNth(PhaseId P, Function &F,
   // taking the whole process down, not a recoverable in-process failure.
   if (Opts.Faults)
     if (const FaultPlan::Fault *Crash = Opts.Faults->match(P, Nth))
-      if (Crash->Kind != FaultKind::Verifier)
+      if (isCrashKind(Crash->Kind))
         executeCrashFault(Crash->Kind);
 
   Function Snapshot = F;
   const bool Active = PM.attempt(P, F);
+
+  // Wrong-code faults apply after the phase so the mutated result is what
+  // downstream consumers (canonicalizer, simulator) see. They are
+  // unconditional per phase (FaultPlan::wrongCode) and always count as
+  // active: a miscompiling phase reports success. No diagnostic — the
+  // whole point is that nothing in the pipeline notices.
+  if (Active && Opts.Faults && Opts.Faults->wrongCode(P))
+    (void)applyWrongCodeFault(F);
   std::string Err;
   bool Injected = false;
   if (Opts.Faults && Opts.Faults->shouldFail(P, Nth)) {

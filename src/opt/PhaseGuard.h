@@ -60,10 +60,22 @@ enum class FaultKind : uint8_t {
   Segv,         ///< raise(SIGSEGV): die like a wild pointer would.
   Kill,         ///< raise(SIGKILL): die with no chance to clean up.
   Hang,         ///< Spin forever: trip the supervisor's kill timer.
+  WrongCode,    ///< Silent miscompilation: the phase "succeeds" but the
+                ///< code it leaves behind is deterministically mutated
+                ///< (see applyWrongCodeFault). Nothing notices until a
+                ///< behavioral check (posec --equiv-check) runs — which
+                ///< is exactly what it exists to prove able to fail.
 };
 
-/// Short lower-case name ("verifier", "segv", "kill", "hang").
+/// Short lower-case name ("verifier", "segv", "kill", "hang",
+/// "wrongcode").
 const char *faultKindName(FaultKind K);
+
+/// True for the kinds that take the process down (Segv/Kill/Hang).
+inline bool isCrashKind(FaultKind K) {
+  return K == FaultKind::Segv || K == FaultKind::Kill ||
+         K == FaultKind::Hang;
+}
 
 /// Deterministic fault injection: fail the Nth application of phase P.
 /// Counts are per phase and 1-based, matching PhaseGuard::applications().
@@ -93,7 +105,7 @@ struct FaultPlan {
   /// True when any fault is a crash class (Segv/Kill/Hang).
   bool hasCrashFault() const {
     for (const Fault &F : Faults)
-      if (F.Kind != FaultKind::Verifier)
+      if (isCrashKind(F.Kind))
         return true;
     return false;
   }
@@ -102,19 +114,42 @@ struct FaultPlan {
   /// configured number of faulty attempts).
   bool allCrashFaults() const {
     for (const Fault &F : Faults)
-      if (F.Kind == FaultKind::Verifier)
+      if (!isCrashKind(F.Kind))
         return false;
     return !Faults.empty();
+  }
+  /// The wrong-code fault afflicting phase \p P, or nullptr. Unlike the
+  /// other kinds, wrong-code faults are unconditional: a miscompiling
+  /// phase is broken on every application, so the Nth coordinate in the
+  /// spec is accepted but ignored. That is what keeps the mutation
+  /// replayable — a DAG walk re-applies phases in a different order (and
+  /// count) than the enumeration did, so any application-numbered rule
+  /// could not reproduce the same instances.
+  const Fault *wrongCode(PhaseId P) const {
+    for (const Fault &F : Faults)
+      if (F.Phase == P && F.Kind == FaultKind::WrongCode)
+        return &F;
+    return nullptr;
   }
 
   /// Parses a comma-separated "<letter>:<nth>[:<kind>]" spec, e.g. "c:3",
   /// "c:3,s:1", or "s:2:segv" (the posec --inject-fault format); kind is
-  /// one of segv/kill/hang and defaults to a verifier fault. Returns
-  /// false on an unknown phase letter, a missing/zero/non-numeric count,
-  /// an unknown kind, or any other malformed input; \p Out is unchanged
-  /// on failure.
+  /// one of segv/kill/hang/wrongcode and defaults to a verifier fault.
+  /// Returns false on an unknown phase letter, a missing/zero/non-numeric
+  /// count, an unknown kind, or any other malformed input; \p Out is
+  /// unchanged on failure.
   static bool parse(const std::string &Spec, FaultPlan &Out);
 };
+
+/// The deterministic wrong-code mutation: increments the first immediate
+/// source operand of \p F (block order, then instruction order, then
+/// operand order). Returns false when the function has no immediate to
+/// mutate, in which case it is left untouched. The mutation preserves
+/// structural validity (the verifier checks shape, not values), so only
+/// a behavioral oracle can catch it. Exposed so DAG walks
+/// (DagPaths::materialize / forEachInstance) can replay exactly what the
+/// guard did during enumeration.
+bool applyWrongCodeFault(Function &F);
 
 /// Guarded phase application. With verification and fault injection both
 /// off the guard is a pass-through over PhaseManager::attempt (one counter

@@ -1,0 +1,202 @@
+//===- Equivalence.h - Observational-equivalence collapse ------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic bucketing of an enumerated phase-order space: every DAG
+/// instance of a function is executed through the RTL interpreter on a
+/// seeded test-vector set (src/sem/TestVectors.h) and reduced to a 64-bit
+/// behavior fingerprint — a hash of Ok/ReturnValue/Output per vector, or
+/// of the trap class for trapping runs. Instances with equal fingerprints
+/// form one semantic equivalence class; the syntactic space (distinct by
+/// canonical CRC) collapses onto these classes, which is the
+/// "Beyond the Phase Ordering Problem" observation this subsystem
+/// reproduces on top of the paper's exhaustive DAGs.
+///
+/// Two consumers sit on the same record:
+///  - collapseClasses(): per-function collapse statistics with per-class
+///    dynamic-count spreads (same behavior, different cost = a found
+///    optimization opportunity) and per-class optimal-leaf certification;
+///  - findDivergence(): the differential phase-bug gate — any two
+///    instances of one canonical root that disagree in behavior mean some
+///    phase miscompiled, and the report names the sequence pair and the
+///    first diverging vector.
+///
+/// Trapping runs are fingerprinted by trap class alone (partial Output
+/// and ReturnValue are ignored): legal code motion and scheduling may
+/// move a trapping instruction relative to out() calls, and a gate with
+/// false positives is useless. Ok runs compare exactly.
+///
+/// Everything here is a pure function of (module, root, DAG, seed,
+/// count): runs use a fixed arena size and root-derived step limits, so
+/// records are byte-identical across thread counts, hosts, and resumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SEM_EQUIVALENCE_H
+#define POSE_SEM_EQUIVALENCE_H
+
+#include "src/sem/TestVectors.h"
+#include "src/sim/Interpreter.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pose {
+
+class Function;
+class Module;
+class PhaseManager;
+struct EnumerationResult;
+struct FaultPlan;
+
+namespace sem {
+
+/// Arena size (words) for equivalence runs. Smaller than the default
+/// interpreter arena because the whole arena is zeroed per run and an
+/// equivalence sweep performs instances x vectors runs; the bound is part
+/// of the behavior definition (an address is out-of-bounds relative to
+/// it), so it is fixed here rather than configurable.
+constexpr size_t kEquivMemWords = 1u << 16;
+
+/// Step budget for the root instance on one vector. Vectors whose root
+/// run exceeds it are dropped from the set: a step-limit trap is a
+/// resource verdict, not a behavior, and instances legitimately differ in
+/// dynamic counts. Kept vectors give every instance a generous limit of
+/// 16x the root's steps (plus slack), far beyond any phase's real effect.
+constexpr uint64_t kRootStepLimit = 200'000;
+
+/// Per-instance step limit for a vector whose root took \p RootSteps.
+inline uint64_t instanceStepLimit(uint64_t RootSteps) {
+  return RootSteps * 16 + 10'000;
+}
+
+/// Digest of one run's observable behavior (see file comment for the
+/// trap-class rule). FNV-1a over a fixed little-endian rendering.
+uint64_t behaviorDigest(const RunResult &R);
+
+/// Human-readable one-line behavior ("ok ret=3 out=[1 2]" or
+/// "trap: division by zero").
+std::string renderBehavior(const RunResult &R);
+
+/// The cached equivalence artifact: one behavior fingerprint, total
+/// dynamic count, and all-Ok flag per DAG node, plus the vector-set
+/// identity it was computed under. Node arrays are indexed by DAG node
+/// id (node 0 is the unoptimized root).
+struct EquivRecord {
+  uint64_t VectorSeed = 0;
+  uint32_t VectorsRequested = 0; ///< generateVectors() Count argument.
+  uint32_t NumParams = 0;
+  /// Indices (into the generated set, strictly ascending) of the vectors
+  /// actually used; the rest were dropped by the root step budget.
+  std::vector<uint32_t> UsedVectors;
+  std::vector<uint64_t> NodeBehavior; ///< Fingerprint per node.
+  /// Sum of DynamicInsts over the used vectors per node (trapping runs
+  /// contribute the steps they executed before the trap).
+  std::vector<uint64_t> NodeDynamic;
+  std::vector<uint8_t> NodeAllOk; ///< 1 when every used vector ran Ok.
+};
+
+/// Knobs of one equivalence computation.
+struct EquivInputs {
+  uint64_t Seed = kDefaultVectorSeed;
+  uint32_t VectorCount = kDefaultVectorCount;
+  /// Wrong-code faults replayed during instance materialization, so the
+  /// walk observes the same miscompiled instances the enumeration hashed
+  /// (nullptr or a plan without wrong-code faults is a clean walk).
+  const FaultPlan *Faults = nullptr;
+};
+
+/// Runs every DAG node of \p R through the interpreter on the seeded
+/// vector set and fingerprints its behavior. \p Root must be the
+/// unoptimized function \p R was enumerated from; other functions of
+/// \p M are interpreted as written (callees stay unoptimized).
+EquivRecord computeEquivalence(const Module &M, const Function &Root,
+                               const PhaseManager &PM,
+                               const EnumerationResult &R,
+                               const EquivInputs &In);
+
+/// One semantic equivalence class.
+struct EquivClass {
+  uint64_t Behavior = 0;
+  std::vector<uint32_t> Nodes; ///< Member node ids, ascending.
+  uint64_t MinDynamic = 0;     ///< Cheapest member's dynamic count.
+  uint64_t MaxDynamic = 0;     ///< Costliest member's dynamic count.
+  uint32_t BestNode = 0;       ///< Cheapest member (ties: lowest id).
+  /// Cheapest leaf member, or UINT32_MAX when no member is a DAG leaf.
+  /// On a complete enumeration this leaf is globally optimal w.r.t.
+  /// phase ordering for this behavior class (every reachable instance
+  /// was enumerated and none of this behavior is cheaper).
+  uint32_t BestLeaf = 0xFFFFFFFFu;
+  bool AllOk = false; ///< Every member ran every used vector Ok.
+
+  /// Relative cost spread within the class, in percent of MinDynamic.
+  double spreadPercent() const {
+    if (MinDynamic == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(MaxDynamic - MinDynamic) /
+           static_cast<double>(MinDynamic);
+  }
+};
+
+/// Per-function collapse statistics over one record.
+struct CollapseReport {
+  uint64_t Instances = 0;   ///< Syntactic instances (DAG nodes).
+  uint64_t UsedVectors = 0; ///< Vectors that survived the root budget.
+  /// True when the enumeration was complete, making per-class optimal
+  /// leaves globally optimal w.r.t. phases rather than best-seen.
+  bool Certified = false;
+  std::vector<EquivClass> Classes; ///< Ordered by first member node id.
+
+  /// Classes whose members differ in dynamic count: same behavior at
+  /// different cost, i.e. found optimization opportunities.
+  uint64_t opportunityClasses() const {
+    uint64_t N = 0;
+    for (const EquivClass &C : Classes)
+      N += C.MaxDynamic > C.MinDynamic;
+    return N;
+  }
+
+  /// Syntactic-to-semantic collapse, in percent of instances removed.
+  double collapsePercent() const {
+    if (Instances == 0)
+      return 0.0;
+    return 100.0 *
+           (1.0 - static_cast<double>(Classes.size()) /
+                      static_cast<double>(Instances));
+  }
+};
+
+/// Buckets \p E's nodes into semantic classes.
+CollapseReport collapseClasses(const EnumerationResult &R,
+                               const EquivRecord &E);
+
+/// A behavior divergence between two same-canonical instances: the phase
+/// bug signature posec --equiv-check hunts for.
+struct DivergenceReport {
+  bool Diverged = false;
+  uint32_t NodeA = 0;    ///< Reference instance (the unoptimized root).
+  uint32_t NodeB = 0;    ///< First node (ascending id) that disagrees.
+  std::string SequenceA; ///< Phase letters reaching NodeA ("" = root).
+  std::string SequenceB;
+  int32_t VectorIndex = -1;    ///< Index into the generated vector set.
+  std::vector<int32_t> Vector; ///< The diverging arguments.
+  std::string BehaviorA;       ///< renderBehavior of both runs.
+  std::string BehaviorB;
+};
+
+/// Scans \p E for a node whose behavior differs from the root's and, when
+/// found, re-runs the two instances vector by vector to name the first
+/// diverging input. \p In must match the inputs \p E was computed under.
+DivergenceReport findDivergence(const Module &M, const Function &Root,
+                                const PhaseManager &PM,
+                                const EnumerationResult &R,
+                                const EquivRecord &E, const EquivInputs &In);
+
+} // namespace sem
+} // namespace pose
+
+#endif // POSE_SEM_EQUIVALENCE_H

@@ -1,0 +1,72 @@
+//===- TestVectors.cpp - Seeded per-signature test vectors ----------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sem/TestVectors.h"
+
+#include "src/support/Rng.h"
+
+#include <climits>
+#include <cstddef>
+
+namespace pose {
+namespace sem {
+
+const std::vector<int32_t> &boundaryValues() {
+  // The values interpreter semantics pivot on: the unmapped low addresses
+  // (0..15), the div/rem trap pair (INT32_MIN, -1), the shift-amount mask
+  // edge (31/32/33), and small loop bounds that keep runs cheap.
+  static const std::vector<int32_t> Pool = {
+      0, 1, -1, 2, -2, 3, 7, 8, 15, 16, 31, 32, 33, 100, -100, 255,
+      INT32_MAX, INT32_MIN,
+  };
+  return Pool;
+}
+
+std::vector<std::vector<int32_t>> generateVectors(uint32_t NumParams,
+                                                  uint64_t Seed,
+                                                  uint32_t Count) {
+  std::vector<std::vector<int32_t>> Vectors;
+  if (NumParams == 0) {
+    // One distinct input exists; repeating it would re-measure the same
+    // run Count times.
+    Vectors.emplace_back();
+    return Vectors;
+  }
+  const std::vector<int32_t> &Pool = boundaryValues();
+
+  // Boundary sweep first: pool value I broadcast to every parameter.
+  for (std::size_t I = 0; I != Pool.size() && Vectors.size() < Count; ++I)
+    Vectors.emplace_back(NumParams, Pool[I]);
+
+  // Then seeded random sweeps. Each argument independently picks a
+  // category so vectors mix boundary values with small loop counters and
+  // larger magnitudes in one call.
+  Rng R(Seed);
+  while (Vectors.size() < Count) {
+    std::vector<int32_t> V(NumParams, 0);
+    for (uint32_t P = 0; P != NumParams; ++P) {
+      switch (R.below(4)) {
+      case 0:
+        V[P] = Pool[R.below(Pool.size())];
+        break;
+      case 1:
+        V[P] = static_cast<int32_t>(R.range(-8, 8));
+        break;
+      case 2:
+        V[P] = static_cast<int32_t>(R.range(-1024, 1024));
+        break;
+      default:
+        V[P] = static_cast<int32_t>(R.range(-100000, 100000));
+        break;
+      }
+    }
+    Vectors.push_back(std::move(V));
+  }
+  return Vectors;
+}
+
+} // namespace sem
+} // namespace pose

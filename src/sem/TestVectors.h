@@ -1,0 +1,47 @@
+//===- TestVectors.h - Seeded per-signature test vectors -------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic test-vector generation for semantic-equivalence runs:
+/// given a function signature (its parameter count) and a 64-bit seed,
+/// produce a reproducible set of argument vectors. The set front-loads a
+/// fixed pool of boundary values (0, ±1, small powers of two, the shift
+/// edge 31/32/33, INT32_MIN/MAX) broadcast across all parameters, then
+/// fills the remainder with Rng-driven sweeps that mix pool picks with
+/// small, medium, and large magnitudes. The generator is a pure function
+/// of (NumParams, Seed, Count) — no platform, locale, or iteration-order
+/// dependence — because vector identity is part of the equivalence
+/// artifact key (docs/EQUIVALENCE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SEM_TESTVECTORS_H
+#define POSE_SEM_TESTVECTORS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pose {
+namespace sem {
+
+/// Default seed and vector count of posec --equiv / --equiv-check.
+constexpr uint64_t kDefaultVectorSeed = 2026;
+constexpr uint32_t kDefaultVectorCount = 24;
+
+/// The fixed boundary pool, in generation order.
+const std::vector<int32_t> &boundaryValues();
+
+/// Generates \p Count argument vectors of \p NumParams words each for the
+/// given seed. A zero-parameter signature has exactly one distinct input,
+/// so it yields a single empty vector regardless of \p Count.
+std::vector<std::vector<int32_t>> generateVectors(uint32_t NumParams,
+                                                  uint64_t Seed,
+                                                  uint32_t Count);
+
+} // namespace sem
+} // namespace pose
+
+#endif // POSE_SEM_TESTVECTORS_H

@@ -46,9 +46,24 @@ struct RunResult {
   /// position. Summed over all invocations of that function in the run.
   std::vector<uint64_t> BlockCounts;
 
+  /// Stable classification of a trap, independent of which function it
+  /// happened in: the Error text with the trailing " in <function>"
+  /// context stripped ("load out of bounds", "division by zero", ...).
+  /// Empty for successful runs.
+  std::string trapKind() const {
+    if (Ok)
+      return std::string();
+    const size_t Pos = Error.rfind(" in ");
+    return Pos == std::string::npos ? Error : Error.substr(0, Pos);
+  }
+
   /// Returns true if two runs produced identical observable behaviour.
+  /// Trapping runs must also trap for the same reason: two traps with
+  /// different causes (a division by zero vs. an out-of-bounds store)
+  /// are different behaviors even when their partial output agrees.
   bool sameBehavior(const RunResult &O) const {
-    return Ok == O.Ok && ReturnValue == O.ReturnValue && Output == O.Output;
+    return Ok == O.Ok && ReturnValue == O.ReturnValue &&
+           Output == O.Output && (Ok || trapKind() == O.trapKind());
   }
 };
 

@@ -83,6 +83,8 @@ const char *artifactKindName(ArtifactKind K) {
     return "checkpoint";
   case ArtifactKind::Quarantine:
     return "quarantine";
+  case ArtifactKind::Equivalence:
+    return "equiv";
   }
   return "?";
 }
@@ -99,18 +101,28 @@ uint64_t configFingerprint(const EnumeratorConfig &Config) {
     for (int Y = 0; Y != NumPhases; ++Y)
       H = mix(H, Config.TrainedIndependence[X][Y]);
   H = mix(H, Config.VerifyIr);
-  // Injected verifier faults prune edges, so they shape the DAG like any
-  // other config switch; an empty plan fingerprints like no plan. Crash-
-  // class faults kill the process instead of shaping the DAG — they are
-  // execution-only and excluded, so a crash-injected worker reads and
-  // writes the same artifacts as a clean run of the same job.
+  // Injected verifier faults prune edges and wrong-code faults mutate
+  // instances, so both shape the DAG like any other config switch; an
+  // empty plan fingerprints like no plan. Crash-class faults kill the
+  // process instead of shaping the DAG — they are execution-only and
+  // excluded, so a crash-injected worker reads and writes the same
+  // artifacts as a clean run of the same job.
   if (Config.Faults)
     for (const FaultPlan::Fault &F : Config.Faults->Faults) {
-      if (F.Kind != FaultKind::Verifier)
+      if (isCrashKind(F.Kind))
         continue;
       H = mix(H, static_cast<uint64_t>(F.Phase));
       H = mix(H, F.Application);
+      H = mix(H, static_cast<uint64_t>(F.Kind));
     }
+  return H;
+}
+
+uint64_t equivFingerprint(uint64_t ConfigFp, uint64_t VectorSeed,
+                          uint64_t VectorCount) {
+  uint64_t H = ConfigFp;
+  H = mix(H, VectorSeed);
+  H = mix(H, VectorCount);
   return H;
 }
 
@@ -239,7 +251,7 @@ FrameVerdict inspectFrame(const std::vector<uint8_t> &Bytes,
     return FrameVerdict::Corrupt;
   }
   if (Out.RawKind < static_cast<uint32_t>(ArtifactKind::Result) ||
-      Out.RawKind > static_cast<uint32_t>(ArtifactKind::Quarantine)) {
+      Out.RawKind > static_cast<uint32_t>(ArtifactKind::Equivalence)) {
     Error = "has unknown artifact kind " + std::to_string(Out.RawKind) +
             " at offset " + std::to_string(kOffKind);
     return FrameVerdict::Corrupt;
@@ -321,6 +333,9 @@ bool ArtifactStore::saveResult(const HashTriple &Root, uint64_t Fingerprint,
     return false;
   removeCheckpoint(Root);
   removeQuarantine(Root);
+  // A fresh result invalidates any equivalence record: the behavior
+  // digests are indexed by the DAG's node ids.
+  removeEquivalence(Root);
   return true;
 }
 
@@ -404,6 +419,38 @@ LoadStatus ArtifactStore::loadQuarantine(const HashTriple &Root,
 
 void ArtifactStore::removeQuarantine(const HashTriple &Root) const {
   Io->remove(pathFor(Root, ArtifactKind::Quarantine));
+}
+
+bool ArtifactStore::saveEquivalence(const HashTriple &Root,
+                                    uint64_t Fingerprint,
+                                    const sem::EquivRecord &E,
+                                    std::string &Error) const {
+  ByteWriter W;
+  encodeEquivalence(W, E);
+  return writeArtifact(Root, ArtifactKind::Equivalence, Fingerprint,
+                       W.bytes(), Error);
+}
+
+LoadStatus ArtifactStore::loadEquivalence(const HashTriple &Root,
+                                          uint64_t Fingerprint,
+                                          sem::EquivRecord &E,
+                                          std::string &Error) const {
+  std::vector<uint8_t> Payload;
+  LoadStatus S = readArtifact(Root, ArtifactKind::Equivalence, Fingerprint,
+                              Payload, Error);
+  if (S != LoadStatus::Hit)
+    return S;
+  ByteReader R(Payload);
+  if (!decodeEquivalence(R, E) || !R.atEnd()) {
+    Error = "'" + pathFor(Root, ArtifactKind::Equivalence) +
+            "' payload does not decode (file damaged)";
+    return LoadStatus::Rejected;
+  }
+  return LoadStatus::Hit;
+}
+
+void ArtifactStore::removeEquivalence(const HashTriple &Root) const {
+  Io->remove(pathFor(Root, ArtifactKind::Equivalence));
 }
 
 } // namespace store

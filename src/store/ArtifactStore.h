@@ -44,6 +44,9 @@
 #include <vector>
 
 namespace pose {
+namespace sem {
+struct EquivRecord;
+} // namespace sem
 namespace store {
 
 /// Bumped whenever the serialized encoding (Serialize.cpp) or the frame
@@ -56,17 +59,22 @@ namespace store {
 /// Version 4: the frame gained a trailing header CRC-32, making every
 /// header field (including the config fingerprint, which no cross-check
 /// covers) verifiable by --fsck without an expected value to compare to.
-constexpr uint32_t kFormatVersion = 4;
+/// Version 5: the store gained equivalence records (semantic bucket sets
+/// per DAG), and configFingerprint started mixing the fault *kind* of
+/// non-crash injected faults so wrong-code plans key separately from
+/// verifier plans.
+constexpr uint32_t kFormatVersion = 5;
 
 /// What an artifact file contains.
 enum class ArtifactKind : uint32_t {
-  Result = 1,     ///< A finished EnumerationResult (any stop reason).
-  Checkpoint = 2, ///< A resumable EnumerationCheckpoint.
-  Quarantine = 3, ///< A QuarantineRecord for a crashing worker job.
+  Result = 1,      ///< A finished EnumerationResult (any stop reason).
+  Checkpoint = 2,  ///< A resumable EnumerationCheckpoint.
+  Quarantine = 3,  ///< A QuarantineRecord for a crashing worker job.
+  Equivalence = 4, ///< A sem::EquivRecord: behavior digests per DAG node.
 };
 
 /// File-name suffix and report name of \p K ("result", "checkpoint",
-/// "quarantine").
+/// "quarantine", "equiv").
 const char *artifactKindName(ArtifactKind K);
 
 /// Size of the fixed frame header: magic, version, kind, root triple,
@@ -113,6 +121,13 @@ FrameVerdict inspectFrame(const std::vector<uint8_t> &Bytes,
 /// shaping the DAG, so a run with crash injection shares artifacts —
 /// checkpoints, results, quarantine records — with a clean run.
 uint64_t configFingerprint(const EnumeratorConfig &Config);
+
+/// Fingerprint for an equivalence record: the DAG's config fingerprint
+/// extended with the test-vector seed and count. A record computed under
+/// different vectors is a different artifact — behavior digests are only
+/// comparable within one vector set.
+uint64_t equivFingerprint(uint64_t ConfigFp, uint64_t VectorSeed,
+                          uint64_t VectorCount);
 
 /// Outcome of a store lookup.
 enum class LoadStatus {
@@ -183,6 +198,18 @@ public:
   /// Removes the quarantine record for \p Root, if any (the job finished
   /// after all, or the operator cleared it).
   void removeQuarantine(const HashTriple &Root) const;
+
+  /// Persists the equivalence record for (\p Root, \p Fingerprint); pass
+  /// equivFingerprint(), not the raw config fingerprint.
+  bool saveEquivalence(const HashTriple &Root, uint64_t Fingerprint,
+                       const sem::EquivRecord &E, std::string &Error) const;
+
+  /// Looks up an equivalence record for (\p Root, \p Fingerprint).
+  LoadStatus loadEquivalence(const HashTriple &Root, uint64_t Fingerprint,
+                             sem::EquivRecord &E, std::string &Error) const;
+
+  /// Removes the equivalence record for \p Root, if any.
+  void removeEquivalence(const HashTriple &Root) const;
 
 private:
   bool writeArtifact(const HashTriple &Root, ArtifactKind Kind,

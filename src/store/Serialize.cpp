@@ -438,5 +438,66 @@ bool decodeQuarantine(ByteReader &R, QuarantineRecord &Q) {
   return R.ok();
 }
 
+void encodeEquivalence(ByteWriter &W, const sem::EquivRecord &E) {
+  W.u64(E.VectorSeed);
+  W.u32(E.VectorsRequested);
+  W.u32(E.NumParams);
+  W.u64(E.UsedVectors.size());
+  for (uint32_t V : E.UsedVectors)
+    W.u32(V);
+  W.u64(E.NodeBehavior.size());
+  for (uint64_t B : E.NodeBehavior)
+    W.u64(B);
+  for (uint64_t D : E.NodeDynamic)
+    W.u64(D);
+  for (uint8_t O : E.NodeAllOk)
+    W.u8(O);
+}
+
+bool decodeEquivalence(ByteReader &R, sem::EquivRecord &E) {
+  E = sem::EquivRecord();
+  E.VectorSeed = R.u64();
+  E.VectorsRequested = R.u32();
+  E.NumParams = R.u32();
+  const uint64_t NUsed = R.u64();
+  if (NUsed > R.remaining() / 4 || NUsed > E.VectorsRequested) {
+    R.fail();
+    return false;
+  }
+  E.UsedVectors.reserve(NUsed);
+  for (uint64_t I = 0; I != NUsed; ++I) {
+    const uint32_t V = R.u32();
+    // Strictly ascending indices into the requested vector set.
+    if (V >= E.VectorsRequested ||
+        (!E.UsedVectors.empty() && V <= E.UsedVectors.back())) {
+      R.fail();
+      return false;
+    }
+    E.UsedVectors.push_back(V);
+  }
+  const uint64_t NNodes = R.u64();
+  // Each node carries a digest (8), a dynamic count (8) and a flag (1).
+  if (NNodes > R.remaining() / 17) {
+    R.fail();
+    return false;
+  }
+  E.NodeBehavior.reserve(NNodes);
+  for (uint64_t I = 0; I != NNodes; ++I)
+    E.NodeBehavior.push_back(R.u64());
+  E.NodeDynamic.reserve(NNodes);
+  for (uint64_t I = 0; I != NNodes; ++I)
+    E.NodeDynamic.push_back(R.u64());
+  E.NodeAllOk.reserve(NNodes);
+  for (uint64_t I = 0; I != NNodes; ++I) {
+    const uint8_t O = R.u8();
+    if (O > 1) {
+      R.fail();
+      return false;
+    }
+    E.NodeAllOk.push_back(O);
+  }
+  return R.ok();
+}
+
 } // namespace store
 } // namespace pose

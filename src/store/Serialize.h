@@ -26,6 +26,7 @@
 #define POSE_STORE_SERIALIZE_H
 
 #include "src/core/Enumerator.h"
+#include "src/sem/Equivalence.h"
 #include "src/store/ByteIo.h"
 #include "src/store/Quarantine.h"
 
@@ -49,6 +50,13 @@ bool decodeCheckpoint(ByteReader &R, EnumerationCheckpoint &C);
 /// Quarantine records (worker failure class + signal/exit metadata).
 void encodeQuarantine(ByteWriter &W, const QuarantineRecord &Q);
 bool decodeQuarantine(ByteReader &R, QuarantineRecord &Q);
+
+/// Equivalence records (vector provenance + per-node behavior digests).
+/// The decoder enforces the type's invariants: the three per-node arrays
+/// have equal length, AllOk bytes are 0/1, and UsedVectors is strictly
+/// ascending with every index below VectorsRequested.
+void encodeEquivalence(ByteWriter &W, const sem::EquivRecord &E);
+bool decodeEquivalence(ByteReader &R, sem::EquivRecord &E);
 
 } // namespace store
 } // namespace pose

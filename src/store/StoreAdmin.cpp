@@ -105,6 +105,11 @@ FsckState verifyArtifactBytes(const std::vector<uint8_t> &Bytes,
     Decodes = decodeQuarantine(R, Q) && R.atEnd();
     break;
   }
+  case ArtifactKind::Equivalence: {
+    sem::EquivRecord E;
+    Decodes = decodeEquivalence(R, E) && R.atEnd();
+    break;
+  }
   }
   if (!Decodes) {
     // The payload CRC already matched, so the bytes are what the writer
@@ -142,8 +147,8 @@ bool listStoreFiles(const std::string &Dir, std::vector<std::string> &Names,
 
 bool parseArtifactName(const std::string &Name, HashTriple &Root,
                        ArtifactKind &Kind) {
-  // %08x-%08x-%08x.<kind>.pose — shortest kind is "result".
-  if (Name.size() < 8 + 1 + 8 + 1 + 8 + 1 + 6 + 5)
+  // %08x-%08x-%08x.<kind>.pose — shortest kind is "equiv".
+  if (Name.size() < 8 + 1 + 8 + 1 + 8 + 1 + 5 + 5)
     return false;
   if (Name[8] != '-' || Name[17] != '-')
     return false;
@@ -153,7 +158,7 @@ bool parseArtifactName(const std::string &Name, HashTriple &Root,
     return false;
   const std::string Rest = Name.substr(26);
   for (uint32_t K = static_cast<uint32_t>(ArtifactKind::Result);
-       K <= static_cast<uint32_t>(ArtifactKind::Quarantine); ++K) {
+       K <= static_cast<uint32_t>(ArtifactKind::Equivalence); ++K) {
     const std::string Want = std::string(".") +
                              artifactKindName(static_cast<ArtifactKind>(K)) +
                              ".pose";

@@ -1,0 +1,112 @@
+//===- exhaustive_differential_test.cpp - Every leaf vs. the root --------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The promotion of the sampled semantic spot checks: for every MC workload
+// function whose space enumerates completely under the test budget, EVERY
+// DAG leaf is behavior-compared against the unoptimized root across the
+// seeded equivalence vector set — the same seed, arena, and root-derived
+// step limits posec --equiv uses, but checked through the interpreter
+// directly rather than through behavior digests, so this suite would catch
+// a digest bug as well as a phase bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/DagPaths.h"
+
+#include "src/core/Enumerator.h"
+#include "src/frontend/Compile.h"
+#include "src/ir/Printer.h"
+#include "src/opt/PhaseManager.h"
+#include "src/sem/Equivalence.h"
+#include "src/workloads/Workloads.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+TEST(ExhaustiveDifferential, EveryLeafMatchesTheRootOnTheSeededVectors) {
+  PhaseManager PM;
+  size_t TestedLeaves = 0, TestedRuns = 0, SkippedFunctions = 0;
+
+  for (const Workload &W : allWorkloads()) {
+    Module M = compileOrDie(W.Source);
+    Interpreter Sim(M, sem::kEquivMemWords);
+
+    for (Function &F : M.Functions) {
+      EnumeratorConfig Cfg;
+      Cfg.MaxLevelSequences = 50'000;
+      Cfg.Jobs = 4;
+      Enumerator E(PM, Cfg);
+      const EnumerationResult Res = E.enumerate(F);
+      if (!Res.complete()) {
+        // The giants (dijkstra's main loop) have their own budgeted
+        // suites; exhaustive means every leaf of every complete space.
+        ++SkippedFunctions;
+        continue;
+      }
+
+      // The root's runs define both the reference behavior and the step
+      // budget per vector, exactly as src/sem plans them.
+      const auto Vectors = sem::generateVectors(
+          static_cast<uint32_t>(F.NumParams), sem::kDefaultVectorSeed,
+          sem::kDefaultVectorCount);
+      std::vector<size_t> Used;
+      std::vector<uint64_t> Limits;
+      std::vector<RunResult> RootRuns;
+      for (size_t V = 0; V != Vectors.size(); ++V) {
+        const RunResult R =
+            Sim.run(F.Name, Vectors[V], sem::kRootStepLimit);
+        if (!R.Ok && R.trapKind() == "step limit exceeded")
+          continue;
+        Used.push_back(V);
+        Limits.push_back(sem::instanceStepLimit(R.DynamicInsts));
+        RootRuns.push_back(R);
+      }
+
+      DagPaths Paths(Res);
+      Paths.forEachInstance(
+          F, PM, nullptr, [&](uint32_t Id, const Function &Inst) {
+            if (!Res.Nodes[Id].isLeaf())
+              return;
+            ++TestedLeaves;
+            Sim.overrideFunction(F.Name, &Inst);
+            for (size_t K = 0; K != Used.size(); ++K) {
+              const RunResult After =
+                  Sim.run(F.Name, Vectors[Used[K]], Limits[K]);
+              ++TestedRuns;
+              const RunResult &Base = RootRuns[K];
+              if (Base.Ok) {
+                EXPECT_TRUE(Base.sameBehavior(After))
+                    << W.Name << "/" << F.Name << " leaf " << Id
+                    << " vector " << Used[K] << ": "
+                    << (After.Ok ? "wrong result" : After.Error) << "\n"
+                    << printFunction(Inst);
+              } else {
+                // Trapping vectors compare by trap class only: a legal
+                // reschedule may move the trap point and partial output.
+                EXPECT_EQ(Base.trapKind(), After.trapKind())
+                    << W.Name << "/" << F.Name << " leaf " << Id
+                    << " vector " << Used[K] << "\n"
+                    << printFunction(Inst);
+              }
+            }
+            Sim.overrideFunction(F.Name, nullptr);
+          });
+    }
+  }
+
+  // The sweep must have real coverage: thousands of leaf runs, with only
+  // the known over-budget functions skipped.
+  EXPECT_GE(TestedLeaves, 250u);
+  EXPECT_GE(TestedRuns, 2000u);
+  EXPECT_LE(SkippedFunctions, 3u);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- equivalence_test.cpp - Observational-equivalence collapse ---------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The semantic bucketing layer: behavior digests (exact for Ok runs, trap
+// class only for traps), whole-DAG equivalence records, collapse-class
+// invariants, and the differential phase-bug gate — proven able to catch
+// an injected wrong-code fault and to stay quiet on a clean space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sem/Equivalence.h"
+
+#include "src/core/DagPaths.h"
+#include "src/core/Enumerator.h"
+#include "src/frontend/Compile.h"
+#include "src/opt/PhaseGuard.h"
+#include "src/opt/PhaseManager.h"
+#include "tests/common/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::testhelpers;
+
+namespace {
+
+const char *LoopSource =
+    "int f(int n){int s=0;int i=0;while(i<n){s=s+i;i=i+1;}return s;}";
+
+RunResult okRun(int32_t Ret, std::vector<int32_t> Out) {
+  RunResult R;
+  R.Ok = true;
+  R.ReturnValue = Ret;
+  R.Output = std::move(Out);
+  return R;
+}
+
+RunResult trapRun(const std::string &Error, int32_t Ret,
+                  std::vector<int32_t> Out) {
+  RunResult R;
+  R.Ok = false;
+  R.Error = Error;
+  R.ReturnValue = Ret;
+  R.Output = std::move(Out);
+  return R;
+}
+
+TEST(BehaviorDigest, OkRunsCompareExactly) {
+  EXPECT_EQ(sem::behaviorDigest(okRun(3, {1, 2})),
+            sem::behaviorDigest(okRun(3, {1, 2})));
+  EXPECT_NE(sem::behaviorDigest(okRun(3, {1, 2})),
+            sem::behaviorDigest(okRun(4, {1, 2})));
+  EXPECT_NE(sem::behaviorDigest(okRun(3, {1, 2})),
+            sem::behaviorDigest(okRun(3, {2, 1})));
+  EXPECT_NE(sem::behaviorDigest(okRun(3, {})),
+            sem::behaviorDigest(okRun(3, {0})));
+}
+
+TEST(BehaviorDigest, TrapsCompareByClassAlone) {
+  // Legal rescheduling can move a trap relative to out() calls, so the
+  // partial output and return value must not enter the digest.
+  EXPECT_EQ(sem::behaviorDigest(trapRun("load out of bounds in f", 0, {1})),
+            sem::behaviorDigest(trapRun("load out of bounds in g", 7, {})));
+  EXPECT_NE(sem::behaviorDigest(trapRun("load out of bounds in f", 0, {})),
+            sem::behaviorDigest(trapRun("division by zero in f", 0, {})));
+  // Ok never collides with a trap, even with identical payloads.
+  EXPECT_NE(sem::behaviorDigest(okRun(0, {})),
+            sem::behaviorDigest(trapRun("division by zero in f", 0, {})));
+}
+
+TEST(Equivalence, CleanSpaceCollapsesToOneClass) {
+  Module M = compileOrDie(LoopSource);
+  Function &F = functionNamed(M, "f");
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Enumerator E(PM, Cfg);
+  const EnumerationResult R = E.enumerate(F);
+  ASSERT_TRUE(R.complete());
+  ASSERT_GT(R.Nodes.size(), 1u);
+
+  const sem::EquivRecord Rec =
+      sem::computeEquivalence(M, F, PM, R, sem::EquivInputs());
+  ASSERT_EQ(Rec.NodeBehavior.size(), R.Nodes.size());
+  ASSERT_EQ(Rec.NodeDynamic.size(), R.Nodes.size());
+  ASSERT_EQ(Rec.NodeAllOk.size(), R.Nodes.size());
+  EXPECT_EQ(Rec.NumParams, 1u);
+  EXPECT_FALSE(Rec.UsedVectors.empty());
+  for (size_t I = 1; I < Rec.UsedVectors.size(); ++I)
+    EXPECT_LT(Rec.UsedVectors[I - 1], Rec.UsedVectors[I]);
+
+  // Phases preserve semantics: every instance behaves like the root.
+  for (uint64_t B : Rec.NodeBehavior)
+    EXPECT_EQ(B, Rec.NodeBehavior[0]);
+
+  const sem::CollapseReport C = sem::collapseClasses(R, Rec);
+  EXPECT_EQ(C.Instances, R.Nodes.size());
+  EXPECT_TRUE(C.Certified);
+  ASSERT_EQ(C.Classes.size(), 1u);
+  EXPECT_GT(C.collapsePercent(), 0.0);
+  const sem::EquivClass &Cl = C.Classes[0];
+  EXPECT_EQ(Cl.Nodes.size(), R.Nodes.size());
+  EXPECT_EQ(Rec.NodeDynamic[Cl.BestNode], Cl.MinDynamic);
+  EXPECT_LE(Cl.MinDynamic, Cl.MaxDynamic);
+  ASSERT_NE(Cl.BestLeaf, 0xFFFFFFFFu);
+  EXPECT_TRUE(R.Nodes[Cl.BestLeaf].isLeaf());
+
+  const sem::DivergenceReport D =
+      sem::findDivergence(M, F, PM, R, Rec, sem::EquivInputs());
+  EXPECT_FALSE(D.Diverged);
+}
+
+TEST(Equivalence, ClassPartitionIsExactForAnyRecord) {
+  Module M = compileOrDie(LoopSource);
+  Function &F = functionNamed(M, "f");
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Enumerator E(PM, Cfg);
+  const EnumerationResult R = E.enumerate(F);
+
+  // Force a multi-class bucketing by hand-editing the record: classes
+  // must exactly partition the nodes whatever the digests say.
+  sem::EquivRecord Rec =
+      sem::computeEquivalence(M, F, PM, R, sem::EquivInputs());
+  for (size_t I = 0; I < Rec.NodeBehavior.size(); I += 3)
+    Rec.NodeBehavior[I] ^= 0xDEAD;
+  const sem::CollapseReport C = sem::collapseClasses(R, Rec);
+  EXPECT_GT(C.Classes.size(), 1u);
+  size_t Members = 0;
+  for (const sem::EquivClass &Cl : C.Classes) {
+    Members += Cl.Nodes.size();
+    for (uint32_t Id : Cl.Nodes)
+      EXPECT_EQ(Rec.NodeBehavior[Id], Cl.Behavior);
+  }
+  EXPECT_EQ(Members, R.Nodes.size());
+}
+
+TEST(Equivalence, WrongCodeFaultIsCaughtWithVectorAndSequence) {
+  Module M = compileOrDie(LoopSource);
+  Function &F = functionNamed(M, "f");
+  PhaseManager PM;
+  FaultPlan Faults;
+  ASSERT_TRUE(FaultPlan::parse("s:1:wrongcode", Faults));
+  EnumeratorConfig Cfg;
+  Cfg.Faults = &Faults;
+  Enumerator E(PM, Cfg);
+  const EnumerationResult R = E.enumerate(F);
+  ASSERT_GT(R.Nodes.size(), 1u);
+
+  sem::EquivInputs In;
+  In.Faults = &Faults;
+  const sem::EquivRecord Rec = sem::computeEquivalence(M, F, PM, R, In);
+  const sem::DivergenceReport D =
+      sem::findDivergence(M, F, PM, R, Rec, In);
+  ASSERT_TRUE(D.Diverged);
+  EXPECT_EQ(D.NodeA, 0u);
+  EXPECT_GT(D.NodeB, 0u);
+  EXPECT_FALSE(D.SequenceB.empty());
+  ASSERT_GE(D.VectorIndex, 0);
+  EXPECT_NE(D.BehaviorA, D.BehaviorB);
+
+  // And the collapse view of the same record shows more than one class.
+  const sem::CollapseReport C = sem::collapseClasses(R, Rec);
+  EXPECT_GT(C.Classes.size(), 1u);
+}
+
+TEST(Equivalence, RecordIsDeterministicAcrossRecomputation) {
+  Module M = compileOrDie(LoopSource);
+  Function &F = functionNamed(M, "f");
+  PhaseManager PM;
+  EnumeratorConfig Cfg;
+  Enumerator E(PM, Cfg);
+  const EnumerationResult R = E.enumerate(F);
+  const sem::EquivRecord A =
+      sem::computeEquivalence(M, F, PM, R, sem::EquivInputs());
+  const sem::EquivRecord B =
+      sem::computeEquivalence(M, F, PM, R, sem::EquivInputs());
+  EXPECT_EQ(A.NodeBehavior, B.NodeBehavior);
+  EXPECT_EQ(A.NodeDynamic, B.NodeDynamic);
+  EXPECT_EQ(A.NodeAllOk, B.NodeAllOk);
+  EXPECT_EQ(A.UsedVectors, B.UsedVectors);
+}
+
+} // namespace

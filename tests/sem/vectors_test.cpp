@@ -1,0 +1,73 @@
+//===- vectors_test.cpp - Seeded test-vector generation ------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The vector generator is the reproducibility anchor of the equivalence
+// subsystem: same (signature, seed, count) must mean the same vectors on
+// any host, and the set must open with the boundary sweep the interpreter
+// semantics pivot on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sem/TestVectors.h"
+
+#include <algorithm>
+#include <climits>
+#include <gtest/gtest.h>
+
+using namespace pose;
+
+namespace {
+
+TEST(TestVectors, SameSeedSameVectors) {
+  const auto A = sem::generateVectors(3, 2026, 40);
+  const auto B = sem::generateVectors(3, 2026, 40);
+  EXPECT_EQ(A, B);
+}
+
+TEST(TestVectors, DifferentSeedsDivergeAfterTheBoundarySweep) {
+  const auto A = sem::generateVectors(2, 1, 64);
+  const auto B = sem::generateVectors(2, 2, 64);
+  const size_t Pool = sem::boundaryValues().size();
+  ASSERT_EQ(A.size(), 64u);
+  // The boundary prefix is seed-independent by design.
+  for (size_t I = 0; I != Pool; ++I)
+    EXPECT_EQ(A[I], B[I]) << "boundary vector " << I;
+  EXPECT_NE(std::vector<std::vector<int32_t>>(A.begin() + Pool, A.end()),
+            std::vector<std::vector<int32_t>>(B.begin() + Pool, B.end()));
+}
+
+TEST(TestVectors, CountAndArityAreExact) {
+  for (uint32_t Params : {1u, 2u, 5u})
+    for (uint32_t Count : {1u, 7u, 24u, 100u}) {
+      const auto V = sem::generateVectors(Params, 2026, Count);
+      ASSERT_EQ(V.size(), Count);
+      for (const auto &Vec : V)
+        EXPECT_EQ(Vec.size(), Params);
+    }
+}
+
+TEST(TestVectors, ZeroParamSignatureGetsExactlyOneEmptyVector) {
+  // A nullary function has one distinct input; Count must not multiply it.
+  const auto V = sem::generateVectors(0, 2026, 24);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_TRUE(V[0].empty());
+}
+
+TEST(TestVectors, BoundarySweepBroadcastsThePivotValues) {
+  const auto &Pool = sem::boundaryValues();
+  // The values the interpreter's trap semantics pivot on must be present.
+  for (int32_t Must : {0, -1, 31, 32, 33, INT32_MAX, INT32_MIN})
+    EXPECT_NE(std::find(Pool.begin(), Pool.end(), Must), Pool.end())
+        << "missing boundary value " << Must;
+  const auto V = sem::generateVectors(3, 2026, 24);
+  ASSERT_GE(V.size(), Pool.size());
+  for (size_t I = 0; I != Pool.size(); ++I) {
+    const std::vector<int32_t> Expect(3, Pool[I]);
+    EXPECT_EQ(V[I], Expect) << "boundary vector " << I;
+  }
+}
+
+} // namespace

@@ -117,6 +117,50 @@ TEST(Semantics, NegateIntMinWraps) {
   EXPECT_EQ(R.ReturnValue, INT32_MIN); // -INT_MIN wraps to itself.
 }
 
+TEST(SameBehavior, TrapPairsCompareByTrapClass) {
+  RunResult DivA;
+  DivA.Ok = false;
+  DivA.Error = "division by zero in f";
+  RunResult DivB;
+  DivB.Ok = false;
+  DivB.Error = "division by zero in g"; // Same class, other function.
+  RunResult Oob;
+  Oob.Ok = false;
+  Oob.Error = "load out of bounds in f";
+  // Two traps of one class are the same behavior wherever they fired;
+  // two traps of different classes never are (the regression this guards:
+  // !Ok pairs used to compare equal on partial output alone).
+  EXPECT_TRUE(DivA.sameBehavior(DivB));
+  EXPECT_TRUE(DivB.sameBehavior(DivA));
+  EXPECT_FALSE(DivA.sameBehavior(Oob));
+  EXPECT_FALSE(Oob.sameBehavior(DivA));
+}
+
+TEST(SameBehavior, TrapNeverEqualsOk) {
+  RunResult Ok;
+  Ok.Ok = true;
+  Ok.ReturnValue = 0;
+  RunResult Trap;
+  Trap.Ok = false;
+  Trap.Error = "division by zero in f";
+  Trap.ReturnValue = 0; // Identical payloads must not mask the trap.
+  EXPECT_FALSE(Ok.sameBehavior(Trap));
+  EXPECT_FALSE(Trap.sameBehavior(Ok));
+  EXPECT_TRUE(Ok.sameBehavior(Ok));
+  EXPECT_TRUE(Trap.sameBehavior(Trap));
+}
+
+TEST(SameBehavior, TrapKindStripsOnlyTheFunctionContext) {
+  RunResult R;
+  R.Ok = false;
+  R.Error = "step limit exceeded in long_name";
+  EXPECT_EQ(R.trapKind(), "step limit exceeded");
+  R.Error = "no such function: f"; // No " in <func>" suffix to strip.
+  EXPECT_EQ(R.trapKind(), "no such function: f");
+  R.Ok = true;
+  EXPECT_EQ(R.trapKind(), "");
+}
+
 TEST(Semantics, ShiftAmountsMasked) {
   Function F;
   F.addBlock();

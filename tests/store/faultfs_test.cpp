@@ -20,6 +20,7 @@
 #include "src/core/Enumerator.h"
 #include "src/frontend/Compile.h"
 #include "src/opt/PhaseManager.h"
+#include "src/sem/Equivalence.h"
 #include "src/store/ArtifactStore.h"
 #include "src/store/StoreAdmin.h"
 #include "tests/common/Helpers.h"
@@ -63,6 +64,7 @@ struct Artifacts {
   EnumerationResult Res;
   EnumerationCheckpoint Cp;
   QuarantineRecord Q;
+  sem::EquivRecord Eq;
   HashTriple Root;
   uint64_t Fp = 0;
 
@@ -74,6 +76,7 @@ struct Artifacts {
       Enumerator E(PM, Cfg);
       Res = E.enumerate(F);
     }
+    Eq = sem::computeEquivalence(M, F, PM, Res, sem::EquivInputs());
     {
       EnumeratorConfig Tight = Cfg;
       Tight.MaxMemoryBytes = 20'000;
@@ -105,6 +108,8 @@ bool saveKind(const ArtifactStore &Store, const Artifacts &A,
     return Store.saveCheckpoint(A.Root, A.Fp, A.Cp, Error);
   case ArtifactKind::Quarantine:
     return Store.saveQuarantine(A.Root, A.Fp, A.Q, Error);
+  case ArtifactKind::Equivalence:
+    return Store.saveEquivalence(A.Root, A.Fp, A.Eq, Error);
   }
   return false;
 }
@@ -125,12 +130,17 @@ LoadStatus loadKind(const ArtifactStore &Store, const Artifacts &A,
     QuarantineRecord Q;
     return Store.loadQuarantine(A.Root, A.Fp, Q, Error);
   }
+  case ArtifactKind::Equivalence: {
+    sem::EquivRecord E;
+    return Store.loadEquivalence(A.Root, A.Fp, E, Error);
+  }
   }
   return LoadStatus::Miss;
 }
 
 constexpr ArtifactKind AllKinds[] = {
-    ArtifactKind::Result, ArtifactKind::Checkpoint, ArtifactKind::Quarantine};
+    ArtifactKind::Result, ArtifactKind::Checkpoint, ArtifactKind::Quarantine,
+    ArtifactKind::Equivalence};
 
 TEST(IoFaultSpecParse, AcceptsEveryKindAndLists) {
   std::vector<IoFaultSpec> Out;

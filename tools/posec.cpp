@@ -55,6 +55,16 @@
 //   posec prog.mc --fault-io=SPEC ...     inject store I/O faults (short
 //                                         write, ENOSPC, EIO, crash around
 //                                         the committing rename)
+//   posec --workload=NAME ...             use an embedded benchmark program
+//                                         (bitcount, dijkstra, fft, jpeg,
+//                                         sha, stringsearch) as the input
+//   posec prog.mc --equiv                 semantic-equivalence collapse
+//                                         report: run every DAG instance on
+//                                         seeded test vectors and bucket by
+//                                         observed behavior
+//   posec prog.mc --equiv-check           differential phase-bug gate: exit
+//                                         11 if any two instances of one
+//                                         canonical function diverge
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,11 +78,14 @@
 #include "src/machine/EntryExit.h"
 #include "src/opt/PhaseGuard.h"
 #include "src/opt/PhaseManager.h"
+#include "src/sem/Equivalence.h"
 #include "src/sim/Interpreter.h"
+#include "src/store/ArtifactStore.h"
 #include "src/store/StoreAdmin.h"
 #include "src/store/StoreDriver.h"
 #include "src/support/FaultFs.h"
 #include "src/support/StopToken.h"
+#include "src/workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstring>
@@ -135,6 +148,13 @@ struct Options {
   // Injected store I/O faults (execution-only; never fingerprinted).
   std::string FaultIoSpecText;           // Raw --fault-io text (forwarding).
   std::vector<IoFaultSpec> FaultIo;      // Parsed --fault-io plan.
+
+  // Semantic equivalence (src/sem/Equivalence.h).
+  bool Equiv = false;      // --equiv: collapse report per function.
+  bool EquivCheck = false; // --equiv-check: differential phase-bug gate.
+  uint64_t VectorSeed = sem::kDefaultVectorSeed; // --vector-seed=N.
+  uint64_t Vectors = sem::kDefaultVectorCount;   // --vectors=N.
+  std::string Workload; // --workload=NAME: embedded benchmark as input.
 };
 
 void usage() {
@@ -232,13 +252,30 @@ void usage() {
       "                          crash-after-rename; Nth op of the class).\n"
       "                          Execution-only: never part of the store\n"
       "                          fingerprint. Crash kinds _exit(86)\n"
+      "  --workload=NAME         use an embedded benchmark program as the\n"
+      "                          input instead of a file (bitcount,\n"
+      "                          dijkstra, fft, jpeg, sha, stringsearch)\n"
+      "  --equiv                 run every DAG instance on seeded test\n"
+      "                          vectors, bucket by observed behavior, and\n"
+      "                          print per-function collapse statistics\n"
+      "                          (semantic classes, cost spreads, optimal\n"
+      "                          leaves); enumerates every function unless\n"
+      "                          --enumerate=FUNC restricts it\n"
+      "  --equiv-check           differential phase-bug gate: exit 11 when\n"
+      "                          any two instances of one canonical\n"
+      "                          function diverge in behavior, naming the\n"
+      "                          sequence pair and first diverging vector\n"
+      "  --vector-seed=N         test-vector seed for --equiv/--equiv-check\n"
+      "                          (default 2026; part of the artifact key)\n"
+      "  --vectors=N             test vectors per signature (default 24)\n"
       "  --list-phases           print the 15 phases and exit\n"
       "\n"
       "exit codes (--worker / --supervise / store admin):\n"
       "  0 ok   1 error   2 usage   3 verifier failure   4 deadline\n"
       "  5 memory budget   6 cancelled   7 worker crashed (quarantined)\n"
       "  8 quarantined job(s) skipped   9 corrupt store (--fsck/--merge)\n"
-      "  10 merge conflict   86 injected I/O crash (--fault-io)\n");
+      "  10 merge conflict   11 equivalence divergence (--equiv-check)\n"
+      "  86 injected I/O crash (--fault-io)\n");
 }
 
 /// Strict decimal parser for flag values: rejects empty strings, signs,
@@ -264,7 +301,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   // Flags that are only meaningful in one mode; tracked so a stray use is
   // rejected instead of silently ignored.
   bool SawSupervisorFlag = false, SawAttempt = false,
-       SawQuarantineDir = false;
+       SawQuarantineDir = false, SawVectorFlag = false;
   for (int I = 1; I < Argc; ++I) {
     const std::string A = Argv[I];
     auto Value = [&A](const char *Flag) -> const char * {
@@ -452,6 +489,36 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       O.FaultIoSpecText = VIO;
+    } else if (A == "--equiv")
+      O.Equiv = true;
+    else if (A == "--equiv-check")
+      O.EquivCheck = true;
+    else if (const char *VVS = Value("--vector-seed")) {
+      if (!parseUint(VVS, O.VectorSeed)) {
+        std::fprintf(stderr,
+                     "--vector-seed expects a non-negative integer, got "
+                     "'%s'\n",
+                     VVS);
+        return false;
+      }
+      SawVectorFlag = true;
+    } else if (const char *VVC = Value("--vectors")) {
+      if (!parseUint(VVC, O.Vectors) || O.Vectors == 0) {
+        std::fprintf(stderr, "--vectors expects a positive integer, got "
+                             "'%s'\n",
+                     VVC);
+        return false;
+      }
+      SawVectorFlag = true;
+    } else if (const char *VWL = Value("--workload")) {
+      if (!findWorkload(VWL)) {
+        std::fprintf(stderr, "unknown workload '%s'; available:", VWL);
+        for (const Workload &W : allWorkloads())
+          std::fprintf(stderr, " %s", W.Name);
+        std::fprintf(stderr, "\n");
+        return false;
+      }
+      O.Workload = VWL;
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", A.c_str());
       return false;
@@ -472,6 +539,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     O.InputPath.clear();
   }
   if (!O.MergeDst.empty()) {
+    if (!O.Workload.empty()) {
+      std::fprintf(stderr, "--merge-store takes no input program\n");
+      return false;
+    }
     if (O.MergeSrcs.empty()) {
       std::fprintf(stderr,
                    "--merge-store needs at least one source store\n");
@@ -500,7 +571,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       std::fprintf(stderr, "--fsck is a standalone mode\n");
       return false;
     }
-    if (!O.InputPath.empty()) {
+    if (!O.InputPath.empty() || !O.Workload.empty()) {
       std::fprintf(stderr, "--fsck verifies the store itself and takes no "
                            "input file\n");
       return false;
@@ -586,7 +657,36 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                          "--inject-fault plan or a --fault-io plan\n");
     return false;
   }
-  return !O.InputPath.empty();
+  if (!O.Workload.empty() && !O.InputPath.empty()) {
+    std::fprintf(stderr,
+                 "give either an input file or --workload=NAME, not both\n");
+    return false;
+  }
+  if (O.Equiv && O.EquivCheck) {
+    std::fprintf(stderr, "--equiv and --equiv-check are exclusive\n");
+    return false;
+  }
+  if (SawVectorFlag && !O.Equiv && !O.EquivCheck) {
+    std::fprintf(stderr,
+                 "--vector-seed/--vectors require --equiv or --equiv-check\n");
+    return false;
+  }
+  // The gate re-runs instances in-process; under supervision it would
+  // race the workers it is meant to audit. Run it over the store after
+  // the sweep instead (--equiv workers persist the records it needs).
+  if (O.EquivCheck && (O.Worker || O.Supervise)) {
+    std::fprintf(stderr, "--equiv-check is a standalone gate; use --equiv "
+                         "during the sweep and run --equiv-check "
+                         "afterwards\n");
+    return false;
+  }
+  if ((O.Equiv || O.EquivCheck) &&
+      (!O.DotFunc.empty() || O.Run || O.AnalyzeStore)) {
+    std::fprintf(stderr, "--equiv/--equiv-check cannot be combined with "
+                         "--dot/--run/--analyze-store\n");
+    return false;
+  }
+  return !O.InputPath.empty() || !O.Workload.empty();
 }
 
 /// Prints every guarded failure of \p R to stderr (a pruned edge is worth
@@ -649,6 +749,141 @@ EnumerationResult runEnumeration(const Options &O, const PhaseManager &PM,
                  "to continue\n",
                  F.Name.c_str(), stopReasonName(D.Result.Stop));
   return std::move(D.Result);
+}
+
+/// Loads the equivalence record of \p F from the store, or computes it
+/// (and persists it when a store is in use). The artifact is keyed by the
+/// canonical root triple and equivFingerprint(config, seed, count); a hit
+/// whose node count disagrees with \p R is stale and recomputed.
+sem::EquivRecord loadOrComputeEquiv(const Options &O, const PhaseManager &PM,
+                                    const Module &M, Function &F,
+                                    const EnumeratorConfig &Cfg,
+                                    const EnumerationResult &R,
+                                    const sem::EquivInputs &In) {
+  if (O.StorePath.empty())
+    return sem::computeEquivalence(M, F, PM, R, In);
+  store::ArtifactStore Store(O.StorePath);
+  const HashTriple Root = canonicalize(F, false, Cfg.RemapRegisters).Hash;
+  const uint64_t Fp = store::equivFingerprint(store::configFingerprint(Cfg),
+                                              O.VectorSeed, O.Vectors);
+  sem::EquivRecord E;
+  std::string Error;
+  const store::LoadStatus S = Store.loadEquivalence(Root, Fp, E, Error);
+  if (S == store::LoadStatus::Hit && E.NodeBehavior.size() == R.Nodes.size())
+    return E;
+  if (S == store::LoadStatus::Rejected)
+    std::fprintf(stderr,
+                 "warning: %s: rejected stored equivalence record: %s\n",
+                 F.Name.c_str(), Error.c_str());
+  E = sem::computeEquivalence(M, F, PM, R, In);
+  if (!Store.saveEquivalence(Root, Fp, E, Error))
+    std::fprintf(stderr,
+                 "warning: %s: cannot save equivalence record: %s\n",
+                 F.Name.c_str(), Error.c_str());
+  return E;
+}
+
+/// Renders one --equiv-check divergence to stdout.
+void printDivergence(const std::string &Func,
+                     const sem::DivergenceReport &D) {
+  std::printf("%s: DIVERGENCE between sequence \"%s\" (node %u) and "
+              "sequence \"%s\" (node %u)\n",
+              Func.c_str(), D.SequenceA.c_str(), D.NodeA,
+              D.SequenceB.c_str(), D.NodeB);
+  if (D.VectorIndex < 0) {
+    // The digests disagreed but no single vector re-diverged: behavior
+    // depends on something outside the recorded plan (should not happen;
+    // surfaced rather than hidden).
+    std::printf("  (no single diverging vector reproduced; record and "
+                "replay disagree)\n");
+    return;
+  }
+  std::string Args;
+  for (size_t I = 0; I != D.Vector.size(); ++I) {
+    if (I)
+      Args += ' ';
+    Args += std::to_string(D.Vector[I]);
+  }
+  std::printf("  vector %d: args [%s]\n", D.VectorIndex, Args.c_str());
+  std::printf("    sequence \"%s\": %s\n", D.SequenceA.c_str(),
+              D.BehaviorA.c_str());
+  std::printf("    sequence \"%s\": %s\n", D.SequenceB.c_str(),
+              D.BehaviorB.c_str());
+}
+
+/// --equiv / --equiv-check: enumerate every function (or the one named by
+/// --enumerate), fingerprint every DAG instance's behavior on the seeded
+/// vector set, and either report the syntactic-to-semantic collapse or
+/// gate on divergence. The report is a pure function of the DAG and the
+/// vector-set identity, so it is byte-identical across --jobs, resumes,
+/// and cache hits.
+int runEquiv(const Options &O, Module &M) {
+  PhaseManager PM;
+  const EnumeratorConfig Cfg = makeEnumConfig(O);
+  sem::EquivInputs In;
+  In.Seed = O.VectorSeed;
+  In.VectorCount = static_cast<uint32_t>(O.Vectors);
+  In.Faults = O.Faults.empty() ? nullptr : &O.Faults;
+  bool Diverged = false;
+  size_t Matched = 0;
+  for (Function &F : M.Functions) {
+    if (!O.EnumerateFunc.empty() && F.Name != O.EnumerateFunc)
+      continue;
+    ++Matched;
+    bool Failed = false;
+    const EnumerationResult R = runEnumeration(O, PM, Cfg, F, Failed);
+    if (Failed)
+      return 1;
+    reportDiagnostics(R);
+    const sem::EquivRecord E = loadOrComputeEquiv(O, PM, M, F, Cfg, R, In);
+
+    if (O.EquivCheck) {
+      const sem::DivergenceReport D =
+          sem::findDivergence(M, F, PM, R, E, In);
+      if (D.Diverged) {
+        printDivergence(F.Name, D);
+        Diverged = true;
+      } else
+        std::printf("%-20s %llu instance(s) agree on %llu vector(s)\n",
+                    F.Name.c_str(),
+                    static_cast<unsigned long long>(E.NodeBehavior.size()),
+                    static_cast<unsigned long long>(E.UsedVectors.size()));
+      continue;
+    }
+
+    const sem::CollapseReport C = sem::collapseClasses(R, E);
+    std::printf("%s: %llu instances -> %llu semantic classes "
+                "(%.1f%% collapse) on %llu vector(s)%s\n",
+                F.Name.c_str(),
+                static_cast<unsigned long long>(C.Instances),
+                static_cast<unsigned long long>(C.Classes.size()),
+                C.collapsePercent(),
+                static_cast<unsigned long long>(C.UsedVectors),
+                C.Certified ? "" : " [partial space: leaves are best-seen]");
+    for (size_t I = 0; I != C.Classes.size(); ++I) {
+      const sem::EquivClass &Cl = C.Classes[I];
+      std::printf("  class %zu: %zu node(s), %s, dynamic %llu..%llu "
+                  "(spread %.1f%%)",
+                  I, Cl.Nodes.size(), Cl.AllOk ? "ok" : "traps",
+                  static_cast<unsigned long long>(Cl.MinDynamic),
+                  static_cast<unsigned long long>(Cl.MaxDynamic),
+                  Cl.spreadPercent());
+      if (Cl.BestLeaf != 0xFFFFFFFFu)
+        std::printf(", %s leaf: node %u",
+                    C.Certified ? "optimal" : "best-seen", Cl.BestLeaf);
+      if (Cl.MaxDynamic > Cl.MinDynamic)
+        std::printf("  <- opportunity");
+      std::printf("\n");
+    }
+    std::printf("  opportunities: %llu class(es) with a cost spread\n",
+                static_cast<unsigned long long>(C.opportunityClasses()));
+  }
+  if (Matched == 0) {
+    std::fprintf(stderr, "no function named '%s'\n",
+                 O.EnumerateFunc.c_str());
+    return 1;
+  }
+  return Diverged ? drive::ExitCode::EquivDivergence : drive::ExitCode::Ok;
 }
 
 int enumerateFunction(const Options &O, Module &M) {
@@ -727,6 +962,17 @@ int runWorker(const Options &O, Module &M) {
     return drive::ExitCode::Error;
   }
   reportDiagnostics(D.Result);
+  // --equiv workers persist the equivalence record alongside the result
+  // (driveEnumeration removed any stale record when it saved a fresh
+  // DAG, so compute-after-save is the correct order). The supervisor
+  // only counts this job Cached next sweep when the record is present.
+  if (O.Equiv) {
+    sem::EquivInputs In;
+    In.Seed = O.VectorSeed;
+    In.VectorCount = static_cast<uint32_t>(O.Vectors);
+    In.Faults = Cfg.Faults;
+    (void)loadOrComputeEquiv(O, PM, M, *F, Cfg, D.Result, In);
+  }
   drive::WorkerFrame Frame;
   Frame.Stop = D.Result.Stop;
   Frame.Nodes = D.Result.Nodes.size();
@@ -755,12 +1001,16 @@ int runSupervise(const Options &O, const Module &M, const char *Argv0) {
   drive::SupervisorOptions SO;
   SO.PosecPath = selfExePath(Argv0);
   SO.InputPath = O.InputPath;
+  SO.Workload = O.Workload;
   SO.StoreDir = O.StorePath;
   SO.QuarantineDir = O.QuarantinePath;
   SO.Budget = O.Budget;
   SO.Jobs = O.Jobs;
   SO.MaxMemoryMb = O.MaxMemoryMb;
   SO.VerifyIr = O.VerifyIr;
+  SO.Equiv = O.Equiv;
+  SO.VectorSeed = O.VectorSeed;
+  SO.Vectors = O.Vectors;
   if (!O.Faults.empty()) {
     SO.Faults = &O.Faults;
     SO.FaultSpec = O.FaultSpecText;
@@ -963,14 +1213,21 @@ int main(int Argc, char **Argv) {
   if (O.Fsck)
     return runFsck(O);
 
-  std::ifstream In(O.InputPath);
-  if (!In) {
-    std::fprintf(stderr, "cannot open %s\n", O.InputPath.c_str());
-    return 1;
+  std::string Source;
+  if (!O.Workload.empty()) {
+    // Embedded benchmark (validated by parseArgs).
+    Source = findWorkload(O.Workload)->Source;
+  } else {
+    std::ifstream In(O.InputPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", O.InputPath.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
   }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  CompileResult CR = compileMC(Buf.str());
+  CompileResult CR = compileMC(Source);
   if (!CR.ok()) {
     std::fprintf(stderr, "%s", CR.diagText().c_str());
     return 1;
@@ -985,6 +1242,8 @@ int main(int Argc, char **Argv) {
     return quarantineOps(O, M);
   if (O.AnalyzeStore)
     return analyzeStore(O, M);
+  if (O.Equiv || O.EquivCheck)
+    return runEquiv(O, M);
   if (!O.EnumerateFunc.empty() || !O.DotFunc.empty())
     return enumerateFunction(O, M);
 
