@@ -14,6 +14,15 @@
 /// checkpoint still exits 0 there, because existing callers treat that as
 /// success.
 ///
+/// The `posed` daemon (tools/posed.cpp, docs/SERVICE.md) shares this
+/// table: it exits Ok after a graceful SIGTERM/SIGINT drain, Usage for a
+/// bad command line, Error for an internal failure, and ServeSocket when
+/// the Unix-domain listening socket cannot be created, bound, or is
+/// already owned by a live daemon. Per-request failures never change the
+/// daemon's exit code — they travel back to the requesting client inside
+/// the response frame (the served posec child's exit code, or a protocol
+/// error code).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POSE_DRIVE_EXITCODES_H
@@ -52,6 +61,9 @@ enum ExitCode : int {
                         ///< canonical function diverged in observable
                         ///< behavior on a test vector — a phase produced
                         ///< wrong code somewhere on the path between them.
+  ServeSocket = 12,     ///< posed only: the listening socket could not be
+                        ///< set up (path too long, bind failure, or a
+                        ///< live daemon already owns it).
 };
 
 /// Maps an enumeration stop reason to the worker's exit code. Budget

@@ -142,6 +142,13 @@ AttemptOutcome classifyAttempt(const SubprocessResult &R,
     A.Q.Message = "worker died: signal " + std::to_string(R.Signal);
     A.Note = A.Q.Message;
     return A;
+  case ExitKind::PollFailed:
+    // The pool's own multiplexer broke, not this worker: treat it like a
+    // spawn-level harness failure (no quarantine record — the job never
+    // got a fair run) and surface the errno text.
+    A.Class = AttemptClass::Spawn;
+    A.Note = "subprocess pool failed: " + R.Error;
+    return A;
   case ExitKind::Exited:
     break;
   }

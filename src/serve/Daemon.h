@@ -1,0 +1,64 @@
+//===- Daemon.h - posed: phase-order search as a service -------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident posed daemon (ROADMAP item 1): accepts enumerate /
+/// analyze / equiv / search requests over a Unix-domain socket (protocol
+/// in Protocol.h, contract in docs/SERVICE.md) and schedules them onto a
+/// SubprocessPool of sandboxed posec children sharing one ArtifactStore,
+/// so identical work — across clients, across time — costs one
+/// computation.
+///
+/// One thread, one blocking point: the pool's poll() loop multiplexes
+/// child pipes *and* the daemon's socket fds (SubprocessPool::wait with
+/// ExternalFd), so there is no second event loop and nothing to
+/// synchronize. Admission control is per request (a ResourceGovernor
+/// deadline, an RLIMIT_AS cap on the child, a per-client in-flight
+/// budget); scheduling is round-robin across clients so one chatty
+/// client cannot starve the rest; identical requests coalesce onto one
+/// in-flight child and completed responses are kept in a bounded
+/// in-memory cache in front of the store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SERVE_DAEMON_H
+#define POSE_SERVE_DAEMON_H
+
+#include <cstdint>
+#include <string>
+
+namespace pose {
+namespace serve {
+
+/// Everything posed needs to run. Paths are used as given (relative
+/// paths resolve in the daemon's working directory, and so do relative
+/// file arguments inside requests).
+struct ServeOptions {
+  std::string SocketPath; ///< Unix-domain socket to bind.
+  std::string StoreDir;   ///< Shared ArtifactStore injected into every
+                          ///< served posec child (--store=DIR).
+  std::string PosecPath;  ///< posec binary to spawn.
+  uint64_t MaxJobs = 4;   ///< Concurrent posec children.
+  uint64_t MaxInFlightPerClient = 8; ///< Queued+running cap per client;
+                                     ///< beyond it requests get
+                                     ///< ErrorCode::Overloaded.
+  uint64_t RequestTimeoutMs = 300'000; ///< Admission deadline: bounds the
+                                       ///< queue wait and is the child's
+                                       ///< kill timer. 0 = none.
+  uint64_t WorkerRlimitMb = 0; ///< RLIMIT_AS for children; 0 = none.
+  uint64_t CacheEntries = 256; ///< Completed-response cache capacity.
+  bool Verbose = false;        ///< Per-request log lines on stderr.
+};
+
+/// Runs the daemon until a SIGTERM/SIGINT (or a Shutdown request) drains
+/// it. Returns a drive::ExitCode: Ok after a graceful drain, ServeSocket
+/// when the socket cannot be set up, Error on an internal failure.
+int runDaemon(const ServeOptions &O);
+
+} // namespace serve
+} // namespace pose
+
+#endif // POSE_SERVE_DAEMON_H

@@ -1,0 +1,259 @@
+//===- Protocol.cpp - posed wire protocol ---------------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/serve/Protocol.h"
+
+#include "src/store/ByteIo.h"
+#include "src/support/Crc32.h"
+
+#include <cstring>
+
+using namespace pose;
+using namespace pose::serve;
+
+const char *pose::serve::servedFromName(ServedFrom S) {
+  switch (S) {
+  case ServedFrom::Computed:
+    return "computed";
+  case ServedFrom::Coalesced:
+    return "coalesced";
+  case ServedFrom::Cached:
+    return "cached";
+  }
+  return "?";
+}
+
+const char *pose::serve::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::BadFrame:
+    return "bad-frame";
+  case ErrorCode::BadRequest:
+    return "bad-request";
+  case ErrorCode::DeniedArg:
+    return "denied-arg";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::ShuttingDown:
+    return "shutting-down";
+  case ErrorCode::WorkerFailed:
+    return "worker-failed";
+  case ErrorCode::Deadline:
+    return "deadline";
+  }
+  return "?";
+}
+
+std::vector<uint8_t>
+pose::serve::encodeFrame(MsgKind Kind, const std::vector<uint8_t> &Payload) {
+  ByteWriter W;
+  for (char C : kMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(static_cast<uint32_t>(Kind));
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  W.u32(crc32(Payload.data(), Payload.size()));
+  W.u32(crc32(W.bytes().data(), W.bytes().size())); // Header CRC.
+  std::vector<uint8_t> Out = W.take();
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+std::vector<uint8_t> pose::serve::encodePing() {
+  return encodeFrame(MsgKind::Ping, {});
+}
+std::vector<uint8_t> pose::serve::encodePong() {
+  return encodeFrame(MsgKind::Pong, {});
+}
+std::vector<uint8_t> pose::serve::encodeShutdown() {
+  return encodeFrame(MsgKind::Shutdown, {});
+}
+std::vector<uint8_t> pose::serve::encodeStatsRequest() {
+  return encodeFrame(MsgKind::Stats, {});
+}
+
+std::vector<uint8_t> pose::serve::encodeRunRequest(const RunRequest &R) {
+  ByteWriter W;
+  W.u64(R.Id);
+  W.u32(static_cast<uint32_t>(R.Args.size()));
+  for (const std::string &A : R.Args)
+    W.str(A);
+  return encodeFrame(MsgKind::Run, W.bytes());
+}
+
+bool pose::serve::decodeRunRequest(const std::vector<uint8_t> &Payload,
+                                   RunRequest &R, std::string &Why) {
+  ByteReader B(Payload);
+  R.Id = B.u64();
+  const uint32_t N = B.u32();
+  if (N == 0 || N > kMaxRunArgs) {
+    Why = "argument count " + std::to_string(N) + " outside 1.." +
+          std::to_string(kMaxRunArgs);
+    return false;
+  }
+  R.Args.clear();
+  R.Args.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string A = B.str();
+    if (A.size() > kMaxArgLen) {
+      Why = "argument longer than " + std::to_string(kMaxArgLen) + " bytes";
+      return false;
+    }
+    if (A.find('\0') != std::string::npos) {
+      // An embedded NUL would silently truncate at execv.
+      Why = "argument contains a NUL byte";
+      return false;
+    }
+    R.Args.push_back(std::move(A));
+  }
+  if (!B.ok() || !B.atEnd()) {
+    Why = "run request payload does not decode";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> pose::serve::encodeRunResponse(const RunResponse &R) {
+  ByteWriter W;
+  W.u64(R.Id);
+  W.u32(static_cast<uint32_t>(R.Served));
+  W.i32(R.ExitCode);
+  W.str(R.Stdout);
+  W.str(R.Stderr);
+  return encodeFrame(MsgKind::RunResult, W.bytes());
+}
+
+bool pose::serve::decodeRunResponse(const std::vector<uint8_t> &Payload,
+                                    RunResponse &R, std::string &Why) {
+  ByteReader B(Payload);
+  R.Id = B.u64();
+  const uint32_t Served = B.u32();
+  if (Served > static_cast<uint32_t>(ServedFrom::Cached)) {
+    Why = "unknown served-from value";
+    return false;
+  }
+  R.Served = static_cast<ServedFrom>(Served);
+  R.ExitCode = B.i32();
+  R.Stdout = B.str();
+  R.Stderr = B.str();
+  if (!B.ok() || !B.atEnd()) {
+    Why = "run response payload does not decode";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> pose::serve::encodeErrorResponse(const ErrorResponse &E) {
+  ByteWriter W;
+  W.u64(E.Id);
+  W.u32(static_cast<uint32_t>(E.Code));
+  W.str(E.Message);
+  return encodeFrame(MsgKind::Error, W.bytes());
+}
+
+bool pose::serve::decodeErrorResponse(const std::vector<uint8_t> &Payload,
+                                      ErrorResponse &E, std::string &Why) {
+  ByteReader B(Payload);
+  E.Id = B.u64();
+  const uint32_t Code = B.u32();
+  if (Code < static_cast<uint32_t>(ErrorCode::BadFrame) ||
+      Code > static_cast<uint32_t>(ErrorCode::Deadline)) {
+    Why = "unknown error code";
+    return false;
+  }
+  E.Code = static_cast<ErrorCode>(Code);
+  E.Message = B.str();
+  if (!B.ok() || !B.atEnd()) {
+    Why = "error response payload does not decode";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> pose::serve::encodeStatsReport(const StatsReport &S) {
+  ByteWriter W;
+  W.u64(S.Requests);
+  W.u64(S.Computed);
+  W.u64(S.Coalesced);
+  W.u64(S.CacheHits);
+  W.u64(S.Errors);
+  W.u64(S.Clients);
+  W.u64(S.Running);
+  W.u64(S.Queued);
+  return encodeFrame(MsgKind::StatsReport, W.bytes());
+}
+
+bool pose::serve::decodeStatsReport(const std::vector<uint8_t> &Payload,
+                                    StatsReport &S, std::string &Why) {
+  ByteReader B(Payload);
+  S.Requests = B.u64();
+  S.Computed = B.u64();
+  S.Coalesced = B.u64();
+  S.CacheHits = B.u64();
+  S.Errors = B.u64();
+  S.Clients = B.u64();
+  S.Running = B.u64();
+  S.Queued = B.u64();
+  if (!B.ok() || !B.atEnd()) {
+    Why = "stats report payload does not decode";
+    return false;
+  }
+  return true;
+}
+
+void FrameReader::feed(const uint8_t *Data, size_t N) {
+  Buf.insert(Buf.end(), Data, Data + N);
+}
+
+FrameReader::Status FrameReader::next(MsgKind &Kind,
+                                      std::vector<uint8_t> &Payload,
+                                      std::string &Why) {
+  if (Broken) {
+    Why = "stream already malformed";
+    return Status::Malformed;
+  }
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  const size_t Avail = Buf.size() - Pos;
+  if (Avail < kHeaderSize)
+    return Status::NeedMore;
+
+  const uint8_t *H = Buf.data() + Pos;
+  if (std::memcmp(H, kMagic, sizeof(kMagic)) != 0) {
+    Broken = true;
+    Why = "bad frame magic";
+    return Status::Malformed;
+  }
+  ByteReader B(H + sizeof(kMagic), kHeaderSize - sizeof(kMagic));
+  const uint32_t RawKind = B.u32();
+  const uint32_t Size = B.u32();
+  const uint32_t PayloadCrc = B.u32();
+  const uint32_t HeaderCrc = B.u32();
+  if (crc32(H, kHeaderSize - 4) != HeaderCrc) {
+    Broken = true;
+    Why = "frame header CRC mismatch";
+    return Status::Malformed;
+  }
+  if (Size > MaxPayload) {
+    Broken = true;
+    Why = "frame payload of " + std::to_string(Size) +
+          " bytes exceeds the " + std::to_string(MaxPayload) + " byte cap";
+    return Status::Malformed;
+  }
+  if (Avail < kHeaderSize + Size)
+    return Status::NeedMore;
+  Payload.assign(H + kHeaderSize, H + kHeaderSize + Size);
+  if (crc32(Payload.data(), Payload.size()) != PayloadCrc) {
+    Broken = true;
+    Why = "frame payload CRC mismatch";
+    return Status::Malformed;
+  }
+  Kind = static_cast<MsgKind>(RawKind);
+  Pos += kHeaderSize + Size;
+  return Status::Frame;
+}

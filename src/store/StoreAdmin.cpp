@@ -288,6 +288,27 @@ MergeReport mergeStores(const std::string &Dst,
     return Rep;
   }
 
+  // Refuse a destination that is also a source. The copy loop below
+  // lists a source once and then mutates the destination; if they are
+  // the same directory (spelled the same, through `..` aliasing, or via
+  // a symlink), the walk reads a directory being rewritten under it.
+  // Canonicalize after create_directories so the destination's own
+  // components resolve; weakly_canonical tolerates a not-yet-existing
+  // source (listStoreFiles reports that properly below).
+  const fs::path DstCanon = fs::weakly_canonical(Dst, EC);
+  for (const std::string &Src : Srcs) {
+    std::error_code SrcEC;
+    const fs::path SrcCanon = fs::weakly_canonical(Src, SrcEC);
+    if (!EC && !SrcEC && DstCanon == SrcCanon) {
+      Rep.Status = MergeStatus::SelfMerge;
+      Rep.Error = "destination store '" + Dst + "' is also a source ('" +
+                  Src + "' resolves to the same directory); merging a "
+                  "store into itself would walk a directory being "
+                  "mutated — give the merge a fresh destination";
+      return Rep;
+    }
+  }
+
   for (const std::string &Src : Srcs) {
     std::vector<std::string> Names;
     if (!listStoreFiles(Src, Names, Rep.Error)) {

@@ -106,6 +106,10 @@ enum class MergeStatus : uint8_t {
   CorruptSource, ///< A source artifact failed frame verification; run
                  ///< --fsck on that source first.
   IoError,       ///< Missing directory or a failed copy.
+  SelfMerge,     ///< The destination is also a source (same path, a
+                 ///< relative alias, or a symlink): merging a store into
+                 ///< itself would walk a directory being mutated.
+                 ///< Nothing was copied. A usage error, not an I/O one.
 };
 
 /// Outcome and statistics of one merge.

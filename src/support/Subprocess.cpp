@@ -65,6 +65,8 @@ const char *pose::exitKindName(ExitKind K) {
     return "timed-out";
   case ExitKind::SpawnFailed:
     return "spawn-failed";
+  case ExitKind::PollFailed:
+    return "poll-failed";
   }
   return "?";
 }
@@ -215,10 +217,33 @@ SubprocessPool::JobId SubprocessPool::spawn(const SubprocessSpec &Spec) {
   return Id;
 }
 
+bool SubprocessPool::kill(JobId Id) {
+  for (Child &C : Children) {
+    if (C.Id != Id)
+      continue;
+    if (!C.Killed) {
+      ::kill(-C.Pid, SIGKILL);
+      ::kill(C.Pid, SIGKILL);
+      C.Killed = true;
+      C.GraceDeadline = Clock::now() + std::chrono::milliseconds(kGraceIdleMs);
+    }
+    return true;
+  }
+  return false;
+}
+
 std::vector<std::pair<SubprocessPool::JobId, SubprocessResult>>
 SubprocessPool::wait(uint64_t MaxWaitMs) {
+  return wait(MaxWaitMs, nullptr);
+}
+
+std::vector<std::pair<SubprocessPool::JobId, SubprocessResult>>
+SubprocessPool::wait(uint64_t MaxWaitMs, std::vector<ExternalFd> *External) {
   std::vector<std::pair<JobId, SubprocessResult>> Out;
   std::swap(Out, Ready);
+  if (External)
+    for (ExternalFd &E : *External)
+      E.Revents = 0;
 
   const Clock::time_point WaitDeadline =
       Clock::now() + std::chrono::milliseconds(MaxWaitMs);
@@ -275,7 +300,7 @@ SubprocessPool::wait(uint64_t MaxWaitMs) {
       Children.erase(Children.begin() + I);
     }
 
-    if (!Out.empty() || Children.empty() || Expired)
+    if (!Out.empty() || Expired || (Children.empty() && !External))
       return Out;
 
     // Sleep until the nearest of: the caller's wait deadline, a kill
@@ -299,7 +324,8 @@ SubprocessPool::wait(uint64_t MaxWaitMs) {
       PollMs = std::min<int64_t>(PollMs, 10);
     PollMs = std::min<int64_t>(PollMs, 1000 * 60 * 60);
 
-    // One poll across every live pipe of every child.
+    // One poll across every live pipe of every child, plus any external
+    // fds the caller wants multiplexed into the same blocking point.
     struct Slot {
       size_t ChildIdx;
       bool IsErr;
@@ -319,27 +345,81 @@ SubprocessPool::wait(uint64_t MaxWaitMs) {
         Slots.push_back({I, true});
       }
     }
+    const size_t ExternalBase = Fds.size();
+    if (External)
+      for (const ExternalFd &E : *External)
+        if (E.Fd >= 0)
+          Fds.push_back({E.Fd, E.Events, 0});
     const int NReady = ::poll(Fds.empty() ? nullptr : Fds.data(),
                               static_cast<nfds_t>(Fds.size()),
                               static_cast<int>(PollMs));
-    if (NReady < 0 && errno != EINTR)
-      Expired = true; // Unexpected; deliver what we have after one reap pass.
+    if (NReady < 0 && errno != EINTR) {
+      // The multiplexer itself failed (EBADF/EINVAL/ENOMEM) — a harness
+      // bug, not a timeout. Masking it as Expired would report every
+      // in-flight job as merely slow; instead kill and reap the children
+      // now and surface the errno in each result as its own failure
+      // class, so the caller sees "poll: Bad file descriptor" and not a
+      // phantom hang.
+      const int PollErrno = errno;
+      for (Child &C : Children) {
+        ::kill(-C.Pid, SIGKILL);
+        ::kill(C.Pid, SIGKILL);
+        closeFd(C.OutFd);
+        closeFd(C.ErrFd);
+        awaitChild(C.Pid);
+        C.R.Kind = ExitKind::PollFailed;
+        C.R.Error = std::string("poll: ") + std::strerror(PollErrno);
+        Out.emplace_back(C.Id, std::move(C.R));
+      }
+      Children.clear();
+      return Out;
+    }
 
-    for (size_t I = 0; NReady > 0 && I != Fds.size(); ++I) {
+    for (size_t I = 0; NReady > 0 && I != ExternalBase; ++I) {
       if (Fds[I].revents == 0)
         continue;
       Child &C = Children[Slots[I].ChildIdx];
       int &Fd = Slots[I].IsErr ? C.ErrFd : C.OutFd;
       std::string &Buf = Slots[I].IsErr ? C.R.Stderr : C.R.Stdout;
-      const ssize_t Got = ::read(Fd, Chunk, sizeof(Chunk));
+      if ((Fds[I].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        // POLLNVAL or similar: nothing to read, never will be.
+        closeFd(Fd);
+        continue;
+      }
+      // Note POLLHUP does not mean drained: a closed write end with
+      // buffered data reports POLLIN|POLLHUP and read() keeps returning
+      // that data until the 0-byte EOF. We take one chunk per poll pass,
+      // so a half-drained pipe simply reports readable again next round.
+      ssize_t Got;
+      do
+        Got = ::read(Fd, Chunk, sizeof(Chunk));
+      while (Got < 0 && errno == EINTR);
       if (Got > 0) {
         Buf.append(Chunk, static_cast<size_t>(Got));
         if (C.Killed) // Data restarts the post-kill idle window.
           C.GraceDeadline =
               Clock::now() + std::chrono::milliseconds(kGraceIdleMs);
-      } else if (Got == 0 || (Got < 0 && errno != EINTR)) {
+      } else if (Got == 0 || Got < 0) {
+        // EOF, or a real error (EINTR was retried above, so a signal can
+        // no longer masquerade as end-of-stream and close a live pipe).
         closeFd(Fd);
       }
+    }
+
+    // Surface external activity: copy revents out and return immediately
+    // (possibly with no child results) so the owner can service sockets.
+    if (External && NReady > 0) {
+      bool ExternalReady = false;
+      size_t J = ExternalBase;
+      for (ExternalFd &E : *External) {
+        if (E.Fd < 0)
+          continue;
+        E.Revents = Fds[J].revents;
+        ExternalReady |= E.Revents != 0;
+        ++J;
+      }
+      if (ExternalReady)
+        Expired = true; // Loop once more: fire timers, reap, then return.
     }
 
     if (Clock::now() >= WaitDeadline)

@@ -51,6 +51,9 @@ enum class ExitKind : uint8_t {
   Signalled,   ///< Killed by a signal (its own crash); Signal is valid.
   TimedOut,    ///< Killed by our wall-clock timer (SIGKILL).
   SpawnFailed, ///< fork/exec never produced a running child; see Error.
+  PollFailed,  ///< The pool's poll() loop itself failed (EBADF/EINVAL/
+               ///< ENOMEM); the child was killed and reaped, Error carries
+               ///< the errno text. A harness bug, not the child's fault.
 };
 
 /// Short lower-case name for messages ("exited", "signalled", ...).
@@ -73,6 +76,17 @@ struct SubprocessResult {
 /// Implemented as a one-child SubprocessPool, so the blocking and pooled
 /// paths share every line of the sandbox machinery.
 SubprocessResult runSubprocess(const SubprocessSpec &Spec);
+
+/// An external file descriptor watched alongside the pool's child pipes
+/// in one poll() call (see SubprocessPool::wait). A server owning both a
+/// worker fleet and a listening socket hands its socket fds in here so a
+/// single blocking point multiplexes child completions and socket
+/// readiness — no second event loop, no busy polling.
+struct ExternalFd {
+  int Fd = -1;      ///< Descriptor to watch; negative entries are skipped.
+  short Events = 0; ///< poll() events requested (POLLIN, POLLOUT, ...).
+  short Revents = 0; ///< poll() revents observed; 0 when nothing happened.
+};
 
 /// A bounded spawn pool: several sandboxed children run concurrently, and
 /// one poll() loop multiplexes their stdout/stderr drains, per-child kill
@@ -115,6 +129,23 @@ public:
   /// one child completes; kill timers of the remaining children keep
   /// being serviced while waiting.
   std::vector<std::pair<JobId, SubprocessResult>> wait(uint64_t MaxWaitMs);
+
+  /// Like wait(MaxWaitMs), but additionally watches \p External fds in
+  /// the same poll() call and also returns (possibly with no results) as
+  /// soon as any of them reports activity; their Revents fields are
+  /// filled in before returning. With External present the call polls
+  /// even when no child is live, so a server can block here as its sole
+  /// event loop. Entries with a negative Fd are ignored.
+  std::vector<std::pair<JobId, SubprocessResult>>
+  wait(uint64_t MaxWaitMs, std::vector<ExternalFd> *External);
+
+  /// SIGKILLs the process group of a still-running job (e.g. its
+  /// requester disconnected and nobody wants the result). Returns false
+  /// when the id is unknown or already completed. The job still surfaces
+  /// from a later wait(), classified as TimedOut, so every child funnels
+  /// through the same delivery path; callers that kill() typically drop
+  /// that result on arrival.
+  bool kill(JobId Id);
 
 private:
   struct Child;

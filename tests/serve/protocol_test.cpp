@@ -1,0 +1,355 @@
+//===- protocol_test.cpp - posed wire protocol tests ----------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The POSESRV1 framing and payload codecs in isolation: round-trips
+// through byte-at-a-time feeding, CRC and magic violations, payload
+// caps, and the decode-side argument validation that protects the
+// daemon from a hostile client. No sockets, no daemon.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/serve/Protocol.h"
+
+#include "src/support/Crc32.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace pose;
+using namespace pose::serve;
+
+namespace {
+
+/// Feeds \p Bytes into \p R one byte at a time and expects exactly one
+/// complete frame at the end, with NeedMore at every prefix.
+FrameReader::Status feedBytewise(FrameReader &R,
+                                 const std::vector<uint8_t> &Bytes,
+                                 MsgKind &Kind, std::vector<uint8_t> &Payload,
+                                 std::string &Why) {
+  FrameReader::Status S = FrameReader::Status::NeedMore;
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    R.feed(&Bytes[I], 1);
+    S = R.next(Kind, Payload, Why);
+    if (S != FrameReader::Status::NeedMore) {
+      EXPECT_EQ(I, Bytes.size() - 1)
+          << "frame completed (or broke) before its last byte";
+      return S;
+    }
+  }
+  return S;
+}
+
+/// Strips the frame header off an encode*() result, leaving the payload
+/// the matching decoder expects.
+std::vector<uint8_t> payloadOf(const std::vector<uint8_t> &Wire) {
+  return std::vector<uint8_t>(Wire.begin() +
+                                  static_cast<ptrdiff_t>(kHeaderSize),
+                              Wire.end());
+}
+
+TEST(Protocol, PingFrameRoundTripsByteAtATime) {
+  const std::vector<uint8_t> Wire = encodePing();
+  EXPECT_EQ(Wire.size(), kHeaderSize); // Payload-free.
+
+  FrameReader R(kMaxRequestPayload);
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  ASSERT_EQ(feedBytewise(R, Wire, Kind, Payload, Why),
+            FrameReader::Status::Frame)
+      << Why;
+  EXPECT_EQ(Kind, MsgKind::Ping);
+  EXPECT_TRUE(Payload.empty());
+  EXPECT_EQ(R.buffered(), 0u);
+}
+
+TEST(Protocol, RunRequestRoundTrips) {
+  RunRequest In;
+  In.Id = 0xDEADBEEFCAFE0001ull;
+  In.Args = {"--workload=bitcount", "--enumerate=bit_count",
+             "--budget=50000"};
+  const std::vector<uint8_t> Wire = encodeRunRequest(In);
+
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), Wire.size());
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+  EXPECT_EQ(Kind, MsgKind::Run);
+
+  RunRequest Out;
+  ASSERT_TRUE(decodeRunRequest(Payload, Out, Why)) << Why;
+  EXPECT_EQ(Out.Id, In.Id);
+  EXPECT_EQ(Out.Args, In.Args);
+}
+
+TEST(Protocol, RunResponseRoundTrips) {
+  RunResponse In;
+  In.Id = 42;
+  In.Served = ServedFrom::Coalesced;
+  In.ExitCode = 11;
+  In.Stdout = std::string("a\0b\n", 4); // Binary-safe.
+  In.Stderr = "warning: x\n";
+  std::string Why;
+  RunResponse Out;
+  ASSERT_TRUE(decodeRunResponse(payloadOf(encodeRunResponse(In)), Out, Why))
+      << Why;
+  EXPECT_EQ(Out.Id, 42u);
+  EXPECT_EQ(Out.Served, ServedFrom::Coalesced);
+  EXPECT_EQ(Out.ExitCode, 11);
+  EXPECT_EQ(Out.Stdout, In.Stdout);
+  EXPECT_EQ(Out.Stderr, In.Stderr);
+}
+
+TEST(Protocol, ErrorResponseRoundTrips) {
+  ErrorResponse In;
+  In.Id = 7;
+  In.Code = ErrorCode::Overloaded;
+  In.Message = "client budget exhausted";
+  std::string Why;
+  ErrorResponse Out;
+  ASSERT_TRUE(
+      decodeErrorResponse(payloadOf(encodeErrorResponse(In)), Out, Why))
+      << Why;
+  EXPECT_EQ(Out.Id, 7u);
+  EXPECT_EQ(Out.Code, ErrorCode::Overloaded);
+  EXPECT_EQ(Out.Message, In.Message);
+}
+
+TEST(Protocol, StatsReportRoundTrips) {
+  StatsReport In;
+  In.Requests = 1000;
+  In.Computed = 10;
+  In.Coalesced = 90;
+  In.CacheHits = 900;
+  In.Errors = 3;
+  In.Clients = 8;
+  In.Running = 2;
+  In.Queued = 5;
+  std::string Why;
+  StatsReport Out;
+  ASSERT_TRUE(decodeStatsReport(payloadOf(encodeStatsReport(In)), Out, Why))
+      << Why;
+  EXPECT_EQ(Out.Requests, 1000u);
+  EXPECT_EQ(Out.Computed, 10u);
+  EXPECT_EQ(Out.Coalesced, 90u);
+  EXPECT_EQ(Out.CacheHits, 900u);
+  EXPECT_EQ(Out.Errors, 3u);
+  EXPECT_EQ(Out.Clients, 8u);
+  EXPECT_EQ(Out.Running, 2u);
+  EXPECT_EQ(Out.Queued, 5u);
+}
+
+TEST(Protocol, TwoFramesInOneFeedComeOutInOrder) {
+  std::vector<uint8_t> Wire = encodePing();
+  const std::vector<uint8_t> Second = encodeStatsRequest();
+  Wire.insert(Wire.end(), Second.begin(), Second.end());
+
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), Wire.size());
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+  EXPECT_EQ(Kind, MsgKind::Ping);
+  ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+  EXPECT_EQ(Kind, MsgKind::Stats);
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::NeedMore);
+}
+
+TEST(Protocol, TruncatedFrameIsNeedMoreNotMalformed) {
+  RunRequest Req;
+  Req.Id = 1;
+  Req.Args = {"--workload=sha"};
+  const std::vector<uint8_t> Wire = encodeRunRequest(Req);
+
+  // Every proper prefix — header included — is just "not yet".
+  for (size_t Cut : {size_t(1), kHeaderSize - 1, kHeaderSize,
+                     Wire.size() - 1}) {
+    FrameReader R(kMaxRequestPayload);
+    R.feed(Wire.data(), Cut);
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    std::string Why;
+    EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::NeedMore)
+        << "prefix of " << Cut << " bytes";
+  }
+}
+
+TEST(Protocol, BadMagicIsMalformed) {
+  std::vector<uint8_t> Wire = encodePing();
+  Wire[0] = 'X';
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), Wire.size());
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Malformed);
+  EXPECT_NE(Why.find("magic"), std::string::npos) << Why;
+}
+
+TEST(Protocol, CorruptHeaderIsMalformed) {
+  RunRequest Req;
+  Req.Id = 1;
+  Req.Args = {"--workload=sha"};
+  std::vector<uint8_t> Wire = encodeRunRequest(Req);
+  Wire[9] ^= 0xFF; // A kind byte: the header CRC must catch it.
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), Wire.size());
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Malformed);
+  EXPECT_FALSE(Why.empty());
+}
+
+TEST(Protocol, CorruptPayloadIsMalformed) {
+  RunRequest Req;
+  Req.Id = 1;
+  Req.Args = {"--workload=sha"};
+  std::vector<uint8_t> Wire = encodeRunRequest(Req);
+  Wire.back() ^= 0xFF; // Last payload byte.
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), Wire.size());
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Malformed);
+  EXPECT_NE(Why.find("payload"), std::string::npos) << Why;
+}
+
+TEST(Protocol, MalformedStreamStaysBroken) {
+  std::vector<uint8_t> Wire = encodePing();
+  Wire[0] = 'X';
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), Wire.size());
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Malformed);
+  // Feeding a perfectly good frame afterwards cannot resynchronize a
+  // length-prefixed stream; the reader must stay latched broken.
+  const std::vector<uint8_t> Good = encodePing();
+  R.feed(Good.data(), Good.size());
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Malformed);
+}
+
+TEST(Protocol, OversizedPayloadIsRejectedBeforeBuffering) {
+  // Hand-build a header announcing a payload over the reader's cap; the
+  // reader must reject it from the header alone, without waiting for (or
+  // allocating) the announced bytes. Layout: magic(8) kind(4) size(4)
+  // payload-crc(4) header-crc(4), little-endian, CRC32 over bytes 0..19.
+  RunRequest Req;
+  Req.Id = 1;
+  Req.Args = {"x"};
+  std::vector<uint8_t> Wire = encodeRunRequest(Req);
+  const uint32_t Huge = (1u << 20) + 1;
+  std::memcpy(&Wire[12], &Huge, 4);
+  // Recompute the header CRC so only the size field is "wrong".
+  const uint32_t HdrCrc = crc32(Wire.data(), 20);
+  std::memcpy(&Wire[20], &HdrCrc, 4);
+
+  FrameReader R(kMaxRequestPayload);
+  R.feed(Wire.data(), kHeaderSize); // Header only — no payload bytes.
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  EXPECT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Malformed);
+  EXPECT_NE(Why.find("payload"), std::string::npos) << Why;
+}
+
+TEST(Protocol, DecodeRejectsHostileArgumentVectors) {
+  std::string Why;
+  RunRequest Out;
+
+  // Empty argv.
+  RunRequest Empty;
+  Empty.Id = 1;
+  {
+    FrameReader R(kMaxRequestPayload);
+    const std::vector<uint8_t> Wire = encodeRunRequest(Empty);
+    R.feed(Wire.data(), Wire.size());
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+    EXPECT_FALSE(decodeRunRequest(Payload, Out, Why));
+  }
+
+  // Too many arguments.
+  RunRequest Many;
+  Many.Id = 2;
+  Many.Args.assign(kMaxRunArgs + 1, "--x");
+  {
+    FrameReader R(kMaxRequestPayload);
+    const std::vector<uint8_t> Wire = encodeRunRequest(Many);
+    R.feed(Wire.data(), Wire.size());
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+    EXPECT_FALSE(decodeRunRequest(Payload, Out, Why));
+    EXPECT_NE(Why.find("argument"), std::string::npos) << Why;
+  }
+
+  // One argument over the length cap.
+  RunRequest Long;
+  Long.Id = 3;
+  Long.Args = {std::string(kMaxArgLen + 1, 'a')};
+  {
+    FrameReader R(kMaxRequestPayload);
+    const std::vector<uint8_t> Wire = encodeRunRequest(Long);
+    R.feed(Wire.data(), Wire.size());
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+    EXPECT_FALSE(decodeRunRequest(Payload, Out, Why));
+  }
+
+  // An embedded NUL would silently truncate at execv.
+  RunRequest Nul;
+  Nul.Id = 4;
+  Nul.Args = {std::string("--bud\0get", 9)};
+  {
+    FrameReader R(kMaxRequestPayload);
+    const std::vector<uint8_t> Wire = encodeRunRequest(Nul);
+    R.feed(Wire.data(), Wire.size());
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+    EXPECT_FALSE(decodeRunRequest(Payload, Out, Why));
+    EXPECT_NE(Why.find("NUL"), std::string::npos) << Why;
+  }
+
+  // Trailing garbage after a valid payload.
+  RunRequest Ok;
+  Ok.Id = 5;
+  Ok.Args = {"--x"};
+  {
+    FrameReader R(kMaxRequestPayload);
+    std::vector<uint8_t> Wire = encodeRunRequest(Ok);
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    R.feed(Wire.data(), Wire.size());
+    ASSERT_EQ(R.next(Kind, Payload, Why), FrameReader::Status::Frame) << Why;
+    Payload.push_back(0x00);
+    EXPECT_FALSE(decodeRunRequest(Payload, Out, Why));
+  }
+}
+
+TEST(Protocol, NamesAreStable) {
+  EXPECT_STREQ(servedFromName(ServedFrom::Computed), "computed");
+  EXPECT_STREQ(servedFromName(ServedFrom::Coalesced), "coalesced");
+  EXPECT_STREQ(servedFromName(ServedFrom::Cached), "cached");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BadFrame), "bad-frame");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BadRequest), "bad-request");
+  EXPECT_STREQ(errorCodeName(ErrorCode::DeniedArg), "denied-arg");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Overloaded), "overloaded");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ShuttingDown), "shutting-down");
+  EXPECT_STREQ(errorCodeName(ErrorCode::WorkerFailed), "worker-failed");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Deadline), "deadline");
+}
+
+} // namespace

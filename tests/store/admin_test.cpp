@@ -355,6 +355,59 @@ TEST(Merge, SkipsStaleTempFilesAndForeignFiles) {
       fs::path(Dst) / "11112222-33334444-55556666.result.pose.tmp"));
 }
 
+TEST(Merge, RefusesToMergeAStoreIntoItself) {
+  const std::string Dir = freshDir("self");
+  const Seeded S = seedStore(Dir);
+  ArtifactStore Store(Dir, &StoreIo::system());
+  const std::string PathF = Store.pathFor(S.RootF, ArtifactKind::Result);
+  const std::vector<uint8_t> Before = readFile(PathF);
+
+  const MergeReport R = mergeStores(Dir, {Dir});
+  EXPECT_EQ(R.Status, MergeStatus::SelfMerge);
+  EXPECT_EQ(R.Copied, 0u);
+  EXPECT_NE(R.Error.find("destination"), std::string::npos) << R.Error;
+  // The store is untouched: same artifact bytes, still fsck-clean.
+  EXPECT_EQ(readFile(PathF), Before);
+  EXPECT_TRUE(fsckStore(Dir, false).clean());
+}
+
+TEST(Merge, RefusesSelfMergeThroughARelativeAlias) {
+  const std::string Dir = freshDir("self-alias");
+  seedStore(Dir);
+  // dir/../<leaf> resolves back to dir itself.
+  const fs::path P(Dir);
+  const std::string Alias =
+      (P.parent_path() / ".." / P.parent_path().filename() / P.filename())
+          .string();
+  const MergeReport R = mergeStores(Dir, {Alias});
+  EXPECT_EQ(R.Status, MergeStatus::SelfMerge) << Alias << ": " << R.Error;
+  EXPECT_EQ(R.Copied, 0u);
+}
+
+TEST(Merge, RefusesSelfMergeThroughASymlink) {
+  const std::string Dir = freshDir("self-link");
+  seedStore(Dir);
+  const std::string Link = freshDir("self-link-alias");
+  std::error_code EC;
+  fs::create_directory_symlink(Dir, Link, EC);
+  if (EC)
+    GTEST_SKIP() << "cannot create symlinks here: " << EC.message();
+  const MergeReport R = mergeStores(Dir, {Link});
+  EXPECT_EQ(R.Status, MergeStatus::SelfMerge) << R.Error;
+  EXPECT_EQ(R.Copied, 0u);
+  fs::remove(Link);
+}
+
+TEST(Merge, SelfMergeAmongOtherSourcesStillRefusesBeforeCopying) {
+  const std::string DirA = freshDir("self-multi-a");
+  seedStore(DirA);
+  const std::string Dst = freshDir("self-multi-dst");
+  seedStore(Dst);
+  const MergeReport R = mergeStores(Dst, {DirA, Dst});
+  EXPECT_EQ(R.Status, MergeStatus::SelfMerge);
+  EXPECT_EQ(R.Copied, 0u) << "sources must be validated before any copy";
+}
+
 TEST(Merge, MissingSourceIsAnIoError) {
   const std::string Dst = freshDir("missing-dst");
   const MergeReport R =

@@ -11,6 +11,10 @@
 #include <chrono>
 #include <csignal>
 
+#include <poll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
 using namespace pose;
 
 namespace {
@@ -216,6 +220,117 @@ TEST(Subprocess, ExitKindNamesAreStable) {
   EXPECT_STREQ(exitKindName(ExitKind::Signalled), "signalled");
   EXPECT_STREQ(exitKindName(ExitKind::TimedOut), "timed-out");
   EXPECT_STREQ(exitKindName(ExitKind::SpawnFailed), "spawn-failed");
+  EXPECT_STREQ(exitKindName(ExitKind::PollFailed), "poll-failed");
+}
+
+TEST(SubprocessPool, PollFailureIsItsOwnFailureClassNotATimeout) {
+  SubprocessPool Pool;
+  Pool.spawn(shSpec("sleep 30"));
+  Pool.spawn(shSpec("sleep 30"));
+
+  // Four pipe fds are in the poll set; dropping RLIMIT_NOFILE below that
+  // makes poll() itself fail with EINVAL. Before the fix this surfaced as
+  // a bogus per-child TimedOut; it must be the distinct PollFailed class
+  // carrying the errno text.
+  struct rlimit Old;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &Old), 0);
+  struct rlimit Tiny = Old;
+  Tiny.rlim_cur = 3;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &Tiny), 0);
+  auto All = Pool.wait(5'000);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &Old), 0);
+
+  ASSERT_EQ(All.size(), 2u);
+  for (auto &P : All) {
+    EXPECT_EQ(P.second.Kind, ExitKind::PollFailed);
+    EXPECT_NE(P.second.Error.find("poll"), std::string::npos)
+        << P.second.Error;
+    EXPECT_FALSE(P.second.Error.empty());
+  }
+  // Every child was killed and reaped on the way out.
+  EXPECT_EQ(Pool.live(), 0u);
+  EXPECT_TRUE(Pool.idle());
+}
+
+TEST(SubprocessPool, KillTerminatesARunningJobPromptly) {
+  SubprocessPool Pool;
+  const SubprocessPool::JobId Id = Pool.spawn(shSpec("sleep 30"));
+  EXPECT_FALSE(Pool.kill(Id + 999)); // Unknown id.
+
+  const auto Start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Pool.kill(Id));
+  auto All = drainPool(Pool, 1);
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            10);
+
+  // The killed job still funnels through wait(), as a kill-classified
+  // result the caller can drop.
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0].first, Id);
+  EXPECT_EQ(All[0].second.Kind, ExitKind::TimedOut);
+  EXPECT_EQ(All[0].second.Signal, SIGKILL);
+  EXPECT_FALSE(Pool.kill(Id)); // Already completed.
+}
+
+TEST(SubprocessPool, ExternalFdReadinessWakesWaitWithNoChildren) {
+  SubprocessPool Pool;
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  ASSERT_EQ(::write(Fds[1], "x", 1), 1);
+
+  std::vector<ExternalFd> Ext(1);
+  Ext[0].Fd = Fds[0];
+  Ext[0].Events = POLLIN;
+  const auto Start = std::chrono::steady_clock::now();
+  auto Out = Pool.wait(10'000, &Ext);
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+
+  // Woken by the external fd, long before the timeout, with no children
+  // at all — the pool can serve as a server's sole blocking point.
+  EXPECT_TRUE(Out.empty());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            5);
+  EXPECT_NE(Ext[0].Revents & POLLIN, 0);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(SubprocessPool, QuietExternalFdTimesOutWithReventsClear) {
+  SubprocessPool Pool;
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  std::vector<ExternalFd> Ext(1);
+  Ext[0].Fd = Fds[0];
+  Ext[0].Events = POLLIN;
+  Ext[0].Revents = POLLIN; // Stale value; wait() must clear it.
+  auto Out = Pool.wait(60, &Ext);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_EQ(Ext[0].Revents, 0);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(SubprocessPool, ChildCompletionsStillFlowWhileWatchingExternalFds) {
+  SubprocessPool Pool;
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0); // Never written: stays quiet.
+  const SubprocessPool::JobId Id = Pool.spawn(shSpec("echo via-ext"));
+  std::vector<ExternalFd> Ext(1);
+  Ext[0].Fd = Fds[0];
+  Ext[0].Events = POLLIN;
+
+  std::vector<std::pair<SubprocessPool::JobId, SubprocessResult>> All;
+  for (int Round = 0; Round != 200 && All.empty(); ++Round) {
+    auto Out = Pool.wait(100, &Ext);
+    All.insert(All.end(), Out.begin(), Out.end());
+  }
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0].first, Id);
+  EXPECT_EQ(All[0].second.Stdout, "via-ext\n");
+  EXPECT_EQ(Ext[0].Revents, 0);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
 }
 
 } // namespace

@@ -339,8 +339,12 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
     } else if (const char *VJ = Value("--jobs")) {
-      if (!parseUint(VJ, O.Jobs) || O.Jobs == 0) {
-        std::fprintf(stderr, "--jobs expects a positive integer, got '%s'\n",
+      // Capped at u32: the thread-count plumbing is 32-bit, and a larger
+      // value would otherwise truncate silently (e.g. 2^32+1 -> 1 job).
+      if (!parseUint(VJ, O.Jobs) || O.Jobs == 0 || O.Jobs > 0xffffffffULL) {
+        std::fprintf(stderr,
+                     "--jobs expects a positive integer <= 4294967295, "
+                     "got '%s'\n",
                      VJ);
         return false;
       }
@@ -391,10 +395,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     else if (A == "--worker")
       O.Worker = true;
     else if (const char *VWT = Value("--worker-timeout-ms")) {
-      if (!parseUint(VWT, O.WorkerTimeoutMs)) {
+      // Zero would disable the kill timer entirely, so one hung worker
+      // stalls the whole sweep forever; refuse it at parse time.
+      if (!parseUint(VWT, O.WorkerTimeoutMs) || O.WorkerTimeoutMs == 0) {
         std::fprintf(
             stderr,
-            "--worker-timeout-ms expects a non-negative integer, got '%s'\n",
+            "--worker-timeout-ms expects a positive integer (0 would "
+            "disable the hung-worker kill timer), got '%s'\n",
             VWT);
         return false;
       }
@@ -503,9 +510,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       }
       SawVectorFlag = true;
     } else if (const char *VVC = Value("--vectors")) {
-      if (!parseUint(VVC, O.Vectors) || O.Vectors == 0) {
-        std::fprintf(stderr, "--vectors expects a positive integer, got "
-                             "'%s'\n",
+      // Capped at u32: the vector count is stored 32-bit in the equiv
+      // fingerprint; a larger value would truncate silently (2^32+1 -> 1
+      // vector) instead of failing loudly here.
+      if (!parseUint(VVC, O.Vectors) || O.Vectors == 0 ||
+          O.Vectors > 0xffffffffULL) {
+        std::fprintf(stderr,
+                     "--vectors expects a positive integer <= 4294967295, "
+                     "got '%s'\n",
                      VVC);
         return false;
       }
@@ -1077,7 +1089,7 @@ int runFsck(const Options &O) {
 
 /// --merge-store DST SRC...: union shard stores into one. Exit 0 on
 /// success, 10 on a same-key byte-difference (naming the key), 9 on a
-/// corrupt source artifact.
+/// corrupt source artifact, 2 when the destination is also a source.
 int runMerge(const Options &O) {
   const store::MergeReport R = store::mergeStores(O.MergeDst, O.MergeSrcs);
   switch (R.Status) {
@@ -1093,6 +1105,9 @@ int runMerge(const Options &O) {
   case store::MergeStatus::CorruptSource:
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return drive::ExitCode::StoreCorrupt;
+  case store::MergeStatus::SelfMerge:
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return drive::ExitCode::Usage;
   case store::MergeStatus::IoError:
     break;
   }

@@ -1,0 +1,164 @@
+//===- posed.cpp - POSE phase-order search daemon -------------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// posed — phase-order search as a service. Binds a Unix-domain socket,
+// accepts framed posec command lines from many concurrent clients
+// (protocol: src/serve/Protocol.h, contract: docs/SERVICE.md), and
+// schedules them fairly onto a bounded fleet of sandboxed posec children
+// sharing one artifact store. Identical requests — concurrent or
+// repeated — cost one computation.
+//
+//   posed --socket=PATH --store=DIR [--posec=BIN] [--max-jobs=N]
+//         [--max-inflight=N] [--request-timeout-ms=N] [--rlimit-mb=N]
+//         [--cache-entries=N] [--verbose]
+//
+// Exit codes (src/drive/ExitCodes.h): 0 after a graceful SIGTERM/SIGINT
+// drain, 1 internal error, 2 usage, 12 socket setup failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/drive/ExitCodes.h"
+#include "src/serve/Daemon.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <limits.h>
+#include <unistd.h>
+
+using namespace pose;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: posed --socket=PATH --store=DIR [options]\n"
+      "\n"
+      "  --socket=PATH            Unix-domain socket to serve on\n"
+      "  --store=DIR              shared artifact store for all requests\n"
+      "  --posec=BIN              posec binary to spawn (default: the\n"
+      "                           'posec' next to this executable)\n"
+      "  --max-jobs=N             concurrent posec children (default 4)\n"
+      "  --max-inflight=N         per-client queued+running cap "
+      "(default 8)\n"
+      "  --request-timeout-ms=N   admission deadline and child kill "
+      "timer\n"
+      "                           (default 300000; 0 = none)\n"
+      "  --rlimit-mb=N            RLIMIT_AS per child in MiB (default "
+      "0)\n"
+      "  --cache-entries=N        completed-response cache size "
+      "(default 256)\n"
+      "  --verbose                per-request log lines on stderr\n");
+  return drive::ExitCode::Usage;
+}
+
+/// Strict decimal parser: rejects empty strings, signs, whitespace,
+/// trailing garbage, and overflow (same contract as posec's).
+bool parseUint(const char *S, uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = S; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    const uint64_t D = static_cast<uint64_t>(*P - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+/// Default posec path: the binary sitting next to posed itself.
+std::string siblingPosec() {
+  char Buf[PATH_MAX];
+  const ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "posec";
+  Buf[N] = '\0';
+  std::string Path(Buf);
+  const size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return "posec";
+  return Path.substr(0, Slash + 1) + "posec";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  serve::ServeOptions O;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      const size_t N = std::strlen(Flag);
+      if (A.compare(0, N, Flag) == 0 && A.size() > N && A[N] == '=')
+        return A.c_str() + N + 1;
+      return nullptr;
+    };
+    auto BadUint = [&](const char *Flag, const char *V) {
+      std::fprintf(stderr, "%s expects an unsigned integer, got '%s'\n",
+                   Flag, V);
+    };
+
+    if (const char *V = Value("--socket"))
+      O.SocketPath = V;
+    else if (const char *V2 = Value("--store"))
+      O.StoreDir = V2;
+    else if (const char *V3 = Value("--posec"))
+      O.PosecPath = V3;
+    else if (const char *V4 = Value("--max-jobs")) {
+      if (!parseUint(V4, O.MaxJobs) || O.MaxJobs == 0) {
+        std::fprintf(stderr, "--max-jobs expects a positive integer, got "
+                             "'%s'\n",
+                     V4);
+        return usage();
+      }
+    } else if (const char *V5 = Value("--max-inflight")) {
+      if (!parseUint(V5, O.MaxInFlightPerClient) ||
+          O.MaxInFlightPerClient == 0) {
+        std::fprintf(stderr, "--max-inflight expects a positive integer, "
+                             "got '%s'\n",
+                     V5);
+        return usage();
+      }
+    } else if (const char *V6 = Value("--request-timeout-ms")) {
+      if (!parseUint(V6, O.RequestTimeoutMs)) {
+        BadUint("--request-timeout-ms", V6);
+        return usage();
+      }
+    } else if (const char *V7 = Value("--rlimit-mb")) {
+      if (!parseUint(V7, O.WorkerRlimitMb)) {
+        BadUint("--rlimit-mb", V7);
+        return usage();
+      }
+    } else if (const char *V8 = Value("--cache-entries")) {
+      if (!parseUint(V8, O.CacheEntries)) {
+        BadUint("--cache-entries", V8);
+        return usage();
+      }
+    } else if (A == "--verbose")
+      O.Verbose = true;
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", A.c_str());
+      return usage();
+    }
+  }
+
+  if (O.SocketPath.empty() || O.StoreDir.empty()) {
+    std::fprintf(stderr, "--socket and --store are required\n");
+    return usage();
+  }
+  if (O.PosecPath.empty())
+    O.PosecPath = siblingPosec();
+
+  return serve::runDaemon(O);
+}

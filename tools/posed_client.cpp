@@ -1,0 +1,394 @@
+//===- posed_client.cpp - posed client and load harness -------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// posed-client — talks to a running posed (tools/posed.cpp) over its
+// Unix-domain socket. One binary, two jobs:
+//
+//   * Single request: forward a posec command line, print the served
+//     stdout/stderr, exit with the served exit code.
+//
+//       posed-client --socket=SOCK -- --workload=bitcount
+//                    --enumerate=bit_count --budget=50000
+//
+//   * Load harness: open C connections and issue N requests of the same
+//     command line, asserting every response is byte-identical (same
+//     exit code, stdout, stderr) — the daemon's dedup contract — and
+//     reporting how each was served (computed/coalesced/cached).
+//
+//       posed-client --socket=SOCK --connections=8 --count=56
+//                    --out=sample.txt -- --workload=bitcount ...
+//
+// Plus liveness/ops probes: --ping, --stats (prints the daemon's
+// scheduler counters as one key=value line), --shutdown (graceful
+// drain). Exit 0 on success, 1 on any protocol failure or response
+// mismatch; in single-request mode the served posec exit code is
+// propagated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/serve/Protocol.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pose;
+using namespace pose::serve;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: posed-client --socket=PATH [options] [-- posec-args...]\n"
+      "\n"
+      "  --socket=PATH      daemon socket\n"
+      "  --count=N          total requests to issue (default 1)\n"
+      "  --connections=C    concurrent connections (default 1)\n"
+      "  --out=FILE         write the (common) response stdout here\n"
+      "  --ping             liveness probe instead of a run\n"
+      "  --stats            print daemon counters instead of a run\n"
+      "  --shutdown         ask the daemon to drain and exit\n"
+      "  --quiet            no summary line on stderr\n");
+  return 1;
+}
+
+bool parseUint(const char *S, uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = S; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    const uint64_t D = static_cast<uint64_t>(*P - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+int connectTo(const std::string &Path, std::string &Err) {
+  struct sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long";
+    return -1;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Err = "connect '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::vector<uint8_t> &Bytes, std::string &Err) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    const ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Err = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+/// Blocks until one complete verified frame arrives.
+bool recvFrame(int Fd, FrameReader &In, MsgKind &Kind,
+               std::vector<uint8_t> &Payload, std::string &Err) {
+  uint8_t Buf[65536];
+  for (;;) {
+    const FrameReader::Status S = In.next(Kind, Payload, Err);
+    if (S == FrameReader::Status::Frame)
+      return true;
+    if (S == FrameReader::Status::Malformed)
+      return false;
+    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      In.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Err = N == 0 ? "connection closed by daemon"
+                 : std::string("read: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+struct WireResult {
+  bool Ok = false;     ///< Got a RunResult (vs. Error / transport loss).
+  RunResponse R;
+  std::string Problem; ///< Set when !Ok.
+};
+
+/// One connection issuing \p N sequential requests of \p Args.
+void runConnection(const std::string &Socket,
+                   const std::vector<std::string> &Args, uint64_t IdBase,
+                   size_t N, std::vector<WireResult> &Out) {
+  Out.resize(N);
+  std::string Err;
+  const int Fd = connectTo(Socket, Err);
+  if (Fd < 0) {
+    for (WireResult &W : Out)
+      W.Problem = Err;
+    return;
+  }
+  FrameReader In(kMaxResponsePayload);
+  for (size_t I = 0; I != N; ++I) {
+    WireResult &W = Out[I];
+    RunRequest Req;
+    Req.Id = IdBase + I;
+    Req.Args = Args;
+    if (!sendAll(Fd, encodeRunRequest(Req), W.Problem))
+      break;
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    if (!recvFrame(Fd, In, Kind, Payload, W.Problem))
+      break;
+    if (Kind == MsgKind::Error) {
+      ErrorResponse E;
+      std::string Why;
+      W.Problem = decodeErrorResponse(Payload, E, Why)
+                      ? std::string(errorCodeName(E.Code)) + ": " + E.Message
+                      : "undecodable error response: " + Why;
+      continue;
+    }
+    if (Kind != MsgKind::RunResult) {
+      W.Problem = "unexpected response kind";
+      continue;
+    }
+    std::string Why;
+    if (!decodeRunResponse(Payload, W.R, Why)) {
+      W.Problem = "undecodable run response: " + Why;
+      continue;
+    }
+    if (W.R.Id != Req.Id) {
+      W.Problem = "response id mismatch";
+      continue;
+    }
+    W.Ok = true;
+  }
+  ::close(Fd);
+}
+
+/// Sends one payload-free request and expects \p Want back.
+int simpleExchange(const std::string &Socket,
+                   const std::vector<uint8_t> &Frame, MsgKind Want,
+                   std::vector<uint8_t> &Payload) {
+  std::string Err;
+  const int Fd = connectTo(Socket, Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "posed-client: %s\n", Err.c_str());
+    return 1;
+  }
+  MsgKind Kind;
+  FrameReader In(kMaxResponsePayload);
+  const bool Ok = sendAll(Fd, Frame, Err) &&
+                  recvFrame(Fd, In, Kind, Payload, Err) && Kind == Want;
+  ::close(Fd);
+  if (!Ok) {
+    std::fprintf(stderr, "posed-client: %s\n",
+                 Err.empty() ? "unexpected response kind" : Err.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+bool writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  const bool Ok =
+      std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket, OutPath;
+  uint64_t Count = 1, Connections = 1;
+  bool Ping = false, Stats = false, Shutdown = false, Quiet = false;
+  std::vector<std::string> Args;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    if (A == "--") {
+      for (++I; I < Argc; ++I)
+        Args.push_back(Argv[I]);
+      break;
+    }
+    auto Value = [&](const char *Flag) -> const char * {
+      const size_t N = std::strlen(Flag);
+      if (A.compare(0, N, Flag) == 0 && A.size() > N && A[N] == '=')
+        return A.c_str() + N + 1;
+      return nullptr;
+    };
+    if (const char *V = Value("--socket"))
+      Socket = V;
+    else if (const char *V2 = Value("--count")) {
+      if (!parseUint(V2, Count) || Count == 0) {
+        std::fprintf(stderr, "--count expects a positive integer\n");
+        return usage();
+      }
+    } else if (const char *V3 = Value("--connections")) {
+      if (!parseUint(V3, Connections) || Connections == 0) {
+        std::fprintf(stderr, "--connections expects a positive integer\n");
+        return usage();
+      }
+    } else if (const char *V4 = Value("--out"))
+      OutPath = V4;
+    else if (A == "--ping")
+      Ping = true;
+    else if (A == "--stats")
+      Stats = true;
+    else if (A == "--shutdown")
+      Shutdown = true;
+    else if (A == "--quiet")
+      Quiet = true;
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", A.c_str());
+      return usage();
+    }
+  }
+  if (Socket.empty()) {
+    std::fprintf(stderr, "--socket is required\n");
+    return usage();
+  }
+
+  std::vector<uint8_t> Payload;
+  if (Ping)
+    return simpleExchange(Socket, encodePing(), MsgKind::Pong, Payload);
+  if (Shutdown)
+    return simpleExchange(Socket, encodeShutdown(), MsgKind::Pong, Payload);
+  if (Stats) {
+    const int Rc = simpleExchange(Socket, encodeStatsRequest(),
+                                  MsgKind::StatsReport, Payload);
+    if (Rc != 0)
+      return Rc;
+    StatsReport S;
+    std::string Why;
+    if (!decodeStatsReport(Payload, S, Why)) {
+      std::fprintf(stderr, "posed-client: %s\n", Why.c_str());
+      return 1;
+    }
+    std::printf("requests=%llu computed=%llu coalesced=%llu "
+                "cache-hits=%llu errors=%llu clients=%llu running=%llu "
+                "queued=%llu\n",
+                static_cast<unsigned long long>(S.Requests),
+                static_cast<unsigned long long>(S.Computed),
+                static_cast<unsigned long long>(S.Coalesced),
+                static_cast<unsigned long long>(S.CacheHits),
+                static_cast<unsigned long long>(S.Errors),
+                static_cast<unsigned long long>(S.Clients),
+                static_cast<unsigned long long>(S.Running),
+                static_cast<unsigned long long>(S.Queued));
+    return 0;
+  }
+
+  if (Args.empty()) {
+    std::fprintf(stderr, "no posec arguments after '--'\n");
+    return usage();
+  }
+
+  // Spread Count requests over Connections concurrent connections, each
+  // issuing its share sequentially (send, await response, repeat).
+  if (Connections > Count)
+    Connections = Count;
+  std::vector<std::vector<WireResult>> PerConn(Connections);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Connections);
+  for (uint64_t C = 0; C != Connections; ++C) {
+    const size_t Share = static_cast<size_t>(Count / Connections) +
+                         (C < Count % Connections ? 1 : 0);
+    Threads.emplace_back(runConnection, std::cref(Socket), std::cref(Args),
+                         C * 1000000 + 1, Share, std::ref(PerConn[C]));
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Every response must be a RunResult, and all of them byte-identical:
+  // the daemon's dedup contract says the same request yields the same
+  // bytes no matter how (computed/coalesced/cached) it was served.
+  const WireResult *First = nullptr;
+  uint64_t Served[3] = {0, 0, 0};
+  uint64_t Failures = 0, Total = 0;
+  for (const std::vector<WireResult> &Conn : PerConn)
+    for (const WireResult &W : Conn) {
+      ++Total;
+      if (!W.Ok) {
+        ++Failures;
+        std::fprintf(stderr, "posed-client: request failed: %s\n",
+                     W.Problem.c_str());
+        continue;
+      }
+      ++Served[static_cast<uint32_t>(W.R.Served)];
+      if (!First) {
+        First = &W;
+        continue;
+      }
+      if (W.R.ExitCode != First->R.ExitCode ||
+          W.R.Stdout != First->R.Stdout || W.R.Stderr != First->R.Stderr) {
+        ++Failures;
+        std::fprintf(stderr,
+                     "posed-client: response divergence: a %s response "
+                     "differs from the first (%s) one\n",
+                     servedFromName(W.R.Served),
+                     servedFromName(First->R.Served));
+      }
+    }
+
+  if (!Quiet)
+    std::fprintf(stderr,
+                 "posed-client: %llu response(s) over %llu connection(s): "
+                 "computed=%llu coalesced=%llu cached=%llu failures=%llu\n",
+                 static_cast<unsigned long long>(Total),
+                 static_cast<unsigned long long>(Connections),
+                 static_cast<unsigned long long>(Served[0]),
+                 static_cast<unsigned long long>(Served[1]),
+                 static_cast<unsigned long long>(Served[2]),
+                 static_cast<unsigned long long>(Failures));
+  if (!First || Failures != 0)
+    return 1;
+
+  if (!OutPath.empty() && !writeFileBytes(OutPath, First->R.Stdout)) {
+    std::fprintf(stderr, "posed-client: cannot write '%s'\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  if (Count == 1) {
+    // Single-request mode behaves like running posec directly.
+    if (OutPath.empty())
+      std::fwrite(First->R.Stdout.data(), 1, First->R.Stdout.size(), stdout);
+    std::fwrite(First->R.Stderr.data(), 1, First->R.Stderr.size(), stderr);
+    return First->R.ExitCode;
+  }
+  return First->R.ExitCode == 0 ? 0 : First->R.ExitCode;
+}
