@@ -64,6 +64,11 @@ enum ExitCode : int {
   ServeSocket = 12,     ///< posed only: the listening socket could not be
                         ///< set up (path too long, bind failure, or a
                         ///< live daemon already owns it).
+  WatchdogGaveUp = 13,  ///< posed --watchdog only: the daemon kept
+                        ///< crashing or hanging past the restart budget
+                        ///< (--max-restarts); the watchdog stopped
+                        ///< respawning and released the socket. An
+                        ///< operator must look before service resumes.
 };
 
 /// Maps an enumeration stop reason to the worker's exit code. Budget

@@ -9,11 +9,14 @@
 #include "src/drive/ExitCodes.h"
 #include "src/serve/Protocol.h"
 #include "src/store/ArtifactStore.h"
+#include "src/store/StoreAdmin.h"
+#include "src/support/FaultSock.h"
 #include "src/support/StopToken.h"
 #include "src/support/Subprocess.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -39,6 +42,7 @@ namespace {
 /// operations are allowed there, and a one-byte write to a non-blocking
 /// pipe is exactly that.
 volatile sig_atomic_t GotShutdownSignal = 0;
+volatile sig_atomic_t GotReloadSignal = 0;
 int ShutdownPipeWr = -1;
 
 void onShutdownSignal(int) {
@@ -48,6 +52,27 @@ void onShutdownSignal(int) {
     const ssize_t Ignored = ::write(ShutdownPipeWr, &B, 1);
     (void)Ignored;
   }
+}
+
+/// SIGHUP = reload the staging store, the classic daemon convention.
+/// Same self-pipe wakeup; the main loop does the actual (non-signal-
+/// safe) fsck + swap.
+void onReloadSignal(int) {
+  GotReloadSignal = 1;
+  const char B = 1;
+  if (ShutdownPipeWr >= 0) {
+    const ssize_t Ignored = ::write(ShutdownPipeWr, &B, 1);
+    (void)Ignored;
+  }
+}
+
+/// Steady-clock milliseconds for I/O deadlines (wall-clock jumps must
+/// not kill connections).
+uint64_t nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void setNonBlocking(int Fd) {
@@ -94,17 +119,22 @@ struct Pending {
 struct Conn {
   int Fd = -1;
   uint64_t Id = 0;
+  SockIo *Io = nullptr; ///< Notified before close (per-fd fault state).
   FrameReader In{kMaxRequestPayload};
   std::string Out;   ///< Encoded response bytes not yet written.
   size_t OutPos = 0; ///< Written prefix of Out.
   std::deque<Pending> Queue;
   size_t Running = 0; ///< Requests attached to an in-flight job.
+  uint64_t LastActivityMs = 0; ///< Last successful read or send progress.
   bool CloseAfterFlush = false;
   bool Dead = false;
 
   ~Conn() {
-    if (Fd >= 0)
+    if (Fd >= 0) {
+      if (Io)
+        Io->closed(Fd);
       ::close(Fd);
+    }
   }
 };
 
@@ -130,14 +160,15 @@ struct CacheEntry {
 
 class Daemon {
 public:
-  explicit Daemon(const ServeOptions &O) : O(O) {}
+  explicit Daemon(const ServeOptions &O)
+      : O(O), CurrentStore(O.StoreDir) {}
   int run();
 
 private:
-  int setupSocket(std::string &Err);
   Conn *findConn(uint64_t Id);
   void queueBytes(Conn &C, const std::vector<uint8_t> &Bytes);
-  void sendError(Conn &C, uint64_t ReqId, ErrorCode Code, std::string Msg);
+  void sendError(Conn &C, uint64_t ReqId, ErrorCode Code, std::string Msg,
+                 uint32_t RetryAfterMs = 0);
   void sendResult(Conn &C, uint64_t ReqId, ServedFrom Served,
                   const CacheEntry &E);
   void flushOut(Conn &C);
@@ -145,17 +176,26 @@ private:
   void readClient(Conn &C);
   void dispatch(Conn &C, MsgKind Kind, const std::vector<uint8_t> &Payload);
   void handleRun(Conn &C, const std::vector<uint8_t> &Payload);
+  bool reloadStore(std::string &Why);
   void abandonConn(Conn &C);
   void expireQueued();
+  void expireStalledReads();
   void schedule();
   void startJob(Conn &C, Pending P);
   void completeJob(SubprocessPool::JobId Id, const SubprocessResult &R);
   CacheEntry *cacheFind(const std::string &Key);
   void cacheInsert(const std::string &Key, CacheEntry E);
+  uint64_t totalQueued() const;
+  uint32_t retryAfterHintMs() const;
   StatsReport stats() const;
   bool drained() const;
 
   const ServeOptions &O;
+  std::string CurrentStore; ///< Store served right now; a Reload swaps
+                            ///< it. In-flight children keep the path
+                            ///< they were spawned with.
+  SockIo *Io = &SockIo::system(); ///< Connection I/O; FaultSock in tests.
+  std::unique_ptr<FaultSock> Injector; ///< Owns Io when faults are on.
   SubprocessPool Pool;
   std::vector<std::unique_ptr<Conn>> Conns;
   std::unordered_map<SubprocessPool::JobId, Job> Jobs;
@@ -169,63 +209,6 @@ private:
   bool Draining = false;
   StatsReport Counters; ///< Gauges recomputed in stats().
 };
-
-int Daemon::setupSocket(std::string &Err) {
-  struct sockaddr_un Addr;
-  if (O.SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Err = "socket path '" + O.SocketPath + "' exceeds " +
-          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
-    return -1;
-  }
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  std::memcpy(Addr.sun_path, O.SocketPath.c_str(), O.SocketPath.size());
-
-  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Err = std::string("socket: ") + std::strerror(errno);
-    return -1;
-  }
-  setCloexec(Fd);
-  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
-             sizeof(Addr)) != 0) {
-    if (errno != EADDRINUSE) {
-      Err = "bind '" + O.SocketPath + "': " + std::strerror(errno);
-      ::close(Fd);
-      return -1;
-    }
-    // A socket file exists. Probe it: a live daemon accepts the
-    // connection (refuse to double-serve); a stale file from a dead
-    // daemon refuses it and is safe to replace.
-    const int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    const bool Live =
-        Probe >= 0 &&
-        ::connect(Probe, reinterpret_cast<struct sockaddr *>(&Addr),
-                  sizeof(Addr)) == 0;
-    if (Probe >= 0)
-      ::close(Probe);
-    if (Live) {
-      Err = "a daemon is already serving '" + O.SocketPath + "'";
-      ::close(Fd);
-      return -1;
-    }
-    ::unlink(O.SocketPath.c_str());
-    if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
-               sizeof(Addr)) != 0) {
-      Err = "bind '" + O.SocketPath + "': " + std::strerror(errno);
-      ::close(Fd);
-      return -1;
-    }
-  }
-  if (::listen(Fd, 64) != 0) {
-    Err = "listen '" + O.SocketPath + "': " + std::strerror(errno);
-    ::close(Fd);
-    ::unlink(O.SocketPath.c_str());
-    return -1;
-  }
-  setNonBlocking(Fd);
-  return Fd;
-}
 
 Conn *Daemon::findConn(uint64_t Id) {
   for (std::unique_ptr<Conn> &C : Conns)
@@ -241,7 +224,7 @@ void Daemon::queueBytes(Conn &C, const std::vector<uint8_t> &Bytes) {
 }
 
 void Daemon::sendError(Conn &C, uint64_t ReqId, ErrorCode Code,
-                       std::string Msg) {
+                       std::string Msg, uint32_t RetryAfterMs) {
   if (O.Verbose)
     std::fprintf(stderr, "posed: conn %llu req %llu: %s: %s\n",
                  static_cast<unsigned long long>(C.Id),
@@ -251,6 +234,7 @@ void Daemon::sendError(Conn &C, uint64_t ReqId, ErrorCode Code,
   E.Id = ReqId;
   E.Code = Code;
   E.Message = std::move(Msg);
+  E.RetryAfterMs = RetryAfterMs;
   queueBytes(C, encodeErrorResponse(E));
   ++Counters.Errors;
 }
@@ -268,10 +252,11 @@ void Daemon::sendResult(Conn &C, uint64_t ReqId, ServedFrom Served,
 
 void Daemon::flushOut(Conn &C) {
   while (!C.Dead && C.OutPos < C.Out.size()) {
-    const ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
-                             C.Out.size() - C.OutPos, MSG_NOSIGNAL);
+    const ssize_t N = Io->send(C.Fd, C.Out.data() + C.OutPos,
+                               C.Out.size() - C.OutPos);
     if (N > 0) {
       C.OutPos += static_cast<size_t>(N);
+      C.LastActivityMs = nowMs();
       continue;
     }
     if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -302,6 +287,8 @@ void Daemon::acceptClients() {
     auto C = std::make_unique<Conn>();
     C->Fd = Fd;
     C->Id = NextConnId++;
+    C->Io = Io;
+    C->LastActivityMs = nowMs();
     if (O.Verbose)
       std::fprintf(stderr, "posed: conn %llu connected\n",
                    static_cast<unsigned long long>(C->Id));
@@ -312,10 +299,11 @@ void Daemon::acceptClients() {
 void Daemon::readClient(Conn &C) {
   char Buf[65536];
   for (;;) {
-    const ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    const ssize_t N = Io->read(C.Fd, Buf, sizeof(Buf));
     if (N > 0) {
       C.In.feed(reinterpret_cast<const uint8_t *>(Buf),
                 static_cast<size_t>(N));
+      C.LastActivityMs = nowMs();
       if (static_cast<size_t>(N) < sizeof(Buf))
         break; // Likely drained; poll decides.
       continue;
@@ -373,6 +361,19 @@ void Daemon::dispatch(Conn &C, MsgKind Kind,
     Draining = true;
     queueBytes(C, encodePong());
     return;
+  case MsgKind::Reload: {
+    if (Draining) {
+      sendError(C, 0, ErrorCode::ShuttingDown,
+                "daemon is draining; no reload");
+      return;
+    }
+    std::string Why;
+    if (reloadStore(Why))
+      queueBytes(C, encodePong());
+    else
+      sendError(C, 0, ErrorCode::ReloadRejected, Why);
+    return;
+  }
   case MsgKind::Run:
     handleRun(C, Payload);
     return;
@@ -412,6 +413,25 @@ void Daemon::handleRun(Conn &C, const std::vector<uint8_t> &Payload) {
                   " exhausted; wait for a completion");
     return;
   }
+  // The cap measures backlog that cannot start immediately: requests
+  // admitted in this dispatch pass but destined for a free worker slot
+  // (schedule() runs right after) are not "queued" in any sense a
+  // client should be shed over.
+  const uint64_t FreeSlots =
+      Pool.live() < O.MaxJobs ? O.MaxJobs - Pool.live() : 0;
+  if (O.MaxQueueDepth != 0 &&
+      totalQueued() >= O.MaxQueueDepth + FreeSlots) {
+    // Global shed: the queue is deep across every client, so "wait for
+    // one of your own completions" is the wrong advice — tell the
+    // client how long the backlog is worth in wall-clock instead.
+    ++Counters.Shed;
+    sendError(C, R.Id, ErrorCode::Overloaded,
+              "daemon queue depth cap of " +
+                  std::to_string(O.MaxQueueDepth) +
+                  " reached; retry after the hint",
+              retryAfterHintMs());
+    return;
+  }
 
   Pending P;
   P.ReqId = R.Id;
@@ -424,6 +444,42 @@ void Daemon::handleRun(Conn &C, const std::vector<uint8_t> &Payload) {
   P.Admission.setDeadline(O.RequestTimeoutMs);
   C.Queue.push_back(std::move(P));
   ++Counters.Requests;
+}
+
+bool Daemon::reloadStore(std::string &Why) {
+  if (O.ReloadStoreDir.empty()) {
+    ++Counters.ReloadsRejected;
+    Why = "no staging store configured (--reload-store)";
+    return false;
+  }
+  // The gate: never swap to a store that fails fsck. The check runs
+  // in-process (no repair — a staging store is someone else's output;
+  // mutating it here would mask the deployment bug being caught).
+  const store::FsckReport R = store::fsckStore(O.ReloadStoreDir,
+                                               /*Repair=*/false);
+  if (!R.Error.empty()) {
+    ++Counters.ReloadsRejected;
+    Why = "candidate store '" + O.ReloadStoreDir + "': " + R.Error;
+    return false;
+  }
+  if (!R.clean()) {
+    ++Counters.ReloadsRejected;
+    Why = "candidate store '" + O.ReloadStoreDir + "' failed fsck: " +
+          std::to_string(R.Corrupt) + " corrupt, " +
+          std::to_string(R.Truncated) + " truncated, " +
+          std::to_string(R.Orphans) + " orphaned";
+    return false;
+  }
+  // Atomic from the service's point of view: children spawned from here
+  // on get the new path; in-flight children finish against the old one
+  // and their responses are still delivered (stdout + exit code are
+  // store-independent, so the dedup contract is unbroken across the
+  // swap). The response cache stays valid for the same reason.
+  CurrentStore = O.ReloadStoreDir;
+  ++Counters.Reloads;
+  std::fprintf(stderr, "posed: reloaded store '%s' (fsck clean)\n",
+               CurrentStore.c_str());
+  return true;
 }
 
 void Daemon::abandonConn(Conn &C) {
@@ -477,6 +533,40 @@ void Daemon::expireQueued() {
   }
 }
 
+void Daemon::expireStalledReads() {
+  if (O.ReadTimeoutMs == 0)
+    return;
+  const uint64_t Now = nowMs();
+  for (std::unique_ptr<Conn> &CP : Conns) {
+    Conn &C = *CP;
+    if (C.Dead)
+      continue;
+    // A connection legitimately waiting on its own in-flight work (and
+    // with nothing half-transferred in either direction) is exempt: a
+    // long enumeration is not a stalled peer. Everything else — a frame
+    // torn mid-parse (slow-loris), a response the peer will not read,
+    // or a half-open idle socket — is reclaimed after the deadline.
+    const bool MidFrame = C.In.buffered() > 0;
+    const bool WriteStuck = C.OutPos < C.Out.size();
+    const bool Idle = C.Queue.empty() && C.Running == 0 && !WriteStuck;
+    if (!(MidFrame || WriteStuck || Idle))
+      continue;
+    if (Now - C.LastActivityMs <= O.ReadTimeoutMs)
+      continue;
+    ++Counters.ReadTimeouts;
+    if (O.Verbose)
+      std::fprintf(stderr,
+                   "posed: conn %llu made no progress for %llums "
+                   "(%s); dropping\n",
+                   static_cast<unsigned long long>(C.Id),
+                   static_cast<unsigned long long>(Now - C.LastActivityMs),
+                   MidFrame      ? "mid-frame"
+                   : WriteStuck ? "unread response"
+                                : "idle");
+    abandonConn(C);
+  }
+}
+
 void Daemon::schedule() {
   // Round-robin across clients: take at most one schedulable request per
   // client per pass, so a client with a deep queue cannot starve the
@@ -524,7 +614,7 @@ void Daemon::startJob(Conn &C, Pending P) {
   Spec.Argv.push_back(O.PosecPath);
   for (std::string &A : P.Args)
     Spec.Argv.push_back(std::move(A));
-  Spec.Argv.push_back("--store=" + O.StoreDir);
+  Spec.Argv.push_back("--store=" + CurrentStore);
   Spec.TimeoutMs = O.RequestTimeoutMs;
   Spec.MemoryLimitBytes = O.WorkerRlimitMb * 1024 * 1024;
 
@@ -624,16 +714,34 @@ void Daemon::cacheInsert(const std::string &Key, CacheEntry E) {
   Cache.emplace(Key, std::move(E));
 }
 
+uint64_t Daemon::totalQueued() const {
+  uint64_t Q = 0;
+  for (const std::unique_ptr<Conn> &C : Conns)
+    if (!C->Dead)
+      Q += C->Queue.size();
+  return Q;
+}
+
+uint32_t Daemon::retryAfterHintMs() const {
+  // A coarse backlog estimate: ~100ms of service time per queued batch
+  // of MaxJobs, capped so a hint never tells a client to go away for
+  // longer than the backoff ceiling clients already use.
+  const uint64_t PerBatchMs = 100;
+  const uint64_t Batches = totalQueued() / std::max<uint64_t>(1, O.MaxJobs);
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(5'000, PerBatchMs * (Batches + 1)));
+}
+
 StatsReport Daemon::stats() const {
   StatsReport S = Counters;
   S.Clients = 0;
-  S.Queued = 0;
   for (const std::unique_ptr<Conn> &C : Conns)
-    if (!C->Dead) {
+    if (!C->Dead)
       ++S.Clients;
-      S.Queued += C->Queue.size();
-    }
+  S.Queued = totalQueued();
   S.Running = Pool.live();
+  S.Restarts = O.RestartCount;
+  S.SockFaults = Injector ? Injector->fired() : 0;
   return S;
 }
 
@@ -647,28 +755,46 @@ bool Daemon::drained() const {
 }
 
 int Daemon::run() {
+  if (!O.SockFaults.empty()) {
+    Injector = std::make_unique<FaultSock>(O.SockFaults);
+    Io = Injector.get();
+  }
+
   // The shared store must exist before the first child races to create
   // it, and a tmp file orphaned by a previous daemon's crash must not
-  // survive into fsck. reclaimTmp is safe here: no worker is running.
+  // survive into fsck. reclaimTmp is safe on a first start: no worker
+  // is running. On a watchdog *restart* it is skipped — posec children
+  // orphaned by the crashed incarnation may still be mid-write, and
+  // their tmp files are live, not garbage (commits are atomic renames,
+  // so letting them finish is harmless and reclaiming under them is
+  // not).
   store::ArtifactStore Store(O.StoreDir);
   std::string Err;
   if (!Store.prepare(Err)) {
     std::fprintf(stderr, "posed: %s\n", Err.c_str());
     return drive::ExitCode::Error;
   }
-  Store.reclaimTmp();
+  if (O.RestartCount == 0)
+    Store.reclaimTmp();
 
-  ListenFd = setupSocket(Err);
-  if (ListenFd < 0) {
-    std::fprintf(stderr, "posed: %s\n", Err.c_str());
-    return drive::ExitCode::ServeSocket;
+  const bool InheritedSocket = O.InheritedListenFd >= 0;
+  if (InheritedSocket) {
+    ListenFd = O.InheritedListenFd;
+    setNonBlocking(ListenFd);
+  } else {
+    ListenFd = bindListeningSocket(O.SocketPath, Err);
+    if (ListenFd < 0) {
+      std::fprintf(stderr, "posed: %s\n", Err.c_str());
+      return drive::ExitCode::ServeSocket;
+    }
   }
 
   int Pipe[2] = {-1, -1};
   if (::pipe(Pipe) != 0) {
     std::fprintf(stderr, "posed: pipe: %s\n", std::strerror(errno));
     ::close(ListenFd);
-    ::unlink(O.SocketPath.c_str());
+    if (!InheritedSocket)
+      ::unlink(O.SocketPath.c_str());
     return drive::ExitCode::Error;
   }
   PipeRd = Pipe[0];
@@ -678,21 +804,27 @@ int Daemon::run() {
   setCloexec(Pipe[1]);
   ShutdownPipeWr = Pipe[1];
   GotShutdownSignal = 0;
+  GotReloadSignal = 0;
 
   struct sigaction SA;
   std::memset(&SA, 0, sizeof(SA));
   SA.sa_handler = onShutdownSignal;
   ::sigaction(SIGTERM, &SA, nullptr);
   ::sigaction(SIGINT, &SA, nullptr);
+  struct sigaction HupSA;
+  std::memset(&HupSA, 0, sizeof(HupSA));
+  HupSA.sa_handler = onReloadSignal;
+  ::sigaction(SIGHUP, &HupSA, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
   std::fprintf(stderr,
                "posed: serving on %s (store %s, max-jobs %llu, "
-               "max-inflight %llu, request-timeout %llums)\n",
+               "max-inflight %llu, request-timeout %llums%s)\n",
                O.SocketPath.c_str(), O.StoreDir.c_str(),
                static_cast<unsigned long long>(O.MaxJobs),
                static_cast<unsigned long long>(O.MaxInFlightPerClient),
-               static_cast<unsigned long long>(O.RequestTimeoutMs));
+               static_cast<unsigned long long>(O.RequestTimeoutMs),
+               O.RestartCount != 0 ? ", restarted" : "");
 
   std::vector<ExternalFd> Ext;
   for (;;) {
@@ -717,10 +849,28 @@ int Daemon::run() {
     for (const auto &D : Done)
       completeJob(D.first, D.second);
 
+    // One heartbeat byte per loop iteration: the watchdog's only proof
+    // that the daemon is turning over, not wedged. Non-blocking, result
+    // ignored — a full pipe means the watchdog is slow, not us.
+    if (O.HeartbeatFd >= 0) {
+      const char Beat = 1;
+      const ssize_t Ignored = ::write(O.HeartbeatFd, &Beat, 1);
+      (void)Ignored;
+    }
+
     if (GotShutdownSignal && !Draining) {
       Draining = true;
       std::fprintf(stderr, "posed: shutdown signal; draining %zu job(s)\n",
                    Jobs.size());
+    }
+    if (GotReloadSignal) {
+      GotReloadSignal = 0;
+      if (!Draining) {
+        std::string Why;
+        if (!reloadStore(Why))
+          std::fprintf(stderr, "posed: SIGHUP reload rejected: %s\n",
+                       Why.c_str());
+      }
     }
     if (Ext[0].Revents != 0) {
       char Drain[64];
@@ -756,6 +906,7 @@ int Daemon::run() {
     }
 
     expireQueued();
+    expireStalledReads();
     schedule();
     for (std::unique_ptr<Conn> &C : Conns)
       if (!C->Dead && C->OutPos < C->Out.size())
@@ -789,7 +940,11 @@ int Daemon::run() {
   ::close(PipeRd);
   ::close(ShutdownPipeWr);
   ShutdownPipeWr = -1;
-  ::unlink(O.SocketPath.c_str());
+  // Under a watchdog the parent owns the socket file (and its own copy
+  // of the listening fd); unlinking here would yank it from under a
+  // restart.
+  if (!InheritedSocket)
+    ::unlink(O.SocketPath.c_str());
   // A child killed mid-write (client disconnect, deadline) may have left
   // a tmp file; with the fleet drained it is dead weight — reclaim so
   // the store is fsck-clean for whoever inherits it.
@@ -799,6 +954,64 @@ int Daemon::run() {
 }
 
 } // namespace
+
+int pose::serve::bindListeningSocket(const std::string &SocketPath,
+                                     std::string &Err) {
+  struct sockaddr_un Addr;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path '" + SocketPath + "' exceeds " +
+          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
+    return -1;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size());
+
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  setCloexec(Fd);
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      Err = "bind '" + SocketPath + "': " + std::strerror(errno);
+      ::close(Fd);
+      return -1;
+    }
+    // A socket file exists. Probe it: a live daemon accepts the
+    // connection (refuse to double-serve); a stale file from a dead
+    // daemon refuses it and is safe to replace.
+    const int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    const bool Live =
+        Probe >= 0 &&
+        ::connect(Probe, reinterpret_cast<struct sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0;
+    if (Probe >= 0)
+      ::close(Probe);
+    if (Live) {
+      Err = "a daemon is already serving '" + SocketPath + "'";
+      ::close(Fd);
+      return -1;
+    }
+    ::unlink(SocketPath.c_str());
+    if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+               sizeof(Addr)) != 0) {
+      Err = "bind '" + SocketPath + "': " + std::strerror(errno);
+      ::close(Fd);
+      return -1;
+    }
+  }
+  if (::listen(Fd, 64) != 0) {
+    Err = "listen '" + SocketPath + "': " + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(SocketPath.c_str());
+    return -1;
+  }
+  setNonBlocking(Fd);
+  return Fd;
+}
 
 int pose::serve::runDaemon(const ServeOptions &O) {
   Daemon D(O);

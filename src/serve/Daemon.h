@@ -27,8 +27,11 @@
 #ifndef POSE_SERVE_DAEMON_H
 #define POSE_SERVE_DAEMON_H
 
+#include "src/support/FaultSock.h"
+
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pose {
 namespace serve {
@@ -50,6 +53,32 @@ struct ServeOptions {
                                        ///< kill timer. 0 = none.
   uint64_t WorkerRlimitMb = 0; ///< RLIMIT_AS for children; 0 = none.
   uint64_t CacheEntries = 256; ///< Completed-response cache capacity.
+  uint64_t ReadTimeoutMs = 0; ///< Drop a connection whose peer has made
+                              ///< no I/O progress for this long while a
+                              ///< frame is torn mid-parse, a response is
+                              ///< stuck unflushed, or nothing is in
+                              ///< flight (slow-loris / half-open peers).
+                              ///< 0 = off (the library default; posed
+                              ///< turns it on).
+  uint64_t MaxQueueDepth = 0; ///< Global cap on queued Run requests
+                              ///< across all clients; beyond it requests
+                              ///< are shed with Overloaded plus a
+                              ///< retry-after hint. 0 = unlimited.
+  std::string ReloadStoreDir; ///< Staging store a Reload frame / SIGHUP
+                              ///< swaps in after it passes fsck. Empty =
+                              ///< reloads are refused.
+  std::vector<SockFaultSpec> SockFaults; ///< Execution-only socket fault
+                                         ///< injection (--fault-sock).
+  int InheritedListenFd = -1; ///< Watchdog mode: an already-bound,
+                              ///< already-listening socket fd to serve
+                              ///< on instead of binding SocketPath. The
+                              ///< watchdog owns the socket file; the
+                              ///< daemon never unlinks it.
+  int HeartbeatFd = -1;  ///< Watchdog mode: write end of the heartbeat
+                         ///< pipe; the daemon writes one byte per poll
+                         ///< iteration so a silent hang is detectable.
+  uint64_t RestartCount = 0; ///< Watchdog mode: how many restarts came
+                             ///< before this incarnation (stats).
   bool Verbose = false;        ///< Per-request log lines on stderr.
 };
 
@@ -57,6 +86,13 @@ struct ServeOptions {
 /// it. Returns a drive::ExitCode: Ok after a graceful drain, ServeSocket
 /// when the socket cannot be set up, Error on an internal failure.
 int runDaemon(const ServeOptions &O);
+
+/// Binds and listens on a Unix-domain socket at \p SocketPath, probing a
+/// pre-existing socket file for a live owner (refuse) vs. a stale crash
+/// leftover (unlink and rebind). Returns the non-blocking listening fd,
+/// or -1 with \p Err set. Shared by the daemon and the watchdog, which
+/// holds the fd across daemon restarts.
+int bindListeningSocket(const std::string &SocketPath, std::string &Err);
 
 } // namespace serve
 } // namespace pose

@@ -42,6 +42,8 @@ const char *pose::serve::errorCodeName(ErrorCode C) {
     return "worker-failed";
   case ErrorCode::Deadline:
     return "deadline";
+  case ErrorCode::ReloadRejected:
+    return "reload-rejected";
   }
   return "?";
 }
@@ -71,6 +73,9 @@ std::vector<uint8_t> pose::serve::encodeShutdown() {
 }
 std::vector<uint8_t> pose::serve::encodeStatsRequest() {
   return encodeFrame(MsgKind::Stats, {});
+}
+std::vector<uint8_t> pose::serve::encodeReload() {
+  return encodeFrame(MsgKind::Reload, {});
 }
 
 std::vector<uint8_t> pose::serve::encodeRunRequest(const RunRequest &R) {
@@ -149,6 +154,7 @@ std::vector<uint8_t> pose::serve::encodeErrorResponse(const ErrorResponse &E) {
   W.u64(E.Id);
   W.u32(static_cast<uint32_t>(E.Code));
   W.str(E.Message);
+  W.u32(E.RetryAfterMs);
   return encodeFrame(MsgKind::Error, W.bytes());
 }
 
@@ -158,12 +164,13 @@ bool pose::serve::decodeErrorResponse(const std::vector<uint8_t> &Payload,
   E.Id = B.u64();
   const uint32_t Code = B.u32();
   if (Code < static_cast<uint32_t>(ErrorCode::BadFrame) ||
-      Code > static_cast<uint32_t>(ErrorCode::Deadline)) {
+      Code > static_cast<uint32_t>(ErrorCode::ReloadRejected)) {
     Why = "unknown error code";
     return false;
   }
   E.Code = static_cast<ErrorCode>(Code);
   E.Message = B.str();
+  E.RetryAfterMs = B.u32();
   if (!B.ok() || !B.atEnd()) {
     Why = "error response payload does not decode";
     return false;
@@ -173,6 +180,7 @@ bool pose::serve::decodeErrorResponse(const std::vector<uint8_t> &Payload,
 
 std::vector<uint8_t> pose::serve::encodeStatsReport(const StatsReport &S) {
   ByteWriter W;
+  W.u32(kStatsVersion);
   W.u64(S.Requests);
   W.u64(S.Computed);
   W.u64(S.Coalesced);
@@ -181,12 +189,28 @@ std::vector<uint8_t> pose::serve::encodeStatsReport(const StatsReport &S) {
   W.u64(S.Clients);
   W.u64(S.Running);
   W.u64(S.Queued);
+  W.u64(S.Shed);
+  W.u64(S.ReadTimeouts);
+  W.u64(S.Restarts);
+  W.u64(S.Reloads);
+  W.u64(S.ReloadsRejected);
+  W.u64(S.SockFaults);
   return encodeFrame(MsgKind::StatsReport, W.bytes());
 }
 
 bool pose::serve::decodeStatsReport(const std::vector<uint8_t> &Payload,
                                     StatsReport &S, std::string &Why) {
   ByteReader B(Payload);
+  const uint32_t Version = B.u32();
+  if (!B.ok() || Version != kStatsVersion) {
+    // An explicit refusal beats misreading shifted counters: a version-1
+    // payload (or a future version-3 one) decodes to garbage, not to
+    // plausibly-wrong numbers.
+    Why = "unsupported stats payload version " + std::to_string(Version) +
+          " (this client speaks version " + std::to_string(kStatsVersion) +
+          ")";
+    return false;
+  }
   S.Requests = B.u64();
   S.Computed = B.u64();
   S.Coalesced = B.u64();
@@ -195,6 +219,12 @@ bool pose::serve::decodeStatsReport(const std::vector<uint8_t> &Payload,
   S.Clients = B.u64();
   S.Running = B.u64();
   S.Queued = B.u64();
+  S.Shed = B.u64();
+  S.ReadTimeouts = B.u64();
+  S.Restarts = B.u64();
+  S.Reloads = B.u64();
+  S.ReloadsRejected = B.u64();
+  S.SockFaults = B.u64();
   if (!B.ok() || !B.atEnd()) {
     Why = "stats report payload does not decode";
     return false;

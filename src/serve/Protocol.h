@@ -16,7 +16,8 @@
 ///
 /// One frame carries one message. Requests: Ping (liveness), Run (a
 /// posec command line to execute), Stats (scheduler counters), Shutdown
-/// (begin a graceful drain). Responses: Pong, RunResult (exit code +
+/// (begin a graceful drain), Reload (swap in the operator-staged store
+/// after it passes fsck). Responses: Pong, RunResult (exit code +
 /// captured stdout/stderr + how it was served), StatsReport, and Error
 /// (a per-request or per-connection protocol failure). The full frame
 /// layout and semantics are documented in docs/SERVICE.md.
@@ -61,8 +62,12 @@ enum class MsgKind : uint32_t {
                 ///< RunResult or Error.
   Stats = 3,    ///< Scheduler counters; answered with StatsReport.
   Shutdown = 4, ///< Begin a graceful drain; answered with Pong.
+  Reload = 5,   ///< Swap in the operator-staged store after it passes
+                ///< fsck; answered with Pong, or Error(ReloadRejected)
+                ///< when the candidate is unfit. The frame carries no
+                ///< path: clients cannot redirect the daemon's store.
 
-  Pong = 65,        ///< Answer to Ping and Shutdown.
+  Pong = 65,        ///< Answer to Ping, Shutdown, and Reload.
   RunResult = 66,   ///< A completed Run request.
   StatsReport = 67, ///< Answer to Stats.
   Error = 68,       ///< A failed request or a protocol diagnostic.
@@ -71,7 +76,7 @@ enum class MsgKind : uint32_t {
 /// True for kinds a client may send to the daemon.
 inline bool isRequestKind(MsgKind K) {
   return K == MsgKind::Ping || K == MsgKind::Run || K == MsgKind::Stats ||
-         K == MsgKind::Shutdown;
+         K == MsgKind::Shutdown || K == MsgKind::Reload;
 }
 
 /// How a RunResult was produced.
@@ -99,6 +104,9 @@ enum class ErrorCode : uint32_t {
                     ///< failure, harness error) instead of exiting.
   Deadline = 7,     ///< The request exceeded its admission deadline
                     ///< before or while running.
+  ReloadRejected = 8, ///< A Reload was refused: no staging store is
+                      ///< configured, or the candidate failed fsck. The
+                      ///< daemon keeps serving from the current store.
 };
 
 /// Short lower-case name ("bad-frame", "denied-arg", ...).
@@ -125,7 +133,18 @@ struct ErrorResponse {
   uint64_t Id = 0;
   ErrorCode Code = ErrorCode::BadRequest;
   std::string Message;
+  /// For Overloaded shed by the global queue cap: how long the client
+  /// should wait before resending. 0 = no hint (retry after the next
+  /// completion, per-client budget case).
+  uint32_t RetryAfterMs = 0;
 };
+
+/// Version of the StatsReport payload. The counter set grows with the
+/// daemon; an explicit leading version lets an old client fail with
+/// "unsupported version" instead of misreading shifted fields. Bumped
+/// to 2 when the self-healing counters (shed, read-timeouts, restarts,
+/// reloads, reloads-rejected, sock-faults) were appended.
+constexpr uint32_t kStatsVersion = 2;
 
 /// Scheduler counters, for operators and for tests asserting dedup.
 struct StatsReport {
@@ -137,6 +156,15 @@ struct StatsReport {
   uint64_t Clients = 0;   ///< Connections currently open.
   uint64_t Running = 0;   ///< posec children currently live.
   uint64_t Queued = 0;    ///< Admitted requests waiting for a slot.
+  uint64_t Shed = 0;      ///< Run requests refused by the global queue
+                          ///< cap (Overloaded with a retry-after hint).
+  uint64_t ReadTimeouts = 0; ///< Connections dropped by the read
+                             ///< deadline (stalled or idle peers).
+  uint64_t Restarts = 0;  ///< Watchdog restarts behind this daemon (0
+                          ///< when not supervised or never crashed).
+  uint64_t Reloads = 0;   ///< Store reloads accepted (fsck passed).
+  uint64_t ReloadsRejected = 0; ///< Store reloads refused.
+  uint64_t SockFaults = 0; ///< Injected --fault-sock operations fired.
 };
 
 /// Builds one complete frame (header + payload) around \p Payload.
@@ -148,6 +176,7 @@ std::vector<uint8_t> encodePing();
 std::vector<uint8_t> encodePong();
 std::vector<uint8_t> encodeShutdown();
 std::vector<uint8_t> encodeStatsRequest();
+std::vector<uint8_t> encodeReload();
 
 /// Payload-carrying frames and their decoders. Every decoder returns
 /// false (with \p Why set) on any overrun, cap violation, or trailing

@@ -1,0 +1,68 @@
+//===- Watchdog.h - posed crash/hang supervisor ----------------*- C++ -*-===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `posed --watchdog`: a parent process that owns the listening socket
+/// and keeps a daemon child alive behind it. The daemon is the one
+/// single point of failure in a pipeline that is otherwise
+/// crash-isolated end to end (PhaseGuard, the supervisor, the store's
+/// old-or-none commits); the watchdog closes that gap.
+///
+/// Mechanics: the watchdog binds the socket once, forks the daemon
+/// (same process image, no exec — runDaemon() runs in the child with
+/// the listening fd passed through ServeOptions::InheritedListenFd),
+/// and watches two things: the child's exit status and a heartbeat
+/// pipe the daemon writes one byte to per poll iteration. A crash
+/// (abnormal exit) or a hang (no heartbeat within the timeout; the
+/// child is SIGKILLed) triggers a restart under the shared RetryPolicy
+/// — bounded attempts, capped exponential backoff, deterministic
+/// jitter salted by the socket path. Because the watchdog holds the
+/// listening socket across restarts, clients never see
+/// connection-refused: connects made while the daemon is down queue in
+/// the listen backlog and are accepted by the next incarnation.
+///
+/// Contract: SIGTERM/SIGINT are forwarded (graceful drain; the
+/// watchdog exits with the child's code — 0 on a clean drain), SIGHUP
+/// is forwarded (hot store reload). A child that exits 0 ends
+/// supervision. Usage/ServeSocket exits are configuration errors and
+/// are not retried. When the restart budget is exhausted the watchdog
+/// stops, releases the socket, and exits
+/// drive::ExitCode::WatchdogGaveUp (13) — the documented "page an
+/// operator" signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POSE_SERVE_WATCHDOG_H
+#define POSE_SERVE_WATCHDOG_H
+
+#include "src/serve/Daemon.h"
+
+#include <cstdint>
+
+namespace pose {
+namespace serve {
+
+struct WatchdogOptions {
+  /// Restarts allowed before escalating; the (MaxRestarts+1)-th daemon
+  /// failure exits WatchdogGaveUp. 0 = never restart (a crash
+  /// escalates immediately).
+  unsigned MaxRestarts = 5;
+  /// A daemon silent for longer than this is declared hung and
+  /// SIGKILLed (counts as a crash). The daemon beats once per poll
+  /// iteration (~200ms), so the default leaves a wide margin for store
+  /// fsck pauses during reloads. 0 = hang detection off.
+  uint64_t HeartbeatTimeoutMs = 5'000;
+};
+
+/// Runs the watchdog until the daemon drains cleanly, a non-retryable
+/// exit occurs, or the restart budget is exhausted. Returns the
+/// process exit code (drive::ExitCode).
+int runWatchdog(const ServeOptions &O, const WatchdogOptions &W);
+
+} // namespace serve
+} // namespace pose
+
+#endif // POSE_SERVE_WATCHDOG_H

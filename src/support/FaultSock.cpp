@@ -1,0 +1,162 @@
+//===- FaultSock.cpp - Fault-injecting socket I/O layer -------------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/FaultSock.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pose {
+
+namespace {
+
+class SystemSockIo : public SockIo {};
+
+SystemSockIo SystemInstance;
+
+} // namespace
+
+ssize_t SockIo::read(int Fd, void *Buf, size_t N) {
+  return ::read(Fd, Buf, N);
+}
+
+ssize_t SockIo::send(int Fd, const void *Buf, size_t N) {
+  return ::send(Fd, Buf, N, MSG_NOSIGNAL);
+}
+
+SockIo &SockIo::system() { return SystemInstance; }
+
+const char *sockFaultKindName(SockFaultKind K) {
+  switch (K) {
+  case SockFaultKind::ShortWrite:
+    return "short-write";
+  case SockFaultKind::EagainStorm:
+    return "eagain-storm";
+  case SockFaultKind::Disconnect:
+    return "disconnect";
+  case SockFaultKind::StalledPeer:
+    return "stalled-peer";
+  }
+  return "?";
+}
+
+bool SockFaultSpec::parse(const std::string &Text,
+                          std::vector<SockFaultSpec> &Out) {
+  if (Text.empty())
+    return false;
+  std::vector<SockFaultSpec> Parsed;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find(',', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    const std::string Item = Text.substr(Pos, End - Pos);
+    const size_t Colon = Item.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Item.size())
+      return false;
+    const std::string Name = Item.substr(0, Colon);
+    SockFaultSpec S;
+    bool Known = false;
+    for (uint8_t K = 0;
+         K <= static_cast<uint8_t>(SockFaultKind::StalledPeer); ++K)
+      if (Name == sockFaultKindName(static_cast<SockFaultKind>(K))) {
+        S.Kind = static_cast<SockFaultKind>(K);
+        Known = true;
+        break;
+      }
+    if (!Known)
+      return false;
+    uint64_t N = 0;
+    for (size_t I = Colon + 1; I != Item.size(); ++I) {
+      const char C = Item[I];
+      if (C < '0' || C > '9')
+        return false;
+      const uint64_t Digit = static_cast<uint64_t>(C - '0');
+      if (N > (UINT64_MAX - Digit) / 10)
+        return false;
+      N = N * 10 + Digit;
+    }
+    if (N == 0)
+      return false;
+    S.Nth = N;
+    Parsed.push_back(S);
+    if (End == Text.size())
+      break;
+    Pos = End + 1;
+  }
+  if (Parsed.empty())
+    return false;
+  Out = std::move(Parsed);
+  return true;
+}
+
+FaultSock::FaultSock(std::vector<SockFaultSpec> Faults, SockIo *Base)
+    : Faults(std::move(Faults)), Base(Base ? Base : &SockIo::system()) {}
+
+const SockFaultSpec *FaultSock::findReadFault(uint64_t Nth) const {
+  for (const SockFaultSpec &S : Faults)
+    if (S.Nth == Nth && (S.Kind == SockFaultKind::Disconnect ||
+                         S.Kind == SockFaultKind::StalledPeer))
+      return &S;
+  return nullptr;
+}
+
+const SockFaultSpec *FaultSock::findWriteFault(uint64_t Nth) const {
+  for (const SockFaultSpec &S : Faults)
+    if (S.Kind == SockFaultKind::ShortWrite && S.Nth == Nth)
+      return &S;
+  for (const SockFaultSpec &S : Faults)
+    if (S.Kind == SockFaultKind::EagainStorm && Nth >= S.Nth &&
+        Nth < S.Nth + kEagainStormLength)
+      return &S;
+  return nullptr;
+}
+
+ssize_t FaultSock::read(int Fd, void *Buf, size_t N) {
+  if (Stalled.count(Fd)) {
+    errno = EAGAIN;
+    return -1;
+  }
+  const SockFaultSpec *F = findReadFault(++Reads);
+  if (!F)
+    return Base->read(Fd, Buf, N);
+  ++Fired;
+  if (F->Kind == SockFaultKind::Disconnect)
+    return 0; // EOF: the peer vanished, whatever it had sent is gone.
+  // StalledPeer: deliver one real byte (so a frame is guaranteed to be
+  // torn mid-header), then latch the fd dry.
+  const ssize_t Got = N == 0 ? 0 : Base->read(Fd, Buf, 1);
+  Stalled.insert(Fd);
+  return Got;
+}
+
+ssize_t FaultSock::send(int Fd, const void *Buf, size_t N) {
+  const SockFaultSpec *F = findWriteFault(++Writes);
+  if (!F)
+    return Base->send(Fd, Buf, N);
+  ++Fired;
+  if (F->Kind == SockFaultKind::EagainStorm) {
+    errno = EAGAIN;
+    return -1;
+  }
+  // ShortWrite: transmit at most half for real; the flush loop must pick
+  // up the remainder on a later send without corrupting the stream.
+  const size_t Half = N / 2;
+  if (Half == 0) {
+    errno = EAGAIN;
+    return -1; // Nothing to halve; behave as a zero-progress send.
+  }
+  return Base->send(Fd, Buf, Half);
+}
+
+void FaultSock::closed(int Fd) {
+  Stalled.erase(Fd);
+  Base->closed(Fd);
+}
+
+} // namespace pose

@@ -118,6 +118,39 @@ TEST(Protocol, ErrorResponseRoundTrips) {
   EXPECT_EQ(Out.Id, 7u);
   EXPECT_EQ(Out.Code, ErrorCode::Overloaded);
   EXPECT_EQ(Out.Message, In.Message);
+  EXPECT_EQ(Out.RetryAfterMs, 0u) << "no hint must decode as no hint";
+}
+
+TEST(Protocol, ErrorResponseCarriesTheRetryAfterHint) {
+  ErrorResponse In;
+  In.Id = 8;
+  In.Code = ErrorCode::Overloaded;
+  In.Message = "queue depth cap reached";
+  In.RetryAfterMs = 1250;
+  std::string Why;
+  ErrorResponse Out;
+  ASSERT_TRUE(
+      decodeErrorResponse(payloadOf(encodeErrorResponse(In)), Out, Why))
+      << Why;
+  EXPECT_EQ(Out.Code, ErrorCode::Overloaded);
+  EXPECT_EQ(Out.RetryAfterMs, 1250u);
+}
+
+TEST(Protocol, ReloadFrameRoundTripsAndIsARequest) {
+  const std::vector<uint8_t> Wire = encodeReload();
+  EXPECT_EQ(Wire.size(), kHeaderSize) << "Reload deliberately carries no "
+                                         "payload: clients cannot redirect "
+                                         "the daemon's store";
+  FrameReader R(kMaxRequestPayload);
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  std::string Why;
+  ASSERT_EQ(feedBytewise(R, Wire, Kind, Payload, Why),
+            FrameReader::Status::Frame)
+      << Why;
+  EXPECT_EQ(Kind, MsgKind::Reload);
+  EXPECT_TRUE(Payload.empty());
+  EXPECT_TRUE(isRequestKind(Kind));
 }
 
 TEST(Protocol, StatsReportRoundTrips) {
@@ -142,6 +175,41 @@ TEST(Protocol, StatsReportRoundTrips) {
   EXPECT_EQ(Out.Clients, 8u);
   EXPECT_EQ(Out.Running, 2u);
   EXPECT_EQ(Out.Queued, 5u);
+}
+
+TEST(Protocol, StatsReportCarriesTheRobustnessCounters) {
+  StatsReport In;
+  In.Shed = 11;
+  In.ReadTimeouts = 22;
+  In.Restarts = 33;
+  In.Reloads = 44;
+  In.ReloadsRejected = 55;
+  In.SockFaults = 66;
+  std::string Why;
+  StatsReport Out;
+  ASSERT_TRUE(decodeStatsReport(payloadOf(encodeStatsReport(In)), Out, Why))
+      << Why;
+  EXPECT_EQ(Out.Shed, 11u);
+  EXPECT_EQ(Out.ReadTimeouts, 22u);
+  EXPECT_EQ(Out.Restarts, 33u);
+  EXPECT_EQ(Out.Reloads, 44u);
+  EXPECT_EQ(Out.ReloadsRejected, 55u);
+  EXPECT_EQ(Out.SockFaults, 66u);
+}
+
+TEST(Protocol, StatsReportRejectsAForeignPayloadVersion) {
+  // The stats payload leads with its version; a client must refuse to
+  // guess at field meanings it does not speak rather than misreport
+  // counters. Tamper the version word (payload offset 0) and re-decode.
+  StatsReport In;
+  In.Requests = 9;
+  std::vector<uint8_t> Payload = payloadOf(encodeStatsReport(In));
+  const uint32_t Bogus = kStatsVersion + 1;
+  std::memcpy(Payload.data(), &Bogus, 4);
+  StatsReport Out;
+  std::string Why;
+  EXPECT_FALSE(decodeStatsReport(Payload, Out, Why));
+  EXPECT_NE(Why.find("version"), std::string::npos) << Why;
 }
 
 TEST(Protocol, TwoFramesInOneFeedComeOutInOrder) {
@@ -339,6 +407,73 @@ TEST(Protocol, DecodeRejectsHostileArgumentVectors) {
   }
 }
 
+TEST(Protocol, EverySplitPointParsesIdentically) {
+  // Property: a framed stream parses to the same frames no matter where
+  // the kernel happens to split the bytes. Two frames back to back (a
+  // payload-bearing Run and a payload-free Reload), fed (a) whole, (b)
+  // byte by byte, and (c) in two chunks at every possible offset; every
+  // variant must yield the same two frames with the latch never firing.
+  RunRequest Req;
+  Req.Id = 77;
+  Req.Args = {"--workload=bitcount", "--enumerate=bit_count"};
+  std::vector<uint8_t> Wire = encodeRunRequest(Req);
+  const std::vector<uint8_t> Second = encodeReload();
+  Wire.insert(Wire.end(), Second.begin(), Second.end());
+
+  auto ParseAll = [](FrameReader &R)
+      -> std::vector<std::pair<MsgKind, std::vector<uint8_t>>> {
+    std::vector<std::pair<MsgKind, std::vector<uint8_t>>> Frames;
+    MsgKind Kind;
+    std::vector<uint8_t> Payload;
+    std::string Why;
+    for (;;) {
+      const FrameReader::Status S = R.next(Kind, Payload, Why);
+      if (S == FrameReader::Status::Malformed) {
+        ADD_FAILURE() << "latch fired on a well-formed stream: " << Why;
+        return Frames;
+      }
+      if (S == FrameReader::Status::NeedMore)
+        return Frames;
+      Frames.emplace_back(Kind, Payload);
+    }
+  };
+
+  // Reference parse: the whole stream at once.
+  FrameReader Whole(kMaxRequestPayload);
+  Whole.feed(Wire.data(), Wire.size());
+  const auto Ref = ParseAll(Whole);
+  ASSERT_EQ(Ref.size(), 2u);
+  EXPECT_EQ(Ref[0].first, MsgKind::Run);
+  EXPECT_EQ(Ref[1].first, MsgKind::Reload);
+
+  // Byte by byte, draining after every byte.
+  {
+    FrameReader R(kMaxRequestPayload);
+    std::vector<std::pair<MsgKind, std::vector<uint8_t>>> Got;
+    for (const uint8_t B : Wire) {
+      R.feed(&B, 1);
+      const auto Part = ParseAll(R);
+      Got.insert(Got.end(), Part.begin(), Part.end());
+    }
+    EXPECT_EQ(Got, Ref) << "byte-at-a-time parse diverged";
+    EXPECT_EQ(R.buffered(), 0u);
+  }
+
+  // Every 2-chunk split, including the empty-first and empty-second
+  // degenerate splits.
+  for (size_t Cut = 0; Cut <= Wire.size(); ++Cut) {
+    FrameReader R(kMaxRequestPayload);
+    std::vector<std::pair<MsgKind, std::vector<uint8_t>>> Got;
+    R.feed(Wire.data(), Cut);
+    auto Part = ParseAll(R);
+    Got.insert(Got.end(), Part.begin(), Part.end());
+    R.feed(Wire.data() + Cut, Wire.size() - Cut);
+    Part = ParseAll(R);
+    Got.insert(Got.end(), Part.begin(), Part.end());
+    ASSERT_EQ(Got, Ref) << "split at offset " << Cut << " diverged";
+  }
+}
+
 TEST(Protocol, NamesAreStable) {
   EXPECT_STREQ(servedFromName(ServedFrom::Computed), "computed");
   EXPECT_STREQ(servedFromName(ServedFrom::Coalesced), "coalesced");
@@ -350,6 +485,7 @@ TEST(Protocol, NamesAreStable) {
   EXPECT_STREQ(errorCodeName(ErrorCode::ShuttingDown), "shutting-down");
   EXPECT_STREQ(errorCodeName(ErrorCode::WorkerFailed), "worker-failed");
   EXPECT_STREQ(errorCodeName(ErrorCode::Deadline), "deadline");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ReloadRejected), "reload-rejected");
 }
 
 } // namespace

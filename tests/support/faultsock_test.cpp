@@ -1,0 +1,209 @@
+//===- faultsock_test.cpp - FaultSock injector unit tests -----------------===//
+//
+// Part of POSE. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The socket fault injector in isolation, over a real socketpair: spec
+// parsing (strict, like every other flag in the repo), and the exact
+// semantics of each fault kind — a short write really transmits half, an
+// EAGAIN storm is bounded at kEagainStormLength, a disconnect is an EOF,
+// and a stalled peer delivers one byte then latches the fd dry until
+// closed() releases it. The daemon-level consequences (clean drops,
+// byte-identical responses, fsck-clean stores) live in tests/serve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/FaultSock.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pose;
+
+namespace {
+
+/// A connected non-blocking socketpair; End[0] is the "daemon" side the
+/// injector operates on, End[1] the peer.
+class Pair {
+public:
+  int End[2] = {-1, -1};
+
+  Pair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, End), 0);
+    for (const int Fd : End) {
+      const int Flags = ::fcntl(Fd, F_GETFL, 0);
+      ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+    }
+  }
+  ~Pair() {
+    for (const int Fd : End)
+      if (Fd >= 0)
+        ::close(Fd);
+  }
+
+  /// Bytes the peer has sent toward the daemon side.
+  void peerSends(const std::string &Bytes) {
+    ASSERT_EQ(::send(End[1], Bytes.data(), Bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(Bytes.size()));
+  }
+
+  /// Drains and returns whatever reached the peer.
+  std::string peerReceives() {
+    std::string Got;
+    char Buf[4096];
+    for (;;) {
+      const ssize_t N = ::read(End[1], Buf, sizeof(Buf));
+      if (N <= 0)
+        return Got;
+      Got.append(Buf, static_cast<size_t>(N));
+    }
+  }
+};
+
+std::vector<SockFaultSpec> parsed(const std::string &Text) {
+  std::vector<SockFaultSpec> Out;
+  EXPECT_TRUE(SockFaultSpec::parse(Text, Out)) << "'" << Text << "'";
+  return Out;
+}
+
+TEST(FaultSockSpec, ParsesEveryKind) {
+  const std::vector<SockFaultSpec> One = parsed("short-write:3");
+  ASSERT_EQ(One.size(), 1u);
+  EXPECT_EQ(One[0].Kind, SockFaultKind::ShortWrite);
+  EXPECT_EQ(One[0].Nth, 3u);
+
+  const std::vector<SockFaultSpec> All =
+      parsed("short-write:1,eagain-storm:2,disconnect:3,stalled-peer:4");
+  ASSERT_EQ(All.size(), 4u);
+  EXPECT_EQ(All[0].Kind, SockFaultKind::ShortWrite);
+  EXPECT_EQ(All[1].Kind, SockFaultKind::EagainStorm);
+  EXPECT_EQ(All[2].Kind, SockFaultKind::Disconnect);
+  EXPECT_EQ(All[3].Kind, SockFaultKind::StalledPeer);
+  EXPECT_EQ(All[3].Nth, 4u);
+}
+
+TEST(FaultSockSpec, RejectsMalformedSpecs) {
+  std::vector<SockFaultSpec> Out;
+  for (const char *Bad :
+       {"", "disconnect", "disconnect:", ":1", "zz:1", "disconnect:0",
+        "disconnect:1x", "disconnect:-1", "disconnect:1,",
+        "disconnect:1,,disconnect:2", "disconnect:18446744073709551616",
+        "DISCONNECT:1", "disconnect 1"})
+    EXPECT_FALSE(SockFaultSpec::parse(Bad, Out)) << "'" << Bad << "'";
+}
+
+TEST(FaultSockSpec, NamesAreStable) {
+  EXPECT_STREQ(sockFaultKindName(SockFaultKind::ShortWrite), "short-write");
+  EXPECT_STREQ(sockFaultKindName(SockFaultKind::EagainStorm),
+               "eagain-storm");
+  EXPECT_STREQ(sockFaultKindName(SockFaultKind::Disconnect), "disconnect");
+  EXPECT_STREQ(sockFaultKindName(SockFaultKind::StalledPeer),
+               "stalled-peer");
+}
+
+TEST(FaultSock, CleanInjectorIsAPassthrough) {
+  Pair P;
+  FaultSock Io({});
+  P.peerSends("hello");
+  char Buf[16];
+  EXPECT_EQ(Io.read(P.End[0], Buf, sizeof(Buf)), 5);
+  EXPECT_EQ(std::string(Buf, 5), "hello");
+  EXPECT_EQ(Io.send(P.End[0], "world!", 6), 6);
+  EXPECT_EQ(P.peerReceives(), "world!");
+  EXPECT_EQ(Io.fired(), 0u);
+  EXPECT_EQ(Io.readOps(), 1u);
+  EXPECT_EQ(Io.writeOps(), 1u);
+}
+
+TEST(FaultSock, ShortWriteReallyTransmitsHalf) {
+  Pair P;
+  FaultSock Io(parsed("short-write:2"));
+  EXPECT_EQ(Io.send(P.End[0], "first", 5), 5); // Op 1: clean.
+  const ssize_t N = Io.send(P.End[0], "abcdefgh", 8);
+  EXPECT_EQ(N, 4) << "the faulted send must transmit exactly half";
+  // Only the transmitted half reached the wire; the caller's flush loop
+  // resumes from there like after any partial write.
+  EXPECT_EQ(Io.send(P.End[0], "efgh", 4), 4);
+  EXPECT_EQ(P.peerReceives(), "firstabcdefgh");
+  EXPECT_EQ(Io.fired(), 1u);
+}
+
+TEST(FaultSock, ShortWriteOfOneByteDegradesToEagain) {
+  Pair P;
+  FaultSock Io(parsed("short-write:1"));
+  errno = 0;
+  EXPECT_EQ(Io.send(P.End[0], "x", 1), -1);
+  EXPECT_EQ(errno, EAGAIN);
+  EXPECT_EQ(P.peerReceives(), "");
+}
+
+TEST(FaultSock, EagainStormIsBoundedAtSixteenSends) {
+  Pair P;
+  FaultSock Io(parsed("eagain-storm:1"));
+  for (uint64_t I = 0; I != kEagainStormLength; ++I) {
+    errno = 0;
+    EXPECT_EQ(Io.send(P.End[0], "x", 1), -1) << "storm op " << I;
+    EXPECT_EQ(errno, EAGAIN);
+  }
+  EXPECT_EQ(Io.send(P.End[0], "x", 1), 1)
+      << "the storm must end: a stall, not a hang";
+  EXPECT_EQ(P.peerReceives(), "x");
+  EXPECT_EQ(Io.fired(), kEagainStormLength);
+}
+
+TEST(FaultSock, DisconnectReportsEofDespitePendingBytes) {
+  Pair P;
+  FaultSock Io(parsed("disconnect:2"));
+  P.peerSends("ab");
+  char Buf[16];
+  EXPECT_EQ(Io.read(P.End[0], Buf, sizeof(Buf)), 2); // Op 1: clean.
+  P.peerSends("cd"); // In flight, but the peer "vanished".
+  EXPECT_EQ(Io.read(P.End[0], Buf, sizeof(Buf)), 0);
+  EXPECT_EQ(Io.fired(), 1u);
+}
+
+TEST(FaultSock, StalledPeerDeliversOneByteThenLatchesUntilClosed) {
+  Pair P;
+  FaultSock Io(parsed("stalled-peer:1"));
+  P.peerSends("abc");
+  char Buf[16];
+  EXPECT_EQ(Io.read(P.End[0], Buf, sizeof(Buf)), 1)
+      << "exactly one byte: the frame must be torn mid-header";
+  EXPECT_EQ(Buf[0], 'a');
+  // The fd is now dry forever, however often the poll loop retries and
+  // however much data is really pending — and retries do not consume
+  // fault indices.
+  for (int I = 0; I != 5; ++I) {
+    errno = 0;
+    EXPECT_EQ(Io.read(P.End[0], Buf, sizeof(Buf)), -1);
+    EXPECT_EQ(errno, EAGAIN);
+  }
+  EXPECT_EQ(Io.readOps(), 1u) << "latched reads must not consume indices";
+  // closed() releases the latch: a reused fd number starts clean.
+  Io.closed(P.End[0]);
+  EXPECT_EQ(Io.read(P.End[0], Buf, sizeof(Buf)), 2);
+  EXPECT_EQ(std::string(Buf, 2), "bc");
+}
+
+TEST(FaultSock, FaultsOnlyFireAtTheirExactIndex) {
+  Pair P;
+  FaultSock Io(parsed("disconnect:3"));
+  P.peerSends("abcdef");
+  char Buf[2];
+  EXPECT_EQ(Io.read(P.End[0], Buf, 2), 2);
+  EXPECT_EQ(Io.read(P.End[0], Buf, 2), 2);
+  EXPECT_EQ(Io.read(P.End[0], Buf, 2), 0) << "op 3 is the fault";
+  EXPECT_EQ(Io.read(P.End[0], Buf, 2), 2) << "op 4 is clean again";
+  EXPECT_EQ(Io.fired(), 1u);
+}
+
+} // namespace

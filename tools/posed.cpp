@@ -13,15 +13,20 @@
 //
 //   posed --socket=PATH --store=DIR [--posec=BIN] [--max-jobs=N]
 //         [--max-inflight=N] [--request-timeout-ms=N] [--rlimit-mb=N]
-//         [--cache-entries=N] [--verbose]
+//         [--cache-entries=N] [--read-timeout-ms=N] [--max-queue=N]
+//         [--reload-store=DIR] [--watchdog] [--max-restarts=N]
+//         [--heartbeat-timeout-ms=N] [--fault-sock=SPEC] [--verbose]
 //
 // Exit codes (src/drive/ExitCodes.h): 0 after a graceful SIGTERM/SIGINT
-// drain, 1 internal error, 2 usage, 12 socket setup failure.
+// drain, 1 internal error, 2 usage, 12 socket setup failure, 13 when
+// --watchdog exhausted its restart budget.
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/drive/ExitCodes.h"
 #include "src/serve/Daemon.h"
+#include "src/serve/Watchdog.h"
+#include "src/support/FaultSock.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -55,6 +60,27 @@ int usage() {
       "0)\n"
       "  --cache-entries=N        completed-response cache size "
       "(default 256)\n"
+      "  --read-timeout-ms=N      drop peers making no I/O progress for\n"
+      "                           N ms (default 30000; 0 = off)\n"
+      "  --max-queue=N            global queued-request cap; beyond it\n"
+      "                           requests are shed with 'overloaded'\n"
+      "                           plus a retry-after hint (default 256;\n"
+      "                           0 = unlimited)\n"
+      "  --reload-store=DIR       staging store a Reload frame / SIGHUP\n"
+      "                           swaps in after it passes fsck\n"
+      "                           (default: reloads refused)\n"
+      "  --watchdog               supervise the daemon: hold the socket,\n"
+      "                           restart it on crash or hang, exit 13\n"
+      "                           when the restart budget runs out\n"
+      "  --max-restarts=N         watchdog restart budget (default 5;\n"
+      "                           0 = never restart)\n"
+      "  --heartbeat-timeout-ms=N watchdog hang detector: a daemon\n"
+      "                           silent this long is killed and\n"
+      "                           restarted (default 5000; 0 = off)\n"
+      "  --fault-sock=SPEC        inject socket faults for testing:\n"
+      "                           <kind>:<nth>[,...] with kind one of\n"
+      "                           short-write, eagain-storm, disconnect,\n"
+      "                           stalled-peer\n"
       "  --verbose                per-request log lines on stderr\n");
   return drive::ExitCode::Usage;
 }
@@ -95,6 +121,13 @@ std::string siblingPosec() {
 
 int main(int Argc, char **Argv) {
   serve::ServeOptions O;
+  serve::WatchdogOptions W;
+  bool Watchdog = false;
+  // The service defaults differ from the library's: a standalone daemon
+  // should defend itself against slow-loris peers and unbounded queues
+  // out of the box, while embedders opt in explicitly.
+  O.ReadTimeoutMs = 30'000;
+  O.MaxQueueDepth = 256;
 
   for (int I = 1; I < Argc; ++I) {
     const std::string A = Argv[I];
@@ -145,6 +178,43 @@ int main(int Argc, char **Argv) {
         BadUint("--cache-entries", V8);
         return usage();
       }
+    } else if (const char *V9 = Value("--read-timeout-ms")) {
+      if (!parseUint(V9, O.ReadTimeoutMs)) {
+        BadUint("--read-timeout-ms", V9);
+        return usage();
+      }
+    } else if (const char *V10 = Value("--max-queue")) {
+      if (!parseUint(V10, O.MaxQueueDepth)) {
+        BadUint("--max-queue", V10);
+        return usage();
+      }
+    } else if (const char *V11 = Value("--reload-store"))
+      O.ReloadStoreDir = V11;
+    else if (A == "--watchdog")
+      Watchdog = true;
+    else if (const char *V12 = Value("--max-restarts")) {
+      uint64_t N = 0;
+      if (!parseUint(V12, N) || N > 1'000'000) {
+        BadUint("--max-restarts", V12);
+        return usage();
+      }
+      W.MaxRestarts = static_cast<unsigned>(N);
+    } else if (const char *V13 = Value("--heartbeat-timeout-ms")) {
+      if (!parseUint(V13, W.HeartbeatTimeoutMs)) {
+        BadUint("--heartbeat-timeout-ms", V13);
+        return usage();
+      }
+    } else if (const char *V14 = Value("--fault-sock")) {
+      std::vector<SockFaultSpec> Parsed;
+      if (!SockFaultSpec::parse(V14, Parsed)) {
+        std::fprintf(stderr,
+                     "--fault-sock expects <kind>:<nth>[,<kind>:<nth>...] "
+                     "with kind one of short-write, eagain-storm, "
+                     "disconnect, stalled-peer and nth >= 1, got '%s'\n",
+                     V14);
+        return usage();
+      }
+      O.SockFaults.insert(O.SockFaults.end(), Parsed.begin(), Parsed.end());
     } else if (A == "--verbose")
       O.Verbose = true;
     else {
@@ -160,5 +230,7 @@ int main(int Argc, char **Argv) {
   if (O.PosecPath.empty())
     O.PosecPath = siblingPosec();
 
+  if (Watchdog)
+    return serve::runWatchdog(O, W);
   return serve::runDaemon(O);
 }

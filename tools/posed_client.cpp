@@ -21,16 +21,26 @@
 //       posed-client --socket=SOCK --connections=8 --count=56
 //                    --out=sample.txt -- --workload=bitcount ...
 //
+// Run-mode requests ride a bounded retry schedule (shared RetryPolicy:
+// capped exponential backoff, deterministic jitter): connect-refused,
+// transport loss mid-exchange (the daemon restarted under its
+// watchdog), and 'overloaded' shed responses — which carry the
+// daemon's retry-after hint — are retried transparently; every other
+// failure is final. --no-retry restores strict single-shot behavior
+// for tests that assert on first-response semantics.
+//
 // Plus liveness/ops probes: --ping, --stats (prints the daemon's
-// scheduler counters as one key=value line), --shutdown (graceful
-// drain). Exit 0 on success, 1 on any protocol failure or response
-// mismatch; in single-request mode the served posec exit code is
-// propagated.
+// scheduler counters as one key=value line), --reload (ask the daemon
+// to swap in its staging store), --shutdown (graceful drain). Exit 0
+// on success, 1 on any protocol failure or response mismatch; in
+// single-request mode the served posec exit code is propagated.
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/serve/Protocol.h"
+#include "src/support/RetryPolicy.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -58,7 +68,15 @@ int usage() {
       "  --out=FILE         write the (common) response stdout here\n"
       "  --ping             liveness probe instead of a run\n"
       "  --stats            print daemon counters instead of a run\n"
+      "  --reload           ask the daemon to swap in its staging store\n"
       "  --shutdown         ask the daemon to drain and exit\n"
+      "  --no-retry         fail immediately on connect-refused,\n"
+      "                     transport loss, or an 'overloaded' shed\n"
+      "                     instead of backing off and retrying\n"
+      "  --ignore-stderr    compare only stdout + exit code across\n"
+      "                     responses (stderr carries cache provenance,\n"
+      "                     which legitimately changes across a daemon\n"
+      "                     restart or a store reload)\n"
       "  --quiet            no summary line on stderr\n");
   return 1;
 }
@@ -79,7 +97,12 @@ bool parseUint(const char *S, uint64_t &Out) {
   return true;
 }
 
-int connectTo(const std::string &Path, std::string &Err) {
+/// Connects to the daemon socket. On failure returns -1 with \p Err
+/// set and \p ConnErrno holding the connect(2) errno (0 for
+/// non-connect failures) so callers can tell a retryable
+/// connection-refused from a hopeless path error.
+int connectTo(const std::string &Path, std::string &Err, int &ConnErrno) {
+  ConnErrno = 0;
   struct sockaddr_un Addr;
   if (Path.size() >= sizeof(Addr.sun_path)) {
     Err = "socket path too long";
@@ -95,11 +118,33 @@ int connectTo(const std::string &Path, std::string &Err) {
   }
   if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
                 sizeof(Addr)) != 0) {
+    ConnErrno = errno;
     Err = "connect '" + Path + "': " + std::strerror(errno);
     ::close(Fd);
     return -1;
   }
   return Fd;
+}
+
+/// The client-side retry schedule: 8 attempts spread over roughly ten
+/// seconds, enough to ride out a watchdog restart (backoff starts at
+/// 100ms and the daemon is typically back within one or two).
+const RetryPolicy kClientRetry{/*MaxRetries=*/8, /*BaseDelayMs=*/50,
+                               /*MaxDelayMs=*/2'000, /*JitterPct=*/20};
+
+/// Deterministic jitter salt (FNV-1a) so two load-harness connections
+/// retrying the same daemon do not stampede in lockstep.
+uint64_t saltOf(const std::string &S, uint64_t Extra) {
+  uint64_t H = 1469598103934665603ull;
+  for (const char C : S) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ull;
+  }
+  return H ^ Extra;
+}
+
+void sleepMs(uint64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
 }
 
 bool sendAll(int Fd, const std::vector<uint8_t> &Bytes, std::string &Err) {
@@ -148,77 +193,146 @@ struct WireResult {
   std::string Problem; ///< Set when !Ok.
 };
 
-/// One connection issuing \p N sequential requests of \p Args.
+/// One connection issuing \p N sequential requests of \p Args. Unless
+/// \p NoRetry, each request rides the kClientRetry schedule across
+/// connect-refused, transport loss (reconnect with a fresh
+/// FrameReader), and 'overloaded' sheds (sleeping the daemon's
+/// retry-after hint when it gave one).
 void runConnection(const std::string &Socket,
                    const std::vector<std::string> &Args, uint64_t IdBase,
-                   size_t N, std::vector<WireResult> &Out) {
+                   size_t N, bool NoRetry, std::vector<WireResult> &Out) {
   Out.resize(N);
-  std::string Err;
-  const int Fd = connectTo(Socket, Err);
-  if (Fd < 0) {
-    for (WireResult &W : Out)
-      W.Problem = Err;
-    return;
-  }
+  const uint64_t Salt = saltOf(Socket, IdBase);
+  int Fd = -1;
   FrameReader In(kMaxResponsePayload);
+  auto Drop = [&] {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+    In = FrameReader(kMaxResponsePayload);
+  };
+
   for (size_t I = 0; I != N; ++I) {
     WireResult &W = Out[I];
-    RunRequest Req;
-    Req.Id = IdBase + I;
-    Req.Args = Args;
-    if (!sendAll(Fd, encodeRunRequest(Req), W.Problem))
-      break;
-    MsgKind Kind;
-    std::vector<uint8_t> Payload;
-    if (!recvFrame(Fd, In, Kind, Payload, W.Problem))
-      break;
-    if (Kind == MsgKind::Error) {
-      ErrorResponse E;
+    unsigned Attempts = 0;
+    auto Backoff = [&] {
+      if (NoRetry || !kClientRetry.shouldRetry(++Attempts))
+        return false;
+      sleepMs(kClientRetry.delayMs(Attempts, Salt));
+      return true;
+    };
+
+    for (;;) {
+      if (Fd < 0) {
+        int ConnErrno = 0;
+        Fd = connectTo(Socket, W.Problem, ConnErrno);
+        if (Fd < 0) {
+          // ECONNREFUSED / ENOENT: the daemon is down (or restarting
+          // without a watchdog to hold the socket) — worth waiting out.
+          // Anything else (bad path, EACCES) will not heal.
+          if ((ConnErrno == ECONNREFUSED || ConnErrno == ENOENT) &&
+              Backoff())
+            continue;
+          break;
+        }
+      }
+      RunRequest Req;
+      Req.Id = IdBase + I;
+      Req.Args = Args;
+      MsgKind Kind;
+      std::vector<uint8_t> Payload;
+      if (!sendAll(Fd, encodeRunRequest(Req), W.Problem) ||
+          !recvFrame(Fd, In, Kind, Payload, W.Problem)) {
+        // Transport loss mid-exchange: the daemon may have crashed and
+        // be restarting under its watchdog. Reconnect and resend — the
+        // dedup layer makes the retry idempotent.
+        Drop();
+        if (Backoff())
+          continue;
+        break;
+      }
+      if (Kind == MsgKind::Error) {
+        ErrorResponse E;
+        std::string Why;
+        if (!decodeErrorResponse(Payload, E, Why)) {
+          W.Problem = "undecodable error response: " + Why;
+          break;
+        }
+        if (E.Code == ErrorCode::Overloaded && !NoRetry &&
+            kClientRetry.shouldRetry(++Attempts)) {
+          // Prefer the daemon's shed hint over the local schedule: it
+          // knows its queue depth; we only know we were turned away.
+          sleepMs(E.RetryAfterMs != 0
+                      ? E.RetryAfterMs
+                      : kClientRetry.delayMs(Attempts, Salt));
+          continue;
+        }
+        W.Problem = std::string(errorCodeName(E.Code)) + ": " + E.Message;
+        break;
+      }
+      if (Kind != MsgKind::RunResult) {
+        W.Problem = "unexpected response kind";
+        break;
+      }
       std::string Why;
-      W.Problem = decodeErrorResponse(Payload, E, Why)
-                      ? std::string(errorCodeName(E.Code)) + ": " + E.Message
-                      : "undecodable error response: " + Why;
-      continue;
+      if (!decodeRunResponse(Payload, W.R, Why)) {
+        W.Problem = "undecodable run response: " + Why;
+        break;
+      }
+      if (W.R.Id != Req.Id) {
+        W.Problem = "response id mismatch";
+        break;
+      }
+      W.Ok = true;
+      break;
     }
-    if (Kind != MsgKind::RunResult) {
-      W.Problem = "unexpected response kind";
-      continue;
+
+    if (!W.Ok && Fd < 0) {
+      // The connection is gone and retries (if any) are spent: the
+      // daemon is not coming back in time. Abandon the remainder with
+      // the same diagnosis instead of burning a full retry ladder per
+      // request.
+      for (size_t J = I + 1; J != N; ++J)
+        Out[J].Problem = W.Problem;
+      return;
     }
-    std::string Why;
-    if (!decodeRunResponse(Payload, W.R, Why)) {
-      W.Problem = "undecodable run response: " + Why;
-      continue;
-    }
-    if (W.R.Id != Req.Id) {
-      W.Problem = "response id mismatch";
-      continue;
-    }
-    W.Ok = true;
   }
-  ::close(Fd);
+  Drop();
 }
 
-/// Sends one payload-free request and expects \p Want back.
+/// Sends one payload-free request and expects \p Want back. An Error
+/// frame in its place is decoded and reported by name (e.g. a
+/// 'reload-rejected' refusal), other mismatches generically.
 int simpleExchange(const std::string &Socket,
                    const std::vector<uint8_t> &Frame, MsgKind Want,
                    std::vector<uint8_t> &Payload) {
   std::string Err;
-  const int Fd = connectTo(Socket, Err);
+  int ConnErrno = 0;
+  const int Fd = connectTo(Socket, Err, ConnErrno);
   if (Fd < 0) {
     std::fprintf(stderr, "posed-client: %s\n", Err.c_str());
     return 1;
   }
   MsgKind Kind;
   FrameReader In(kMaxResponsePayload);
-  const bool Ok = sendAll(Fd, Frame, Err) &&
-                  recvFrame(Fd, In, Kind, Payload, Err) && Kind == Want;
+  const bool Got =
+      sendAll(Fd, Frame, Err) && recvFrame(Fd, In, Kind, Payload, Err);
   ::close(Fd);
-  if (!Ok) {
+  if (Got && Kind == Want)
+    return 0;
+  if (Got && Kind == MsgKind::Error) {
+    ErrorResponse E;
+    std::string Why;
     std::fprintf(stderr, "posed-client: %s\n",
-                 Err.empty() ? "unexpected response kind" : Err.c_str());
+                 decodeErrorResponse(Payload, E, Why)
+                     ? (std::string(errorCodeName(E.Code)) + ": " + E.Message)
+                           .c_str()
+                     : ("undecodable error response: " + Why).c_str());
     return 1;
   }
-  return 0;
+  std::fprintf(stderr, "posed-client: %s\n",
+               Err.empty() ? "unexpected response kind" : Err.c_str());
+  return 1;
 }
 
 bool writeFileBytes(const std::string &Path, const std::string &Bytes) {
@@ -235,7 +349,8 @@ bool writeFileBytes(const std::string &Path, const std::string &Bytes) {
 int main(int Argc, char **Argv) {
   std::string Socket, OutPath;
   uint64_t Count = 1, Connections = 1;
-  bool Ping = false, Stats = false, Shutdown = false, Quiet = false;
+  bool Ping = false, Stats = false, Reload = false, Shutdown = false;
+  bool Quiet = false, NoRetry = false, IgnoreStderr = false;
   std::vector<std::string> Args;
 
   for (int I = 1; I < Argc; ++I) {
@@ -269,8 +384,14 @@ int main(int Argc, char **Argv) {
       Ping = true;
     else if (A == "--stats")
       Stats = true;
+    else if (A == "--reload")
+      Reload = true;
     else if (A == "--shutdown")
       Shutdown = true;
+    else if (A == "--no-retry")
+      NoRetry = true;
+    else if (A == "--ignore-stderr")
+      IgnoreStderr = true;
     else if (A == "--quiet")
       Quiet = true;
     else {
@@ -286,6 +407,8 @@ int main(int Argc, char **Argv) {
   std::vector<uint8_t> Payload;
   if (Ping)
     return simpleExchange(Socket, encodePing(), MsgKind::Pong, Payload);
+  if (Reload)
+    return simpleExchange(Socket, encodeReload(), MsgKind::Pong, Payload);
   if (Shutdown)
     return simpleExchange(Socket, encodeShutdown(), MsgKind::Pong, Payload);
   if (Stats) {
@@ -299,9 +422,12 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "posed-client: %s\n", Why.c_str());
       return 1;
     }
+    // The historical counters keep their order (CI greps on them); the
+    // v2 robustness counters append after.
     std::printf("requests=%llu computed=%llu coalesced=%llu "
                 "cache-hits=%llu errors=%llu clients=%llu running=%llu "
-                "queued=%llu\n",
+                "queued=%llu shed=%llu read-timeouts=%llu restarts=%llu "
+                "reloads=%llu reload-rejected=%llu sock-faults=%llu\n",
                 static_cast<unsigned long long>(S.Requests),
                 static_cast<unsigned long long>(S.Computed),
                 static_cast<unsigned long long>(S.Coalesced),
@@ -309,7 +435,13 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.Errors),
                 static_cast<unsigned long long>(S.Clients),
                 static_cast<unsigned long long>(S.Running),
-                static_cast<unsigned long long>(S.Queued));
+                static_cast<unsigned long long>(S.Queued),
+                static_cast<unsigned long long>(S.Shed),
+                static_cast<unsigned long long>(S.ReadTimeouts),
+                static_cast<unsigned long long>(S.Restarts),
+                static_cast<unsigned long long>(S.Reloads),
+                static_cast<unsigned long long>(S.ReloadsRejected),
+                static_cast<unsigned long long>(S.SockFaults));
     return 0;
   }
 
@@ -329,7 +461,8 @@ int main(int Argc, char **Argv) {
     const size_t Share = static_cast<size_t>(Count / Connections) +
                          (C < Count % Connections ? 1 : 0);
     Threads.emplace_back(runConnection, std::cref(Socket), std::cref(Args),
-                         C * 1000000 + 1, Share, std::ref(PerConn[C]));
+                         C * 1000000 + 1, Share, NoRetry,
+                         std::ref(PerConn[C]));
   }
   for (std::thread &T : Threads)
     T.join();
@@ -355,7 +488,8 @@ int main(int Argc, char **Argv) {
         continue;
       }
       if (W.R.ExitCode != First->R.ExitCode ||
-          W.R.Stdout != First->R.Stdout || W.R.Stderr != First->R.Stderr) {
+          W.R.Stdout != First->R.Stdout ||
+          (!IgnoreStderr && W.R.Stderr != First->R.Stderr)) {
         ++Failures;
         std::fprintf(stderr,
                      "posed-client: response divergence: a %s response "
